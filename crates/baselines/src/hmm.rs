@@ -1,0 +1,341 @@
+//! Hidden-Markov-Model map matching (Newson & Krumm, SIGSPATIAL 2009) and
+//! its FMM acceleration (Yang & Gidófalvi, IJGIS 2018).
+//!
+//! * **Emission**: Gaussian on the perpendicular distance between the GPS
+//!   point and a candidate segment, `log p ∝ −½ (d/σ_z)²`.
+//! * **Transition**: exponential on the detour between consecutive points,
+//!   `log p ∝ −|d_route − d_straight| / β` — vehicles rarely drive much
+//!   farther than the direct displacement.
+//! * **Decoding**: Viterbi over per-point candidate sets (top-k from the
+//!   R-tree). When no transition is feasible (sparse data, bounded search)
+//!   the chain restarts at that point, the standard HMM-break handling.
+//!
+//! [`FmmMatcher`] differs only in the route-distance oracle: a precomputed
+//! [`Ubodt`] table turns the per-transition Dijkstra into a hash lookup.
+
+use std::sync::Arc;
+
+use trmma_roadnet::shortest::{matched_dist_directed, DistCache, NetPos};
+use trmma_roadnet::{RoadNetwork, RoutePlanner};
+use trmma_traj::api::{Candidate, CandidateFinder, MapMatcher, MatchResult};
+use trmma_traj::types::{MatchedPoint, Route, Trajectory};
+
+use crate::ubodt::Ubodt;
+
+/// Tunables of the HMM matchers.
+#[derive(Debug, Clone)]
+pub struct HmmConfig {
+    /// Candidates per GPS point.
+    pub k_candidates: usize,
+    /// Emission standard deviation σ_z in metres.
+    pub sigma_z_m: f64,
+    /// Transition scale β in metres.
+    pub beta_m: f64,
+    /// Hard bound on route-distance searches in metres (also the UBODT
+    /// delta for [`FmmMatcher`]).
+    pub max_route_m: f64,
+}
+
+impl Default for HmmConfig {
+    fn default() -> Self {
+        Self { k_candidates: 10, sigma_z_m: 10.0, beta_m: 120.0, max_route_m: 5_000.0 }
+    }
+}
+
+enum Oracle {
+    Dijkstra(DistCache),
+    Table(Ubodt),
+}
+
+/// Newson–Krumm HMM matcher (Dijkstra route-distance oracle).
+pub struct HmmMatcher {
+    net: Arc<RoadNetwork>,
+    planner: Arc<RoutePlanner>,
+    finder: CandidateFinder,
+    cfg: HmmConfig,
+    oracle: Oracle,
+    name: &'static str,
+}
+
+impl HmmMatcher {
+    /// Builds the matcher with on-demand (cached) Dijkstra route distances.
+    #[must_use]
+    pub fn new(net: Arc<RoadNetwork>, planner: Arc<RoutePlanner>, cfg: HmmConfig) -> Self {
+        Self::with_name(net, planner, cfg, "HMM")
+    }
+
+    /// Like [`HmmMatcher::new`] with a custom display name (used by the
+    /// learned-HMM wrapper).
+    #[must_use]
+    pub(crate) fn with_name(
+        net: Arc<RoadNetwork>,
+        planner: Arc<RoutePlanner>,
+        cfg: HmmConfig,
+        name: &'static str,
+    ) -> Self {
+        let finder = CandidateFinder::new(&net, cfg.k_candidates);
+        Self { net, planner, finder, cfg, oracle: Oracle::Dijkstra(DistCache::new()), name }
+    }
+
+    fn route_dist(&self, a: NetPos, b: NetPos) -> Option<f64> {
+        match &self.oracle {
+            Oracle::Dijkstra(cache) => {
+                matched_dist_directed(&self.net, a, b, self.cfg.max_route_m, Some(cache))
+            }
+            Oracle::Table(t) => {
+                let sa = self.net.segment(a.seg);
+                let sb = self.net.segment(b.seg);
+                if a.seg == b.seg && b.ratio >= a.ratio {
+                    return Some((b.ratio - a.ratio) * sa.length);
+                }
+                let mid = t.query(sa.to, sb.from)?;
+                Some((1.0 - a.ratio) * sa.length + mid + b.ratio * sb.length)
+            }
+        }
+    }
+
+    fn emission_log(&self, c: &Candidate) -> f64 {
+        let z = c.dist_m / self.cfg.sigma_z_m;
+        -0.5 * z * z
+    }
+
+    fn transition_log(&self, from: &Candidate, to: &Candidate, straight_m: f64) -> f64 {
+        let a = NetPos::new(from.seg, from.ratio);
+        let b = NetPos::new(to.seg, to.ratio);
+        match self.route_dist(a, b) {
+            Some(route) => -(route - straight_m).abs() / self.cfg.beta_m,
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Viterbi decode over candidate sets; returns one candidate per point.
+    fn viterbi(&self, traj: &Trajectory) -> Vec<Candidate> {
+        let cand_sets: Vec<Vec<Candidate>> =
+            traj.points.iter().map(|p| self.finder.candidates(p.pos)).collect();
+        let n = cand_sets.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // score[i][j]: best log-prob path ending at candidate j of point i.
+        let mut score: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(n);
+        score.push(cand_sets[0].iter().map(|c| self.emission_log(c)).collect());
+        back.push(vec![usize::MAX; cand_sets[0].len()]);
+        for i in 1..n {
+            let straight = traj.points[i].pos.dist(traj.points[i - 1].pos);
+            let mut s_i = vec![f64::NEG_INFINITY; cand_sets[i].len()];
+            let mut b_i = vec![usize::MAX; cand_sets[i].len()];
+            for (j, cj) in cand_sets[i].iter().enumerate() {
+                let em = self.emission_log(cj);
+                for (k, ck) in cand_sets[i - 1].iter().enumerate() {
+                    if score[i - 1][k] == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let tr = self.transition_log(ck, cj, straight);
+                    if tr == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let cand_score = score[i - 1][k] + tr + em;
+                    if cand_score > s_i[j] {
+                        s_i[j] = cand_score;
+                        b_i[j] = k;
+                    }
+                }
+            }
+            // HMM break: no feasible transition — restart the chain here.
+            if s_i.iter().all(|&s| s == f64::NEG_INFINITY) {
+                s_i = cand_sets[i].iter().map(|c| self.emission_log(c)).collect();
+                b_i = vec![usize::MAX; cand_sets[i].len()];
+            }
+            score.push(s_i);
+            back.push(b_i);
+        }
+        // Backtrack (breaks simply restart the backpointer chain).
+        let mut picks = vec![0usize; n];
+        let last = n - 1;
+        picks[last] = argmax(&score[last]);
+        for i in (0..last).rev() {
+            let bp = back[i + 1][picks[i + 1]];
+            picks[i] = if bp == usize::MAX { argmax(&score[i]) } else { bp };
+        }
+        picks
+            .into_iter()
+            .enumerate()
+            .map(|(i, j)| cand_sets[i][j])
+            .collect()
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+impl MapMatcher for HmmMatcher {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn match_trajectory(&self, traj: &Trajectory) -> MatchResult {
+        let picks = self.viterbi(traj);
+        let matched: Vec<MatchedPoint> = picks
+            .iter()
+            .zip(&traj.points)
+            .map(|(c, p)| MatchedPoint::new(c.seg, c.ratio, p.t))
+            .collect();
+        let seq: Vec<_> = matched.iter().map(|m| m.seg).collect();
+        let route = self
+            .planner
+            .connect(&self.net, &seq)
+            .map(Route::new)
+            .unwrap_or_else(|| Route::new(seq));
+        MatchResult { matched, route }
+    }
+}
+
+/// FMM: the HMM above with a precomputed [`Ubodt`] route-distance oracle.
+pub struct FmmMatcher {
+    inner: HmmMatcher,
+    /// Wall-clock seconds spent building the UBODT (reported by the
+    /// efficiency experiments).
+    pub precompute_s: f64,
+}
+
+impl FmmMatcher {
+    /// Builds the matcher, precomputing the UBODT with `delta =
+    /// cfg.max_route_m`.
+    #[must_use]
+    pub fn new(net: Arc<RoadNetwork>, planner: Arc<RoutePlanner>, cfg: HmmConfig) -> Self {
+        let start = std::time::Instant::now();
+        let ubodt = Ubodt::build(&net, cfg.max_route_m);
+        let precompute_s = start.elapsed().as_secs_f64();
+        let finder = CandidateFinder::new(&net, cfg.k_candidates);
+        Self {
+            inner: HmmMatcher {
+                net,
+                planner,
+                finder,
+                cfg,
+                oracle: Oracle::Table(ubodt),
+                name: "FMM",
+            },
+            precompute_s,
+        }
+    }
+
+    /// Size of the precomputed table.
+    #[must_use]
+    pub fn table_len(&self) -> usize {
+        match &self.inner.oracle {
+            Oracle::Table(t) => t.len(),
+            Oracle::Dijkstra(_) => 0,
+        }
+    }
+}
+
+impl MapMatcher for FmmMatcher {
+    fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    fn match_trajectory(&self, traj: &Trajectory) -> MatchResult {
+        self.inner.match_trajectory(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trmma_roadnet::{generate_city, NetworkConfig};
+    use trmma_traj::gen::{generate_trajectory, sparsify, TrajConfig};
+    use trmma_traj::metrics::matching_metrics;
+    use trmma_traj::Sample;
+
+    fn setup() -> (Arc<RoadNetwork>, Arc<RoutePlanner>, Vec<Sample>) {
+        let net = Arc::new(generate_city(&NetworkConfig::with_size(8, 8, 51)));
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let cfg = TrajConfig { min_points: 12, ..TrajConfig::default() };
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut samples: Vec<Sample> = Vec::new();
+        for _ in 0..6 {
+            if let Some(raw) = generate_trajectory(&net, &cfg, &mut rng) {
+                samples.push(sparsify(&raw, 0.3, &mut rng));
+            }
+        }
+        assert!(!samples.is_empty());
+        (net, planner, samples)
+    }
+
+    #[test]
+    fn hmm_beats_random_and_routes_are_paths() {
+        let (net, planner, samples) = setup();
+        let hmm = HmmMatcher::new(net.clone(), planner, HmmConfig::default());
+        let mut f1_sum = 0.0;
+        for s in &samples {
+            let res = hmm.match_trajectory(&s.sparse);
+            assert_eq!(res.matched.len(), s.sparse.len());
+            assert!(res.route.is_valid(&net));
+            f1_sum += matching_metrics(&res.route, &s.route).f1;
+        }
+        let mean_f1 = f1_sum / samples.len() as f64;
+        assert!(mean_f1 > 0.5, "HMM mean F1 too low: {mean_f1}");
+    }
+
+    #[test]
+    fn hmm_transition_prefers_direct_continuation() {
+        let (net, planner, _) = setup();
+        let hmm = HmmMatcher::new(net.clone(), planner, HmmConfig::default());
+        // Candidate on a segment, straight-line equal to route distance →
+        // detour 0 → transition log 0. A contrived far candidate scores less.
+        let e = trmma_roadnet::SegmentId(0);
+        let c_near = Candidate { seg: e, dist_m: 3.0, ratio: 0.2 };
+        let c_next = Candidate { seg: e, dist_m: 4.0, ratio: 0.8 };
+        let seg_len = net.segment(e).length;
+        let straight = (0.6 * seg_len).abs();
+        let t_direct = hmm.transition_log(&c_near, &c_next, straight);
+        assert!(t_direct > -1e-6, "zero detour should give ~0 log prob");
+        let t_detour = hmm.transition_log(&c_near, &c_next, straight + 500.0);
+        assert!(t_detour < t_direct);
+    }
+
+    #[test]
+    fn fmm_agrees_with_hmm_within_delta() {
+        let (net, planner, samples) = setup();
+        let cfg = HmmConfig::default();
+        let hmm = HmmMatcher::new(net.clone(), planner.clone(), cfg.clone());
+        let fmm = FmmMatcher::new(net.clone(), planner, cfg);
+        assert!(fmm.table_len() > 0);
+        for s in &samples {
+            let a = hmm.match_trajectory(&s.sparse);
+            let b = fmm.match_trajectory(&s.sparse);
+            // Same oracle values within delta ⇒ same Viterbi choice.
+            let same = a
+                .matched
+                .iter()
+                .zip(&b.matched)
+                .filter(|(x, y)| x.seg == y.seg)
+                .count();
+            assert!(
+                same * 10 >= a.matched.len() * 9,
+                "FMM diverged from HMM: {same}/{}",
+                a.matched.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trajectory_yields_empty_result() {
+        let (net, planner, _) = setup();
+        let hmm = HmmMatcher::new(net, planner, HmmConfig::default());
+        let res = hmm.match_trajectory(&Trajectory::default());
+        assert!(res.matched.is_empty());
+        assert!(res.route.is_empty());
+    }
+}

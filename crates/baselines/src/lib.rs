@@ -1,0 +1,66 @@
+//! Comparator methods for map matching and trajectory recovery.
+//!
+//! The paper evaluates TRMMA/MMA against a battery of existing methods.
+//! This crate implements the classic ones faithfully and the learned ones as
+//! mechanism-preserving surrogates (see DESIGN.md §1):
+//!
+//! **Map matching**
+//! * [`NearestMatcher`] — every GPS point to its nearest segment (the
+//!   `Nearest` row of Table V);
+//! * [`HmmMatcher`] — Newson & Krumm (SIGSPATIAL 2009): Gaussian emission on
+//!   perpendicular distance, exponential transition on
+//!   `|route − great-circle|` detour, Viterbi decoding;
+//! * [`FmmMatcher`] — FMM (Yang & Gidófalvi 2018): the same HMM accelerated
+//!   by a precomputed upper-bounded origin–destination table ([`Ubodt`]);
+//! * [`LhmmMatcher`] — learned-HMM surrogate (LHMM, Shi et al. 2023):
+//!   emission/transition parameters fitted by maximum likelihood on the
+//!   training corpus.
+//!
+//! **Trajectory recovery**
+//! * [`LinearRecovery`] — map-match with any [`trmma_traj::MapMatcher`], then linearly
+//!   interpolate missing points along the route (the `Linear`,
+//!   `MMA+linear`, `Nearest+linear` rows of Tables III/IV);
+//! * [`Seq2SeqFull`] — an MTrajRec-style GRU encoder/decoder that classifies
+//!   each recovered point over **all** `|E|` segments of the network — the
+//!   "evaluate the entire road network" design whose cost TRMMA's
+//!   route-restricted decoding avoids.
+
+pub mod hmm;
+pub mod lhmm;
+pub mod linear;
+pub mod nearest;
+pub mod seq2seq;
+pub mod ubodt;
+
+pub use hmm::{FmmMatcher, HmmConfig, HmmMatcher};
+pub use lhmm::{fit_params, FittedParams, LhmmMatcher};
+pub use linear::LinearRecovery;
+pub use nearest::NearestMatcher;
+pub use seq2seq::{Seq2SeqConfig, Seq2SeqFull};
+pub use ubodt::Ubodt;
+
+/// Summary of one training run (epoch wall-times feed Figs. 6 and 10).
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Wall-clock seconds per epoch.
+    pub epoch_times_s: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Last epoch's mean loss.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Mean seconds per epoch.
+    #[must_use]
+    pub fn mean_epoch_time_s(&self) -> f64 {
+        if self.epoch_times_s.is_empty() {
+            return 0.0;
+        }
+        self.epoch_times_s.iter().sum::<f64>() / self.epoch_times_s.len() as f64
+    }
+}

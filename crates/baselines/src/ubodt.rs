@@ -1,0 +1,109 @@
+//! Upper-bounded origin–destination table — FMM's acceleration structure.
+//!
+//! FMM precomputes, for every node pair within network distance `delta`, the
+//! shortest-path distance; HMM transition evaluation then becomes a hash
+//! lookup instead of a Dijkstra run. The sparse-trajectory regime makes
+//! `delta` the dominant knob: it must cover the typical inter-point gap
+//! (ε/γ seconds of driving).
+
+use std::collections::HashMap;
+
+use trmma_roadnet::shortest::{bounded_sssp, Weight};
+use trmma_roadnet::{NodeId, RoadNetwork};
+
+/// Precomputed bounded all-pairs table; see module docs.
+#[derive(Debug)]
+pub struct Ubodt {
+    delta: f64,
+    table: HashMap<(u32, u32), f64>,
+}
+
+impl Ubodt {
+    /// Builds the table by running a bounded Dijkstra from every node.
+    #[must_use]
+    pub fn build(net: &RoadNetwork, delta: f64) -> Self {
+        let mut table = HashMap::new();
+        for src in 0..net.num_nodes() as u32 {
+            for (dst, d) in bounded_sssp(net, NodeId(src), Weight::Length, delta) {
+                table.insert((src, dst.0), d);
+            }
+        }
+        Self { delta, table }
+    }
+
+    /// The distance bound the table was built with.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of stored pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Shortest distance `src → dst` if within `delta`.
+    #[must_use]
+    pub fn query(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        self.table.get(&(src.0, dst.0)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trmma_roadnet::shortest::node_dist;
+    use trmma_roadnet::{generate_city, NetworkConfig};
+
+    #[test]
+    fn table_matches_dijkstra_within_delta() {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, 13));
+        let delta = 500.0;
+        let ubodt = Ubodt::build(&net, delta);
+        assert!(!ubodt.is_empty());
+        for src in (0..net.num_nodes() as u32).step_by(7) {
+            for dst in (0..net.num_nodes() as u32).step_by(5) {
+                let exact = node_dist(&net, NodeId(src), NodeId(dst), Weight::Length, delta);
+                let looked = ubodt.query(NodeId(src), NodeId(dst));
+                match (exact, looked) {
+                    (Some(e), Some(l)) => assert!((e - l).abs() < 1e-9, "{src}->{dst}"),
+                    (None, None) => {}
+                    other => panic!("mismatch {src}->{dst}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let net = generate_city(&NetworkConfig::with_size(4, 4, 13));
+        let ubodt = Ubodt::build(&net, 300.0);
+        for v in 0..net.num_nodes() as u32 {
+            assert_eq!(ubodt.query(NodeId(v), NodeId(v)), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn out_of_range_pairs_absent() {
+        let net = generate_city(&NetworkConfig::with_size(8, 8, 13));
+        let ubodt = Ubodt::build(&net, 200.0);
+        // Opposite grid corners are far beyond 200 m.
+        let far = ubodt.query(NodeId(0), NodeId((net.num_nodes() - 1) as u32));
+        assert!(far.is_none());
+    }
+
+    #[test]
+    fn larger_delta_larger_table() {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, 13));
+        let small = Ubodt::build(&net, 200.0);
+        let large = Ubodt::build(&net, 800.0);
+        assert!(large.len() > small.len());
+    }
+}

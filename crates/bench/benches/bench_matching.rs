@@ -1,0 +1,68 @@
+//! Per-trajectory map-matching latency: Nearest vs HMM vs FMM vs MMA
+//! (the microbenchmark behind Fig. 9's shape).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, NearestMatcher};
+use trmma_core::{Mma, MmaConfig};
+use trmma_roadnet::RoutePlanner;
+use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+use trmma_traj::{MapMatcher, Sample};
+
+struct Setup {
+    samples: Vec<Sample>,
+    nearest: NearestMatcher,
+    hmm: HmmMatcher,
+    fmm: FmmMatcher,
+    mma: Mma,
+}
+
+fn setup() -> Setup {
+    let ds = build_dataset(&DatasetConfig::tiny());
+    let net = Arc::new(ds.net.clone());
+    let planner = Arc::new(RoutePlanner::untrained(&net));
+    let train = ds.samples(Split::Train, 0.2, 7);
+    let samples = ds.samples(Split::Test, 0.2, 8);
+    let mut mma = Mma::new(net.clone(), planner.clone(), None, MmaConfig::small());
+    mma.train(&train[..train.len().min(8)], 2);
+    Setup {
+        samples,
+        nearest: NearestMatcher::new(net.clone(), planner.clone()),
+        hmm: HmmMatcher::new(net.clone(), planner.clone(), HmmConfig::default()),
+        fmm: FmmMatcher::new(net, planner, HmmConfig::default()),
+        mma,
+    }
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("match_trajectory");
+    group.sample_size(20);
+    let run = |m: &dyn MapMatcher, samples: &[Sample], i: &mut usize| {
+        let t = &samples[*i % samples.len()].sparse;
+        *i += 1;
+        black_box(m.match_trajectory(t).route.len())
+    };
+    group.bench_function("nearest", |b| {
+        let mut i = 0;
+        b.iter(|| run(&s.nearest, &s.samples, &mut i));
+    });
+    group.bench_function("hmm", |b| {
+        let mut i = 0;
+        b.iter(|| run(&s.hmm, &s.samples, &mut i));
+    });
+    group.bench_function("fmm", |b| {
+        let mut i = 0;
+        b.iter(|| run(&s.fmm, &s.samples, &mut i));
+    });
+    group.bench_function("mma", |b| {
+        let mut i = 0;
+        b.iter(|| run(&s.mma, &s.samples, &mut i));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Per-trajectory recovery latency: Linear vs the full-network seq2seq vs
+//! TRMMA (the microbenchmark behind Fig. 5's shape) — the decoder-width
+//! contrast (`ℓ_R` route segments vs all `|E|` segments) is the paper's
+//! central efficiency argument.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use trmma_baselines::{LinearRecovery, NearestMatcher, Seq2SeqConfig, Seq2SeqFull};
+use trmma_core::{Mma, MmaConfig, Trmma, TrmmaConfig, TrmmaPipeline};
+use trmma_roadnet::RoutePlanner;
+use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+use trmma_traj::{Sample, TrajectoryRecovery};
+
+struct Setup {
+    samples: Vec<Sample>,
+    epsilon: f64,
+    linear: LinearRecovery<NearestMatcher>,
+    seq2seq: Seq2SeqFull,
+    trmma: TrmmaPipeline,
+}
+
+fn setup() -> Setup {
+    let ds = build_dataset(&DatasetConfig::tiny());
+    let net = Arc::new(ds.net.clone());
+    let planner = Arc::new(RoutePlanner::untrained(&net));
+    let train = ds.samples(Split::Train, 0.2, 7);
+    let take = train.len().min(8);
+    let samples = ds.samples(Split::Test, 0.2, 8);
+
+    let linear = LinearRecovery::new(
+        net.clone(),
+        NearestMatcher::new(net.clone(), planner.clone()),
+        "Linear",
+    );
+    let mut seq2seq = Seq2SeqFull::new(
+        net.clone(),
+        Seq2SeqConfig { d_model: 24, d_emb: 12, ..Seq2SeqConfig::default() },
+    );
+    seq2seq.train(&train[..take], 1);
+    let mut mma = Mma::new(net.clone(), planner.clone(), None, MmaConfig::small());
+    mma.train(&train[..take], 2);
+    let mut model = Trmma::new(net, TrmmaConfig::small());
+    model.train(&train[..take], 2);
+    let trmma = TrmmaPipeline::new(Box::new(mma), model, "TRMMA");
+    Setup { samples, epsilon: ds.epsilon_s, linear, seq2seq, trmma }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("recover_trajectory");
+    group.sample_size(15);
+    let run = |m: &dyn TrajectoryRecovery, samples: &[Sample], eps: f64, i: &mut usize| {
+        let t = &samples[*i % samples.len()].sparse;
+        *i += 1;
+        black_box(m.recover(t, eps).len())
+    };
+    group.bench_function("linear", |b| {
+        let mut i = 0;
+        b.iter(|| run(&s.linear, &s.samples, s.epsilon, &mut i));
+    });
+    group.bench_function("seq2seq_full_network", |b| {
+        let mut i = 0;
+        b.iter(|| run(&s.seq2seq, &s.samples, s.epsilon, &mut i));
+    });
+    group.bench_function("trmma_route_restricted", |b| {
+        let mut i = 0;
+        b.iter(|| run(&s.trmma, &s.samples, s.epsilon, &mut i));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Microbenchmarks of the substrates: R-tree queries, shortest paths,
+//! UBODT construction (FMM's precompute), route planning, and the autograd
+//! engine (ablation bench `bench_ubodt` / `bench_decoder_width` support).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trmma_baselines::Ubodt;
+use trmma_geom::Vec2;
+use trmma_nn::{Graph, Matrix, TransformerEncoder};
+use trmma_roadnet::shortest::{node_dist, Weight};
+use trmma_roadnet::{generate_city, NetworkConfig, NodeId, RoutePlanner, SegmentId};
+
+fn bench_rtree(c: &mut Criterion) {
+    let net = generate_city(&NetworkConfig::with_size(24, 24, 5));
+    let tree = net.build_rtree();
+    let mut rng = StdRng::seed_from_u64(1);
+    let bb = net.bbox();
+    let queries: Vec<Vec2> = (0..256)
+        .map(|_| {
+            Vec2::new(
+                rng.gen_range(bb.min.x..bb.max.x),
+                rng.gen_range(bb.min.y..bb.max.y),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("rtree");
+    for k in [1usize, 10] {
+        group.bench_with_input(BenchmarkId::new("knn", k), &k, |b, &k| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                black_box(tree.knn(q, k))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let net = generate_city(&NetworkConfig::with_size(24, 24, 5));
+    let n = net.num_nodes() as u32;
+    c.bench_function("dijkstra/early_exit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let src = NodeId(i % n);
+            let dst = NodeId((i * 7 + 13) % n);
+            i += 1;
+            black_box(node_dist(&net, src, dst, Weight::Length, f64::INFINITY))
+        });
+    });
+}
+
+fn bench_ubodt(c: &mut Criterion) {
+    let net = generate_city(&NetworkConfig::with_size(12, 12, 5));
+    let mut group = c.benchmark_group("ubodt_build");
+    group.sample_size(10);
+    for delta in [500.0f64, 1500.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta as u64), &delta, |b, &d| {
+            b.iter(|| black_box(Ubodt::build(&net, d)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let net = generate_city(&NetworkConfig::with_size(20, 20, 5));
+    let planner = RoutePlanner::untrained(&net);
+    let n = net.num_segments() as u32;
+    c.bench_function("planner/plan", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let src = SegmentId(i % n);
+            let dst = SegmentId((i * 31 + 97) % n);
+            i += 1;
+            black_box(planner.plan(&net, src, dst))
+        });
+    });
+}
+
+fn bench_autograd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let enc = TransformerEncoder::new(32, 4, 64, 2, &mut rng);
+    let input = Matrix::from_vec(
+        16,
+        32,
+        (0..16 * 32).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    c.bench_function("autograd/transformer_fwd_bwd", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let x = g.input(input.clone());
+            let y = enc.forward(&mut g, x);
+            let sq = g.mul(y, y);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            black_box(g.value(loss).get(0, 0))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rtree,
+    bench_shortest_paths,
+    bench_ubodt,
+    bench_planner,
+    bench_autograd
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 5: inference time per 1000 trajectory recoveries (seconds).
+//!
+//! Expected shape: TRMMA orders of magnitude faster than the full-network
+//! seq2seq baseline (its decoder scores only the route's segments instead
+//! of all |E|); interpolation baselines sit between, dominated by their
+//! HMM matcher's Dijkstra transitions.
+
+use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LinearRecovery, NearestMatcher};
+use trmma_bench::harness::{
+    eval_recovery, per_1000, trained_mma, trained_seq2seq, trained_trmma, Bundle, ExpConfig,
+};
+use trmma_bench::report::{write_json, Table};
+use trmma_core::TrmmaPipeline;
+use trmma_traj::TrajectoryRecovery;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("== Fig. 5: recovery inference time (s / 1000 trajectories) ==\n");
+    let mut table = Table::new(&["Dataset", "Method", "s/1k", "Accuracy"]);
+    let mut json = Vec::new();
+    for dcfg in cfg.dataset_configs() {
+        let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+        let eps = bundle.ds.epsilon_s;
+
+        let near = NearestMatcher::new(bundle.net.clone(), bundle.planner.clone());
+        let near_lin = LinearRecovery::new(bundle.net.clone(), near, "Nearest+Lin");
+        let hmm = HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
+        let hmm_lin = LinearRecovery::new(bundle.net.clone(), hmm, "HMM+Lin");
+        let fmm = FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
+        let fmm_lin = LinearRecovery::new(bundle.net.clone(), fmm, "Linear");
+        let (seq2seq, _) = trained_seq2seq(&bundle, cfg.seq2seq_config(), cfg.epochs.min(3));
+        let (mma, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs.min(3));
+        let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs.min(3));
+        let pipeline = TrmmaPipeline::new(Box::new(mma), trmma, "TRMMA");
+
+        let methods: Vec<&dyn TrajectoryRecovery> =
+            vec![&near_lin, &hmm_lin, &fmm_lin, &seq2seq, &pipeline];
+        for m in methods {
+            let (metrics, secs) = eval_recovery(&bundle.net, m, &bundle.test, eps);
+            let s1k = per_1000(secs, bundle.test.len());
+            table.row(vec![
+                bundle.ds.name.clone(),
+                m.name().into(),
+                format!("{s1k:.3}"),
+                format!("{:.2}", 100.0 * metrics.accuracy),
+            ]);
+            json.push(serde_json::json!({
+                "dataset": bundle.ds.name,
+                "method": m.name(),
+                "sec_per_1000": s1k,
+                "accuracy": metrics.accuracy,
+            }));
+        }
+    }
+    table.print();
+    println!("\nExpected shape (paper Fig. 5): TRMMA much faster than Seq2SeqFull at equal-or-better accuracy.");
+    write_json("fig5_recovery_inference", &serde_json::Value::Array(json));
+}

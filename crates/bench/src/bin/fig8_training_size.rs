@@ -1,0 +1,62 @@
+//! Fig. 8: recovery accuracy vs amount of training data (% of the train
+//! split).
+//!
+//! `Linear` needs no training and serves as the flat benchmark line.
+//! Expected shape: TRMMA improves with more data and overtakes `Linear`
+//! after a few percent of the corpus (paper: 1–3 %; here the corpus is
+//! smaller so the crossover shifts right).
+
+use trmma_baselines::{FmmMatcher, HmmConfig, LinearRecovery};
+use trmma_bench::harness::{eval_recovery, Bundle, ExpConfig};
+use trmma_bench::report::{write_json, Table};
+use trmma_core::{Mma, Trmma, TrmmaPipeline};
+
+const FRACTIONS: [f64; 5] = [0.05, 0.2, 0.4, 0.7, 1.0];
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("== Fig. 8: recovery accuracy vs training-data fraction ==\n");
+    let mut table = Table::new(&["Dataset", "Method", "5%", "20%", "40%", "70%", "100%"]);
+    let mut json = Vec::new();
+    for dcfg in cfg.dataset_configs() {
+        let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+        let eps = bundle.ds.epsilon_s;
+        let fmm = FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
+        let linear = LinearRecovery::new(bundle.net.clone(), fmm, "Linear");
+        let (lin_metrics, _) = eval_recovery(&bundle.net, &linear, &bundle.test, eps);
+
+        let mut trmma_accs = Vec::new();
+        for &frac in &FRACTIONS {
+            let take = ((bundle.train.len() as f64) * frac).ceil().max(1.0) as usize;
+            let subset = &bundle.train[..take.min(bundle.train.len())];
+            let mut mma = Mma::new(
+                bundle.net.clone(),
+                bundle.planner.clone(),
+                Some(bundle.node2vec.clone()),
+                trmma_core::MmaConfig { d0: bundle.node2vec.cols(), ..cfg.mma_config() },
+            );
+            mma.train(subset, cfg.epochs);
+            let mut model = Trmma::new(bundle.net.clone(), cfg.trmma_config());
+            model.train(subset, cfg.epochs);
+            let pipeline = TrmmaPipeline::new(Box::new(mma), model, "TRMMA");
+            let (m, _) = eval_recovery(&bundle.net, &pipeline, &bundle.test, eps);
+            trmma_accs.push(m.accuracy);
+        }
+
+        let mut lin_row = vec![bundle.ds.name.clone(), "Linear".into()];
+        lin_row.extend(FRACTIONS.iter().map(|_| format!("{:.3}", lin_metrics.accuracy)));
+        table.row(lin_row);
+        let mut trm_row = vec![bundle.ds.name.clone(), "TRMMA".into()];
+        trm_row.extend(trmma_accs.iter().map(|a| format!("{a:.3}")));
+        table.row(trm_row);
+        json.push(serde_json::json!({
+            "dataset": bundle.ds.name,
+            "fractions": FRACTIONS,
+            "linear_accuracy": lin_metrics.accuracy,
+            "trmma_accuracy": trmma_accs,
+        }));
+    }
+    table.print();
+    println!("\nExpected shape (paper Fig. 8): TRMMA rises with data and crosses the flat Linear line.");
+    write_json("fig8_training_size", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,49 @@
+//! Fig. 9: map-matching inference time per 1000 trajectories (seconds).
+//!
+//! Expected shape: MMA fastest among learned/probabilistic matchers — one
+//! R-tree query plus a kc-way scoring per point, no per-transition
+//! shortest-path search; FMM beats HMM thanks to the UBODT.
+
+use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, NearestMatcher};
+use trmma_bench::harness::{eval_matching, per_1000, trained_mma, Bundle, ExpConfig};
+use trmma_bench::report::{write_json, Table};
+use trmma_traj::MapMatcher;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("== Fig. 9: matching inference time (s / 1000 trajectories) ==\n");
+    let mut table = Table::new(&["Dataset", "Method", "s/1k", "F1", "precompute(s)"]);
+    let mut json = Vec::new();
+    for dcfg in cfg.dataset_configs() {
+        let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+        let nearest = NearestMatcher::new(bundle.net.clone(), bundle.planner.clone());
+        let hmm = HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
+        let fmm = FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
+        let fmm_precompute = fmm.precompute_s;
+        let (mma, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs.min(3));
+
+        let methods: Vec<(&dyn MapMatcher, f64)> =
+            vec![(&nearest, 0.0), (&hmm, 0.0), (&fmm, fmm_precompute), (&mma, 0.0)];
+        for (m, pre) in methods {
+            let (metrics, secs) = eval_matching(m, &bundle.test);
+            let s1k = per_1000(secs, bundle.test.len());
+            table.row(vec![
+                bundle.ds.name.clone(),
+                m.name().into(),
+                format!("{s1k:.3}"),
+                format!("{:.2}", 100.0 * metrics.f1),
+                format!("{pre:.2}"),
+            ]);
+            json.push(serde_json::json!({
+                "dataset": bundle.ds.name,
+                "method": m.name(),
+                "sec_per_1000": s1k,
+                "f1": metrics.f1,
+                "precompute_s": pre,
+            }));
+        }
+    }
+    table.print();
+    println!("\nExpected shape (paper Fig. 9): MMA fastest at the best F1; FMM trades precompute for faster inference than HMM.");
+    write_json("fig9_matching_inference", &serde_json::Value::Array(json));
+}

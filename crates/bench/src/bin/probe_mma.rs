@@ -1,0 +1,69 @@
+//! Diagnostic: MMA point-accuracy convergence and candidate coverage.
+//! Not part of the paper's tables; used to tune training defaults.
+
+use trmma_bench::harness::{Bundle, ExpConfig};
+use trmma_core::Mma;
+use trmma_traj::api::CandidateFinder;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let dcfg = &cfg.dataset_configs()[0];
+    let bundle = Bundle::prepare(dcfg, 0.1, cfg.mma_config().d0);
+
+    // Candidate coverage at kc=10 (upper bound for MMA's point accuracy).
+    let finder = CandidateFinder::new(&bundle.net, 10);
+    let mut cover = 0usize;
+    let mut nearest_hit = 0usize;
+    let mut total = 0usize;
+    for s in &bundle.test {
+        for (p, t) in s.sparse.points.iter().zip(&s.sparse_truth) {
+            let cands = finder.candidates(p.pos);
+            total += 1;
+            cover += usize::from(cands.iter().any(|c| c.seg == t.seg));
+            nearest_hit += usize::from(cands[0].seg == t.seg);
+        }
+    }
+    println!(
+        "coverage@10 = {:.3}, nearest-hit = {:.3} ({} points)",
+        cover as f64 / total as f64,
+        nearest_hit as f64 / total as f64,
+        total
+    );
+
+    let mut mma = Mma::new(
+        bundle.net.clone(),
+        bundle.planner.clone(),
+        Some(bundle.node2vec.clone()),
+        trmma_core::MmaConfig { d0: bundle.node2vec.cols(), ..cfg.mma_config() },
+    );
+    let acc = |m: &Mma| -> f64 {
+        let mut hit = 0usize;
+        let mut twin_err = 0usize;
+        let mut tot = 0usize;
+        for s in &bundle.test {
+            for (mp, t) in m.match_points(&s.sparse).iter().zip(&s.sparse_truth) {
+                if mp.seg == t.seg {
+                    hit += 1;
+                } else if bundle.net.reverse_twin(mp.seg) == Some(t.seg) {
+                    twin_err += 1;
+                }
+                tot += 1;
+            }
+        }
+        let errs = tot - hit;
+        let twin_pct = (100 * twin_err).checked_div(errs).unwrap_or(0);
+        eprintln!("   errors: {errs} total, {twin_err} reverse-twin ({twin_pct}%)");
+        hit as f64 / tot.max(1) as f64
+    };
+    println!("epoch 0: point-acc {:.3}", acc(&mma));
+    for round in 1..=(cfg.epochs / 2).max(1) {
+        let rep = mma.train(&bundle.train, 2);
+        println!(
+            "epoch {}: point-acc {:.3} (loss {:.4}, {:.1}s/epoch)",
+            round * 2,
+            acc(&mma),
+            rep.final_loss(),
+            rep.mean_epoch_time_s()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Table II: dataset statistics.
+//!
+//! Prints, for each synthetic dataset, the same rows the paper reports for
+//! PT / XA / BJ / CD: trajectory count, ε, average points, average length,
+//! average travel time, network size and area.
+
+use trmma_bench::harness::ExpConfig;
+use trmma_bench::report::{write_json, Table};
+use trmma_traj::dataset::build_dataset;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("== Table II: dataset statistics (scale {:.2}) ==\n", cfg.scale);
+    let mut table = Table::new(&[
+        "Dataset",
+        "#traj",
+        "eps(s)",
+        "avg#pts",
+        "avgLen(m)",
+        "avgTime(s)",
+        "#segs",
+        "#nodes",
+        "area(km2)",
+    ]);
+    let mut json = Vec::new();
+    for dcfg in cfg.dataset_configs() {
+        let ds = build_dataset(&dcfg);
+        let s = ds.stats();
+        table.row(vec![
+            ds.name.clone(),
+            s.n_trajectories.to_string(),
+            format!("{:.0}", s.epsilon_s),
+            format!("{:.2}", s.avg_points),
+            format!("{:.1}", s.avg_length_m),
+            format!("{:.1}", s.avg_travel_time_s),
+            s.n_segments.to_string(),
+            s.n_intersections.to_string(),
+            format!("{:.2}", s.area_km2),
+        ]);
+        json.push(serde_json::json!({
+            "dataset": ds.name,
+            "n_trajectories": s.n_trajectories,
+            "epsilon_s": s.epsilon_s,
+            "avg_points": s.avg_points,
+            "avg_length_m": s.avg_length_m,
+            "avg_travel_time_s": s.avg_travel_time_s,
+            "n_segments": s.n_segments,
+            "n_intersections": s.n_intersections,
+            "area_km2": s.area_km2,
+        }));
+    }
+    table.print();
+    write_json("table2_datasets", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,95 @@
+//! Table IV: ablation study of TRMMA, reporting recovery accuracy (%).
+//!
+//! Rows (paper nomenclature):
+//! * `TRMMA`         — full system (MMA matcher, DualFormer, directions,
+//!   candidate context);
+//! * `TRMMA-HMM`     — matcher swapped for the classic HMM;
+//! * `TRMMA-Near`    — matcher swapped for nearest-segment;
+//! * `MMA+linear`    — MMA matching, linear interpolation instead of the
+//!   learned decoder;
+//! * `Nearest+linear`— nearest matching + linear interpolation;
+//! * `TRMMA-DF`      — DualFormer fusion disabled (`H = R`);
+//! * `TRMMA-C`       — candidate-context attention removed from MMA;
+//! * `TRMMA-DI`      — directional cosine features removed from MMA.
+//!
+//! Expected shape: the full TRMMA tops every column; each ablation costs
+//! accuracy.
+
+use trmma_baselines::{HmmConfig, HmmMatcher, LinearRecovery, NearestMatcher};
+use trmma_bench::harness::{eval_recovery, trained_mma, trained_trmma, Bundle, ExpConfig};
+use trmma_bench::report::{write_json, Table};
+use trmma_core::{MmaConfig, TrmmaConfig, TrmmaPipeline};
+use trmma_traj::TrajectoryRecovery;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("== Table IV: TRMMA ablations (accuracy %) ==\n");
+    let mut table = Table::new(&["Method", "Dataset", "Accuracy"]);
+    let mut json = Vec::new();
+    for dcfg in cfg.dataset_configs() {
+        let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+        let eps = bundle.ds.epsilon_s;
+
+        // Matchers.
+        let mk_hmm = || HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
+        let mk_near = || NearestMatcher::new(bundle.net.clone(), bundle.planner.clone());
+        let (mma_full, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs);
+        let (mma_no_ctx, _) = trained_mma(
+            &bundle,
+            MmaConfig { use_candidate_context: false, ..cfg.mma_config() },
+            cfg.epochs,
+        );
+        let (mma_no_dir, _) = trained_mma(
+            &bundle,
+            MmaConfig { use_direction: false, ..cfg.mma_config() },
+            cfg.epochs,
+        );
+        let (mma_for_lin, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs);
+
+        // Recovery models.
+        let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs);
+        let (trmma_hmm, _) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs);
+        let (trmma_near, _) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs);
+        let (trmma_no_df, _) = trained_trmma(
+            &bundle,
+            TrmmaConfig { use_dualformer: false, ..cfg.trmma_config() },
+            cfg.epochs,
+        );
+        let (trmma_c, _) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs);
+        let (trmma_di, _) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs);
+
+        let methods: Vec<Box<dyn TrajectoryRecovery>> = vec![
+            Box::new(TrmmaPipeline::new(Box::new(mma_full), trmma, "TRMMA")),
+            Box::new(TrmmaPipeline::new(Box::new(mk_hmm()), trmma_hmm, "TRMMA-HMM")),
+            Box::new(TrmmaPipeline::new(Box::new(mk_near()), trmma_near, "TRMMA-Near")),
+            Box::new(LinearRecovery::new(bundle.net.clone(), mma_for_lin, "MMA+linear")),
+            Box::new(LinearRecovery::new(bundle.net.clone(), mk_near(), "Nearest+linear")),
+            Box::new(TrmmaPipeline::new(
+                Box::new({
+                    let (m, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs);
+                    m
+                }),
+                trmma_no_df,
+                "TRMMA-DF",
+            )),
+            Box::new(TrmmaPipeline::new(Box::new(mma_no_ctx), trmma_c, "TRMMA-C")),
+            Box::new(TrmmaPipeline::new(Box::new(mma_no_dir), trmma_di, "TRMMA-DI")),
+        ];
+        for m in &methods {
+            let (metrics, _) = eval_recovery(&bundle.net, m.as_ref(), &bundle.test, eps);
+            table.row(vec![
+                m.name().into(),
+                bundle.ds.name.clone(),
+                format!("{:.2}", 100.0 * metrics.accuracy),
+            ]);
+            json.push(serde_json::json!({
+                "dataset": bundle.ds.name,
+                "method": m.name(),
+                "accuracy": metrics.accuracy,
+            }));
+        }
+    }
+    table.print();
+    println!("\nExpected shape (paper Table IV): full TRMMA on top, every ablation below it.");
+    write_json("table4_ablation", &serde_json::Value::Array(json));
+}

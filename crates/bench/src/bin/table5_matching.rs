@@ -1,0 +1,59 @@
+//! Table V: map-matching quality (Precision, Recall, F1, Jaccard in %).
+//!
+//! Methods: Nearest, HMM, FMM, LHMM (fitted-parameter HMM surrogate) and
+//! MMA. Expected shape: MMA best on every metric; FMM ≈ HMM (same model,
+//! different oracle); LHMM ≥ HMM (parameters fitted to the corpus);
+//! Nearest worst.
+
+use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher, NearestMatcher};
+use trmma_bench::harness::{eval_matching, per_1000, trained_mma, Bundle, ExpConfig};
+use trmma_bench::report::{write_json, Table};
+use trmma_traj::MapMatcher;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("== Table V: map-matching quality ==\n");
+    let mut table = Table::new(&[
+        "Dataset", "Method", "Precision", "Recall", "F1", "Jaccard", "s/1k",
+    ]);
+    let mut json = Vec::new();
+    for dcfg in cfg.dataset_configs() {
+        let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+        let nearest = NearestMatcher::new(bundle.net.clone(), bundle.planner.clone());
+        let hmm = HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
+        let fmm = FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
+        let lhmm = LhmmMatcher::fit(
+            bundle.net.clone(),
+            bundle.planner.clone(),
+            HmmConfig::default(),
+            &bundle.train,
+        );
+        let (mma, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs);
+
+        let methods: Vec<&dyn MapMatcher> = vec![&nearest, &hmm, &fmm, &lhmm, &mma];
+        for m in methods {
+            let (metrics, secs) = eval_matching(m, &bundle.test);
+            table.row(vec![
+                bundle.ds.name.clone(),
+                m.name().into(),
+                format!("{:.2}", 100.0 * metrics.precision),
+                format!("{:.2}", 100.0 * metrics.recall),
+                format!("{:.2}", 100.0 * metrics.f1),
+                format!("{:.2}", 100.0 * metrics.jaccard),
+                format!("{:.2}", per_1000(secs, bundle.test.len())),
+            ]);
+            json.push(serde_json::json!({
+                "dataset": bundle.ds.name,
+                "method": m.name(),
+                "precision": metrics.precision,
+                "recall": metrics.recall,
+                "f1": metrics.f1,
+                "jaccard": metrics.jaccard,
+                "sec_per_1000": per_1000(secs, bundle.test.len()),
+            }));
+        }
+    }
+    table.print();
+    println!("\nExpected shape (paper Table V): MMA best everywhere; Nearest weakest.");
+    write_json("table5_matching", &serde_json::Value::Array(json));
+}

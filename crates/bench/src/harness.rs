@@ -1,0 +1,254 @@
+//! Dataset/model preparation shared by all experiment binaries.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use trmma_baselines::{Seq2SeqConfig, Seq2SeqFull, TrainReport};
+use trmma_core::{Mma, MmaConfig, Trmma, TrmmaConfig};
+use trmma_node2vec::{train_embeddings, Node2VecConfig};
+use trmma_roadnet::{RoadNetwork, RoutePlanner};
+use trmma_traj::dataset::{build_dataset, Dataset, DatasetConfig, Split};
+use trmma_traj::Sample;
+
+/// Experiment-wide configuration, read from the environment (see crate
+/// docs for the variables).
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Use paper-size model widths instead of the small profile.
+    pub paper_profile: bool,
+    /// Dataset names to run.
+    pub datasets: Vec<String>,
+}
+
+impl ExpConfig {
+    /// Reads the configuration from the environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let scale = std::env::var("TRMMA_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.25);
+        let epochs = std::env::var("TRMMA_EPOCHS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        let paper_profile = std::env::var("TRMMA_PROFILE").is_ok_and(|v| v == "paper");
+        let datasets = std::env::var("TRMMA_DATASETS")
+            .map(|v| v.split(',').map(|s| s.trim().to_uppercase()).collect())
+            .unwrap_or_else(|_| vec!["PT".into(), "XA".into(), "BJ".into(), "CD".into()]);
+        Self { scale, epochs, paper_profile, datasets }
+    }
+
+    /// The dataset configs selected by `TRMMA_DATASETS`.
+    #[must_use]
+    pub fn dataset_configs(&self) -> Vec<DatasetConfig> {
+        DatasetConfig::all_four(self.scale)
+            .into_iter()
+            .filter(|c| self.datasets.iter().any(|d| d == &c.name))
+            .collect()
+    }
+
+    /// MMA model widths for the profile.
+    #[must_use]
+    pub fn mma_config(&self) -> MmaConfig {
+        if self.paper_profile {
+            MmaConfig::default()
+        } else {
+            MmaConfig::small()
+        }
+    }
+
+    /// TRMMA model widths for the profile.
+    #[must_use]
+    pub fn trmma_config(&self) -> TrmmaConfig {
+        if self.paper_profile {
+            TrmmaConfig::default()
+        } else {
+            TrmmaConfig::small()
+        }
+    }
+
+    /// Seq2Seq baseline widths for the profile.
+    #[must_use]
+    pub fn seq2seq_config(&self) -> Seq2SeqConfig {
+        if self.paper_profile {
+            Seq2SeqConfig::default()
+        } else {
+            Seq2SeqConfig { d_model: 24, d_emb: 12, ..Seq2SeqConfig::default() }
+        }
+    }
+}
+
+/// A prepared dataset: network, fitted route planner, Node2Vec embeddings
+/// and train/test sparse samples at a given γ.
+pub struct Bundle {
+    /// The generated dataset (owns the network and the dense corpus).
+    pub ds: Dataset,
+    /// Shared handle to the network.
+    pub net: Arc<RoadNetwork>,
+    /// Route planner fitted on the training routes (the paper's shared
+    /// "DA-based" routine).
+    pub planner: Arc<RoutePlanner>,
+    /// Pre-trained Node2Vec segment embeddings (`W_G` of Eq. 1).
+    pub node2vec: trmma_nn::Matrix,
+    /// Training samples (sparse at γ).
+    pub train: Vec<Sample>,
+    /// Test samples (sparse at γ).
+    pub test: Vec<Sample>,
+    /// The γ the samples were produced with.
+    pub gamma: f64,
+}
+
+impl Bundle {
+    /// Builds a bundle for `cfg` at sparsity `gamma`.
+    #[must_use]
+    pub fn prepare(cfg: &DatasetConfig, gamma: f64, d0: usize) -> Self {
+        let ds = build_dataset(cfg);
+        let net = Arc::new(ds.net.clone());
+        let train = ds.samples(Split::Train, gamma, 71);
+        let test = ds.samples(Split::Test, gamma, 72);
+        let mut planner = RoutePlanner::untrained(&net);
+        for s in &train {
+            planner.observe(&s.route.segs);
+        }
+        let n2v_cfg = Node2VecConfig { dim: d0, ..Node2VecConfig::default() };
+        let node2vec = train_embeddings(&net, &n2v_cfg);
+        Self { ds, net, planner: Arc::new(planner), node2vec, train, test, gamma }
+    }
+
+    /// Re-samples train/test at a different γ (for the sparsity sweeps).
+    #[must_use]
+    pub fn resample(&self, gamma: f64) -> (Vec<Sample>, Vec<Sample>) {
+        (
+            self.ds.samples(Split::Train, gamma, 71),
+            self.ds.samples(Split::Test, gamma, 72),
+        )
+    }
+}
+
+/// Trains MMA on the bundle; returns the model and its training report.
+#[must_use]
+pub fn trained_mma(bundle: &Bundle, cfg: MmaConfig, epochs: usize) -> (Mma, TrainReport) {
+    let cfg = MmaConfig { d0: bundle.node2vec.cols(), ..cfg };
+    let mut mma = Mma::new(
+        bundle.net.clone(),
+        bundle.planner.clone(),
+        Some(bundle.node2vec.clone()),
+        cfg,
+    );
+    let report = mma.train(&bundle.train, epochs);
+    (mma, report)
+}
+
+/// Trains TRMMA on the bundle.
+#[must_use]
+pub fn trained_trmma(bundle: &Bundle, cfg: TrmmaConfig, epochs: usize) -> (Trmma, TrainReport) {
+    let mut model = Trmma::new(bundle.net.clone(), cfg);
+    let report = model.train(&bundle.train, epochs);
+    (model, report)
+}
+
+/// Trains the full-network seq2seq baseline on the bundle.
+#[must_use]
+pub fn trained_seq2seq(
+    bundle: &Bundle,
+    cfg: Seq2SeqConfig,
+    epochs: usize,
+) -> (Seq2SeqFull, TrainReport) {
+    let mut model = Seq2SeqFull::new(bundle.net.clone(), cfg);
+    let report = model.train(&bundle.train, epochs);
+    (model, report)
+}
+
+/// Evaluates a recovery method over the test set: mean per-trajectory
+/// metrics plus total inference seconds (metric computation excluded from
+/// the timing).
+#[must_use]
+pub fn eval_recovery(
+    net: &RoadNetwork,
+    method: &dyn trmma_traj::TrajectoryRecovery,
+    test: &[Sample],
+    epsilon_s: f64,
+) -> (trmma_traj::RecoveryMetrics, f64) {
+    let cache = trmma_roadnet::shortest::DistCache::new();
+    let mut avg = trmma_traj::metrics::MetricAverager::new();
+    let mut infer_s = 0.0;
+    for s in test {
+        let (rec, dt) = timed(|| method.recover(&s.sparse, epsilon_s));
+        infer_s += dt;
+        avg.add_recovery(trmma_traj::recovery_metrics(net, &rec, &s.dense_truth, Some(&cache)));
+    }
+    (avg.mean_recovery(), infer_s)
+}
+
+/// Evaluates a map matcher over the test set: mean per-trajectory route
+/// metrics plus total inference seconds.
+#[must_use]
+pub fn eval_matching(
+    matcher: &dyn trmma_traj::MapMatcher,
+    test: &[Sample],
+) -> (trmma_traj::MatchingMetrics, f64) {
+    let mut avg = trmma_traj::metrics::MetricAverager::new();
+    let mut infer_s = 0.0;
+    for s in test {
+        let (res, dt) = timed(|| matcher.match_trajectory(&s.sparse));
+        infer_s += dt;
+        avg.add_matching(trmma_traj::matching_metrics(&res.route, &s.route));
+    }
+    (avg.mean_matching(), infer_s)
+}
+
+/// Wall-clock seconds for `f`, returned alongside its output.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Seconds per 1000 items given `elapsed` seconds over `n` items (the
+/// paper's Figs. 5 and 9 unit).
+#[must_use]
+pub fn per_1000(elapsed_s: f64, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    elapsed_s / n as f64 * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_1000_scales() {
+        assert_eq!(per_1000(2.0, 100), 20.0);
+        assert_eq!(per_1000(1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn env_defaults() {
+        let cfg = ExpConfig { scale: 0.25, epochs: 5, paper_profile: false, datasets: vec!["PT".into()] };
+        assert_eq!(cfg.dataset_configs().len(), 1);
+        assert_eq!(cfg.dataset_configs()[0].name, "PT");
+    }
+
+    #[test]
+    fn bundle_prepares_consistent_views() {
+        let cfg = DatasetConfig::tiny();
+        let bundle = Bundle::prepare(&cfg, 0.2, 16);
+        assert!(!bundle.train.is_empty());
+        assert!(!bundle.test.is_empty());
+        assert_eq!(bundle.node2vec.shape().0, bundle.net.num_segments());
+        let (tr2, te2) = bundle.resample(0.5);
+        assert_eq!(tr2.len(), bundle.train.len());
+        assert_eq!(te2.len(), bundle.test.len());
+        // Higher γ keeps more points.
+        let before: usize = bundle.train.iter().map(|s| s.sparse.len()).sum();
+        let after: usize = tr2.iter().map(|s| s.sparse.len()).sum();
+        assert!(after > before);
+    }
+}

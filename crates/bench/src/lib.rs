@@ -1,0 +1,23 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§VI). Each table/figure is a binary under `src/bin/`; shared
+//! preparation (datasets, trained models, timing, reporting) lives here.
+//!
+//! Scale knobs (environment variables, read once per process):
+//!
+//! * `TRMMA_SCALE`   — dataset scale factor (default 0.25; 1.0 ≈ a few
+//!   hundred trajectories per dataset).
+//! * `TRMMA_EPOCHS`  — training epochs for learned models (default 5).
+//! * `TRMMA_PROFILE` — `small` (default) or `paper` model widths.
+//! * `TRMMA_DATASETS`— comma list among `PT,XA,BJ,CD` (default all four).
+//!
+//! Every binary prints the paper-style rows to stdout *and* appends a JSON
+//! artifact under `target/experiments/` so EXPERIMENTS.md numbers are
+//! reproducible.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    trained_mma, trained_seq2seq, trained_trmma, Bundle, ExpConfig,
+};
+pub use report::{write_json, Table};

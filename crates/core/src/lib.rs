@@ -1,0 +1,29 @@
+//! The paper's contribution: **MMA** map matching (§IV) and **TRMMA**
+//! sparse trajectory recovery (§V).
+//!
+//! * [`mma::Mma`] — maps each GPS point of a sparse trajectory to a road
+//!   segment by *classifying over a small candidate set* (top-`kc` nearest
+//!   segments, Definition 8) instead of the whole network. Candidate
+//!   embeddings combine Node2Vec-initialised id vectors with four
+//!   directional cosine features (Eq. 1–2); point embeddings run the GPS
+//!   sequence through a transformer and attend over the candidates
+//!   (Eq. 3–8); matching is a per-candidate sigmoid score (Eq. 9) trained
+//!   with binary cross-entropy (Eq. 10). Matched segments are stitched into
+//!   a route by the shared statistical route planner (Algorithm 1).
+//! * [`trmma::Trmma`] — recovers the missing points of a sparse trajectory
+//!   *restricted to the segments of its route*: a DualFormer encodes the
+//!   trajectory and route sequences and fuses them with cross-attention
+//!   (Eq. 11–14); a GRU decoder sequentially classifies each missing
+//!   point's segment among the route's segments — respecting route order
+//!   (Eq. 17) — and regresses its position ratio (Eq. 18), trained with the
+//!   multitask loss of Eq. 19–21 (Algorithm 2).
+//! * [`pipeline::TrmmaPipeline`] — the end-to-end system (MMA feeding
+//!   TRMMA) plus the ablation wirings of Table IV.
+
+pub mod mma;
+pub mod pipeline;
+pub mod trmma;
+
+pub use mma::{Mma, MmaConfig};
+pub use pipeline::TrmmaPipeline;
+pub use trmma::{Trmma, TrmmaConfig};

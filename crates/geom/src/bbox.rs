@@ -1,0 +1,157 @@
+use crate::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in the local planar frame.
+///
+/// Used as the key of R-tree nodes; supports the `mindist` lower bound that
+/// drives best-first k-NN search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Lower-left corner.
+    pub min: Vec2,
+    /// Upper-right corner.
+    pub max: Vec2,
+}
+
+impl BBox {
+    /// An "empty" box that absorbs any point/box on union.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            min: Vec2::new(f64::INFINITY, f64::INFINITY),
+            max: Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Bounding box of a point set. Returns [`BBox::empty`] for an empty set.
+    #[must_use]
+    pub fn of_points(pts: &[Vec2]) -> Self {
+        let mut bb = Self::empty();
+        for p in pts {
+            bb.expand_point(*p);
+        }
+        bb
+    }
+
+    /// Whether the box contains no area (never expanded).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Grows the box to cover `p`.
+    pub fn expand_point(&mut self, p: Vec2) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Grows the box to cover `other`.
+    pub fn expand_bbox(&mut self, other: &BBox) {
+        if other.is_empty() {
+            return;
+        }
+        self.expand_point(other.min);
+        self.expand_point(other.max);
+    }
+
+    /// Union of two boxes.
+    #[must_use]
+    pub fn union(&self, other: &BBox) -> BBox {
+        let mut bb = *self;
+        bb.expand_bbox(other);
+        bb
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[must_use]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether the two boxes overlap (inclusive).
+    #[must_use]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        !(self.is_empty() || other.is_empty())
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Centre of the box.
+    #[must_use]
+    pub fn center(&self) -> Vec2 {
+        Vec2::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+    }
+
+    /// Squared minimum distance from `p` to the box (0 if inside).
+    ///
+    /// This is the classic `MINDIST` lower bound: no geometry inside the box
+    /// can be closer to `p` than this, which makes best-first k-NN correct.
+    #[must_use]
+    pub fn min_dist_sq(&self, p: Vec2) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx * dx + dy * dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_absorbs() {
+        let mut bb = BBox::empty();
+        assert!(bb.is_empty());
+        bb.expand_point(Vec2::new(1.0, 2.0));
+        assert!(!bb.is_empty());
+        assert_eq!(bb.min, Vec2::new(1.0, 2.0));
+        assert_eq!(bb.max, Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = BBox::of_points(&[Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)]);
+        let b = BBox::of_points(&[Vec2::new(2.0, -1.0), Vec2::new(3.0, 0.5)]);
+        let u = a.union(&b);
+        assert!(u.contains(Vec2::new(0.0, 0.0)));
+        assert!(u.contains(Vec2::new(3.0, 0.5)));
+        assert_eq!(u.min, Vec2::new(0.0, -1.0));
+        assert_eq!(u.max, Vec2::new(3.0, 1.0));
+    }
+
+    #[test]
+    fn intersects_is_inclusive_on_edges() {
+        let a = BBox::of_points(&[Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)]);
+        let b = BBox::of_points(&[Vec2::new(1.0, 1.0), Vec2::new(2.0, 2.0)]);
+        let c = BBox::of_points(&[Vec2::new(1.1, 1.1), Vec2::new(2.0, 2.0)]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn min_dist_sq_zero_inside() {
+        let bb = BBox::of_points(&[Vec2::new(0.0, 0.0), Vec2::new(4.0, 4.0)]);
+        assert_eq!(bb.min_dist_sq(Vec2::new(2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn min_dist_sq_to_corner_and_edge() {
+        let bb = BBox::of_points(&[Vec2::new(0.0, 0.0), Vec2::new(4.0, 4.0)]);
+        // 3-4-5 triangle to the corner (7, 8).
+        assert!((bb.min_dist_sq(Vec2::new(7.0, 8.0)) - 25.0).abs() < 1e-12);
+        // Straight out from an edge.
+        assert!((bb.min_dist_sq(Vec2::new(-3.0, 2.0)) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_boxes_never_intersect() {
+        let e = BBox::empty();
+        let bb = BBox::of_points(&[Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)]);
+        assert!(!e.intersects(&bb));
+        assert!(!bb.intersects(&e));
+    }
+}

@@ -1,0 +1,141 @@
+use crate::{BBox, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A directed straight line segment in the local planar frame, from the
+/// entrance node towards the exit node of a road segment (Definition 1).
+///
+/// Position ratios (Definition 5) are measured from [`SegLine::a`]: ratio 0
+/// is the entrance, ratio 1 the exit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegLine {
+    /// Entrance endpoint.
+    pub a: Vec2,
+    /// Exit endpoint.
+    pub b: Vec2,
+}
+
+impl SegLine {
+    /// Creates a segment from entrance `a` to exit `b`.
+    #[must_use]
+    pub fn new(a: Vec2, b: Vec2) -> Self {
+        Self { a, b }
+    }
+
+    /// Length in metres.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Direction vector from entrance to exit (not normalised).
+    #[must_use]
+    pub fn direction(&self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// The point at position ratio `r ∈ [0, 1]` along the segment.
+    #[must_use]
+    pub fn point_at(&self, r: f64) -> Vec2 {
+        self.a.lerp(self.b, r.clamp(0.0, 1.0))
+    }
+
+    /// Projects `p` orthogonally onto the segment, clamped to the segment
+    /// extent. Returns the position ratio in `[0, 1]`.
+    ///
+    /// This is the operation of Algorithm 2 line 4 ("get `a_i.r` by
+    /// orthogonal projection of `p_i` to `e_i`").
+    #[must_use]
+    pub fn project_ratio(&self, p: Vec2) -> f64 {
+        let d = self.direction();
+        let len_sq = d.dot(d);
+        if len_sq <= f64::EPSILON {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// The closest point on the segment to `p`.
+    #[must_use]
+    pub fn closest_point(&self, p: Vec2) -> Vec2 {
+        self.point_at(self.project_ratio(p))
+    }
+
+    /// Perpendicular (clamped) distance from `p` to the segment in metres —
+    /// the ranking key of the candidate set (Definition 8).
+    #[must_use]
+    pub fn distance_to(&self, p: Vec2) -> f64 {
+        self.closest_point(p).dist(p)
+    }
+
+    /// Squared distance from `p` to the segment; cheaper for comparisons.
+    #[must_use]
+    pub fn distance_sq_to(&self, p: Vec2) -> f64 {
+        self.closest_point(p).dist_sq(p)
+    }
+
+    /// Axis-aligned bounding box of the segment.
+    #[must_use]
+    pub fn bbox(&self) -> BBox {
+        BBox::of_points(&[self.a, self.b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> SegLine {
+        SegLine::new(Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0))
+    }
+
+    #[test]
+    fn length_and_direction() {
+        assert_eq!(seg().length(), 10.0);
+        assert_eq!(seg().direction(), Vec2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn projection_inside_segment() {
+        let r = seg().project_ratio(Vec2::new(3.0, 5.0));
+        assert!((r - 0.3).abs() < 1e-12);
+        assert_eq!(seg().closest_point(Vec2::new(3.0, 5.0)), Vec2::new(3.0, 0.0));
+        assert!((seg().distance_to(Vec2::new(3.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_clamps_before_entrance() {
+        let r = seg().project_ratio(Vec2::new(-4.0, 3.0));
+        assert_eq!(r, 0.0);
+        assert!((seg().distance_to(Vec2::new(-4.0, 3.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_clamps_after_exit() {
+        let r = seg().project_ratio(Vec2::new(14.0, -3.0));
+        assert_eq!(r, 1.0);
+        assert!((seg().distance_to(Vec2::new(14.0, -3.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment_projects_to_entrance() {
+        let s = SegLine::new(Vec2::new(2.0, 2.0), Vec2::new(2.0, 2.0));
+        assert_eq!(s.project_ratio(Vec2::new(9.0, 9.0)), 0.0);
+        assert_eq!(s.closest_point(Vec2::new(9.0, 9.0)), Vec2::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn point_at_clamps_ratio() {
+        let s = seg();
+        assert_eq!(s.point_at(-0.5), s.a);
+        assert_eq!(s.point_at(1.5), s.b);
+        assert_eq!(s.point_at(0.25), Vec2::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn bbox_covers_endpoints() {
+        let s = SegLine::new(Vec2::new(3.0, -2.0), Vec2::new(-1.0, 7.0));
+        let bb = s.bbox();
+        assert_eq!(bb.min, Vec2::new(-1.0, -2.0));
+        assert_eq!(bb.max, Vec2::new(3.0, 7.0));
+    }
+}

@@ -1,0 +1,892 @@
+//! The autograd tape.
+//!
+//! A [`Graph`] records one forward pass as a topologically ordered vector of
+//! nodes; each node stores its value, the [`Op`] that produced it, and — once
+//! [`Graph::backward`] runs — its gradient. Adjoints are hand-written per op
+//! in the private `backprop_node` dispatcher and validated against central finite
+//! differences in the `grad_check` test module.
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// The operation that produced a node (parents by id).
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Constant input or parameter leaf.
+    Leaf,
+    /// `A · B`.
+    MatMul(NodeId, NodeId),
+    /// `A + B`, same shape.
+    Add(NodeId, NodeId),
+    /// `A + v` with `v` a `1 × cols` row broadcast over rows.
+    AddRow(NodeId, NodeId),
+    /// `A ∘ B`, same shape.
+    Mul(NodeId, NodeId),
+    /// `A ∘ v` with `v` a `1 × cols` row broadcast over rows.
+    MulRow(NodeId, NodeId),
+    /// `c · A`.
+    Scale(NodeId, f64),
+    /// `A + c` element-wise.
+    AddScalar(NodeId, f64),
+    /// `max(0, A)`.
+    Relu(NodeId),
+    /// Logistic sigmoid.
+    Sigmoid(NodeId),
+    /// Hyperbolic tangent.
+    Tanh(NodeId),
+    /// Row-wise softmax.
+    SoftmaxRows(NodeId),
+    /// Row-wise standardisation `(x − μ) / sqrt(σ² + ε)` (no affine).
+    LayerNormRows(NodeId),
+    /// Horizontal concatenation.
+    ConcatCols(Vec<NodeId>),
+    /// Vertical concatenation.
+    ConcatRows(Vec<NodeId>),
+    /// Rows `[start, start + rows)` of the parent.
+    SliceRows(NodeId, usize),
+    /// Matrix transpose.
+    Transpose(NodeId),
+    /// Column means over rows → `1 × cols`.
+    MeanRows(NodeId),
+    /// Sum of all elements → `1 × 1`.
+    SumAll(NodeId),
+    /// Row gather: output row `i` is parent row `indices[i]`.
+    GatherRows(NodeId, Vec<usize>),
+    /// Mean binary cross-entropy with logits against a constant target.
+    BceWithLogits(NodeId, Matrix),
+    /// Mean softmax cross-entropy, one target class per row.
+    SoftmaxCrossEntropy(NodeId, Vec<usize>),
+    /// Mean absolute error against a constant target.
+    L1Loss(NodeId, Matrix),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    needs_grad: bool,
+}
+
+/// A single forward pass; see module docs.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    bindings: Vec<(usize, Param)>,
+}
+
+impl Graph {
+    /// An empty tape.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> NodeId {
+        self.nodes.push(Node { value, grad: None, op, needs_grad });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, id: NodeId) -> bool {
+        self.nodes[id.0].needs_grad
+    }
+
+    /// The forward value of a node.
+    #[must_use]
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient of a node after [`Graph::backward`] (zeros if the node
+    /// was not reached).
+    #[must_use]
+    pub fn grad(&self, id: NodeId) -> Matrix {
+        let n = &self.nodes[id.0];
+        n.grad.clone().unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols()))
+    }
+
+    /// Number of recorded nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---------------------------------------------------------------- leaves
+
+    /// A constant input (no gradient).
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// A differentiable leaf *not* tied to a [`Param`] (used by tests).
+    pub fn leaf(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Binds a [`Param`]: the node takes the param's current value and its
+    /// gradient flushes back into the param on [`Graph::backward`].
+    pub fn param(&mut self, p: &Param) -> NodeId {
+        let id = self.push(p.value(), Op::Leaf, true);
+        self.bindings.push((id.0, p.clone()));
+        id
+    }
+
+    /// A `1 × 1` constant.
+    pub fn scalar(&mut self, v: f64) -> NodeId {
+        self.input(Matrix::row_vec(vec![v]))
+    }
+
+    // ------------------------------------------------------------------ ops
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::MatMul(a, b), ng)
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape(), "add shape");
+        let mut v = self.nodes[a.0].value.clone();
+        v.add_assign(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Add(a, b), ng)
+    }
+
+    /// `a + row` (row broadcast over `a`'s rows).
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (r, c) = self.nodes[a.0].value.shape();
+        assert_eq!(self.nodes[row.0].value.shape(), (1, c), "add_row shape");
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..r {
+            let rv = self.nodes[row.0].value.row(0).to_vec();
+            for (x, y) in v.row_mut(i).iter_mut().zip(rv.iter()) {
+                *x += y;
+            }
+        }
+        let ng = self.needs(a) || self.needs(row);
+        self.push(v, Op::AddRow(a, row), ng)
+    }
+
+    /// `a ∘ b` (same shape).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape(), "mul shape");
+        let bv = &self.nodes[b.0].value;
+        let v = Matrix::from_vec(
+            bv.rows(),
+            bv.cols(),
+            self.nodes[a.0]
+                .value
+                .data()
+                .iter()
+                .zip(bv.data().iter())
+                .map(|(x, y)| x * y)
+                .collect(),
+        );
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Mul(a, b), ng)
+    }
+
+    /// `a ∘ row` (row broadcast).
+    pub fn mul_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (r, c) = self.nodes[a.0].value.shape();
+        assert_eq!(self.nodes[row.0].value.shape(), (1, c), "mul_row shape");
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..r {
+            let rv = self.nodes[row.0].value.row(0).to_vec();
+            for (x, y) in v.row_mut(i).iter_mut().zip(rv.iter()) {
+                *x *= y;
+            }
+        }
+        let ng = self.needs(a) || self.needs(row);
+        self.push(v, Op::MulRow(a, row), ng)
+    }
+
+    /// `c · a`.
+    pub fn scale(&mut self, a: NodeId, c: f64) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| c * x);
+        let ng = self.needs(a);
+        self.push(v, Op::Scale(a, c), ng)
+    }
+
+    /// `a + c` element-wise.
+    pub fn add_scalar(&mut self, a: NodeId, c: f64) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x + c);
+        let ng = self.needs(a);
+        self.push(v, Op::AddScalar(a, c), ng)
+    }
+
+    /// `a − b` (same shape), composed from primitives.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let nb = self.scale(b, -1.0);
+        self.add(a, nb)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let ng = self.needs(a);
+        self.push(v, Op::Relu(a), ng)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ng = self.needs(a);
+        self.push(v, Op::Sigmoid(a), ng)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(f64::tanh);
+        let ng = self.needs(a);
+        self.push(v, Op::Tanh(a), ng)
+    }
+
+    /// Row-wise softmax (numerically stabilised).
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let src = &self.nodes[a.0].value;
+        let mut v = src.clone();
+        for i in 0..v.rows() {
+            let row = v.row_mut(i);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::SoftmaxRows(a), ng)
+    }
+
+    /// Row-wise standardisation (ε = 1e-5). Affine transforms compose via
+    /// [`Graph::mul_row`] / [`Graph::add_row`].
+    pub fn layer_norm_rows(&mut self, a: NodeId) -> NodeId {
+        let src = &self.nodes[a.0].value;
+        let mut v = src.clone();
+        let c = v.cols() as f64;
+        for i in 0..v.rows() {
+            let row = v.row_mut(i);
+            let mean = row.iter().sum::<f64>() / c;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / c;
+            let denom = (var + 1e-5).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mean) / denom;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::LayerNormRows(a), ng)
+    }
+
+    /// Horizontal concatenation (equal row counts).
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let rows = self.nodes[parts[0].0].value.rows();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
+        let mut v = Matrix::zeros(rows, total);
+        let mut off = 0;
+        for p in parts {
+            let pv = &self.nodes[p.0].value;
+            assert_eq!(pv.rows(), rows, "concat_cols row mismatch");
+            for i in 0..rows {
+                v.row_mut(i)[off..off + pv.cols()].copy_from_slice(pv.row(i));
+            }
+            off += pv.cols();
+        }
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(v, Op::ConcatCols(parts.to_vec()), ng)
+    }
+
+    /// Vertical concatenation (equal column counts).
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let cols = self.nodes[parts[0].0].value.cols();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.rows()).sum();
+        let mut v = Matrix::zeros(total, cols);
+        let mut off = 0;
+        for p in parts {
+            let pv = &self.nodes[p.0].value;
+            assert_eq!(pv.cols(), cols, "concat_rows col mismatch");
+            for i in 0..pv.rows() {
+                v.row_mut(off + i).copy_from_slice(pv.row(i));
+            }
+            off += pv.rows();
+        }
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(v, Op::ConcatRows(parts.to_vec()), ng)
+    }
+
+    /// Rows `[start, start + len)` of `a`.
+    pub fn slice_rows(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        let src = &self.nodes[a.0].value;
+        assert!(start + len <= src.rows(), "slice_rows out of range");
+        let mut v = Matrix::zeros(len, src.cols());
+        for i in 0..len {
+            v.row_mut(i).copy_from_slice(src.row(start + i));
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::SliceRows(a, start), ng)
+    }
+
+    /// A single row of `a` as a `1 × cols` node.
+    pub fn row(&mut self, a: NodeId, r: usize) -> NodeId {
+        self.slice_rows(a, r, 1)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.transpose();
+        let ng = self.needs(a);
+        self.push(v, Op::Transpose(a), ng)
+    }
+
+    /// Column means over rows → `1 × cols` (mean pooling, Algorithm 2 line 6).
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let src = &self.nodes[a.0].value;
+        let mut v = Matrix::zeros(1, src.cols());
+        for i in 0..src.rows() {
+            for (o, &x) in v.row_mut(0).iter_mut().zip(src.row(i)) {
+                *o += x;
+            }
+        }
+        v.scale_assign(1.0 / src.rows() as f64);
+        let ng = self.needs(a);
+        self.push(v, Op::MeanRows(a), ng)
+    }
+
+    /// Sum of all elements → `1 × 1`.
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let s: f64 = self.nodes[a.0].value.data().iter().sum();
+        let ng = self.needs(a);
+        self.push(Matrix::row_vec(vec![s]), Op::SumAll(a), ng)
+    }
+
+    /// Row gather: output row `i` = `a`'s row `indices[i]` (embedding
+    /// lookup; duplicates allowed).
+    pub fn gather_rows(&mut self, a: NodeId, indices: &[usize]) -> NodeId {
+        let src = &self.nodes[a.0].value;
+        let mut v = Matrix::zeros(indices.len(), src.cols());
+        for (i, &ix) in indices.iter().enumerate() {
+            assert!(ix < src.rows(), "gather index out of range");
+            v.row_mut(i).copy_from_slice(src.row(ix));
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::GatherRows(a, indices.to_vec()), ng)
+    }
+
+    /// Inner product of two `1 × d` rows → `1 × 1` (Eq. 9's `c_j · p_i`).
+    pub fn dot(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let m = self.mul(a, b);
+        self.sum_all(m)
+    }
+
+    // --------------------------------------------------------------- losses
+
+    /// Mean binary cross-entropy over all elements, from logits
+    /// (numerically stable log-sum-exp form). Targets are constant.
+    pub fn bce_with_logits(&mut self, logits: NodeId, targets: Matrix) -> NodeId {
+        let x = &self.nodes[logits.0].value;
+        assert_eq!(x.shape(), targets.shape(), "bce target shape");
+        let n = x.len() as f64;
+        let mut total = 0.0;
+        for (&xi, &ti) in x.data().iter().zip(targets.data().iter()) {
+            total += xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
+        }
+        let ng = self.needs(logits);
+        self.push(Matrix::row_vec(vec![total / n]), Op::BceWithLogits(logits, targets), ng)
+    }
+
+    /// Mean softmax cross-entropy: row `i` of `logits` is scored against
+    /// class `targets[i]`.
+    pub fn softmax_cross_entropy(&mut self, logits: NodeId, targets: &[usize]) -> NodeId {
+        let x = &self.nodes[logits.0].value;
+        assert_eq!(x.rows(), targets.len(), "sce target count");
+        let mut total = 0.0;
+        for (i, &t) in targets.iter().enumerate() {
+            let row = x.row(i);
+            assert!(t < row.len(), "sce target out of range");
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f64>().ln();
+            total += lse - row[t];
+        }
+        let ng = self.needs(logits);
+        self.push(
+            Matrix::row_vec(vec![total / targets.len() as f64]),
+            Op::SoftmaxCrossEntropy(logits, targets.to_vec()),
+            ng,
+        )
+    }
+
+    /// Mean absolute error against a constant target (Eq. 20).
+    pub fn l1_loss(&mut self, pred: NodeId, target: Matrix) -> NodeId {
+        let x = &self.nodes[pred.0].value;
+        assert_eq!(x.shape(), target.shape(), "l1 target shape");
+        let n = x.len() as f64;
+        let total: f64 = x
+            .data()
+            .iter()
+            .zip(target.data().iter())
+            .map(|(&p, &t)| (p - t).abs())
+            .sum();
+        let ng = self.needs(pred);
+        self.push(Matrix::row_vec(vec![total / n]), Op::L1Loss(pred, target), ng)
+    }
+
+    // ------------------------------------------------------------- backward
+
+    /// Back-propagates from `loss` (must be `1 × 1`), accumulating into
+    /// every bound [`Param`].
+    ///
+    /// # Panics
+    /// Panics if `loss` is not scalar.
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be scalar");
+        self.nodes[loss.0].grad = Some(Matrix::row_vec(vec![1.0]));
+        for i in (0..=loss.0).rev() {
+            if self.nodes[i].grad.is_none() || !self.nodes[i].needs_grad {
+                continue;
+            }
+            self.backprop_node(i);
+        }
+        for (node_idx, param) in &self.bindings {
+            if let Some(g) = &self.nodes[*node_idx].grad {
+                param.accumulate_grad(g);
+            }
+        }
+    }
+
+    fn grad_buf(&mut self, id: NodeId) -> &mut Matrix {
+        let (r, c) = self.nodes[id.0].value.shape();
+        self.nodes[id.0].grad.get_or_insert_with(|| Matrix::zeros(r, c))
+    }
+
+    fn add_grad(&mut self, id: NodeId, delta: &Matrix) {
+        if !self.nodes[id.0].needs_grad {
+            return;
+        }
+        self.grad_buf(id).add_assign(delta);
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn backprop_node(&mut self, i: usize) {
+        let g = self.nodes[i].grad.clone().expect("grad present");
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let av = self.nodes[a.0].value.clone();
+                let bv = self.nodes[b.0].value.clone();
+                if self.needs(a) {
+                    let da = g.matmul(&bv.transpose());
+                    self.add_grad(a, &da);
+                }
+                if self.needs(b) {
+                    let db = av.transpose().matmul(&g);
+                    self.add_grad(b, &db);
+                }
+            }
+            Op::Add(a, b) => {
+                self.add_grad(a, &g);
+                self.add_grad(b, &g);
+            }
+            Op::AddRow(a, row) => {
+                self.add_grad(a, &g);
+                if self.needs(row) {
+                    let mut dv = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &x) in dv.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    self.add_grad(row, &dv);
+                }
+            }
+            Op::Mul(a, b) => {
+                if self.needs(a) {
+                    let bv = self.nodes[b.0].value.clone();
+                    let da = Matrix::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data().iter().zip(bv.data()).map(|(&x, &y)| x * y).collect(),
+                    );
+                    self.add_grad(a, &da);
+                }
+                if self.needs(b) {
+                    let av = self.nodes[a.0].value.clone();
+                    let db = Matrix::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data().iter().zip(av.data()).map(|(&x, &y)| x * y).collect(),
+                    );
+                    self.add_grad(b, &db);
+                }
+            }
+            Op::MulRow(a, row) => {
+                let rowv = self.nodes[row.0].value.clone();
+                if self.needs(a) {
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        for (x, &y) in da.row_mut(r).iter_mut().zip(rowv.row(0)) {
+                            *x *= y;
+                        }
+                    }
+                    self.add_grad(a, &da);
+                }
+                if self.needs(row) {
+                    let av = self.nodes[a.0].value.clone();
+                    let mut dv = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            dv.row_mut(0)[c] += g.get(r, c) * av.get(r, c);
+                        }
+                    }
+                    self.add_grad(row, &dv);
+                }
+            }
+            Op::Scale(a, c) => {
+                let da = g.map(|x| c * x);
+                self.add_grad(a, &da);
+            }
+            Op::AddScalar(a, _) => {
+                self.add_grad(a, &g);
+            }
+            Op::Relu(a) => {
+                let av = self.nodes[a.0].value.clone();
+                let da = Matrix::from_vec(
+                    g.rows(),
+                    g.cols(),
+                    g.data()
+                        .iter()
+                        .zip(av.data())
+                        .map(|(&gx, &x)| if x > 0.0 { gx } else { 0.0 })
+                        .collect(),
+                );
+                self.add_grad(a, &da);
+            }
+            Op::Sigmoid(a) => {
+                let out = self.nodes[i].value.clone();
+                let da = Matrix::from_vec(
+                    g.rows(),
+                    g.cols(),
+                    g.data()
+                        .iter()
+                        .zip(out.data())
+                        .map(|(&gx, &s)| gx * s * (1.0 - s))
+                        .collect(),
+                );
+                self.add_grad(a, &da);
+            }
+            Op::Tanh(a) => {
+                let out = self.nodes[i].value.clone();
+                let da = Matrix::from_vec(
+                    g.rows(),
+                    g.cols(),
+                    g.data()
+                        .iter()
+                        .zip(out.data())
+                        .map(|(&gx, &t)| gx * (1.0 - t * t))
+                        .collect(),
+                );
+                self.add_grad(a, &da);
+            }
+            Op::SoftmaxRows(a) => {
+                let s = self.nodes[i].value.clone();
+                let mut da = Matrix::zeros(g.rows(), g.cols());
+                for r in 0..g.rows() {
+                    let dot: f64 = g.row(r).iter().zip(s.row(r)).map(|(&x, &y)| x * y).sum();
+                    for c in 0..g.cols() {
+                        da.set(r, c, s.get(r, c) * (g.get(r, c) - dot));
+                    }
+                }
+                self.add_grad(a, &da);
+            }
+            Op::LayerNormRows(a) => {
+                // y = (x - μ) / sqrt(σ² + ε);
+                // dx = (dy − mean(dy) − y · mean(dy ∘ y)) / sqrt(σ² + ε)
+                let av = self.nodes[a.0].value.clone();
+                let y = self.nodes[i].value.clone();
+                let cols = av.cols() as f64;
+                let mut da = Matrix::zeros(g.rows(), g.cols());
+                for r in 0..g.rows() {
+                    let mean = av.row(r).iter().sum::<f64>() / cols;
+                    let var =
+                        av.row(r).iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / cols;
+                    let denom = (var + 1e-5).sqrt();
+                    let g_mean: f64 = g.row(r).iter().sum::<f64>() / cols;
+                    let gy_mean: f64 =
+                        g.row(r).iter().zip(y.row(r)).map(|(&gx, &yx)| gx * yx).sum::<f64>() / cols;
+                    for c in 0..g.cols() {
+                        da.set(r, c, (g.get(r, c) - g_mean - y.get(r, c) * gy_mean) / denom);
+                    }
+                }
+                self.add_grad(a, &da);
+            }
+            Op::ConcatCols(parts) => {
+                let mut off = 0;
+                for p in parts {
+                    let pc = self.nodes[p.0].value.cols();
+                    if self.needs(p) {
+                        let mut dp = Matrix::zeros(g.rows(), pc);
+                        for r in 0..g.rows() {
+                            dp.row_mut(r).copy_from_slice(&g.row(r)[off..off + pc]);
+                        }
+                        self.add_grad(p, &dp);
+                    }
+                    off += pc;
+                }
+            }
+            Op::ConcatRows(parts) => {
+                let mut off = 0;
+                for p in parts {
+                    let pr = self.nodes[p.0].value.rows();
+                    if self.needs(p) {
+                        let mut dp = Matrix::zeros(pr, g.cols());
+                        for r in 0..pr {
+                            dp.row_mut(r).copy_from_slice(g.row(off + r));
+                        }
+                        self.add_grad(p, &dp);
+                    }
+                    off += pr;
+                }
+            }
+            Op::SliceRows(a, start) => {
+                if self.needs(a) {
+                    let (pr, pc) = self.nodes[a.0].value.shape();
+                    let mut da = Matrix::zeros(pr, pc);
+                    for r in 0..g.rows() {
+                        da.row_mut(start + r).copy_from_slice(g.row(r));
+                    }
+                    self.add_grad(a, &da);
+                }
+            }
+            Op::Transpose(a) => {
+                let da = g.transpose();
+                self.add_grad(a, &da);
+            }
+            Op::MeanRows(a) => {
+                if self.needs(a) {
+                    let rows = self.nodes[a.0].value.rows();
+                    let scale = 1.0 / rows as f64;
+                    let mut da = Matrix::zeros(rows, g.cols());
+                    for r in 0..rows {
+                        for (o, &x) in da.row_mut(r).iter_mut().zip(g.row(0)) {
+                            *o = x * scale;
+                        }
+                    }
+                    self.add_grad(a, &da);
+                }
+            }
+            Op::SumAll(a) => {
+                if self.needs(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let da = Matrix::full(r, c, g.get(0, 0));
+                    self.add_grad(a, &da);
+                }
+            }
+            Op::GatherRows(a, indices) => {
+                if self.needs(a) {
+                    let (pr, pc) = self.nodes[a.0].value.shape();
+                    let mut da = Matrix::zeros(pr, pc);
+                    for (r, &ix) in indices.iter().enumerate() {
+                        for (o, &x) in da.row_mut(ix).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    self.add_grad(a, &da);
+                }
+            }
+            Op::BceWithLogits(logits, targets) => {
+                if self.needs(logits) {
+                    let x = self.nodes[logits.0].value.clone();
+                    let n = x.len() as f64;
+                    let scale = g.get(0, 0) / n;
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.data()
+                            .iter()
+                            .zip(targets.data())
+                            .map(|(&xi, &ti)| scale * (1.0 / (1.0 + (-xi).exp()) - ti))
+                            .collect(),
+                    );
+                    self.add_grad(logits, &da);
+                }
+            }
+            Op::SoftmaxCrossEntropy(logits, targets) => {
+                if self.needs(logits) {
+                    let x = self.nodes[logits.0].value.clone();
+                    let scale = g.get(0, 0) / targets.len() as f64;
+                    let mut da = Matrix::zeros(x.rows(), x.cols());
+                    for (r, &t) in targets.iter().enumerate() {
+                        let row = x.row(r);
+                        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        let sum: f64 = row.iter().map(|&v| (v - max).exp()).sum();
+                        for c in 0..x.cols() {
+                            let p = (x.get(r, c) - max).exp() / sum;
+                            let delta = if c == t { 1.0 } else { 0.0 };
+                            da.set(r, c, scale * (p - delta));
+                        }
+                    }
+                    self.add_grad(logits, &da);
+                }
+            }
+            Op::L1Loss(pred, target) => {
+                if self.needs(pred) {
+                    let x = self.nodes[pred.0].value.clone();
+                    let n = x.len() as f64;
+                    let scale = g.get(0, 0) / n;
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.data()
+                            .iter()
+                            .zip(target.data())
+                            .map(|(&p, &t)| scale * (p - t).signum())
+                            .collect(),
+                    );
+                    self.add_grad(pred, &da);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_compose() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.input(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).data(), &[1.0, 2.0, 3.0, 4.0]);
+        let d = g.scale(c, 2.0);
+        let e = g.add(c, d);
+        assert_eq!(g.value(e).data(), &[3.0, 6.0, 9.0, 12.0]);
+        let s = g.sum_all(e);
+        assert_eq!(g.value(s).get(0, 0), 30.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let s = g.softmax_rows(a);
+        for r in 0..2 {
+            let sum: f64 = g.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        // Softmax is shift-invariant.
+        let b = g.add_scalar(a, 100.0);
+        let s2 = g.softmax_rows(b);
+        for (x, y) in g.value(s).data().iter().zip(g.value(s2).data()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn layer_norm_standardises_rows() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = g.layer_norm_rows(a);
+        let row = g.value(y).row(0);
+        let mean: f64 = row.iter().sum::<f64>() / 4.0;
+        let var: f64 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn simple_gradient_through_matmul() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.leaf(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        assert_eq!(g.grad(a).data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(g.grad(b).data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn param_grads_flush() {
+        let p = Param::from_matrix(Matrix::row_vec(vec![2.0, 3.0]));
+        let mut g = Graph::new();
+        let w = g.param(&p);
+        let sq = g.mul(w, w);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        // d/dw sum(w²) = 2w.
+        assert_eq!(p.grad().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn constant_inputs_get_no_grad() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::row_vec(vec![1.0]));
+        let b = g.leaf(Matrix::row_vec(vec![2.0]));
+        let c = g.mul(a, b);
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        assert_eq!(g.grad(a).data(), &[0.0]); // not tracked
+        assert_eq!(g.grad(b).data(), &[1.0]);
+    }
+
+    #[test]
+    fn bce_loss_matches_manual() {
+        let mut g = Graph::new();
+        let logits = g.leaf(Matrix::row_vec(vec![0.0, 2.0]));
+        let targets = Matrix::row_vec(vec![1.0, 0.0]);
+        let loss = g.bce_with_logits(logits, targets);
+        // manual: -(ln σ(0)) and -(ln(1-σ(2)))
+        let want = (-(0.5f64.ln()) + -((1.0 - 1.0 / (1.0 + (-2.0f64).exp())).ln())) / 2.0;
+        assert!((g.value(loss).get(0, 0) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sce_loss_matches_manual() {
+        let mut g = Graph::new();
+        let logits = g.leaf(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let loss = g.softmax_cross_entropy(logits, &[2]);
+        let z: f64 = (1.0f64.exp() + 2.0f64.exp() + 3.0f64.exp()).ln();
+        assert!((g.value(loss).get(0, 0) - (z - 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gather_rows_duplicates_accumulate() {
+        let mut g = Graph::new();
+        let table = g.leaf(Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let picked = g.gather_rows(table, &[1, 1, 0]);
+        assert_eq!(g.value(picked).row(0), &[3.0, 4.0]);
+        let loss = g.sum_all(picked);
+        g.backward(loss);
+        // Row 1 picked twice → grad 2; row 0 once → 1; row 2 never → 0.
+        assert_eq!(g.grad(table).data(), &[1.0, 1.0, 2.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_is_inner_product() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::row_vec(vec![1.0, 2.0, 3.0]));
+        let b = g.input(Matrix::row_vec(vec![4.0, 5.0, 6.0]));
+        let d = g.dot(a, b);
+        assert_eq!(g.value(d).get(0, 0), 32.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! A minimal neural-network stack with reverse-mode automatic
+//! differentiation — the substrate standing in for PyTorch in this
+//! reproduction (the paper's models are small: `d = 64`, 2–4 transformer
+//! layers, one GRU).
+//!
+//! Design:
+//!
+//! * [`Matrix`] — a dense row-major `f64` matrix; all tensors are 2-D
+//!   (sequences are `len × dim` matrices), which covers every operation in
+//!   the paper and keeps the autograd simple and fast.
+//! * [`Graph`] — a per-forward-pass *tape*. Operations are recorded as an
+//!   enum ([`graph::Op`]) with parent node ids; [`Graph::backward`]
+//!   replays the tape in reverse with a hand-written adjoint per op. No
+//!   closures, no reference cycles, trivially testable against finite
+//!   differences (see the `grad_check` tests).
+//! * [`Param`] — persistent learnable state shared across graphs via
+//!   `Rc<RefCell<…>>`; gradients accumulate into the param when the graph
+//!   is back-propagated, and [`Adam`] consumes them.
+//! * [`layers`] — the modules the paper uses: [`Linear`], [`Mlp`],
+//!   [`LayerNorm`], [`MultiHeadAttention`], [`TransformerEncoder`] (Eq. 4–6)
+//!   and [`GruCell`] (the decoder of TRMMA), plus sinusoidal positional
+//!   encodings.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod graph;
+pub mod layers;
+pub mod matrix;
+pub mod optim;
+pub mod param;
+pub mod serialize;
+
+pub use graph::{Graph, NodeId};
+pub use layers::{
+    positional_encoding, GruCell, LayerNorm, Linear, Mlp, MultiHeadAttention, TransformerEncoder,
+};
+pub use matrix::Matrix;
+pub use optim::{Adam, LrSchedule, Sgd};
+pub use param::{Init, Param};
+pub use serialize::{load_params, restore, save_params, snapshot, LoadError};
+
+#[cfg(test)]
+mod grad_check;

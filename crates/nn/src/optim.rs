@@ -1,0 +1,246 @@
+//! First-order optimisers over [`Param`] collections.
+
+use crate::param::Param;
+
+/// Adam (Kingma & Ba) with bias correction — the de-facto optimiser for the
+/// paper's transformer models (learning rate 1e-3 in §VI-A).
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Param>,
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    /// Optional global-norm gradient clip.
+    clip_norm: Option<f64>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser over `params`.
+    #[must_use]
+    pub fn new(params: Vec<Param>, lr: f64) -> Self {
+        Self { params, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, clip_norm: Some(5.0) }
+    }
+
+    /// Overrides the gradient-clipping threshold (`None` disables).
+    #[must_use]
+    pub fn with_clip(mut self, clip: Option<f64>) -> Self {
+        self.clip_norm = clip;
+        self
+    }
+
+    /// Number of managed parameters tensors.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Clears accumulated gradients on every managed parameter.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Applies one update step from the accumulated gradients.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let scale = self.clip_scale();
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &self.params {
+            let mut inner = p.inner.borrow_mut();
+            let inner = &mut *inner;
+            for i in 0..inner.value.len() {
+                let g = inner.grad.data()[i] * scale;
+                let m = self.beta1 * inner.m.data()[i] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * inner.v.data()[i] + (1.0 - self.beta2) * g * g;
+                inner.m.data_mut()[i] = m;
+                inner.v.data_mut()[i] = v;
+                let m_hat = m / bc1;
+                let v_hat = v / bc2;
+                inner.value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn clip_scale(&self) -> f64 {
+        let Some(limit) = self.clip_norm else { return 1.0 };
+        let total_sq: f64 = self
+            .params
+            .iter()
+            .map(|p| {
+                let g = p.inner.borrow();
+                g.grad.data().iter().map(|x| x * x).sum::<f64>()
+            })
+            .sum();
+        let norm = total_sq.sqrt();
+        if norm > limit {
+            limit / norm
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Adam {
+    /// Overrides the learning rate (used by [`LrSchedule`]).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    /// The current learning rate.
+    #[must_use]
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// Linear-warmup + exponential-decay learning-rate schedule.
+///
+/// `lr(step) = base · min(step / warmup, 1) · decay^(epoch)` — the standard
+/// recipe for small-transformer training; drive it manually with
+/// [`LrSchedule::lr_at`] and [`Adam::set_lr`].
+#[derive(Debug, Clone)]
+pub struct LrSchedule {
+    base: f64,
+    warmup_steps: usize,
+    decay_per_epoch: f64,
+}
+
+impl LrSchedule {
+    /// Creates a schedule.
+    #[must_use]
+    pub fn new(base: f64, warmup_steps: usize, decay_per_epoch: f64) -> Self {
+        Self { base, warmup_steps, decay_per_epoch }
+    }
+
+    /// The learning rate at a given optimiser step / epoch.
+    #[must_use]
+    pub fn lr_at(&self, step: usize, epoch: usize) -> f64 {
+        let warm = if self.warmup_steps == 0 {
+            1.0
+        } else {
+            ((step + 1) as f64 / self.warmup_steps as f64).min(1.0)
+        };
+        self.base * warm * self.decay_per_epoch.powi(epoch as i32)
+    }
+}
+
+/// Plain stochastic gradient descent (used by Node2Vec and as a baseline in
+/// optimiser tests).
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Param>,
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser over `params`.
+    #[must_use]
+    pub fn new(params: Vec<Param>, lr: f64) -> Self {
+        Self { params, lr }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Applies one descent step.
+    pub fn step(&self) {
+        for p in &self.params {
+            let mut inner = p.inner.borrow_mut();
+            let inner = &mut *inner;
+            for i in 0..inner.value.len() {
+                inner.value.data_mut()[i] -= self.lr * inner.grad.data()[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::matrix::Matrix;
+
+    /// Minimise (w - 3)² with each optimiser; both must converge.
+    fn quadratic_loss(p: &Param) -> f64 {
+        let mut g = Graph::new();
+        let w = g.param(p);
+        let shifted = g.add_scalar(w, -3.0);
+        let sq = g.mul(shifted, shifted);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.value(loss).get(0, 0)
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::from_matrix(Matrix::row_vec(vec![0.0]));
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        for _ in 0..300 {
+            opt.zero_grad();
+            quadratic_loss(&p);
+            opt.step();
+        }
+        assert!((p.value().get(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::from_matrix(Matrix::row_vec(vec![0.0]));
+        let opt = Sgd::new(vec![p.clone()], 0.1);
+        for _ in 0..200 {
+            opt.zero_grad();
+            quadratic_loss(&p);
+            opt.step();
+        }
+        assert!((p.value().get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let p = Param::from_matrix(Matrix::row_vec(vec![0.0]));
+        // Huge artificial gradient.
+        p.accumulate_grad(&Matrix::row_vec(vec![1e9]));
+        let mut opt = Adam::new(vec![p.clone()], 0.1).with_clip(Some(1.0));
+        opt.step();
+        // One Adam step with lr 0.1 moves at most ~lr.
+        assert!(p.value().get(0, 0).abs() <= 0.11);
+    }
+
+    #[test]
+    fn lr_schedule_warms_up_and_decays() {
+        let sched = LrSchedule::new(1e-3, 10, 0.5);
+        assert!((sched.lr_at(0, 0) - 1e-4).abs() < 1e-12);
+        assert!((sched.lr_at(9, 0) - 1e-3).abs() < 1e-12);
+        assert!((sched.lr_at(100, 0) - 1e-3).abs() < 1e-12);
+        assert!((sched.lr_at(100, 2) - 0.25e-3).abs() < 1e-12);
+        // Zero warmup is the identity.
+        let flat = LrSchedule::new(2e-3, 0, 1.0);
+        assert_eq!(flat.lr_at(0, 5), 2e-3);
+    }
+
+    #[test]
+    fn adam_lr_override() {
+        let p = Param::from_matrix(Matrix::row_vec(vec![0.0]));
+        let mut opt = Adam::new(vec![p], 1e-3);
+        assert_eq!(opt.lr(), 1e-3);
+        opt.set_lr(5e-4);
+        assert_eq!(opt.lr(), 5e-4);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let p = Param::from_matrix(Matrix::row_vec(vec![0.0, 0.0]));
+        p.accumulate_grad(&Matrix::row_vec(vec![1.0, 2.0]));
+        let opt = Sgd::new(vec![p.clone()], 0.1);
+        opt.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Persistent learnable parameters shared across computation graphs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Weight-initialisation strategies.
+#[derive(Debug, Clone, Copy)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// Uniform in `[-a, a]`.
+    Uniform(f64),
+    /// Xavier/Glorot uniform: `a = sqrt(6 / (fan_in + fan_out))`.
+    Xavier,
+}
+
+#[derive(Debug)]
+pub(crate) struct ParamInner {
+    pub value: Matrix,
+    pub grad: Matrix,
+    /// Adam first-moment state.
+    pub m: Matrix,
+    /// Adam second-moment state.
+    pub v: Matrix,
+}
+
+/// A learnable matrix. Cloning is cheap (shared handle); the value persists
+/// across [`crate::Graph`] instances and accumulates gradients from
+/// [`crate::Graph::backward`].
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub(crate) inner: Rc<RefCell<ParamInner>>,
+}
+
+impl Param {
+    /// Creates a parameter with the given initialisation.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, init: Init, rng: &mut StdRng) -> Self {
+        let value = match init {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::Uniform(a) => {
+                Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect())
+            }
+            Init::Xavier => {
+                let a = (6.0 / (rows + cols) as f64).sqrt();
+                Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect())
+            }
+        };
+        Self::from_matrix(value)
+    }
+
+    /// Wraps an existing matrix as a parameter (used to initialise MMA's
+    /// segment-embedding table from pre-trained Node2Vec vectors, Eq. 1).
+    #[must_use]
+    pub fn from_matrix(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Self {
+            inner: Rc::new(RefCell::new(ParamInner {
+                value,
+                grad: Matrix::zeros(r, c),
+                m: Matrix::zeros(r, c),
+                v: Matrix::zeros(r, c),
+            })),
+        }
+    }
+
+    /// Shape of the parameter.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        self.inner.borrow().value.shape()
+    }
+
+    /// Snapshot of the current value.
+    #[must_use]
+    pub fn value(&self) -> Matrix {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Overwrites the value (e.g. for loading pre-trained weights).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn set_value(&self, value: Matrix) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(inner.value.shape(), value.shape(), "param shape mismatch");
+        inner.value = value;
+    }
+
+    /// Snapshot of the accumulated gradient.
+    #[must_use]
+    pub fn grad(&self) -> Matrix {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    pub(crate) fn accumulate_grad(&self, g: &Matrix) {
+        self.inner.borrow_mut().grad.add_assign(g);
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.inner.borrow_mut().grad.fill_zero();
+    }
+
+    /// Number of scalar weights.
+    #[must_use]
+    pub fn num_weights(&self) -> usize {
+        let (r, c) = self.shape();
+        r * c
+    }
+
+    /// Whether two handles refer to the same parameter.
+    #[must_use]
+    pub fn same_as(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Total scalar weight count of a parameter collection.
+#[must_use]
+pub fn total_weights(params: &[Param]) -> usize {
+    params.iter().map(Param::num_weights).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn init_shapes_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Param::new(2, 3, Init::Zeros, &mut rng);
+        assert!(z.value().data().iter().all(|&x| x == 0.0));
+        let u = Param::new(4, 4, Init::Uniform(0.1), &mut rng);
+        assert!(u.value().data().iter().all(|&x| x.abs() <= 0.1));
+        let x = Param::new(8, 8, Init::Xavier, &mut rng);
+        let bound = (6.0 / 16.0f64).sqrt();
+        assert!(x.value().data().iter().all(|&v| v.abs() <= bound));
+        // Not all zero.
+        assert!(x.value().frobenius() > 0.0);
+    }
+
+    #[test]
+    fn grads_accumulate_and_clear() {
+        let p = Param::from_matrix(Matrix::zeros(1, 2));
+        p.accumulate_grad(&Matrix::row_vec(vec![1.0, 2.0]));
+        p.accumulate_grad(&Matrix::row_vec(vec![0.5, 0.5]));
+        assert_eq!(p.grad().data(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let p = Param::from_matrix(Matrix::zeros(1, 1));
+        let q = p.clone();
+        q.set_value(Matrix::row_vec(vec![7.0]));
+        assert_eq!(p.value().data(), &[7.0]);
+        assert!(p.same_as(&q));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let a = Param::new(3, 3, Init::Xavier, &mut r1);
+        let b = Param::new(3, 3, Init::Xavier, &mut r2);
+        assert_eq!(a.value().data(), b.value().data());
+    }
+}

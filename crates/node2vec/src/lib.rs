@@ -1,0 +1,290 @@
+//! Node2Vec (Grover & Leskovec, KDD 2016) over the segment graph.
+//!
+//! MMA pre-learns segment embeddings `W_G ∈ R^{n×d0}` with Node2Vec and uses
+//! them to initialise the candidate-embedding table `W_C` (Eq. 1). The graph
+//! walked here is the *segment* graph: vertices are road segments, an arc
+//! `e → e'` exists when `e'` can follow `e` on a route — exactly the
+//! connectivity the embedding is meant to preserve.
+//!
+//! Two pieces:
+//!
+//! * [`generate_walks`] — second-order biased random walks with the
+//!   return/in-out parameters `p` and `q`;
+//! * [`train_embeddings`] — skip-gram with negative sampling trained by SGD
+//!   (negatives drawn from the unigram distribution raised to ¾, as in
+//!   word2vec).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trmma_nn::Matrix;
+use trmma_roadnet::{RoadNetwork, SegmentId};
+
+/// Hyper-parameters for Node2Vec.
+#[derive(Debug, Clone)]
+pub struct Node2VecConfig {
+    /// Embedding dimensionality `d0` (the paper uses 64).
+    pub dim: usize,
+    /// Walks started per segment.
+    pub walks_per_node: usize,
+    /// Length of each walk.
+    pub walk_len: usize,
+    /// Skip-gram context window.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Return parameter `p` (likelihood of revisiting the previous vertex).
+    pub p: f64,
+    /// In-out parameter `q` (BFS- vs DFS-like exploration).
+    pub q: f64,
+    /// Training epochs over the walk corpus.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            walks_per_node: 4,
+            walk_len: 20,
+            window: 4,
+            negatives: 4,
+            p: 1.0,
+            q: 2.0,
+            epochs: 2,
+            lr: 0.025,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates second-order biased walks over the segment graph.
+///
+/// Transition weights from `(prev, cur)` to a successor `next`:
+/// `1/p` if `next == prev` (return), `1` if `next` is also a successor of
+/// `prev` (distance 1), else `1/q` (explore).
+#[must_use]
+pub fn generate_walks(net: &RoadNetwork, cfg: &Node2VecConfig, rng: &mut StdRng) -> Vec<Vec<u32>> {
+    let n = net.num_segments();
+    let mut walks = Vec::with_capacity(n * cfg.walks_per_node);
+    for start in 0..n as u32 {
+        for _ in 0..cfg.walks_per_node {
+            let mut walk = Vec::with_capacity(cfg.walk_len);
+            walk.push(start);
+            let mut prev: Option<u32> = None;
+            let mut cur = start;
+            while walk.len() < cfg.walk_len {
+                let succs = net.successors(SegmentId(cur));
+                if succs.is_empty() {
+                    break;
+                }
+                let next = match prev {
+                    None => succs[rng.gen_range(0..succs.len())].0,
+                    Some(p_seg) => {
+                        let prev_succs = net.successors(SegmentId(p_seg));
+                        let weights: Vec<f64> = succs
+                            .iter()
+                            .map(|&s| {
+                                if s.0 == p_seg {
+                                    1.0 / cfg.p
+                                } else if prev_succs.contains(&s) {
+                                    1.0
+                                } else {
+                                    1.0 / cfg.q
+                                }
+                            })
+                            .collect();
+                        let total: f64 = weights.iter().sum();
+                        let mut draw = rng.gen_range(0.0..total);
+                        let mut chosen = succs[succs.len() - 1].0;
+                        for (s, w) in succs.iter().zip(&weights) {
+                            if draw < *w {
+                                chosen = s.0;
+                                break;
+                            }
+                            draw -= w;
+                        }
+                        chosen
+                    }
+                };
+                walk.push(next);
+                prev = Some(cur);
+                cur = next;
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Trains skip-gram embeddings over the walks; returns the `n × dim` input
+/// embedding table (the `W_G` of Eq. 1).
+#[must_use]
+pub fn train_embeddings(net: &RoadNetwork, cfg: &Node2VecConfig) -> Matrix {
+    let n = net.num_segments();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let walks = generate_walks(net, cfg, &mut rng);
+
+    // Unigram^0.75 negative-sampling table.
+    let mut counts = vec![0f64; n];
+    for w in &walks {
+        for &s in w {
+            counts[s as usize] += 1.0;
+        }
+    }
+    let weights: Vec<f64> = counts.iter().map(|c| c.powf(0.75)).collect();
+    let cumulative: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total_weight = *cumulative.last().unwrap_or(&1.0);
+    let sample_negative = |rng: &mut StdRng| -> usize {
+        let draw = rng.gen_range(0.0..total_weight.max(f64::MIN_POSITIVE));
+        cumulative.partition_point(|&c| c <= draw).min(n - 1)
+    };
+
+    // Input (emb) and output (ctx) tables, small random init.
+    let scale = 0.5 / cfg.dim as f64;
+    let mut emb: Vec<f64> = (0..n * cfg.dim).map(|_| rng.gen_range(-scale..scale)).collect();
+    let mut ctx: Vec<f64> = vec![0.0; n * cfg.dim];
+
+    let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+    for _epoch in 0..cfg.epochs {
+        for walk in &walks {
+            for (i, &center) in walk.iter().enumerate() {
+                let lo = i.saturating_sub(cfg.window);
+                let hi = (i + cfg.window + 1).min(walk.len());
+                for (j, &ctx_id) in walk.iter().enumerate().take(hi).skip(lo) {
+                    if j == i {
+                        continue;
+                    }
+                    let target = ctx_id as usize;
+                    let c_off = center as usize * cfg.dim;
+                    // One positive + `negatives` negative updates.
+                    let mut grad_center = vec![0.0; cfg.dim];
+                    for k in 0..=cfg.negatives {
+                        let (out, label) = if k == 0 {
+                            (target, 1.0)
+                        } else {
+                            (sample_negative(&mut rng), 0.0)
+                        };
+                        let o_off = out * cfg.dim;
+                        let dot: f64 = (0..cfg.dim)
+                            .map(|d| emb[c_off + d] * ctx[o_off + d])
+                            .sum();
+                        let g = (sigmoid(dot) - label) * cfg.lr;
+                        for d in 0..cfg.dim {
+                            grad_center[d] += g * ctx[o_off + d];
+                            ctx[o_off + d] -= g * emb[c_off + d];
+                        }
+                    }
+                    for d in 0..cfg.dim {
+                        emb[c_off + d] -= grad_center[d];
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_vec(n, cfg.dim, emb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trmma_roadnet::{generate_city, NetworkConfig};
+
+    fn small_cfg() -> Node2VecConfig {
+        Node2VecConfig {
+            dim: 16,
+            walks_per_node: 3,
+            walk_len: 10,
+            epochs: 2,
+            ..Node2VecConfig::default()
+        }
+    }
+
+    fn net() -> RoadNetwork {
+        generate_city(&NetworkConfig::with_size(6, 6, 21))
+    }
+
+    #[test]
+    fn walks_follow_graph_edges() {
+        let net = net();
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(1);
+        let walks = generate_walks(&net, &cfg, &mut rng);
+        assert_eq!(walks.len(), net.num_segments() * cfg.walks_per_node);
+        for w in &walks {
+            for pair in w.windows(2) {
+                assert!(
+                    net.successors(SegmentId(pair[0])).contains(&SegmentId(pair[1])),
+                    "walk steps must follow successor arcs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embeddings_shape_and_determinism() {
+        let net = net();
+        let cfg = small_cfg();
+        let a = train_embeddings(&net, &cfg);
+        let b = train_embeddings(&net, &cfg);
+        assert_eq!(a.shape(), (net.num_segments(), cfg.dim));
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn neighbours_more_similar_than_distant_segments() {
+        let net = net();
+        let cfg = Node2VecConfig { dim: 32, walks_per_node: 8, walk_len: 16, epochs: 4, ..small_cfg() };
+        let emb = train_embeddings(&net, &cfg);
+        let cos = |a: usize, b: usize| -> f64 {
+            let (ra, rb) = (emb.row(a), emb.row(b));
+            let dot: f64 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+            let na: f64 = ra.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let nb: f64 = rb.iter().map(|x| x * x).sum::<f64>().sqrt();
+            dot / (na * nb).max(1e-12)
+        };
+        // Average similarity of adjacent pairs should exceed that of random
+        // far pairs. Aggregate to be robust to individual fluctuations.
+        let mut adj_sum = 0.0;
+        let mut adj_n = 0usize;
+        for s in 0..net.num_segments().min(60) {
+            for &succ in net.successors(SegmentId(s as u32)) {
+                adj_sum += cos(s, succ.idx());
+                adj_n += 1;
+            }
+        }
+        let mut far_sum = 0.0;
+        let mut far_n = 0usize;
+        let n = net.num_segments();
+        for s in 0..n.min(60) {
+            let far = (s + n / 2) % n;
+            far_sum += cos(s, far);
+            far_n += 1;
+        }
+        let adj_mean = adj_sum / adj_n as f64;
+        let far_mean = far_sum / far_n as f64;
+        assert!(
+            adj_mean > far_mean,
+            "adjacent {adj_mean:.3} should beat distant {far_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn walk_lengths_bounded() {
+        let net = net();
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(3);
+        let walks = generate_walks(&net, &cfg, &mut rng);
+        assert!(walks.iter().all(|w| w.len() <= cfg.walk_len && !w.is_empty()));
+    }
+}

@@ -1,0 +1,207 @@
+//! Plain-text network interchange.
+//!
+//! A tiny line-oriented format so user-supplied networks (e.g. converted
+//! from OpenStreetMap) can be loaded without pulling in a parser dependency:
+//!
+//! ```text
+//! # trmma-roadnet v1
+//! node <x_m> <y_m>
+//! seg <from_node> <to_node> <class: A|C|L>
+//! ```
+//!
+//! Node ids are implicit line order. Geometry and lengths are re-derived on
+//! load, so the file stays minimal and the loaded network is always
+//! internally consistent.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::graph::{NodeId, RoadClass, RoadNetwork};
+use trmma_geom::Vec2;
+
+/// Errors raised while reading a network file.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line with its 1-based number and a description.
+    Parse { line: usize, msg: String },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn class_code(c: RoadClass) -> char {
+    match c {
+        RoadClass::Arterial => 'A',
+        RoadClass::Collector => 'C',
+        RoadClass::Local => 'L',
+    }
+}
+
+fn parse_class(s: &str, line: usize) -> Result<RoadClass, IoError> {
+    match s {
+        "A" => Ok(RoadClass::Arterial),
+        "C" => Ok(RoadClass::Collector),
+        "L" => Ok(RoadClass::Local),
+        other => Err(IoError::Parse { line, msg: format!("unknown road class `{other}`") }),
+    }
+}
+
+/// Serialises `net` to the text format.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_network<W: Write>(net: &RoadNetwork, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "# trmma-roadnet v1")?;
+    for id in 0..net.num_nodes() {
+        let p = net.node_pos(NodeId(id as u32));
+        writeln!(w, "node {} {}", p.x, p.y)?;
+    }
+    for s in net.segments() {
+        writeln!(w, "seg {} {} {}", s.from.0, s.to.0, class_code(s.class))?;
+    }
+    Ok(())
+}
+
+/// Parses a network from the text format.
+///
+/// # Errors
+/// Returns [`IoError::Parse`] on malformed input, [`IoError::Io`] on reader
+/// failures.
+pub fn read_network<R: Read>(r: R) -> Result<RoadNetwork, IoError> {
+    let reader = BufReader::new(r);
+    let mut nodes: Vec<Vec2> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId, RoadClass)> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap_or_default();
+        let parse_f64 = |tok: Option<&str>, what: &str| -> Result<f64, IoError> {
+            tok.ok_or_else(|| IoError::Parse { line: line_no, msg: format!("missing {what}") })?
+                .parse()
+                .map_err(|_| IoError::Parse { line: line_no, msg: format!("bad {what}") })
+        };
+        let parse_u32 = |tok: Option<&str>, what: &str| -> Result<u32, IoError> {
+            tok.ok_or_else(|| IoError::Parse { line: line_no, msg: format!("missing {what}") })?
+                .parse()
+                .map_err(|_| IoError::Parse { line: line_no, msg: format!("bad {what}") })
+        };
+        match kind {
+            "node" => {
+                let x = parse_f64(parts.next(), "x")?;
+                let y = parse_f64(parts.next(), "y")?;
+                nodes.push(Vec2::new(x, y));
+            }
+            "seg" => {
+                let from = parse_u32(parts.next(), "from")?;
+                let to = parse_u32(parts.next(), "to")?;
+                let class = parse_class(
+                    parts.next().ok_or(IoError::Parse {
+                        line: line_no,
+                        msg: "missing class".into(),
+                    })?,
+                    line_no,
+                )?;
+                if from as usize >= nodes.len() || to as usize >= nodes.len() {
+                    return Err(IoError::Parse {
+                        line: line_no,
+                        msg: "segment references undeclared node (nodes must precede segs)".into(),
+                    });
+                }
+                edges.push((NodeId(from), NodeId(to), class));
+            }
+            other => {
+                return Err(IoError::Parse {
+                    line: line_no,
+                    msg: format!("unknown record kind `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(RoadNetwork::new(nodes, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_city, NetworkConfig};
+
+    #[test]
+    fn round_trip_preserves_network() {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, 11));
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let loaded = read_network(buf.as_slice()).unwrap();
+        assert_eq!(loaded.num_nodes(), net.num_nodes());
+        assert_eq!(loaded.num_segments(), net.num_segments());
+        for (a, b) in loaded.segments().iter().zip(net.segments().iter()) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            assert_eq!(a.class, b.class);
+            assert!((a.length - b.length).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\nnode 0 0\nnode 100 0\n# mid comment\nseg 0 1 A\n";
+        let net = read_network(text.as_bytes()).unwrap();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_segments(), 1);
+        assert_eq!(net.segments()[0].class, RoadClass::Arterial);
+    }
+
+    #[test]
+    fn rejects_bad_class() {
+        let text = "node 0 0\nnode 1 1\nseg 0 1 X\n";
+        let err = read_network(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let text = "node 0 0\nseg 0 1 L\nnode 1 1\n";
+        let err = read_network(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_record() {
+        let err = read_network("way 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_network("node zero 0\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+}

@@ -1,0 +1,32 @@
+//! The road-network substrate (Definition 1 of the paper).
+//!
+//! A road network is a directed graph `G = (V, E)`: nodes are intersections
+//! or road ends, directed edges are road segments with planar geometry. On
+//! top of the graph this crate provides everything the paper's pipeline
+//! needs from its "road network" dependency:
+//!
+//! * [`graph::RoadNetwork`] — compact arena-based graph with successor /
+//!   predecessor adjacency and an R-tree over segment geometry;
+//! * [`shortest`] — Dijkstra shortest paths (early-exit, bounded,
+//!   multi-target), network distance between map-matched points (the
+//!   distance `d(a_i, â_i)` of the MAE/RMSE metric, Eq. 22), and the bounded
+//!   single-source sweep used by FMM's UBODT;
+//! * [`planner::RoutePlanner`] — the "DA-based route planning method relying
+//!   on basic statistical counts" (ref.\[2\], used at Algorithm 1 line 12): a
+//!   maximum-likelihood path search over historical segment-transition
+//!   counts with a travel-time fallback;
+//! * [`gen`] — a synthetic city generator standing in for the paper's
+//!   OpenStreetMap extracts (see DESIGN.md §1 for the substitution
+//!   rationale);
+//! * [`io`] — a plain-text interchange format so user-supplied networks can
+//!   be loaded.
+
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod planner;
+pub mod shortest;
+
+pub use gen::{generate_city, NetworkConfig};
+pub use graph::{NodeId, RoadClass, RoadNetwork, Segment, SegmentId};
+pub use planner::RoutePlanner;

@@ -1,0 +1,330 @@
+//! Statistical route planning between matched segments.
+//!
+//! MMA maps each GPS point to a segment; consecutive matched segments are
+//! usually *not* adjacent, so Algorithm 1 (lines 10–13) fills the gaps with a
+//! route-planning routine. The paper uses "the same DA-based method from ref.\[2\]
+//! that relies on basic statistical counts" for its methods *and* all
+//! baselines. [`RoutePlanner`] reproduces that contract:
+//!
+//! * transition counts `#(e → e')` are accumulated from historical routes
+//!   ([`RoutePlanner::fit`]);
+//! * planning from `e_src` to `e_dst` is a Dijkstra over the segment graph
+//!   with edge weight `−ln P(e'|e)` (Laplace-smoothed), i.e. the
+//!   maximum-likelihood historical route;
+//! * a free-flow fastest-path fallback handles pairs never seen in training
+//!   (the paper reports such failures are rare — 0.06 % on PT — and resolves
+//!   them with the fastest route, as we do).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::graph::{RoadNetwork, SegmentId};
+use crate::shortest::{node_path, Weight};
+
+/// Laplace smoothing constant for transition probabilities.
+const SMOOTHING: f64 = 0.5;
+
+/// Default cap on settled states per plan; keeps worst-case latency bounded
+/// on large networks (the paper bounds route length by `l'` similarly).
+const DEFAULT_MAX_SETTLED: usize = 50_000;
+
+/// Historical-count route planner (see module docs).
+#[derive(Debug, Clone)]
+pub struct RoutePlanner {
+    /// `counts[(e, e')]` = number of observed transitions.
+    counts: HashMap<(u32, u32), f64>,
+    /// Total outgoing observations per segment.
+    out_total: Vec<f64>,
+    /// Cap on settled Dijkstra states before falling back.
+    max_settled: usize,
+}
+
+#[derive(Debug, PartialEq)]
+struct Item {
+    cost: f64,
+    seg: u32,
+}
+impl Eq for Item {}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl RoutePlanner {
+    /// An untrained planner: all transitions fall back to smoothing, so
+    /// planning reduces to a most-plausible-topology search; useful before
+    /// any data is seen and as a degenerate baseline.
+    #[must_use]
+    pub fn untrained(net: &RoadNetwork) -> Self {
+        Self {
+            counts: HashMap::new(),
+            out_total: vec![0.0; net.num_segments()],
+            max_settled: DEFAULT_MAX_SETTLED,
+        }
+    }
+
+    /// Fits transition counts from historical routes (each a path on `G`).
+    #[must_use]
+    pub fn fit<'a>(net: &RoadNetwork, routes: impl IntoIterator<Item = &'a [SegmentId]>) -> Self {
+        let mut planner = Self::untrained(net);
+        for route in routes {
+            planner.observe(route);
+        }
+        planner
+    }
+
+    /// Adds one historical route's transitions to the statistics.
+    pub fn observe(&mut self, route: &[SegmentId]) {
+        for w in route.windows(2) {
+            *self.counts.entry((w[0].0, w[1].0)).or_insert(0.0) += 1.0;
+            self.out_total[w[0].idx()] += 1.0;
+        }
+    }
+
+    /// Overrides the settled-state cap (`l'`-style bound).
+    pub fn set_max_settled(&mut self, cap: usize) {
+        self.max_settled = cap.max(1);
+    }
+
+    /// Smoothed transition probability `P(to | from)`.
+    #[must_use]
+    pub fn transition_prob(&self, net: &RoadNetwork, from: SegmentId, to: SegmentId) -> f64 {
+        let succ = net.successors(from).len().max(1) as f64;
+        let c = self.counts.get(&(from.0, to.0)).copied().unwrap_or(0.0);
+        (c + SMOOTHING) / (self.out_total[from.idx()] + SMOOTHING * succ)
+    }
+
+    /// Plans a route from `src` to `dst` inclusive of both endpoints.
+    ///
+    /// Returns the maximum-likelihood historical route when the statistical
+    /// search reaches `dst` within the state cap, otherwise the free-flow
+    /// fastest route, otherwise `None` (disconnected pair).
+    #[must_use]
+    pub fn plan(&self, net: &RoadNetwork, src: SegmentId, dst: SegmentId) -> Option<Vec<SegmentId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        if let Some(path) = self.plan_statistical(net, src, dst) {
+            return Some(path);
+        }
+        self.plan_fastest(net, src, dst)
+    }
+
+    fn plan_statistical(
+        &self,
+        net: &RoadNetwork,
+        src: SegmentId,
+        dst: SegmentId,
+    ) -> Option<Vec<SegmentId>> {
+        let mut dist: HashMap<u32, f64> = HashMap::new();
+        let mut prev: HashMap<u32, u32> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(src.0, 0.0);
+        heap.push(Item { cost: 0.0, seg: src.0 });
+        let mut settled = 0usize;
+        while let Some(Item { cost, seg }) = heap.pop() {
+            if seg == dst.0 {
+                let mut path = vec![dst];
+                let mut cur = dst.0;
+                while cur != src.0 {
+                    cur = prev[&cur];
+                    path.push(SegmentId(cur));
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if cost > *dist.get(&seg).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            settled += 1;
+            if settled > self.max_settled {
+                return None;
+            }
+            for &next in net.successors(SegmentId(seg)) {
+                // Forbid immediate U-turns unless the segment dead-ends:
+                // historical trajectories essentially never bounce back.
+                if Some(next) == net.reverse_twin(SegmentId(seg)) && net.successors(SegmentId(seg)).len() > 1
+                {
+                    continue;
+                }
+                let p = self.transition_prob(net, SegmentId(seg), next);
+                let nc = cost - p.ln();
+                if nc < *dist.get(&next.0).unwrap_or(&f64::INFINITY) {
+                    dist.insert(next.0, nc);
+                    prev.insert(next.0, seg);
+                    heap.push(Item { cost: nc, seg: next.0 });
+                }
+            }
+        }
+        None
+    }
+
+    fn plan_fastest(&self, net: &RoadNetwork, src: SegmentId, dst: SegmentId) -> Option<Vec<SegmentId>> {
+        let (_, mid) = node_path(
+            net,
+            net.segment(src).to,
+            net.segment(dst).from,
+            Weight::Time,
+            f64::INFINITY,
+        )?;
+        let mut path = Vec::with_capacity(mid.len() + 2);
+        path.push(src);
+        path.extend(mid);
+        path.push(dst);
+        Some(path)
+    }
+
+    /// Stitches a sequence of matched segments into a route (Algorithm 1,
+    /// lines 10–13): consecutive duplicates collapse, adjacent segments
+    /// append directly, gaps are filled by [`RoutePlanner::plan`].
+    ///
+    /// Returns `None` only if some gap is truly unroutable.
+    #[must_use]
+    pub fn connect(&self, net: &RoadNetwork, matched: &[SegmentId]) -> Option<Vec<SegmentId>> {
+        let mut route: Vec<SegmentId> = Vec::with_capacity(matched.len());
+        for &seg in matched {
+            match route.last() {
+                None => route.push(seg),
+                Some(&last) if last == seg => {}
+                Some(&last) if net.segment(last).to == net.segment(seg).from => route.push(seg),
+                Some(&last) => {
+                    let gap = self.plan(net, last, seg)?;
+                    route.extend(&gap[1..]);
+                }
+            }
+        }
+        Some(route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_city, NetworkConfig};
+    use crate::graph::{NodeId, RoadClass};
+    use trmma_geom::Vec2;
+
+    fn grid() -> RoadNetwork {
+        generate_city(&NetworkConfig { nx: 6, ny: 6, seed: 7, ..NetworkConfig::default() })
+    }
+
+    #[test]
+    fn plan_same_segment_is_identity() {
+        let net = grid();
+        let planner = RoutePlanner::untrained(&net);
+        let e = SegmentId(0);
+        assert_eq!(planner.plan(&net, e, e), Some(vec![e]));
+    }
+
+    #[test]
+    fn plan_returns_connected_path_with_endpoints() {
+        let net = grid();
+        let planner = RoutePlanner::untrained(&net);
+        let src = SegmentId(0);
+        let dst = SegmentId((net.num_segments() - 1) as u32);
+        let path = planner.plan(&net, src, dst).expect("SCC network is routable");
+        assert_eq!(*path.first().unwrap(), src);
+        assert_eq!(*path.last().unwrap(), dst);
+        assert!(net.is_path(&path), "planned route must be a path on G");
+    }
+
+    #[test]
+    fn observed_transitions_get_higher_probability() {
+        let net = grid();
+        let e = SegmentId(0);
+        let succs = net.successors(e);
+        assert!(succs.len() >= 2, "test grid should branch");
+        let (a, b) = (succs[0], succs[1]);
+        let route = vec![e, a];
+        let planner = RoutePlanner::fit(&net, [route.as_slice()]);
+        assert!(planner.transition_prob(&net, e, a) > planner.transition_prob(&net, e, b));
+    }
+
+    #[test]
+    fn training_biases_plans_towards_historical_route() {
+        let net = grid();
+        // Take the untrained plan between two far segments, then train heavily
+        // on an alternative and check the planner reproduces the trained path.
+        let untrained = RoutePlanner::untrained(&net);
+        let src = SegmentId(0);
+        let dst = SegmentId((net.num_segments() / 2) as u32);
+        let base = untrained.plan(&net, src, dst).unwrap();
+        let mut planner = RoutePlanner::untrained(&net);
+        for _ in 0..50 {
+            planner.observe(&base);
+        }
+        let trained = planner.plan(&net, src, dst).unwrap();
+        assert_eq!(trained, base);
+    }
+
+    #[test]
+    fn connect_collapses_duplicates_and_fills_gaps() {
+        let net = grid();
+        let planner = RoutePlanner::untrained(&net);
+        let src = SegmentId(3);
+        let dst = SegmentId((net.num_segments() - 2) as u32);
+        let route = planner.connect(&net, &[src, src, dst]).unwrap();
+        assert!(net.is_path(&route));
+        assert_eq!(*route.first().unwrap(), src);
+        assert_eq!(*route.last().unwrap(), dst);
+        // Duplicate collapsed: src appears exactly once at the head.
+        assert_eq!(route.iter().filter(|&&s| s == src).count(), 1);
+    }
+
+    #[test]
+    fn connect_keeps_adjacent_pairs_verbatim() {
+        let net = grid();
+        let planner = RoutePlanner::untrained(&net);
+        let e = SegmentId(0);
+        let next = net.successors(e)[0];
+        let route = planner.connect(&net, &[e, next]).unwrap();
+        assert_eq!(route, vec![e, next]);
+    }
+
+    #[test]
+    fn fastest_fallback_on_tiny_cap() {
+        let net = grid();
+        let mut planner = RoutePlanner::untrained(&net);
+        planner.set_max_settled(1); // statistical search can never finish
+        let src = SegmentId(0);
+        let dst = SegmentId((net.num_segments() - 1) as u32);
+        let path = planner.plan(&net, src, dst).expect("fastest fallback");
+        assert!(net.is_path(&path));
+        assert_eq!(*path.first().unwrap(), src);
+        assert_eq!(*path.last().unwrap(), dst);
+    }
+
+    #[test]
+    fn uturn_avoided_when_alternatives_exist() {
+        // Straight two-way line of 3 nodes plus a branch so successors > 1.
+        let pos = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(200.0, 0.0),
+            Vec2::new(100.0, 100.0),
+        ];
+        let mut edges = Vec::new();
+        for (a, b) in [(0, 1), (1, 2), (1, 3)] {
+            edges.push((NodeId(a), NodeId(b), RoadClass::Local));
+            edges.push((NodeId(b), NodeId(a), RoadClass::Local));
+        }
+        let net = RoadNetwork::new(pos, edges);
+        let planner = RoutePlanner::untrained(&net);
+        let e01 = net
+            .segment_ids()
+            .find(|&i| net.segment(i).from == NodeId(0) && net.segment(i).to == NodeId(1))
+            .unwrap();
+        let e12 = net
+            .segment_ids()
+            .find(|&i| net.segment(i).from == NodeId(1) && net.segment(i).to == NodeId(2))
+            .unwrap();
+        let path = planner.plan(&net, e01, e12).unwrap();
+        assert_eq!(path, vec![e01, e12], "no U-turn detour");
+    }
+}

@@ -1,0 +1,627 @@
+//! Shortest paths on the road network.
+//!
+//! Provides the primitives used throughout the pipeline:
+//!
+//! * early-exit Dijkstra between nodes ([`node_dist`], [`node_path`]),
+//! * bounded single-source sweeps ([`bounded_sssp`]) — the building block of
+//!   FMM's upper-bounded origin-destination table,
+//! * network distance between map-matched points ([`matched_dist`]) — the
+//!   `d(a_i, â_i)` of the MAE/RMSE metric (Eq. 22),
+//! * a concurrency-safe memo ([`DistCache`]) so metric evaluation and HMM
+//!   transition probabilities do not recompute identical node pairs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use crate::graph::{NodeId, RoadNetwork, SegmentId};
+
+/// Which edge weight a search should minimise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weight {
+    /// Segment length in metres.
+    Length,
+    /// Free-flow travel time in seconds.
+    Time,
+}
+
+impl Weight {
+    fn of(self, net: &RoadNetwork, seg: SegmentId) -> f64 {
+        let s = net.segment(seg);
+        match self {
+            Weight::Length => s.length,
+            Weight::Time => s.travel_time_s(),
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct QueueItem {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for QueueItem {}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest distance from `src` to `dst` under `weight`, early-exiting once
+/// the target is settled. `max_cost` bounds the search radius; `None` is
+/// returned when `dst` is unreachable within the bound.
+#[must_use]
+pub fn node_dist(
+    net: &RoadNetwork,
+    src: NodeId,
+    dst: NodeId,
+    weight: Weight,
+    max_cost: f64,
+) -> Option<f64> {
+    if src == dst {
+        return Some(0.0);
+    }
+    let mut dist: HashMap<u32, f64> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(src.0, 0.0);
+    heap.push(QueueItem { dist: 0.0, node: src.0 });
+    while let Some(QueueItem { dist: d, node }) = heap.pop() {
+        if node == dst.0 {
+            return Some(d);
+        }
+        if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for &seg in net.out_segments(NodeId(node)) {
+            let nd = d + weight.of(net, seg);
+            if nd > max_cost {
+                continue;
+            }
+            let to = net.segment(seg).to.0;
+            if nd < *dist.get(&to).unwrap_or(&f64::INFINITY) {
+                dist.insert(to, nd);
+                heap.push(QueueItem { dist: nd, node: to });
+            }
+        }
+    }
+    None
+}
+
+/// Shortest path from `src` to `dst` as a segment sequence, with its cost.
+#[must_use]
+pub fn node_path(
+    net: &RoadNetwork,
+    src: NodeId,
+    dst: NodeId,
+    weight: Weight,
+    max_cost: f64,
+) -> Option<(f64, Vec<SegmentId>)> {
+    if src == dst {
+        return Some((0.0, Vec::new()));
+    }
+    let mut dist: HashMap<u32, f64> = HashMap::new();
+    let mut prev: HashMap<u32, SegmentId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(src.0, 0.0);
+    heap.push(QueueItem { dist: 0.0, node: src.0 });
+    while let Some(QueueItem { dist: d, node }) = heap.pop() {
+        if node == dst.0 {
+            let mut path = Vec::new();
+            let mut cur = dst.0;
+            while cur != src.0 {
+                let seg = prev[&cur];
+                path.push(seg);
+                cur = net.segment(seg).from.0;
+            }
+            path.reverse();
+            return Some((d, path));
+        }
+        if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for &seg in net.out_segments(NodeId(node)) {
+            let nd = d + weight.of(net, seg);
+            if nd > max_cost {
+                continue;
+            }
+            let to = net.segment(seg).to.0;
+            if nd < *dist.get(&to).unwrap_or(&f64::INFINITY) {
+                dist.insert(to, nd);
+                prev.insert(to, seg);
+                heap.push(QueueItem { dist: nd, node: to });
+            }
+        }
+    }
+    None
+}
+
+/// Shortest path under an arbitrary per-segment cost function (must be
+/// strictly positive). Used by the trajectory generator to diversify routes
+/// by randomly perturbing free-flow travel times per trip.
+#[must_use]
+pub fn node_path_by(
+    net: &RoadNetwork,
+    src: NodeId,
+    dst: NodeId,
+    cost: impl Fn(SegmentId) -> f64,
+) -> Option<(f64, Vec<SegmentId>)> {
+    if src == dst {
+        return Some((0.0, Vec::new()));
+    }
+    let mut dist: HashMap<u32, f64> = HashMap::new();
+    let mut prev: HashMap<u32, SegmentId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(src.0, 0.0);
+    heap.push(QueueItem { dist: 0.0, node: src.0 });
+    while let Some(QueueItem { dist: d, node }) = heap.pop() {
+        if node == dst.0 {
+            let mut path = Vec::new();
+            let mut cur = dst.0;
+            while cur != src.0 {
+                let seg = prev[&cur];
+                path.push(seg);
+                cur = net.segment(seg).from.0;
+            }
+            path.reverse();
+            return Some((d, path));
+        }
+        if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for &seg in net.out_segments(NodeId(node)) {
+            let w = cost(seg);
+            debug_assert!(w > 0.0, "costs must be positive");
+            let nd = d + w;
+            let to = net.segment(seg).to.0;
+            if nd < *dist.get(&to).unwrap_or(&f64::INFINITY) {
+                dist.insert(to, nd);
+                prev.insert(to, seg);
+                heap.push(QueueItem { dist: nd, node: to });
+            }
+        }
+    }
+    None
+}
+
+/// A* shortest path under the length weight, using the straight-line
+/// distance to the target as the (admissible, consistent) heuristic.
+///
+/// Returns the same answers as [`node_path`] with `Weight::Length`, while
+/// settling substantially fewer states on spread-out queries — useful for
+/// latency-sensitive call sites such as interactive route planning.
+#[must_use]
+pub fn astar_path(
+    net: &RoadNetwork,
+    src: NodeId,
+    dst: NodeId,
+    max_cost: f64,
+) -> Option<(f64, Vec<SegmentId>)> {
+    if src == dst {
+        return Some((0.0, Vec::new()));
+    }
+    let goal = net.node_pos(dst);
+    let h = |n: u32| net.node_pos(NodeId(n)).dist(goal);
+    let mut dist: HashMap<u32, f64> = HashMap::new();
+    let mut prev: HashMap<u32, SegmentId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(src.0, 0.0);
+    heap.push(QueueItem { dist: h(src.0), node: src.0 });
+    while let Some(QueueItem { dist: f, node }) = heap.pop() {
+        let g = dist.get(&node).copied().unwrap_or(f64::INFINITY);
+        if node == dst.0 {
+            let mut path = Vec::new();
+            let mut cur = dst.0;
+            while cur != src.0 {
+                let seg = prev[&cur];
+                path.push(seg);
+                cur = net.segment(seg).from.0;
+            }
+            path.reverse();
+            return Some((g, path));
+        }
+        if f > g + h(node) + 1e-9 {
+            continue; // stale entry
+        }
+        for &seg in net.out_segments(NodeId(node)) {
+            let ng = g + net.segment(seg).length;
+            if ng > max_cost {
+                continue;
+            }
+            let to = net.segment(seg).to.0;
+            if ng < *dist.get(&to).unwrap_or(&f64::INFINITY) {
+                dist.insert(to, ng);
+                prev.insert(to, seg);
+                heap.push(QueueItem { dist: ng + h(to), node: to });
+            }
+        }
+    }
+    None
+}
+
+/// Bidirectional Dijkstra for the length weight: alternating forward and
+/// backward sweeps that stop once the frontiers provably bracket the
+/// optimum. Equivalent to [`node_dist`] but explores roughly half the
+/// states on large networks.
+#[must_use]
+pub fn bidirectional_dist(
+    net: &RoadNetwork,
+    src: NodeId,
+    dst: NodeId,
+    max_cost: f64,
+) -> Option<f64> {
+    if src == dst {
+        return Some(0.0);
+    }
+    let mut df: HashMap<u32, f64> = HashMap::new();
+    let mut db: HashMap<u32, f64> = HashMap::new();
+    let mut hf = BinaryHeap::new();
+    let mut hb = BinaryHeap::new();
+    df.insert(src.0, 0.0);
+    db.insert(dst.0, 0.0);
+    hf.push(QueueItem { dist: 0.0, node: src.0 });
+    hb.push(QueueItem { dist: 0.0, node: dst.0 });
+    let mut best = f64::INFINITY;
+    loop {
+        let top_f = hf.peek().map_or(f64::INFINITY, |q| q.dist);
+        let top_b = hb.peek().map_or(f64::INFINITY, |q| q.dist);
+        if top_f + top_b >= best || (top_f == f64::INFINITY && top_b == f64::INFINITY) {
+            break;
+        }
+        if top_f <= top_b {
+            if let Some(QueueItem { dist: d, node }) = hf.pop() {
+                if d > *df.get(&node).unwrap_or(&f64::INFINITY) {
+                    continue;
+                }
+                if let Some(&bd) = db.get(&node) {
+                    best = best.min(d + bd);
+                }
+                for &seg in net.out_segments(NodeId(node)) {
+                    let nd = d + net.segment(seg).length;
+                    if nd > max_cost {
+                        continue;
+                    }
+                    let to = net.segment(seg).to.0;
+                    if nd < *df.get(&to).unwrap_or(&f64::INFINITY) {
+                        df.insert(to, nd);
+                        hf.push(QueueItem { dist: nd, node: to });
+                    }
+                }
+            }
+        } else if let Some(QueueItem { dist: d, node }) = hb.pop() {
+            if d > *db.get(&node).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            if let Some(&fd) = df.get(&node) {
+                best = best.min(d + fd);
+            }
+            for &seg in net.in_segments(NodeId(node)) {
+                let nd = d + net.segment(seg).length;
+                if nd > max_cost {
+                    continue;
+                }
+                let from = net.segment(seg).from.0;
+                if nd < *db.get(&from).unwrap_or(&f64::INFINITY) {
+                    db.insert(from, nd);
+                    hb.push(QueueItem { dist: nd, node: from });
+                }
+            }
+        }
+    }
+    if best.is_finite() && best <= max_cost {
+        Some(best)
+    } else {
+        None
+    }
+}
+
+/// All nodes reachable from `src` within `delta` (inclusive), with their
+/// distances. This bounded sweep is the kernel of FMM's UBODT precomputation.
+#[must_use]
+pub fn bounded_sssp(net: &RoadNetwork, src: NodeId, weight: Weight, delta: f64) -> Vec<(NodeId, f64)> {
+    let mut dist: HashMap<u32, f64> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(src.0, 0.0);
+    heap.push(QueueItem { dist: 0.0, node: src.0 });
+    while let Some(QueueItem { dist: d, node }) = heap.pop() {
+        if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        for &seg in net.out_segments(NodeId(node)) {
+            let nd = d + weight.of(net, seg);
+            if nd > delta {
+                continue;
+            }
+            let to = net.segment(seg).to.0;
+            if nd < *dist.get(&to).unwrap_or(&f64::INFINITY) {
+                dist.insert(to, nd);
+                heap.push(QueueItem { dist: nd, node: to });
+            }
+        }
+    }
+    let mut out: Vec<(NodeId, f64)> = dist.into_iter().map(|(n, d)| (NodeId(n), d)).collect();
+    out.sort_by_key(|e| e.0);
+    out
+}
+
+/// A position on the network: segment plus position ratio (Definition 5,
+/// without the timestamp).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetPos {
+    /// The segment the position lies on.
+    pub seg: SegmentId,
+    /// Position ratio in `[0, 1)` from the segment entrance.
+    pub ratio: f64,
+}
+
+impl NetPos {
+    /// Creates a position, clamping the ratio into `[0, 1]`.
+    #[must_use]
+    pub fn new(seg: SegmentId, ratio: f64) -> Self {
+        Self { seg, ratio: ratio.clamp(0.0, 1.0) }
+    }
+}
+
+/// Directed network distance from `a` to `b` in metres: remaining length of
+/// `a`'s segment, plus the shortest node path, plus the offset into `b`'s
+/// segment. Same-segment forward moves are handled directly.
+#[must_use]
+pub fn matched_dist_directed(
+    net: &RoadNetwork,
+    a: NetPos,
+    b: NetPos,
+    max_cost: f64,
+    cache: Option<&DistCache>,
+) -> Option<f64> {
+    let sa = net.segment(a.seg);
+    let sb = net.segment(b.seg);
+    if a.seg == b.seg && b.ratio >= a.ratio {
+        return Some((b.ratio - a.ratio) * sa.length);
+    }
+    let head = (1.0 - a.ratio) * sa.length;
+    let tail = b.ratio * sb.length;
+    let mid = match cache {
+        Some(c) => c.node_dist(net, sa.to, sb.from, max_cost)?,
+        None => node_dist(net, sa.to, sb.from, Weight::Length, max_cost)?,
+    };
+    Some(head + mid + tail)
+}
+
+/// Symmetric network distance between two map-matched positions: the smaller
+/// of the two directed distances, falling back to straight-line distance when
+/// neither direction is reachable within `max_cost` (disconnected pairs are
+/// penalised by geometry rather than dropped, matching how evaluation code
+/// treats them).
+#[must_use]
+pub fn matched_dist(
+    net: &RoadNetwork,
+    a: NetPos,
+    b: NetPos,
+    max_cost: f64,
+    cache: Option<&DistCache>,
+) -> f64 {
+    let fwd = matched_dist_directed(net, a, b, max_cost, cache);
+    let bwd = matched_dist_directed(net, b, a, max_cost, cache);
+    match (fwd, bwd) {
+        (Some(x), Some(y)) => x.min(y),
+        (Some(x), None) | (None, Some(x)) => x,
+        (None, None) => {
+            let pa = net.segment(a.seg).line.point_at(a.ratio);
+            let pb = net.segment(b.seg).line.point_at(b.ratio);
+            pa.dist(pb)
+        }
+    }
+}
+
+/// A thread-safe memo of node-to-node shortest distances.
+///
+/// Both metric evaluation (Eq. 22 is computed for every recovered point) and
+/// HMM transition probabilities hammer the same node pairs; the cache turns
+/// repeated Dijkstra runs into hash lookups. Misses within `max_cost` are
+/// cached as `+∞` so unreachable pairs are not retried.
+#[derive(Debug, Default)]
+pub struct DistCache {
+    map: RwLock<HashMap<(u32, u32), f64>>,
+}
+
+impl DistCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached shortest length-weighted distance between nodes.
+    #[must_use]
+    pub fn node_dist(
+        &self,
+        net: &RoadNetwork,
+        src: NodeId,
+        dst: NodeId,
+        max_cost: f64,
+    ) -> Option<f64> {
+        if let Some(&d) = self.map.read().get(&(src.0, dst.0)) {
+            return if d.is_finite() { Some(d) } else { None };
+        }
+        let d = node_dist(net, src, dst, Weight::Length, max_cost);
+        self.map
+            .write()
+            .insert((src.0, dst.0), d.unwrap_or(f64::INFINITY));
+        d
+    }
+
+    /// Number of cached pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadClass;
+    use trmma_geom::Vec2;
+
+    /// A 3x1 bidirectional line: 0 -100m- 1 -100m- 2.
+    fn line3() -> RoadNetwork {
+        let pos = vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0), Vec2::new(200.0, 0.0)];
+        let mut edges = Vec::new();
+        for (a, b) in [(0, 1), (1, 2)] {
+            edges.push((NodeId(a), NodeId(b), RoadClass::Local));
+            edges.push((NodeId(b), NodeId(a), RoadClass::Local));
+        }
+        RoadNetwork::new(pos, edges)
+    }
+
+    fn seg(net: &RoadNetwork, from: u32, to: u32) -> SegmentId {
+        net.segment_ids()
+            .find(|&i| net.segment(i).from == NodeId(from) && net.segment(i).to == NodeId(to))
+            .unwrap()
+    }
+
+    #[test]
+    fn node_dist_on_line() {
+        let net = line3();
+        assert_eq!(node_dist(&net, NodeId(0), NodeId(0), Weight::Length, 1e9), Some(0.0));
+        let d = node_dist(&net, NodeId(0), NodeId(2), Weight::Length, 1e9).unwrap();
+        assert!((d - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_dist_respects_bound() {
+        let net = line3();
+        assert_eq!(node_dist(&net, NodeId(0), NodeId(2), Weight::Length, 150.0), None);
+        assert!(node_dist(&net, NodeId(0), NodeId(2), Weight::Length, 200.0).is_some());
+    }
+
+    #[test]
+    fn node_path_reconstructs_segments() {
+        let net = line3();
+        let (d, path) = node_path(&net, NodeId(0), NodeId(2), Weight::Length, 1e9).unwrap();
+        assert!((d - 200.0).abs() < 1e-9);
+        assert_eq!(path, vec![seg(&net, 0, 1), seg(&net, 1, 2)]);
+        assert!(net.is_path(&path));
+    }
+
+    #[test]
+    fn bounded_sssp_collects_reachable() {
+        let net = line3();
+        let within_150 = bounded_sssp(&net, NodeId(0), Weight::Length, 150.0);
+        let nodes: Vec<u32> = within_150.iter().map(|(n, _)| n.0).collect();
+        assert_eq!(nodes, vec![0, 1]);
+        let all = bounded_sssp(&net, NodeId(0), Weight::Length, 1e9);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn matched_dist_same_segment() {
+        let net = line3();
+        let e = seg(&net, 0, 1);
+        let a = NetPos::new(e, 0.2);
+        let b = NetPos::new(e, 0.7);
+        let d = matched_dist(&net, a, b, 1e9, None);
+        assert!((d - 50.0).abs() < 1e-9);
+        // Symmetric.
+        assert!((matched_dist(&net, b, a, 1e9, None) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matched_dist_across_segments() {
+        let net = line3();
+        let e01 = seg(&net, 0, 1);
+        let e12 = seg(&net, 1, 2);
+        let a = NetPos::new(e01, 0.5); // 50 m before node 1
+        let b = NetPos::new(e12, 0.25); // 25 m after node 1
+        let d = matched_dist(&net, a, b, 1e9, None);
+        assert!((d - 75.0).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn matched_dist_uses_twin_direction() {
+        // From a point on 1->0 to a point on 0->1: the directed distance must
+        // route through a node; the symmetric min picks the cheap direction.
+        let net = line3();
+        let e01 = seg(&net, 0, 1);
+        let e10 = seg(&net, 1, 0);
+        let a = NetPos::new(e10, 0.5);
+        let b = NetPos::new(e01, 0.5);
+        let d = matched_dist(&net, a, b, 1e9, None);
+        // a is at x=50 heading west, b at x=50 heading east; the best directed
+        // route is 50 m to a shared node plus 50 m back.
+        assert!((d - 100.0).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn astar_matches_dijkstra() {
+        let net = crate::gen::generate_city(&crate::gen::NetworkConfig::with_size(8, 8, 33));
+        for (s, d) in [(0u32, 40u32), (5, 60), (12, 12), (63, 2)] {
+            let m = net.num_nodes() as u32;
+            let (src, dst) = (NodeId(s % m), NodeId(d % m));
+            let dij = node_path(&net, src, dst, Weight::Length, f64::INFINITY);
+            let ast = astar_path(&net, src, dst, f64::INFINITY);
+            match (dij, ast) {
+                (Some((cd, pd)), Some((ca, pa))) => {
+                    assert!((cd - ca).abs() < 1e-9, "{src:?}->{dst:?}: {cd} vs {ca}");
+                    assert!(net.is_path(&pa));
+                    // Paths may differ on ties; costs must not.
+                    let len_a: f64 = pa.iter().map(|&e| net.segment(e).length).sum();
+                    let len_d: f64 = pd.iter().map(|&e| net.segment(e).length).sum();
+                    assert!((len_a - len_d).abs() < 1e-9);
+                }
+                (None, None) => {}
+                other => panic!("dijkstra/astar disagree on reachability: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_matches_dijkstra() {
+        let net = crate::gen::generate_city(&crate::gen::NetworkConfig::with_size(8, 8, 34));
+        let m = net.num_nodes() as u32;
+        for (s, d) in [(0u32, 50u32), (7, 19), (22, 22), (61, 3), (14, 59)] {
+            let (src, dst) = (NodeId(s % m), NodeId(d % m));
+            let a = node_dist(&net, src, dst, Weight::Length, f64::INFINITY);
+            let b = bidirectional_dist(&net, src, dst, f64::INFINITY);
+            match (a, b) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{src:?}->{dst:?}"),
+                (None, None) => {}
+                other => panic!("reachability mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn astar_respects_bound() {
+        let net = line3();
+        assert!(astar_path(&net, NodeId(0), NodeId(2), 150.0).is_none());
+        assert!(astar_path(&net, NodeId(0), NodeId(2), 250.0).is_some());
+        assert!(bidirectional_dist(&net, NodeId(0), NodeId(2), 150.0).is_none());
+    }
+
+    #[test]
+    fn dist_cache_hits() {
+        let net = line3();
+        let cache = DistCache::new();
+        let d1 = cache.node_dist(&net, NodeId(0), NodeId(2), 1e9).unwrap();
+        let d2 = cache.node_dist(&net, NodeId(0), NodeId(2), 1e9).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(cache.len(), 1);
+        // Unreachable-within-bound is cached as a miss, not retried forever.
+        assert!(cache.node_dist(&net, NodeId(2), NodeId(0), 0.0).is_none());
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared interfaces of the pipeline: map matchers, recovery methods and
+//! the candidate-segment finder (Definition 8).
+//!
+//! Every matcher in the repository — `Nearest`, `HMM`, `FMM` (baselines
+//! crate) and `MMA` (core crate) — implements [`MapMatcher`]; every recovery
+//! method — `Linear`, `Seq2SeqFull`, `TRMMA` — implements
+//! [`TrajectoryRecovery`]. The benchmark harness drives everything through
+//! these traits, which is what makes the paper's method-by-method tables
+//! mechanical to regenerate.
+
+use trmma_geom::Vec2;
+use trmma_roadnet::{RoadNetwork, SegmentId};
+use trmma_rtree::{IndexedSegment, RTree};
+
+use crate::types::{MatchedPoint, MatchedTrajectory, Route, Trajectory};
+
+/// Output of map matching one trajectory: the per-point matches and the
+/// stitched route (Definition 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchResult {
+    /// One matched point per input GPS point.
+    pub matched: Vec<MatchedPoint>,
+    /// The stitched route of the trajectory.
+    pub route: Route,
+}
+
+/// A map-matching method.
+pub trait MapMatcher {
+    /// Short display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Maps the GPS points of `traj` onto road segments and deduces the
+    /// underlying route.
+    fn match_trajectory(&self, traj: &Trajectory) -> MatchResult;
+}
+
+/// A trajectory-recovery method (Definition 7).
+pub trait TrajectoryRecovery {
+    /// Short display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Recovers the map-matched ε-sampling trajectory of sparse `traj`.
+    fn recover(&self, traj: &Trajectory, epsilon_s: f64) -> MatchedTrajectory;
+}
+
+/// One candidate segment of a GPS point, with its perpendicular distance and
+/// the projected position ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The candidate segment.
+    pub seg: SegmentId,
+    /// Perpendicular (clamped) distance from the GPS point, metres.
+    pub dist_m: f64,
+    /// Projection ratio of the GPS point onto the segment.
+    pub ratio: f64,
+}
+
+/// Top-`kc` nearest-segment query over an STR R-tree (Definition 8).
+#[derive(Debug)]
+pub struct CandidateFinder {
+    tree: RTree<IndexedSegment>,
+    kc: usize,
+}
+
+impl CandidateFinder {
+    /// Builds the finder over `net` with candidate-set size `kc` (the paper
+    /// fixes `kc = 10` after the Fig. 2 analysis).
+    #[must_use]
+    pub fn new(net: &RoadNetwork, kc: usize) -> Self {
+        Self { tree: net.build_rtree(), kc }
+    }
+
+    /// Candidate-set size.
+    #[must_use]
+    pub fn kc(&self) -> usize {
+        self.kc
+    }
+
+    /// The top-`kc` nearest segments to `p`, closest first.
+    #[must_use]
+    pub fn candidates(&self, p: Vec2) -> Vec<Candidate> {
+        self.tree
+            .knn(p, self.kc)
+            .into_iter()
+            .map(|n| {
+                let seg = self.tree.item(n.item);
+                Candidate {
+                    seg: SegmentId(seg.id),
+                    dist_m: n.dist,
+                    ratio: seg.line.project_ratio(p),
+                }
+            })
+            .collect()
+    }
+
+    /// The single nearest segment to `p`.
+    #[must_use]
+    pub fn nearest(&self, p: Vec2) -> Option<Candidate> {
+        self.tree.nearest(p).map(|n| {
+            let seg = self.tree.item(n.item);
+            Candidate {
+                seg: SegmentId(seg.id),
+                dist_m: n.dist,
+                ratio: seg.line.project_ratio(p),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trmma_roadnet::{generate_city, NetworkConfig};
+
+    #[test]
+    fn candidates_sorted_and_sized() {
+        let net = generate_city(&NetworkConfig::with_size(8, 8, 17));
+        let finder = CandidateFinder::new(&net, 10);
+        let p = net.segment(SegmentId(3)).line.point_at(0.4);
+        let cands = finder.candidates(p);
+        assert_eq!(cands.len(), 10);
+        for w in cands.windows(2) {
+            assert!(w[0].dist_m <= w[1].dist_m + 1e-9);
+        }
+        // The query point lies on segment 3, so it must be the closest (or
+        // tied at zero distance).
+        assert!(cands[0].dist_m < 1e-6);
+        assert!(cands.iter().any(|c| c.seg == SegmentId(3)));
+    }
+
+    #[test]
+    fn nearest_agrees_with_first_candidate() {
+        let net = generate_city(&NetworkConfig::with_size(8, 8, 17));
+        let finder = CandidateFinder::new(&net, 5);
+        let p = Vec2::new(321.0, 456.0);
+        let nearest = finder.nearest(p).unwrap();
+        let cands = finder.candidates(p);
+        assert!((nearest.dist_m - cands[0].dist_m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_is_projection() {
+        let net = generate_city(&NetworkConfig::with_size(8, 8, 17));
+        let finder = CandidateFinder::new(&net, 3);
+        let seg = net.segment(SegmentId(0));
+        let p = seg.line.point_at(0.7);
+        let c = finder
+            .candidates(p)
+            .into_iter()
+            .find(|c| c.seg == SegmentId(0))
+            .expect("own segment among candidates");
+        assert!((c.ratio - 0.7).abs() < 1e-9);
+    }
+}

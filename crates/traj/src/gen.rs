@@ -1,0 +1,405 @@
+//! Synthetic trajectory generation and sparsification.
+//!
+//! The paper's protocol (§VI-A): take high-sampling (ε) trajectories with
+//! known routes, then build sparse inputs by randomly sampling points so the
+//! average interval becomes ε/γ. Our generator produces the high-sampling
+//! side synthetically — a vehicle driving an OD route at jittered per-class
+//! speeds, observed every ε seconds with Gaussian GPS noise — which makes
+//! the ground truth (route + matched ε-trajectory) exact by construction
+//! instead of FMM-derived as in the paper.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+use rand::{Rng, SeedableRng};
+
+use trmma_geom::Vec2;
+use trmma_roadnet::shortest::node_path_by;
+use trmma_roadnet::{NodeId, RoadNetwork, SegmentId};
+
+use crate::types::{GpsPoint, MatchedPoint, MatchedTrajectory, Route, Trajectory};
+
+/// Parameters of the trajectory generator.
+#[derive(Debug, Clone)]
+pub struct TrajConfig {
+    /// Target (high) sampling rate ε in seconds.
+    pub epsilon_s: f64,
+    /// Standard deviation of Gaussian GPS noise in metres.
+    pub gps_noise_m: f64,
+    /// Minimum straight-line OD distance in metres.
+    pub min_od_dist_m: f64,
+    /// Per-trip speed multiplier drawn from `[1 − j, 1 + j]`.
+    pub speed_jitter: f64,
+    /// Log-uniform per-segment travel-time perturbation bound used to
+    /// diversify routes between trips sharing an OD pair.
+    pub route_perturb: f64,
+    /// Minimum number of ε-points per trajectory (shorter trips retry).
+    pub min_points: usize,
+    /// Maximum number of ε-points per trajectory (longer trips truncate).
+    pub max_points: usize,
+    /// Probability of a dwell (traffic light / stop sign) when crossing an
+    /// intersection. Dwells are what make real recovery harder than linear
+    /// interpolation: progress along the route is *not* proportional to
+    /// time, and the delay pattern is learnable from the route context.
+    pub stop_prob: f64,
+    /// Dwell duration range in seconds.
+    pub dwell_s: (f64, f64),
+}
+
+impl Default for TrajConfig {
+    fn default() -> Self {
+        Self {
+            epsilon_s: 15.0,
+            gps_noise_m: 8.0,
+            min_od_dist_m: 1_200.0,
+            speed_jitter: 0.25,
+            route_perturb: 0.4,
+            min_points: 12,
+            max_points: 120,
+            stop_prob: 0.35,
+            dwell_s: (5.0, 40.0),
+        }
+    }
+}
+
+/// A generated high-sampling trajectory with exact ground truth.
+#[derive(Debug, Clone)]
+pub struct RawTrajectory {
+    /// Noisy GPS observations at every ε tick.
+    pub dense_gps: Trajectory,
+    /// Exact map-matched position for every tick (the ground-truth `T̂_ε`).
+    pub dense_truth: MatchedTrajectory,
+    /// The route driven (the ground-truth `R̂`).
+    pub route: Route,
+}
+
+/// A sparse training/evaluation sample derived from a [`RawTrajectory`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The sparse noisy input trajectory `T`.
+    pub sparse: Trajectory,
+    /// Ground-truth matched point for every sparse GPS point.
+    pub sparse_truth: Vec<MatchedPoint>,
+    /// Ground-truth ε-sampling trajectory (recovery target).
+    pub dense_truth: MatchedTrajectory,
+    /// Ground-truth route.
+    pub route: Route,
+    /// Index of each sparse point within `dense_truth`.
+    pub dense_indices: Vec<usize>,
+}
+
+/// Samples a standard normal via Box–Muller (rand 0.8 core has no normal
+/// distribution without `rand_distr`; two uniforms suffice here).
+fn sample_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Deterministic per-(trip, segment) travel-time perturbation factor in
+/// `[e^{−p}, e^{p}]`, via a cheap hash so route search stays allocation-free.
+fn perturb_factor(trip_seed: u64, seg: SegmentId, p: f64) -> f64 {
+    let mut h = trip_seed ^ (u64::from(seg.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    ((2.0 * unit - 1.0) * p).exp()
+}
+
+/// Generates one trajectory; `None` when no acceptable OD pair/route was
+/// found after a bounded number of attempts.
+#[must_use]
+pub fn generate_trajectory(
+    net: &RoadNetwork,
+    cfg: &TrajConfig,
+    rng: &mut StdRng,
+) -> Option<RawTrajectory> {
+    for _attempt in 0..24 {
+        let src = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+        let dst = NodeId(rng.gen_range(0..net.num_nodes() as u32));
+        if src == dst || net.node_pos(src).dist(net.node_pos(dst)) < cfg.min_od_dist_m {
+            continue;
+        }
+        let trip_seed: u64 = rng.gen();
+        let Some((_, segs)) = node_path_by(net, src, dst, |s| {
+            net.segment(s).travel_time_s() * perturb_factor(trip_seed, s, cfg.route_perturb)
+        }) else {
+            continue;
+        };
+        if segs.is_empty() {
+            continue;
+        }
+        let speed_factor = rng.gen_range(1.0 - cfg.speed_jitter..1.0 + cfg.speed_jitter);
+        let Some(raw) = drive_route(net, cfg, &segs, speed_factor, rng) else {
+            continue;
+        };
+        return Some(raw);
+    }
+    None
+}
+
+/// Drives `segs` at jittered speeds with random dwells at intersections,
+/// emitting one matched point (and one noisy GPS point) every ε seconds.
+fn drive_route(
+    net: &RoadNetwork,
+    cfg: &TrajConfig,
+    segs: &[SegmentId],
+    speed_factor: f64,
+    rng: &mut StdRng,
+) -> Option<RawTrajectory> {
+    let mut truth = Vec::new();
+    let mut gps = Vec::new();
+    let mut seg_idx = 0usize;
+    let mut offset_m = 0.0f64; // distance into current segment
+    let mut dwell_s = 0.0f64; // remaining stop time at the current position
+    let mut t = 0.0f64;
+    while seg_idx < segs.len() && truth.len() < cfg.max_points {
+        let seg = net.segment(segs[seg_idx]);
+        let ratio = (offset_m / seg.length).clamp(0.0, 1.0);
+        truth.push(MatchedPoint::new(segs[seg_idx], ratio, t));
+        let true_pos = seg.line.point_at(ratio);
+        let noisy = Vec2::new(
+            true_pos.x + sample_normal(rng) * cfg.gps_noise_m,
+            true_pos.y + sample_normal(rng) * cfg.gps_noise_m,
+        );
+        gps.push(GpsPoint { pos: noisy, t });
+
+        // Advance ε seconds of (driving | dwelling), hopping segments as
+        // needed. Speed jitter consumes time proportionally to distance at
+        // the jittered speed.
+        let mut remaining = cfg.epsilon_s;
+        loop {
+            if dwell_s > 0.0 {
+                let pause = dwell_s.min(remaining);
+                dwell_s -= pause;
+                remaining -= pause;
+                if remaining <= 0.0 {
+                    break;
+                }
+            }
+            let seg = net.segment(segs[seg_idx]);
+            let speed = seg.class.speed_mps() * speed_factor;
+            let step = remaining * speed;
+            if offset_m + step < seg.length {
+                offset_m += step;
+                break;
+            }
+            remaining -= (seg.length - offset_m) / speed.max(1e-9);
+            offset_m = 0.0;
+            seg_idx += 1;
+            if seg_idx >= segs.len() {
+                break;
+            }
+            // Crossing an intersection: possible traffic stop.
+            if rng.gen::<f64>() < cfg.stop_prob {
+                dwell_s = rng.gen_range(cfg.dwell_s.0..cfg.dwell_s.1);
+            }
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        t += cfg.epsilon_s;
+    }
+    if truth.len() < cfg.min_points {
+        return None;
+    }
+    // Truncate the route to the part actually driven.
+    let last_seg = truth.last().expect("non-empty").seg;
+    let driven_end = segs.iter().position(|&s| s == last_seg).unwrap_or(segs.len() - 1);
+    Some(RawTrajectory {
+        dense_gps: Trajectory { points: gps },
+        dense_truth: MatchedTrajectory::new(truth),
+        route: Route::new(segs[..=driven_end].to_vec()),
+    })
+}
+
+/// Generates `n` trajectories deterministically from `seed`.
+#[must_use]
+pub fn generate_corpus(net: &RoadNetwork, cfg: &TrajConfig, n: usize, seed: u64) -> Vec<RawTrajectory> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut failures = 0usize;
+    while out.len() < n && failures < 8 * n + 64 {
+        match generate_trajectory(net, cfg, &mut rng) {
+            Some(t) => out.push(t),
+            None => failures += 1,
+        }
+    }
+    out
+}
+
+/// Sparsifies a raw trajectory: keeps the endpoints, samples interior points
+/// so the expected interval is ε/γ (the paper's protocol), preserving order.
+///
+/// # Panics
+/// Panics unless `0 < gamma <= 1`.
+#[must_use]
+pub fn sparsify(raw: &RawTrajectory, gamma: f64, rng: &mut StdRng) -> Sample {
+    assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+    let n = raw.dense_truth.len();
+    assert!(n >= 2, "raw trajectory too short");
+    let interior = n - 2;
+    let keep_interior = ((interior as f64) * gamma).round() as usize;
+    let mut indices: Vec<usize> = vec![0];
+    if keep_interior > 0 && interior > 0 {
+        let mut picked: Vec<usize> = index_sample(rng, interior, keep_interior.min(interior))
+            .into_iter()
+            .map(|i| i + 1)
+            .collect();
+        picked.sort_unstable();
+        indices.extend(picked);
+    }
+    indices.push(n - 1);
+
+    let sparse = Trajectory {
+        points: indices.iter().map(|&i| raw.dense_gps.points[i]).collect(),
+    };
+    let sparse_truth = indices.iter().map(|&i| raw.dense_truth.points[i]).collect();
+    Sample {
+        sparse,
+        sparse_truth,
+        dense_truth: raw.dense_truth.clone(),
+        route: raw.route.clone(),
+        dense_indices: indices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trmma_roadnet::{generate_city, NetworkConfig};
+
+    fn setup() -> (RoadNetwork, TrajConfig) {
+        let net = generate_city(&NetworkConfig::with_size(10, 10, 3));
+        let cfg = TrajConfig { min_points: 8, ..TrajConfig::default() };
+        (net, cfg)
+    }
+
+    #[test]
+    fn generated_truth_lies_on_route() {
+        let (net, cfg) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let raw = generate_trajectory(&net, &cfg, &mut rng).expect("generation");
+        assert!(raw.route.is_valid(&net), "route must be a path");
+        for p in &raw.dense_truth.points {
+            assert!(raw.route.segs.contains(&p.seg), "truth point off-route");
+            assert!((0.0..=1.0).contains(&p.ratio));
+        }
+    }
+
+    #[test]
+    fn truth_follows_route_order() {
+        let (net, cfg) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let raw = generate_trajectory(&net, &cfg, &mut rng).unwrap();
+        let mut last = 0usize;
+        for p in &raw.dense_truth.points {
+            let pos = raw.route.position_of(p.seg).expect("on route");
+            assert!(pos >= last, "segments must advance monotonically");
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn epsilon_spacing_exact() {
+        let (net, cfg) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let raw = generate_trajectory(&net, &cfg, &mut rng).unwrap();
+        assert!(raw.dense_truth.satisfies_epsilon(cfg.epsilon_s, 1e-9));
+        assert_eq!(raw.dense_gps.len(), raw.dense_truth.len());
+    }
+
+    #[test]
+    fn gps_noise_is_bounded_in_probability() {
+        let (net, cfg) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let raw = generate_trajectory(&net, &cfg, &mut rng).unwrap();
+        let mut total = 0.0;
+        for (g, a) in raw.dense_gps.points.iter().zip(&raw.dense_truth.points) {
+            total += g.pos.dist(a.pos(&net));
+        }
+        let mean = total / raw.dense_gps.len() as f64;
+        // Mean |N(0,σ)| 2-D displacement ≈ σ·sqrt(π/2) ≈ 1.25σ; allow slack.
+        assert!(mean > 0.2 * cfg.gps_noise_m && mean < 3.0 * cfg.gps_noise_m, "mean {mean}");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let (net, cfg) = setup();
+        let a = generate_corpus(&net, &cfg, 5, 77);
+        let b = generate_corpus(&net, &cfg, 5, 77);
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.route.segs, y.route.segs);
+            assert_eq!(x.dense_truth.points.len(), y.dense_truth.points.len());
+        }
+    }
+
+    #[test]
+    fn route_perturbation_diversifies() {
+        let (net, cfg) = setup();
+        let corpus = generate_corpus(&net, &cfg, 20, 5);
+        let distinct: std::collections::HashSet<Vec<u32>> = corpus
+            .iter()
+            .map(|r| r.route.segs.iter().map(|s| s.0).collect())
+            .collect();
+        assert!(distinct.len() > 10, "routes too uniform: {}", distinct.len());
+    }
+
+    #[test]
+    fn sparsify_keeps_endpoints_and_order() {
+        let (net, cfg) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let raw = generate_trajectory(&net, &cfg, &mut rng).unwrap();
+        let s = sparsify(&raw, 0.1, &mut rng);
+        assert_eq!(s.dense_indices[0], 0);
+        assert_eq!(*s.dense_indices.last().unwrap(), raw.dense_truth.len() - 1);
+        assert!(s.dense_indices.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(s.sparse.len(), s.sparse_truth.len());
+        assert!(s.sparse.is_time_ordered());
+    }
+
+    #[test]
+    fn sparsify_interval_scales_with_gamma() {
+        let net = generate_city(&NetworkConfig::with_size(16, 16, 3));
+        let cfg = TrajConfig {
+            epsilon_s: 5.0,
+            min_points: 40,
+            max_points: 200,
+            min_od_dist_m: 2_000.0,
+            ..TrajConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let raw = (0..60)
+            .find_map(|_| generate_trajectory(&net, &cfg, &mut rng))
+            .expect("long trajectory");
+        let s01 = sparsify(&raw, 0.1, &mut rng);
+        let s05 = sparsify(&raw, 0.5, &mut rng);
+        let i01 = s01.sparse.mean_interval_s();
+        let i05 = s05.sparse.mean_interval_s();
+        assert!(i01 > i05, "smaller gamma must mean longer intervals");
+        // Expected interval ε/γ within generous tolerance.
+        assert!((i01 / (cfg.epsilon_s / 0.1) - 1.0).abs() < 0.5, "i01 {i01}");
+        assert!((i05 / (cfg.epsilon_s / 0.5) - 1.0).abs() < 0.3, "i05 {i05}");
+    }
+
+    #[test]
+    fn gamma_one_keeps_everything() {
+        let (net, cfg) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let raw = generate_trajectory(&net, &cfg, &mut rng).unwrap();
+        let s = sparsify(&raw, 1.0, &mut rng);
+        assert_eq!(s.sparse.len(), raw.dense_truth.len());
+    }
+
+    #[test]
+    fn perturb_factor_deterministic_and_bounded() {
+        let f1 = perturb_factor(42, SegmentId(7), 0.4);
+        let f2 = perturb_factor(42, SegmentId(7), 0.4);
+        assert_eq!(f1, f2);
+        for seg in 0..100 {
+            let f = perturb_factor(1, SegmentId(seg), 0.4);
+            assert!(f >= (-0.4f64).exp() && f <= 0.4f64.exp());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Trajectory interchange: a minimal CSV-like text format so user-supplied
+//! GPS logs can enter the pipeline and recovered trajectories can leave it.
+//!
+//! GPS trajectories (`x_m,y_m,t_s` records, one trajectory per `#traj`
+//! block):
+//!
+//! ```text
+//! #traj
+//! 12.5,88.0,0
+//! 14.1,120.2,15
+//! ```
+//!
+//! Matched trajectories add the segment id and ratio:
+//! `seg_id,ratio,t_s`.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use trmma_geom::Vec2;
+use trmma_roadnet::SegmentId;
+
+use crate::types::{GpsPoint, MatchedPoint, MatchedTrajectory, Trajectory};
+
+/// Errors raised while reading trajectory files.
+#[derive(Debug)]
+pub enum TrajIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed record with its 1-based line number.
+    Parse {
+        /// Line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TrajIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TrajIoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrajIoError {}
+
+impl From<std::io::Error> for TrajIoError {
+    fn from(e: std::io::Error) -> Self {
+        TrajIoError::Io(e)
+    }
+}
+
+/// Writes GPS trajectories.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_trajectories<W: Write>(trajs: &[Trajectory], mut w: W) -> Result<(), TrajIoError> {
+    for t in trajs {
+        writeln!(w, "#traj")?;
+        for p in &t.points {
+            writeln!(w, "{},{},{}", p.pos.x, p.pos.y, p.t)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads GPS trajectories written by [`write_trajectories`].
+///
+/// # Errors
+/// Returns [`TrajIoError::Parse`] on malformed records.
+pub fn read_trajectories<R: Read>(r: R) -> Result<Vec<Trajectory>, TrajIoError> {
+    let reader = BufReader::new(r);
+    let mut out: Vec<Trajectory> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if line == "#traj" {
+            out.push(Trajectory::default());
+            continue;
+        }
+        let current = out.last_mut().ok_or_else(|| TrajIoError::Parse {
+            line: line_no,
+            msg: "record before any #traj header".into(),
+        })?;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(TrajIoError::Parse { line: line_no, msg: "expected x,y,t".into() });
+        }
+        let parse = |s: &str, what: &str| -> Result<f64, TrajIoError> {
+            s.trim().parse().map_err(|_| TrajIoError::Parse {
+                line: line_no,
+                msg: format!("bad {what} `{s}`"),
+            })
+        };
+        current.points.push(GpsPoint {
+            pos: Vec2::new(parse(fields[0], "x")?, parse(fields[1], "y")?),
+            t: parse(fields[2], "t")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes matched ε-trajectories.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_matched<W: Write>(trajs: &[MatchedTrajectory], mut w: W) -> Result<(), TrajIoError> {
+    for t in trajs {
+        writeln!(w, "#traj")?;
+        for p in &t.points {
+            writeln!(w, "{},{},{}", p.seg.0, p.ratio, p.t)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads matched ε-trajectories written by [`write_matched`].
+///
+/// # Errors
+/// Returns [`TrajIoError::Parse`] on malformed records.
+pub fn read_matched<R: Read>(r: R) -> Result<Vec<MatchedTrajectory>, TrajIoError> {
+    let reader = BufReader::new(r);
+    let mut out: Vec<MatchedTrajectory> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if line == "#traj" {
+            out.push(MatchedTrajectory::default());
+            continue;
+        }
+        let current = out.last_mut().ok_or_else(|| TrajIoError::Parse {
+            line: line_no,
+            msg: "record before any #traj header".into(),
+        })?;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(TrajIoError::Parse { line: line_no, msg: "expected seg,ratio,t".into() });
+        }
+        let seg: u32 = fields[0].trim().parse().map_err(|_| TrajIoError::Parse {
+            line: line_no,
+            msg: format!("bad segment id `{}`", fields[0]),
+        })?;
+        let parse = |s: &str, what: &str| -> Result<f64, TrajIoError> {
+            s.trim().parse().map_err(|_| TrajIoError::Parse {
+                line: line_no,
+                msg: format!("bad {what} `{s}`"),
+            })
+        };
+        current.points.push(MatchedPoint::new(
+            SegmentId(seg),
+            parse(fields[1], "ratio")?,
+            parse(fields[2], "t")?,
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trajs() -> Vec<Trajectory> {
+        vec![
+            Trajectory {
+                points: vec![
+                    GpsPoint { pos: Vec2::new(1.5, -2.0), t: 0.0 },
+                    GpsPoint { pos: Vec2::new(3.25, 4.0), t: 15.0 },
+                ],
+            },
+            Trajectory { points: vec![GpsPoint { pos: Vec2::new(0.0, 0.0), t: 7.0 }] },
+        ]
+    }
+
+    #[test]
+    fn gps_round_trip() {
+        let trajs = sample_trajs();
+        let mut buf = Vec::new();
+        write_trajectories(&trajs, &mut buf).unwrap();
+        let loaded = read_trajectories(buf.as_slice()).unwrap();
+        assert_eq!(loaded, trajs);
+    }
+
+    #[test]
+    fn matched_round_trip() {
+        let trajs = vec![MatchedTrajectory::new(vec![
+            MatchedPoint::new(SegmentId(4), 0.25, 0.0),
+            MatchedPoint::new(SegmentId(9), 0.75, 15.0),
+        ])];
+        let mut buf = Vec::new();
+        write_matched(&trajs, &mut buf).unwrap();
+        let loaded = read_matched(buf.as_slice()).unwrap();
+        assert_eq!(loaded, trajs);
+    }
+
+    #[test]
+    fn rejects_record_before_header() {
+        let err = read_trajectories("1,2,3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TrajIoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_arity_and_bad_numbers() {
+        let err = read_trajectories("#traj\n1,2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TrajIoError::Parse { line: 2, .. }));
+        let err = read_matched("#traj\nx,0.5,3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("segment id"));
+    }
+
+    #[test]
+    fn empty_input_gives_no_trajectories() {
+        assert!(read_trajectories("".as_bytes()).unwrap().is_empty());
+        assert!(read_matched("// comment only\n".as_bytes()).unwrap().is_empty());
+    }
+}

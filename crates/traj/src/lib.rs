@@ -1,0 +1,31 @@
+//! Trajectory data model, synthetic data pipeline and evaluation metrics.
+//!
+//! Implements Definitions 2–7 of the paper and the full data side of its
+//! experimental setup (§VI-A):
+//!
+//! * [`types`] — GPS points, trajectories, routes, map-matched points and
+//!   ε-sampling trajectories;
+//! * [`gen`] — the synthetic trajectory generator standing in for the PT /
+//!   XA / BJ / CD taxi corpora: OD-pair routes on a road network, constant
+//!   per-segment speeds with per-trip jitter, exact map-matched ground truth
+//!   at the target sampling rate ε, Gaussian GPS noise, and random
+//!   sparsification to average interval ε/γ (the paper's protocol);
+//! * [`dataset`] — the four named dataset configurations mirroring Table II
+//!   at laptop scale, with deterministic train/validation/test splits
+//!   (40/30/30 as in the paper);
+//! * [`metrics`] — MAE/RMSE over road-network distance (Eq. 22), Precision /
+//!   Recall / F1 / Accuracy for recovery, and Precision / Recall / F1 /
+//!   Jaccard for map matching.
+
+pub mod api;
+pub mod dataset;
+pub mod gen;
+pub mod io;
+pub mod metrics;
+pub mod types;
+
+pub use api::{Candidate, CandidateFinder, MapMatcher, MatchResult, TrajectoryRecovery};
+pub use dataset::{build_dataset, Dataset, DatasetConfig, Split};
+pub use gen::{sparsify, RawTrajectory, Sample, TrajConfig};
+pub use metrics::{matching_metrics, recovery_metrics, MatchingMetrics, RecoveryMetrics};
+pub use types::{GpsPoint, MatchedPoint, MatchedTrajectory, Route, Trajectory};

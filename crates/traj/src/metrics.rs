@@ -1,0 +1,324 @@
+//! Evaluation metrics (§VI-A of the paper).
+//!
+//! * **Recovery** (Table III): Recall / Precision / F1 over the *sets* of
+//!   segments visited by the recovered vs ground-truth ε-trajectory;
+//!   pointwise Accuracy; MAE and RMSE of the road-network distance between
+//!   aligned recovered and ground-truth points (Eq. 22).
+//! * **Map matching** (Table V): Precision / Recall / F1 / Jaccard over
+//!   route segment sets.
+//!
+//! Note on the paper's formulas: the printed definitions divide recall by
+//! `|S|` (the prediction) and precision by `|Ŝ|` (the ground truth), which
+//! swaps the conventional roles. We implement the conventional definitions
+//! (recall against ground truth, precision against prediction) — F1 and
+//! Jaccard are invariant to the choice, and the relative ordering of methods
+//! is unaffected.
+
+use std::collections::HashSet;
+
+use trmma_roadnet::shortest::{matched_dist, DistCache, NetPos};
+use trmma_roadnet::{RoadNetwork, SegmentId};
+
+use crate::types::{MatchedTrajectory, Route};
+
+/// Quality of a recovered ε-sampling trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryMetrics {
+    /// Segment-set recall (fraction of ground-truth segments recovered).
+    pub recall: f64,
+    /// Segment-set precision (fraction of recovered segments correct).
+    pub precision: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Pointwise segment accuracy over the ground-truth length.
+    pub accuracy: f64,
+    /// Mean absolute road-network distance error in metres (Eq. 22).
+    pub mae: f64,
+    /// Root-mean-square road-network distance error in metres (Eq. 22).
+    pub rmse: f64,
+}
+
+/// Quality of a map-matched route.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MatchingMetrics {
+    /// Segment-set precision.
+    pub precision: f64,
+    /// Segment-set recall.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Jaccard similarity `|S ∩ Ŝ| / |S ∪ Ŝ|`.
+    pub jaccard: f64,
+}
+
+fn seg_set(segs: impl IntoIterator<Item = SegmentId>) -> HashSet<u32> {
+    segs.into_iter().map(|s| s.0).collect()
+}
+
+fn prf(pred: &HashSet<u32>, truth: &HashSet<u32>) -> (f64, f64, f64) {
+    if pred.is_empty() || truth.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let inter = pred.intersection(truth).count() as f64;
+    let precision = inter / pred.len() as f64;
+    let recall = inter / truth.len() as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    (precision, recall, f1)
+}
+
+/// Search-radius bound for network-distance evaluation; beyond this the
+/// straight-line fallback in [`matched_dist`] kicks in. Large enough for any
+/// in-city error.
+const DIST_BOUND_M: f64 = 50_000.0;
+
+/// Evaluates a recovered ε-trajectory against the ground truth.
+///
+/// Points are aligned positionally (both sequences share the timestamps of
+/// the generation grid); a recovered sequence of the wrong length is scored
+/// on the overlap and penalised through the accuracy denominator `ℓ_ε`.
+#[must_use]
+pub fn recovery_metrics(
+    net: &RoadNetwork,
+    pred: &MatchedTrajectory,
+    truth: &MatchedTrajectory,
+    cache: Option<&DistCache>,
+) -> RecoveryMetrics {
+    let pred_set = seg_set(pred.points.iter().map(|p| p.seg));
+    let truth_set = seg_set(truth.points.iter().map(|p| p.seg));
+    let (precision, recall, f1) = prf(&pred_set, &truth_set);
+
+    let overlap = pred.len().min(truth.len());
+    let mut correct = 0usize;
+    let mut abs_sum = 0.0;
+    let mut sq_sum = 0.0;
+    for i in 0..overlap {
+        let (p, t) = (&pred.points[i], &truth.points[i]);
+        if p.seg == t.seg {
+            correct += 1;
+        }
+        let d = matched_dist(
+            net,
+            NetPos::new(p.seg, p.ratio),
+            NetPos::new(t.seg, t.ratio),
+            DIST_BOUND_M,
+            cache,
+        );
+        abs_sum += d;
+        sq_sum += d * d;
+    }
+    let denom = truth.len().max(1) as f64;
+    let overlap_f = overlap.max(1) as f64;
+    RecoveryMetrics {
+        recall,
+        precision,
+        f1,
+        accuracy: correct as f64 / denom,
+        mae: abs_sum / overlap_f,
+        rmse: (sq_sum / overlap_f).sqrt(),
+    }
+}
+
+/// Evaluates a map-matched route against the ground-truth route.
+#[must_use]
+pub fn matching_metrics(pred: &Route, truth: &Route) -> MatchingMetrics {
+    let pred_set = seg_set(pred.segs.iter().copied());
+    let truth_set = seg_set(truth.segs.iter().copied());
+    let (precision, recall, f1) = prf(&pred_set, &truth_set);
+    let union = pred_set.union(&truth_set).count() as f64;
+    let inter = pred_set.intersection(&truth_set).count() as f64;
+    let jaccard = if union > 0.0 { inter / union } else { 0.0 };
+    MatchingMetrics { precision, recall, f1, jaccard }
+}
+
+/// Running means over per-trajectory metric scores ("we calculate the metric
+/// score per trajectory and report the average over all testing
+/// trajectories").
+#[derive(Debug, Default, Clone)]
+pub struct MetricAverager {
+    n: usize,
+    recovery: RecoveryMetrics,
+    matching: MatchingMetrics,
+}
+
+impl MetricAverager {
+    /// An empty averager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one trajectory's recovery metrics.
+    pub fn add_recovery(&mut self, m: RecoveryMetrics) {
+        self.n += 1;
+        self.recovery.recall += m.recall;
+        self.recovery.precision += m.precision;
+        self.recovery.f1 += m.f1;
+        self.recovery.accuracy += m.accuracy;
+        self.recovery.mae += m.mae;
+        self.recovery.rmse += m.rmse;
+    }
+
+    /// Adds one trajectory's matching metrics.
+    pub fn add_matching(&mut self, m: MatchingMetrics) {
+        self.n += 1;
+        self.matching.precision += m.precision;
+        self.matching.recall += m.recall;
+        self.matching.f1 += m.f1;
+        self.matching.jaccard += m.jaccard;
+    }
+
+    /// Number of accumulated trajectories.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Mean recovery metrics.
+    #[must_use]
+    pub fn mean_recovery(&self) -> RecoveryMetrics {
+        let n = self.n.max(1) as f64;
+        RecoveryMetrics {
+            recall: self.recovery.recall / n,
+            precision: self.recovery.precision / n,
+            f1: self.recovery.f1 / n,
+            accuracy: self.recovery.accuracy / n,
+            mae: self.recovery.mae / n,
+            rmse: self.recovery.rmse / n,
+        }
+    }
+
+    /// Mean matching metrics.
+    #[must_use]
+    pub fn mean_matching(&self) -> MatchingMetrics {
+        let n = self.n.max(1) as f64;
+        MatchingMetrics {
+            precision: self.matching.precision / n,
+            recall: self.matching.recall / n,
+            f1: self.matching.f1 / n,
+            jaccard: self.matching.jaccard / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MatchedPoint;
+    use trmma_roadnet::{generate_city, NetworkConfig};
+
+    fn net() -> RoadNetwork {
+        generate_city(&NetworkConfig::with_size(6, 6, 4))
+    }
+
+    fn mt(points: &[(u32, f64)]) -> MatchedTrajectory {
+        MatchedTrajectory::new(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, r))| MatchedPoint::new(SegmentId(s), r, 15.0 * i as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_recovery_scores_one() {
+        let net = net();
+        let t = mt(&[(0, 0.1), (0, 0.6), (1, 0.2)]);
+        let m = recovery_metrics(&net, &t, &t, None);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+    }
+
+    #[test]
+    fn disjoint_recovery_scores_zero_overlap() {
+        let net = net();
+        let pred = mt(&[(0, 0.5)]);
+        let truth = mt(&[(5, 0.5)]);
+        let m = recovery_metrics(&net, &pred, &truth, None);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.accuracy, 0.0);
+        assert!(m.mae > 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_positionwise() {
+        let net = net();
+        let pred = mt(&[(0, 0.1), (9, 0.5), (1, 0.2), (2, 0.9)]);
+        let truth = mt(&[(0, 0.1), (0, 0.5), (1, 0.2), (3, 0.9)]);
+        let m = recovery_metrics(&net, &pred, &truth, None);
+        assert!((m.accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_penalised_in_accuracy() {
+        let net = net();
+        let pred = mt(&[(0, 0.1), (1, 0.5)]);
+        let truth = mt(&[(0, 0.1), (1, 0.5), (2, 0.2), (2, 0.8)]);
+        let m = recovery_metrics(&net, &pred, &truth, None);
+        assert!((m.accuracy - 0.5).abs() < 1e-12, "2 correct / 4 truth");
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let net = net();
+        let pred = mt(&[(0, 0.0), (1, 0.9), (4, 0.4)]);
+        let truth = mt(&[(0, 0.8), (2, 0.1), (4, 0.4)]);
+        let m = recovery_metrics(&net, &pred, &truth, None);
+        assert!(m.rmse >= m.mae);
+    }
+
+    #[test]
+    fn matching_metrics_known_sets() {
+        let pred = Route::new(vec![SegmentId(0), SegmentId(1), SegmentId(2)]);
+        let truth = Route::new(vec![SegmentId(1), SegmentId(2), SegmentId(3), SegmentId(4)]);
+        let m = matching_metrics(&pred, &truth);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.jaccard - 2.0 / 5.0).abs() < 1e-12);
+        let f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+        assert!((m.f1 - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_routes_score_zero() {
+        let m = matching_metrics(&Route::default(), &Route::new(vec![SegmentId(0)]));
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.jaccard, 0.0);
+    }
+
+    #[test]
+    fn averager_means() {
+        let mut avg = MetricAverager::new();
+        avg.add_matching(MatchingMetrics { precision: 1.0, recall: 0.5, f1: 0.66, jaccard: 0.5 });
+        avg.add_matching(MatchingMetrics { precision: 0.0, recall: 0.5, f1: 0.0, jaccard: 0.0 });
+        let m = avg.mean_matching();
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert_eq!(avg.count(), 2);
+    }
+
+    #[test]
+    fn cache_gives_same_results() {
+        let net = net();
+        let pred = mt(&[(0, 0.0), (1, 0.9), (4, 0.4)]);
+        let truth = mt(&[(0, 0.8), (2, 0.1), (4, 0.4)]);
+        let cache = DistCache::new();
+        let a = recovery_metrics(&net, &pred, &truth, Some(&cache));
+        let b = recovery_metrics(&net, &pred, &truth, None);
+        assert!((a.mae - b.mae).abs() < 1e-9);
+        assert!((a.rmse - b.rmse).abs() < 1e-9);
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Core trajectory types (Definitions 2–6).
+
+use serde::{Deserialize, Serialize};
+use trmma_geom::Vec2;
+use trmma_roadnet::{RoadNetwork, SegmentId};
+
+/// A GPS observation: planar position plus timestamp in seconds
+/// (Definition 2's `⟨lat, lng, t⟩` after projection).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsPoint {
+    /// Position in the local planar frame (metres).
+    pub pos: Vec2,
+    /// Timestamp in seconds from an arbitrary epoch.
+    pub t: f64,
+}
+
+/// A GPS trajectory `T = ⟨p_1, …, p_ℓ⟩` (Definition 2).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Time-ordered GPS points.
+    pub points: Vec<GpsPoint>,
+}
+
+impl Trajectory {
+    /// Number of points `ℓ`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total timespan in seconds (0 for < 2 points).
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Average interval between consecutive points in seconds.
+    #[must_use]
+    pub fn mean_interval_s(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        self.duration_s() / (self.points.len() - 1) as f64
+    }
+
+    /// Whether timestamps are strictly increasing.
+    #[must_use]
+    pub fn is_time_ordered(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].t < w[1].t)
+    }
+}
+
+/// A route: a path on the road network (Definition 3).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Route {
+    /// Segment sequence; consecutive segments are connected head-to-tail.
+    pub segs: Vec<SegmentId>,
+}
+
+impl Route {
+    /// Wraps a segment sequence.
+    #[must_use]
+    pub fn new(segs: Vec<SegmentId>) -> Self {
+        Self { segs }
+    }
+
+    /// Number of segments `ℓ_R`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Whether the route is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Total length in metres.
+    #[must_use]
+    pub fn length_m(&self, net: &RoadNetwork) -> f64 {
+        self.segs.iter().map(|&s| net.segment(s).length).sum()
+    }
+
+    /// Validates the path property on `net`.
+    #[must_use]
+    pub fn is_valid(&self, net: &RoadNetwork) -> bool {
+        net.is_path(&self.segs)
+    }
+
+    /// Position of `seg` in the route, if present.
+    #[must_use]
+    pub fn position_of(&self, seg: SegmentId) -> Option<usize> {
+        self.segs.iter().position(|&s| s == seg)
+    }
+}
+
+/// A map-matched point `a = (e, r, t)` (Definition 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchedPoint {
+    /// The segment the point lies on.
+    pub seg: SegmentId,
+    /// Position ratio in `[0, 1)` from the segment entrance.
+    pub ratio: f64,
+    /// Timestamp in seconds.
+    pub t: f64,
+}
+
+impl MatchedPoint {
+    /// Creates a matched point, clamping the ratio into `[0, 1]`.
+    #[must_use]
+    pub fn new(seg: SegmentId, ratio: f64, t: f64) -> Self {
+        Self { seg, ratio: ratio.clamp(0.0, 1.0), t }
+    }
+
+    /// Planar position obtained by interpolating along the segment.
+    #[must_use]
+    pub fn pos(&self, net: &RoadNetwork) -> Vec2 {
+        net.segment(self.seg).line.point_at(self.ratio)
+    }
+}
+
+/// A map-matched ε-sampling trajectory `T_ε = ⟨a_1, …, a_ℓε⟩`
+/// (Definition 6).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MatchedTrajectory {
+    /// Time-ordered matched points with constant inter-point interval ε.
+    pub points: Vec<MatchedPoint>,
+}
+
+impl MatchedTrajectory {
+    /// Wraps a matched-point sequence.
+    #[must_use]
+    pub fn new(points: Vec<MatchedPoint>) -> Self {
+        Self { points }
+    }
+
+    /// Number of points `ℓ_ε`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The (deduplicated, order-preserving) segment sequence visited.
+    #[must_use]
+    pub fn segment_run(&self) -> Vec<SegmentId> {
+        let mut out: Vec<SegmentId> = Vec::new();
+        for p in &self.points {
+            if out.last() != Some(&p.seg) {
+                out.push(p.seg);
+            }
+        }
+        out
+    }
+
+    /// Whether consecutive intervals all equal `epsilon` within `tol`
+    /// seconds (the Definition 6 invariant).
+    #[must_use]
+    pub fn satisfies_epsilon(&self, epsilon: f64, tol: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| ((w[1].t - w[0].t) - epsilon).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trmma_roadnet::{generate_city, NetworkConfig};
+
+    fn net() -> RoadNetwork {
+        generate_city(&NetworkConfig::with_size(5, 5, 2))
+    }
+
+    #[test]
+    fn trajectory_stats() {
+        let t = Trajectory {
+            points: vec![
+                GpsPoint { pos: Vec2::new(0.0, 0.0), t: 0.0 },
+                GpsPoint { pos: Vec2::new(10.0, 0.0), t: 15.0 },
+                GpsPoint { pos: Vec2::new(20.0, 0.0), t: 30.0 },
+            ],
+        };
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.duration_s(), 30.0);
+        assert_eq!(t.mean_interval_s(), 15.0);
+        assert!(t.is_time_ordered());
+    }
+
+    #[test]
+    fn unordered_timestamps_detected() {
+        let t = Trajectory {
+            points: vec![
+                GpsPoint { pos: Vec2::default(), t: 10.0 },
+                GpsPoint { pos: Vec2::default(), t: 5.0 },
+            ],
+        };
+        assert!(!t.is_time_ordered());
+    }
+
+    #[test]
+    fn route_validity_and_length() {
+        let net = net();
+        let e = SegmentId(0);
+        let next = net.successors(e)[0];
+        let good = Route::new(vec![e, next]);
+        assert!(good.is_valid(&net));
+        assert!((good.length_m(&net) - net.segment(e).length - net.segment(next).length).abs() < 1e-9);
+        assert_eq!(good.position_of(next), Some(1));
+        assert_eq!(good.position_of(SegmentId(9999)), None);
+    }
+
+    #[test]
+    fn matched_point_interpolates() {
+        let net = net();
+        let e = SegmentId(0);
+        let a = MatchedPoint::new(e, 0.5, 0.0);
+        let line = net.segment(e).line;
+        assert!(a.pos(&net).dist(line.point_at(0.5)) < 1e-9);
+        // Clamping.
+        assert_eq!(MatchedPoint::new(e, 7.0, 0.0).ratio, 1.0);
+        assert_eq!(MatchedPoint::new(e, -7.0, 0.0).ratio, 0.0);
+    }
+
+    #[test]
+    fn segment_run_deduplicates() {
+        let tr = MatchedTrajectory::new(vec![
+            MatchedPoint::new(SegmentId(1), 0.1, 0.0),
+            MatchedPoint::new(SegmentId(1), 0.6, 15.0),
+            MatchedPoint::new(SegmentId(4), 0.2, 30.0),
+            MatchedPoint::new(SegmentId(1), 0.3, 45.0),
+        ]);
+        assert_eq!(
+            tr.segment_run(),
+            vec![SegmentId(1), SegmentId(4), SegmentId(1)]
+        );
+    }
+
+    #[test]
+    fn epsilon_invariant() {
+        let tr = MatchedTrajectory::new(
+            (0..5)
+                .map(|i| MatchedPoint::new(SegmentId(0), 0.0, 15.0 * f64::from(i)))
+                .collect(),
+        );
+        assert!(tr.satisfies_epsilon(15.0, 1e-9));
+        assert!(!tr.satisfies_epsilon(12.0, 1e-9));
+    }
+}

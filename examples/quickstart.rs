@@ -1,0 +1,84 @@
+//! Quickstart: generate a synthetic city + trajectories, train MMA and
+//! TRMMA briefly, then map-match and recover one sparse trajectory.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use trmma::core::{Mma, MmaConfig, Trmma, TrmmaConfig, TrmmaPipeline};
+use trmma::roadnet::RoutePlanner;
+use trmma::traj::dataset::{build_dataset, DatasetConfig, Split};
+use trmma::traj::{recovery_metrics, MapMatcher, TrajectoryRecovery};
+
+fn main() {
+    // 1. A small synthetic dataset: road network + high-sampling
+    //    trajectories with exact ground truth, split 40/30/30.
+    let ds = build_dataset(&DatasetConfig::tiny());
+    let net = Arc::new(ds.net.clone());
+    println!(
+        "network: {} segments, {} intersections; {} trajectories (ε = {} s)",
+        net.num_segments(),
+        net.num_nodes(),
+        ds.all_raws().len(),
+        ds.epsilon_s
+    );
+
+    // 2. Sparse samples at γ = 0.2 (inputs have 5× longer intervals).
+    let train = ds.samples(Split::Train, 0.2, 1);
+    let test = ds.samples(Split::Test, 0.2, 2);
+
+    // 3. The shared route planner, fitted on historical training routes.
+    let mut planner = RoutePlanner::untrained(&net);
+    for s in &train {
+        planner.observe(&s.route.segs);
+    }
+    let planner = Arc::new(planner);
+
+    // 4. Train MMA (map matching) and TRMMA (recovery) briefly.
+    let mut mma = Mma::new(net.clone(), planner, None, MmaConfig::small());
+    let report = mma.train(&train, 8);
+    println!("MMA trained: final BCE loss {:.4}", report.final_loss());
+    let mut model = Trmma::new(net.clone(), TrmmaConfig::small());
+    let report = model.train(&train, 8);
+    println!("TRMMA trained: final loss {:.4}", report.final_loss());
+
+    // 5. Match + recover one test trajectory to show the shapes involved.
+    let sample = &test[0];
+    let matched = mma.match_trajectory(&sample.sparse);
+    println!(
+        "\ninput: {} sparse GPS points -> matched route of {} segments",
+        sample.sparse.len(),
+        matched.route.len()
+    );
+    let pipeline = TrmmaPipeline::new(Box::new(mma), model, "TRMMA");
+    let recovered = pipeline.recover(&sample.sparse, ds.epsilon_s);
+    println!(
+        "recovered {} points at ε = {} s (ground truth has {})",
+        recovered.len(),
+        ds.epsilon_s,
+        sample.dense_truth.len()
+    );
+
+    // 6. Score the whole test split against the ground truth.
+    let mut sums = (0.0, 0.0, 0.0, 0.0);
+    for s in &test {
+        let rec = pipeline.recover(&s.sparse, ds.epsilon_s);
+        let m = recovery_metrics(&net, &rec, &s.dense_truth, None);
+        sums.0 += m.recall;
+        sums.1 += m.precision;
+        sums.2 += m.accuracy;
+        sums.3 += m.mae;
+    }
+    let n = test.len() as f64;
+    println!(
+        "\nmean over {} test trajectories: recall {:.1}%, precision {:.1}%, accuracy {:.1}%, MAE {:.1} m",
+        test.len(),
+        100.0 * sums.0 / n,
+        100.0 * sums.1 / n,
+        100.0 * sums.2 / n,
+        sums.3 / n
+    );
+    println!("(toy-sized data and training — the bench harness in crates/bench runs the paper-shaped experiments)");
+}

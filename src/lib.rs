@@ -1,0 +1,33 @@
+//! # trmma — sparse trajectory recovery and map matching
+//!
+//! A Rust reproduction of *“Efficient Methods for Accurate Sparse Trajectory
+//! Recovery and Map Matching”* (ICDE 2025): the **MMA** map matcher and the
+//! **TRMMA** trajectory-recovery model, together with every substrate they
+//! depend on (spatial index, road network, neural network stack, Node2Vec,
+//! classic baselines, data pipeline, benchmark harness).
+//!
+//! This facade crate re-exports the full public API so downstream users can
+//! depend on a single crate:
+//!
+//! ```
+//! use trmma::roadnet::{generate_city, NetworkConfig};
+//!
+//! let net = generate_city(&NetworkConfig::with_size(8, 8, 42));
+//! assert!(net.num_segments() > 0);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end pipelines (quickstart, map
+//! matching, trajectory recovery, travel-time estimation) and `DESIGN.md`
+//! for the system inventory.
+
+pub use trmma_baselines as baselines;
+pub use trmma_core as core;
+pub use trmma_geom as geom;
+pub use trmma_nn as nn;
+pub use trmma_node2vec as node2vec;
+pub use trmma_roadnet as roadnet;
+pub use trmma_rtree as rtree;
+pub use trmma_traj as traj;
+
+/// Library version, matching the workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

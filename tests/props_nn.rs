@@ -1,0 +1,116 @@
+//! Property-based tests over the neural substrate: gradient correctness on
+//! random shapes, probabilistic invariants of the activation functions.
+
+use proptest::prelude::*;
+
+use trmma::nn::{Graph, Matrix};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0..2.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Central-difference check of d loss / d x for a composed computation.
+fn grad_matches_numeric(input: &Matrix, f: impl Fn(&mut Graph, trmma::nn::NodeId) -> trmma::nn::NodeId) -> bool {
+    let mut g = Graph::new();
+    let x = g.leaf(input.clone());
+    let loss = f(&mut g, x);
+    g.backward(loss);
+    let analytic = g.grad(x);
+    let eps = 1e-5;
+    for i in 0..input.len() {
+        let eval = |v: f64| -> f64 {
+            let mut m = input.clone();
+            m.data_mut()[i] = v;
+            let mut g = Graph::new();
+            let x = g.leaf(m);
+            let loss = f(&mut g, x);
+            g.value(loss).get(0, 0)
+        };
+        let numeric = (eval(input.data()[i] + eps) - eval(input.data()[i] - eps)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        if (a - numeric).abs() / a.abs().max(numeric.abs()).max(1.0) > 1e-4 {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn softmax_rows_form_distributions(m in matrix_strategy(3, 5)) {
+        let mut g = Graph::new();
+        let x = g.input(m);
+        let s = g.softmax_rows(x);
+        for r in 0..3 {
+            let row = g.value(s).row(r).to_vec();
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn sigmoid_tanh_bounded(m in matrix_strategy(2, 6)) {
+        let mut g = Graph::new();
+        let x = g.input(m);
+        let s = g.sigmoid(x);
+        let t = g.tanh(x);
+        prop_assert!(g.value(s).data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(g.value(t).data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn gradients_correct_on_random_composition(
+        m in matrix_strategy(2, 4),
+        w in matrix_strategy(4, 3),
+    ) {
+        // softmax(x·W) weighted-sum loss: exercises matmul, softmax, mul.
+        let ok = grad_matches_numeric(&m, move |g, x| {
+            let wn = g.input(w.clone());
+            let y = g.matmul(x, wn);
+            let s = g.softmax_rows(y);
+            let sq = g.mul(s, s);
+            g.sum_all(sq)
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn gradients_correct_through_layer_norm(m in matrix_strategy(2, 6)) {
+        let ok = grad_matches_numeric(&m, |g, x| {
+            let y = g.layer_norm_rows(x);
+            let s = g.sigmoid(y);
+            g.sum_all(s)
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn gradients_correct_through_concat_and_slice(m in matrix_strategy(4, 3)) {
+        let ok = grad_matches_numeric(&m, |g, x| {
+            let top = g.slice_rows(x, 0, 2);
+            let bottom = g.slice_rows(x, 2, 2);
+            let cat = g.concat_cols(&[top, bottom]);
+            let t = g.tanh(cat);
+            g.sum_all(t)
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn bce_loss_nonnegative_and_grad_correct(
+        m in matrix_strategy(1, 5),
+        bits in prop::collection::vec(0u8..2, 5),
+    ) {
+        let targets = Matrix::row_vec(bits.iter().map(|&b| f64::from(b)).collect());
+        let mut g = Graph::new();
+        let x = g.input(m.clone());
+        let loss = g.bce_with_logits(x, targets.clone());
+        prop_assert!(g.value(loss).get(0, 0) >= 0.0);
+        let ok = grad_matches_numeric(&m, move |g, x| g.bce_with_logits(x, targets.clone()));
+        prop_assert!(ok);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over the spatial and graph substrates.
+
+use proptest::prelude::*;
+
+use trmma::geom::{cosine_similarity, BBox, SegLine, Vec2};
+use trmma::roadnet::shortest::{matched_dist, node_dist, NetPos, Weight};
+use trmma::roadnet::{generate_city, NetworkConfig, NodeId, RoutePlanner, SegmentId};
+use trmma::rtree::RTree;
+
+fn vec2_strategy() -> impl Strategy<Value = Vec2> {
+    (-5_000.0..5_000.0f64, -5_000.0..5_000.0f64).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knn_matches_brute_force(
+        points in prop::collection::vec(vec2_strategy(), 1..120),
+        query in vec2_strategy(),
+        k in 1usize..12,
+    ) {
+        let tree = RTree::bulk_load(points.clone());
+        let got = tree.knn(query, k);
+        let mut brute: Vec<f64> = points.iter().map(|p| p.dist(query)).collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.truncate(k);
+        prop_assert_eq!(got.len(), brute.len());
+        for (n, want) in got.iter().zip(brute.iter()) {
+            prop_assert!((n.dist - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_distances_sorted_and_bboxes_consistent(
+        points in prop::collection::vec(vec2_strategy(), 1..80),
+        query in vec2_strategy(),
+    ) {
+        let tree = RTree::bulk_load(points.clone());
+        let res = tree.knn(query, points.len());
+        for w in res.windows(2) {
+            prop_assert!(w[0].dist <= w[1].dist + 1e-9);
+        }
+        let bb = BBox::of_points(&points);
+        let hits = tree.query_bbox(&bb);
+        prop_assert_eq!(hits.len(), points.len(), "whole-extent query returns all");
+    }
+
+    #[test]
+    fn projection_ratio_in_unit_interval(
+        a in vec2_strategy(),
+        b in vec2_strategy(),
+        p in vec2_strategy(),
+    ) {
+        let seg = SegLine::new(a, b);
+        let r = seg.project_ratio(p);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // The projected point is never farther than either endpoint.
+        let d = seg.distance_to(p);
+        prop_assert!(d <= p.dist(a) + 1e-9);
+        prop_assert!(d <= p.dist(b) + 1e-9);
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(a in vec2_strategy(), b in vec2_strategy()) {
+        let c = cosine_similarity(a, b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        // Symmetry.
+        prop_assert!((c - cosine_similarity(b, a)).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn network_distance_is_nonnegative_and_symmetric_as_specified(
+        seed in 0u64..500,
+        sa in 0u32..80,
+        ra in 0.0..1.0f64,
+        sb in 0u32..80,
+        rb in 0.0..1.0f64,
+    ) {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, seed));
+        let n = net.num_segments() as u32;
+        let a = NetPos::new(SegmentId(sa % n), ra);
+        let b = NetPos::new(SegmentId(sb % n), rb);
+        let d_ab = matched_dist(&net, a, b, 1e9, None);
+        let d_ba = matched_dist(&net, b, a, 1e9, None);
+        prop_assert!(d_ab >= 0.0);
+        // `matched_dist` is min(directed, reverse-directed) → symmetric.
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        // Identity.
+        prop_assert!(matched_dist(&net, a, a, 1e9, None).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planner_routes_are_paths_with_correct_endpoints(
+        seed in 0u64..500,
+        src in 0u32..500,
+        dst in 0u32..500,
+    ) {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, seed));
+        let planner = RoutePlanner::untrained(&net);
+        let n = net.num_segments() as u32;
+        let (s, d) = (SegmentId(src % n), SegmentId(dst % n));
+        let route = planner.plan(&net, s, d).expect("SCC network is routable");
+        prop_assert_eq!(*route.first().unwrap(), s);
+        prop_assert_eq!(*route.last().unwrap(), d);
+        prop_assert!(net.is_path(&route));
+    }
+
+    #[test]
+    fn dijkstra_satisfies_triangle_inequality(
+        seed in 0u64..200,
+        x in 0u32..200,
+        y in 0u32..200,
+        z in 0u32..200,
+    ) {
+        let net = generate_city(&NetworkConfig::with_size(5, 5, seed));
+        let m = net.num_nodes() as u32;
+        let (a, b, c) = (NodeId(x % m), NodeId(y % m), NodeId(z % m));
+        let d = |u, v| node_dist(&net, u, v, Weight::Length, f64::INFINITY).unwrap();
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c) + 1e-9);
+        prop_assert!(d(a, a).abs() < 1e-12);
+    }
+}

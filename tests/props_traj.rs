@@ -1,0 +1,112 @@
+//! Property-based tests over the data pipeline and the metrics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trmma::roadnet::{generate_city, NetworkConfig, SegmentId};
+use trmma::traj::gen::{generate_trajectory, sparsify, TrajConfig};
+use trmma::traj::types::{MatchedPoint, MatchedTrajectory, Route};
+use trmma::traj::{matching_metrics, recovery_metrics};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sparsify_preserves_endpoints_order_and_truth_alignment(
+        seed in 0u64..1_000,
+        gamma in 0.05..1.0f64,
+    ) {
+        let net = generate_city(&NetworkConfig::with_size(8, 8, 3));
+        let cfg = TrajConfig { min_points: 8, ..TrajConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(raw) = generate_trajectory(&net, &cfg, &mut rng) else {
+            return Ok(());
+        };
+        let s = sparsify(&raw, gamma, &mut rng);
+        // Endpoints kept.
+        prop_assert_eq!(s.dense_indices[0], 0);
+        prop_assert_eq!(*s.dense_indices.last().unwrap(), raw.dense_truth.len() - 1);
+        // Strictly increasing indices; aligned truth.
+        prop_assert!(s.dense_indices.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(s.sparse.len(), s.sparse_truth.len());
+        for (i, &di) in s.dense_indices.iter().enumerate() {
+            prop_assert_eq!(s.sparse_truth[i].seg, raw.dense_truth.points[di].seg);
+            prop_assert!((s.sparse_truth[i].t - s.sparse.points[i].t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generated_truth_is_on_route_and_monotone(seed in 0u64..1_000) {
+        let net = generate_city(&NetworkConfig::with_size(8, 8, 3));
+        let cfg = TrajConfig { min_points: 8, ..TrajConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(raw) = generate_trajectory(&net, &cfg, &mut rng) else {
+            return Ok(());
+        };
+        prop_assert!(raw.route.is_valid(&net));
+        let mut cursor = 0usize;
+        for p in &raw.dense_truth.points {
+            let pos = raw.route.segs[cursor..].iter().position(|&s| s == p.seg);
+            prop_assert!(pos.is_some(), "dense truth leaves the route");
+            cursor += pos.unwrap();
+            prop_assert!((0.0..=1.0).contains(&p.ratio));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matching_metrics_bounded_and_self_perfect(
+        pred in prop::collection::vec(0u32..50, 1..30),
+        truth in prop::collection::vec(0u32..50, 1..30),
+    ) {
+        let p = Route::new(pred.iter().map(|&s| SegmentId(s)).collect());
+        let t = Route::new(truth.iter().map(|&s| SegmentId(s)).collect());
+        let m = matching_metrics(&p, &t);
+        for v in [m.precision, m.recall, m.f1, m.jaccard] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // Self-comparison is perfect.
+        let selfm = matching_metrics(&p, &p);
+        prop_assert!((selfm.f1 - 1.0).abs() < 1e-12);
+        prop_assert!((selfm.jaccard - 1.0).abs() < 1e-12);
+        // Symmetry of F1/Jaccard.
+        let rev = matching_metrics(&t, &p);
+        prop_assert!((m.f1 - rev.f1).abs() < 1e-12);
+        prop_assert!((m.jaccard - rev.jaccard).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_metrics_bounded(
+        seed in 0u64..50,
+        segs in prop::collection::vec((0u32..80, 0.0..1.0f64), 2..20),
+    ) {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, seed));
+        let n = net.num_segments() as u32;
+        let mk = |shift: u32| -> MatchedTrajectory {
+            MatchedTrajectory::new(
+                segs.iter()
+                    .enumerate()
+                    .map(|(i, &(s, r))| {
+                        MatchedPoint::new(SegmentId((s + shift) % n), r, 15.0 * i as f64)
+                    })
+                    .collect(),
+            )
+        };
+        let pred = mk(1);
+        let truth = mk(0);
+        let m = recovery_metrics(&net, &pred, &truth, None);
+        for v in [m.precision, m.recall, m.f1, m.accuracy] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+        prop_assert!(m.mae >= 0.0);
+        prop_assert!(m.rmse + 1e-9 >= m.mae);
+        // Perfect prediction scores perfectly.
+        let perfect = recovery_metrics(&net, &truth, &truth, None);
+        prop_assert!((perfect.accuracy - 1.0).abs() < 1e-12);
+        prop_assert!(perfect.mae.abs() < 1e-9);
+    }
+}
