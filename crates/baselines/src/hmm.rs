@@ -158,11 +158,7 @@ impl HmmMatcher {
             let bp = back[i + 1][picks[i + 1]];
             picks[i] = if bp == usize::MAX { argmax(&score[i]) } else { bp };
         }
-        picks
-            .into_iter()
-            .enumerate()
-            .map(|(i, j)| cand_sets[i][j])
-            .collect()
+        picks.into_iter().enumerate().map(|(i, j)| cand_sets[i][j]).collect()
     }
 }
 
@@ -316,12 +312,7 @@ mod tests {
             let a = hmm.match_trajectory(&s.sparse);
             let b = fmm.match_trajectory(&s.sparse);
             // Same oracle values within delta ⇒ same Viterbi choice.
-            let same = a
-                .matched
-                .iter()
-                .zip(&b.matched)
-                .filter(|(x, y)| x.seg == y.seg)
-                .count();
+            let same = a.matched.iter().zip(&b.matched).filter(|(x, y)| x.seg == y.seg).count();
             assert!(
                 same * 10 >= a.matched.len() * 9,
                 "FMM diverged from HMM: {same}/{}",

@@ -90,11 +90,7 @@ impl LhmmMatcher {
     ) -> Self {
         let started = std::time::Instant::now();
         let params = fit_params(&net, train, base.max_route_m);
-        let cfg = HmmConfig {
-            sigma_z_m: params.sigma_z_m,
-            beta_m: params.beta_m,
-            ..base
-        };
+        let cfg = HmmConfig { sigma_z_m: params.sigma_z_m, beta_m: params.beta_m, ..base };
         let mut report = TrainReport::default();
         report.epoch_times_s.push(started.elapsed().as_secs_f64());
         report.epoch_losses.push(0.0);
@@ -186,10 +182,7 @@ mod tests {
         let f_lhmm = mean_f1(&lhmm);
         // The fitted parameters must stay in the same quality regime as the
         // hand-tuned ones (they are fitted to exactly this distribution).
-        assert!(
-            f_lhmm > 0.8 * f_hmm,
-            "LHMM {f_lhmm:.3} collapsed vs HMM {f_hmm:.3}"
-        );
+        assert!(f_lhmm > 0.8 * f_hmm, "LHMM {f_lhmm:.3} collapsed vs HMM {f_hmm:.3}");
     }
 
     #[test]

@@ -61,9 +61,7 @@ impl RouteScale {
         ratio: f64,
         from_idx: usize,
     ) -> Option<(usize, f64)> {
-        let idx = self.segs[from_idx.min(self.segs.len())..]
-            .iter()
-            .position(|&s| s == seg)?
+        let idx = self.segs[from_idx.min(self.segs.len())..].iter().position(|&s| s == seg)?
             + from_idx.min(self.segs.len());
         Some((idx, self.prefix[idx] + ratio * net.segment(self.segs[idx]).length))
     }
@@ -72,10 +70,7 @@ impl RouteScale {
     pub(crate) fn locate(&self, net: &RoadNetwork, offset: f64) -> (SegmentId, f64) {
         let clamped = offset.clamp(0.0, self.total.max(0.0));
         // partition_point: first index whose prefix exceeds `clamped`.
-        let idx = self
-            .prefix
-            .partition_point(|&p| p <= clamped)
-            .saturating_sub(1);
+        let idx = self.prefix.partition_point(|&p| p <= clamped).saturating_sub(1);
         let seg = self.segs[idx];
         let len = net.segment(seg).length.max(f64::MIN_POSITIVE);
         ((seg), ((clamped - self.prefix[idx]) / len).min(1.0))
@@ -96,15 +91,13 @@ impl<M: MapMatcher> TrajectoryRecovery for LinearRecovery<M> {
         let mut out: Vec<MatchedPoint> = Vec::new();
         let first = &result.matched[0];
         // Route index of the previous observation.
-        let (mut cursor, mut prev_off) = scale
-            .offset_of(&self.net, first.seg, first.ratio, 0)
-            .unwrap_or((0, 0.0));
+        let (mut cursor, mut prev_off) =
+            scale.offset_of(&self.net, first.seg, first.ratio, 0).unwrap_or((0, 0.0));
         out.push(*first);
         for w in result.matched.windows(2) {
             let (a, b) = (&w[0], &w[1]);
-            let (b_idx, b_off) = scale
-                .offset_of(&self.net, b.seg, b.ratio, cursor)
-                .unwrap_or((cursor, prev_off));
+            let (b_idx, b_off) =
+                scale.offset_of(&self.net, b.seg, b.ratio, cursor).unwrap_or((cursor, prev_off));
             let b_off = b_off.max(prev_off); // guard against backtracking noise
             let interval = b.t - a.t;
             let missing = if interval > 0.0 {

@@ -36,10 +36,7 @@ impl MapMatcher for NearestMatcher {
             .points
             .iter()
             .map(|p| {
-                let c = self
-                    .finder
-                    .nearest(p.pos)
-                    .expect("non-empty road network");
+                let c = self.finder.nearest(p.pos).expect("non-empty road network");
                 MatchedPoint::new(c.seg, c.ratio, p.t)
             })
             .collect();

@@ -121,11 +121,7 @@ impl Seq2SeqFull {
         traj.points
             .iter()
             .map(|p| {
-                [
-                    (p.pos.x - self.bbox.min.x) / w,
-                    (p.pos.y - self.bbox.min.y) / h,
-                    (p.t - t0) / dur,
-                ]
+                [(p.pos.x - self.bbox.min.x) / w, (p.pos.y - self.bbox.min.y) / h, (p.t - t0) / dur]
             })
             .collect()
     }
@@ -143,7 +139,13 @@ impl Seq2SeqFull {
     }
 
     /// One decoder step given the previous point; returns `(h', h'-node)`.
-    fn decode_step(&self, g: &mut Graph, h: NodeId, prev_seg: SegmentId, prev_ratio: f64) -> NodeId {
+    fn decode_step(
+        &self,
+        g: &mut Graph,
+        h: NodeId,
+        prev_seg: SegmentId,
+        prev_ratio: f64,
+    ) -> NodeId {
         let emb = self.seg_table.embed(g, &[prev_seg.idx()]);
         let ratio = g.input(Matrix::row_vec(vec![prev_ratio]));
         let cat = g.concat_cols(&[emb, ratio]);
@@ -181,10 +183,8 @@ impl Seq2SeqFull {
                 let seg_loss = g.softmax_cross_entropy(logits, &targets);
                 let ratio_pre = self.ratio_head.forward(&mut g, hs);
                 let ratio_pred = g.sigmoid(ratio_pre);
-                let ratio_loss = g.l1_loss(
-                    ratio_pred,
-                    Matrix::from_vec(ratio_targets.len(), 1, ratio_targets),
-                );
+                let ratio_loss =
+                    g.l1_loss(ratio_pred, Matrix::from_vec(ratio_targets.len(), 1, ratio_targets));
                 let scaled = g.scale(ratio_loss, self.cfg.lambda_ratio);
                 let loss = g.add(seg_loss, scaled);
                 opt.zero_grad();
@@ -212,10 +212,7 @@ impl TrajectoryRecovery for Seq2SeqFull {
         let mut g = Graph::new();
         let mut h = self.encode(&mut g, traj);
         let first = traj.points[0];
-        let init = self
-            .finder
-            .nearest(first.pos)
-            .expect("non-empty network");
+        let init = self.finder.nearest(first.pos).expect("non-empty network");
         let mut prev = MatchedPoint::new(init.seg, init.ratio, first.t);
         let mut out = vec![prev];
         let t_end = traj.points.last().expect("non-empty").t;
@@ -233,11 +230,7 @@ impl TrajectoryRecovery for Seq2SeqFull {
             let ratio_pre = self.ratio_head.forward(&mut g, h);
             let ratio_node = g.sigmoid(ratio_pre);
             let ratio = g.value(ratio_node).get(0, 0);
-            prev = MatchedPoint::new(
-                SegmentId(best as u32),
-                ratio,
-                first.t + j as f64 * epsilon_s,
-            );
+            prev = MatchedPoint::new(SegmentId(best as u32), ratio, first.t + j as f64 * epsilon_s);
             out.push(prev);
         }
         MatchedTrajectory::new(out)
@@ -291,9 +284,6 @@ mod tests {
             Arc::new(generate_city(&NetworkConfig::with_size(10, 10, 71))),
             Seq2SeqConfig { d_model: 16, d_emb: 8, ..Seq2SeqConfig::default() },
         );
-        assert!(
-            large.num_weights() > 2 * small.num_weights(),
-            "the |E|-wide head must dominate"
-        );
+        assert!(large.num_weights() > 2 * small.num_weights(), "the |E|-wide head must dominate");
     }
 }

@@ -18,12 +18,7 @@ fn bench_rtree(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let bb = net.bbox();
     let queries: Vec<Vec2> = (0..256)
-        .map(|_| {
-            Vec2::new(
-                rng.gen_range(bb.min.x..bb.max.x),
-                rng.gen_range(bb.min.y..bb.max.y),
-            )
-        })
+        .map(|_| Vec2::new(rng.gen_range(bb.min.x..bb.max.x), rng.gen_range(bb.min.y..bb.max.y)))
         .collect();
     let mut group = c.benchmark_group("rtree");
     for k in [1usize, 10] {
@@ -83,11 +78,7 @@ fn bench_planner(c: &mut Criterion) {
 fn bench_autograd(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let enc = TransformerEncoder::new(32, 4, 64, 2, &mut rng);
-    let input = Matrix::from_vec(
-        16,
-        32,
-        (0..16 * 32).map(|_| rng.gen_range(-1.0..1.0)).collect(),
-    );
+    let input = Matrix::from_vec(16, 32, (0..16 * 32).map(|_| rng.gen_range(-1.0..1.0)).collect());
     c.bench_function("autograd/transformer_fwd_bwd", |b| {
         b.iter(|| {
             let mut g = Graph::new();

@@ -1,0 +1,250 @@
+//! Batched-inference benchmark: throughput and latency of the parallel
+//! engine versus the sequential path, across thread counts.
+//!
+//! Produces the rows behind `BENCH_inference.json`: for each task
+//! (matching, recovery), a `sequential_api` baseline row (the plain
+//! per-trajectory API with fresh allocations, as a client without the
+//! engine would call it) plus one `batch_engine` row per thread count,
+//! with trajectories per second, p50/p99 per-trajectory latency, and the
+//! speedup over the sequential baseline. Every engine run is validated to
+//! be identical to the sequential output before its row is emitted.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use trmma_core::{BatchMatcher, BatchOptions, BatchRecovery, BatchTiming, Mma, Trmma};
+use trmma_traj::types::Trajectory;
+use trmma_traj::MapMatcher;
+
+use crate::json::Value;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct InferenceRow {
+    /// `"matching"` or `"recovery"`.
+    pub task: String,
+    /// `"sequential_api"` (baseline) or `"batch_engine"`.
+    pub mode: String,
+    /// Worker threads used (1 for the sequential baseline).
+    pub threads: usize,
+    /// Trajectories per second over the batch wall-clock.
+    pub traj_per_s: f64,
+    /// Median per-trajectory latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-trajectory latency, milliseconds.
+    pub p99_ms: f64,
+    /// Throughput relative to this task's sequential baseline.
+    pub speedup: f64,
+    /// Whether the run's output matched the sequential reference exactly.
+    pub identical: bool,
+}
+
+impl InferenceRow {
+    fn from_timing(
+        task: &str,
+        mode: &str,
+        threads: usize,
+        timing: &BatchTiming,
+        base: f64,
+        identical: bool,
+    ) -> Self {
+        let tput = timing.throughput();
+        Self {
+            task: task.to_string(),
+            mode: mode.to_string(),
+            threads,
+            traj_per_s: tput,
+            p50_ms: timing.latency_quantile(0.5) * 1e3,
+            p99_ms: timing.latency_quantile(0.99) * 1e3,
+            speedup: if base > 0.0 { tput / base } else { 1.0 },
+            identical,
+        }
+    }
+}
+
+/// Times a sequential per-item loop into a [`BatchTiming`].
+fn timed_loop<R>(n: usize, mut f: impl FnMut(usize) -> R) -> (Vec<R>, BatchTiming) {
+    let started = Instant::now();
+    let mut results = Vec::with_capacity(n);
+    let mut per_item_s = Vec::with_capacity(n);
+    for i in 0..n {
+        let t0 = Instant::now();
+        results.push(f(i));
+        per_item_s.push(t0.elapsed().as_secs_f64());
+    }
+    (results, BatchTiming { per_item_s, wall_s: started.elapsed().as_secs_f64() })
+}
+
+/// Thread counts to sweep: 1, then powers of two up to the hardware.
+#[must_use]
+pub fn default_thread_counts() -> Vec<usize> {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut counts = vec![1];
+    let mut t = 2;
+    while t < hw {
+        counts.push(t);
+        t *= 2;
+    }
+    if hw > 1 {
+        counts.push(hw);
+    }
+    counts
+}
+
+fn best_of<R>(repeats: usize, mut run: impl FnMut() -> (R, BatchTiming)) -> (R, BatchTiming) {
+    assert!(repeats > 0);
+    let mut best = run();
+    for _ in 1..repeats {
+        let next = run();
+        if next.1.throughput() > best.1.throughput() {
+            best = next;
+        }
+    }
+    best
+}
+
+/// Benchmarks batched map matching across `thread_counts`, validating each
+/// parallel run against the sequential reference.
+#[must_use]
+pub fn bench_matching(
+    mma: &Arc<Mma>,
+    batch: &[Trajectory],
+    thread_counts: &[usize],
+    repeats: usize,
+) -> Vec<InferenceRow> {
+    let (reference, seq_timing) =
+        best_of(repeats, || timed_loop(batch.len(), |i| mma.match_trajectory(&batch[i])));
+    let base = seq_timing.throughput();
+    let mut rows =
+        vec![InferenceRow::from_timing("matching", "sequential_api", 1, &seq_timing, base, true)];
+    for &threads in thread_counts {
+        let engine = BatchMatcher::new(mma.clone(), BatchOptions::with_threads(threads));
+        let (results, timing) = best_of(repeats, || engine.match_batch_timed(batch));
+        let identical = results == reference;
+        rows.push(InferenceRow::from_timing(
+            "matching",
+            "batch_engine",
+            threads,
+            &timing,
+            base,
+            identical,
+        ));
+    }
+    rows
+}
+
+/// Benchmarks the batched MMA → TRMMA recovery pipeline across
+/// `thread_counts`, validating each parallel run against the sequential
+/// reference.
+#[must_use]
+pub fn bench_recovery(
+    mma: &Arc<Mma>,
+    model: &Arc<Trmma>,
+    batch: &[Trajectory],
+    epsilon_s: f64,
+    thread_counts: &[usize],
+    repeats: usize,
+) -> Vec<InferenceRow> {
+    let (reference, seq_timing) = best_of(repeats, || {
+        timed_loop(batch.len(), |i| {
+            let r = mma.match_trajectory(&batch[i]);
+            model.recover_from_match(&batch[i], &r.matched, &r.route, epsilon_s)
+        })
+    });
+    let base = seq_timing.throughput();
+    let mut rows =
+        vec![InferenceRow::from_timing("recovery", "sequential_api", 1, &seq_timing, base, true)];
+    for &threads in thread_counts {
+        let engine =
+            BatchRecovery::new(mma.clone(), model.clone(), BatchOptions::with_threads(threads));
+        let (results, timing) = best_of(repeats, || engine.recover_batch_timed(batch, epsilon_s));
+        let identical = results == reference;
+        rows.push(InferenceRow::from_timing(
+            "recovery",
+            "batch_engine",
+            threads,
+            &timing,
+            base,
+            identical,
+        ));
+    }
+    rows
+}
+
+/// Serialises rows into the `BENCH_inference.json` document. Records the
+/// host's available parallelism so speedups are read in context (on a
+/// single-core host the engine can only win by scratch reuse, not
+/// parallelism; the thread-scaling rows need cores to scale).
+#[must_use]
+pub fn rows_to_json(rows: &[InferenceRow], batch_size: usize, dataset: &str) -> Value {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    Value::Object(vec![
+        ("dataset".to_string(), Value::String(dataset.to_string())),
+        ("batch_size".to_string(), crate::json!(batch_size)),
+        ("host_threads".to_string(), crate::json!(host)),
+        (
+            "rows".to_string(),
+            Value::Array(
+                rows.iter()
+                    .map(|r| {
+                        crate::json!({
+                            "task": r.task,
+                            "mode": r.mode,
+                            "threads": r.threads,
+                            "traj_per_s": r.traj_per_s,
+                            "p50_ms": r.p50_ms,
+                            "p99_ms": r.p99_ms,
+                            "speedup_vs_sequential": r.speedup,
+                            "identical_to_sequential": r.identical,
+                        })
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trmma_core::{MmaConfig, TrmmaConfig};
+    use trmma_roadnet::RoutePlanner;
+    use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+
+    #[test]
+    fn bench_rows_are_valid_and_identical() {
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let net = Arc::new(ds.net.clone());
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let mma = Arc::new(Mma::new(net.clone(), planner, None, MmaConfig::small()));
+        let model = Arc::new(Trmma::new(net, TrmmaConfig::small()));
+        let batch: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 9).into_iter().take(6).map(|s| s.sparse).collect();
+
+        let rows = bench_recovery(&mma, &model, &batch, ds.epsilon_s, &[1, 2], 1);
+        assert_eq!(rows.len(), 3, "sequential baseline + one row per thread count");
+        assert_eq!(rows[0].mode, "sequential_api");
+        for r in &rows {
+            assert!(r.identical, "output diverged in {} at {} threads", r.mode, r.threads);
+            assert!(r.traj_per_s > 0.0);
+            assert!(r.p50_ms <= r.p99_ms + 1e-9);
+        }
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9, "the baseline's own speedup is 1");
+
+        let mrows = bench_matching(&mma, &batch, &[1], 1);
+        assert_eq!(mrows.len(), 2);
+        assert!(mrows.iter().all(|r| r.identical));
+
+        let v = rows_to_json(&rows, batch.len(), "TINY");
+        let s = crate::json::to_string_pretty(&v);
+        assert!(s.contains("\"task\": \"recovery\""));
+        assert!(s.contains("\"identical_to_sequential\": true"));
+    }
+
+    #[test]
+    fn thread_count_sweep_shape() {
+        let counts = default_thread_counts();
+        assert_eq!(counts[0], 1);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "{counts:?} not increasing");
+    }
+}

@@ -1,0 +1,91 @@
+//! Batched-inference throughput benchmark (`BENCH_inference.json`).
+//!
+//! Trains small MMA/TRMMA models once, then sweeps the batch engine over
+//! thread counts for both tasks, validating every parallel run against the
+//! sequential output. Writes `BENCH_inference.json` to the repository root
+//! (the committed perf trajectory) and an artifact copy under
+//! `target/experiments/`.
+//!
+//! Scale knobs: the usual `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE`
+//! environment variables, plus `TRMMA_BENCH_REPEATS` (default 3 — each
+//! configuration keeps its best-throughput run).
+
+use std::sync::Arc;
+
+use trmma_bench::batch_bench::{
+    bench_matching, bench_recovery, default_thread_counts, rows_to_json, InferenceRow,
+};
+use trmma_bench::harness::{trained_mma, trained_trmma, Bundle, ExpConfig};
+use trmma_bench::report::{write_bench_inference, write_json, Table};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let repeats: usize =
+        std::env::var("TRMMA_BENCH_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    println!("== Batched inference: throughput vs thread count ==\n");
+
+    let dcfg = cfg.dataset_configs().into_iter().next().expect("at least one dataset selected");
+    let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+    let eps = bundle.ds.epsilon_s;
+    let (mma, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs.min(3));
+    let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs.min(3));
+    let mma = Arc::new(mma);
+    let trmma = Arc::new(trmma);
+
+    // Benchmark over the test sparse trajectories, tiled up so the batch is
+    // large enough to keep every worker busy.
+    let mut batch: Vec<_> = bundle.test.iter().map(|s| s.sparse.clone()).collect();
+    assert!(!batch.is_empty(), "dataset {} produced no test trajectories", bundle.ds.name);
+    while batch.len() < 96 {
+        let again: Vec<_> = batch.iter().take(96 - batch.len()).cloned().collect();
+        batch.extend(again);
+    }
+    let threads = default_thread_counts();
+    println!(
+        "dataset {} | batch {} trajectories | threads {threads:?} | repeats {repeats}\n",
+        bundle.ds.name,
+        batch.len()
+    );
+
+    let mut rows = bench_matching(&mma, &batch, &threads, repeats);
+    rows.extend(bench_recovery(&mma, &trmma, &batch, eps, &threads, repeats));
+
+    let mut table = Table::new(&[
+        "Task",
+        "Mode",
+        "Threads",
+        "traj/s",
+        "p50(ms)",
+        "p99(ms)",
+        "Speedup",
+        "Identical",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.task.clone(),
+            r.mode.clone(),
+            r.threads.to_string(),
+            format!("{:.1}", r.traj_per_s),
+            format!("{:.3}", r.p50_ms),
+            format!("{:.3}", r.p99_ms),
+            format!("{:.2}x", r.speedup),
+            r.identical.to_string(),
+        ]);
+    }
+    table.print();
+
+    let diverged: Vec<&InferenceRow> = rows.iter().filter(|r| !r.identical).collect();
+    assert!(diverged.is_empty(), "parallel output diverged from sequential: {diverged:?}");
+    let best = |task: &str| -> f64 {
+        rows.iter().filter(|r| r.task == task).map(|r| r.speedup).fold(0.0, f64::max)
+    };
+    println!(
+        "\nbest speedup: matching {:.2}x, recovery {:.2}x (vs the sequential per-call API)",
+        best("matching"),
+        best("recovery")
+    );
+
+    let doc = rows_to_json(&rows, batch.len(), &bundle.ds.name);
+    write_bench_inference(&doc);
+    write_json("bench_inference", &doc);
+}

@@ -29,7 +29,7 @@ fn main() {
             ("Node2Vec pretrain (one-off)", n2v_s),
         ] {
             table.row(vec![bundle.ds.name.clone(), what.into(), format!("{secs:.2}")]);
-            json.push(serde_json::json!({
+            json.push(trmma_bench::json!({
                 "dataset": bundle.ds.name,
                 "cost": what,
                 "seconds": secs,
@@ -38,5 +38,5 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape (paper Fig. 10): MMA's per-epoch cost is small; one-off precomputations amortise.");
-    write_json("fig10_matching_training", &serde_json::Value::Array(json));
+    write_json("fig10_matching_training", &trmma_bench::Value::Array(json));
 }

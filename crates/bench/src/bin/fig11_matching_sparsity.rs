@@ -42,7 +42,7 @@ fn main() {
             let mut cells = vec![bundle.ds.name.clone(), m.name().into()];
             cells.extend(f1s.iter().map(|f| format!("{f:.3}")));
             table.row(cells);
-            json.push(serde_json::json!({
+            json.push(trmma_bench::json!({
                 "dataset": bundle.ds.name,
                 "method": m.name(),
                 "gammas": GAMMAS,
@@ -52,5 +52,5 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape (paper Fig. 11): F1 rises with gamma; MMA best across the sweep.");
-    write_json("fig11_matching_sparsity", &serde_json::Value::Array(json));
+    write_json("fig11_matching_sparsity", &trmma_bench::Value::Array(json));
 }

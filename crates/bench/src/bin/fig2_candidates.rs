@@ -16,8 +16,7 @@ fn main() {
     let cfg = ExpConfig::from_env();
     println!("== Fig. 2: true-segment coverage of top-kc candidates ==\n");
     let mut table = Table::new(&[
-        "Dataset", "kc=1", "kc=2", "kc=3", "kc=4", "kc=5", "kc=6", "kc=7", "kc=8", "kc=9",
-        "kc=10",
+        "Dataset", "kc=1", "kc=2", "kc=3", "kc=4", "kc=5", "kc=6", "kc=7", "kc=8", "kc=9", "kc=10",
     ]);
     let mut json = Vec::new();
     for dcfg in cfg.dataset_configs() {
@@ -41,7 +40,7 @@ fn main() {
         let mut row = vec![bundle.ds.name.clone()];
         row.extend(ratios.iter().map(|r| format!("{r:.3}")));
         table.row(row);
-        json.push(serde_json::json!({
+        json.push(trmma_bench::json!({
             "dataset": bundle.ds.name,
             "total_points": total,
             "coverage_by_kc": ratios,
@@ -49,5 +48,5 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape: ~0.7 at kc=1 rising towards 1.0 at kc=10 (paper Fig. 2).");
-    write_json("fig2_candidates", &serde_json::Value::Array(json));
+    write_json("fig2_candidates", &trmma_bench::Value::Array(json));
 }

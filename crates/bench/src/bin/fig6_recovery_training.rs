@@ -17,10 +17,9 @@ fn main() {
         let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
         let (seq2seq, rep_s) = trained_seq2seq(&bundle, cfg.seq2seq_config(), cfg.epochs);
         let (trmma, rep_t) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs);
-        for (name, rep, weights) in [
-            ("Seq2SeqFull", &rep_s, seq2seq.num_weights()),
-            ("TRMMA", &rep_t, trmma.num_weights()),
-        ] {
+        for (name, rep, weights) in
+            [("Seq2SeqFull", &rep_s, seq2seq.num_weights()), ("TRMMA", &rep_t, trmma.num_weights())]
+        {
             table.row(vec![
                 bundle.ds.name.clone(),
                 name.into(),
@@ -28,7 +27,7 @@ fn main() {
                 format!("{:.4}", rep.final_loss()),
                 weights.to_string(),
             ]);
-            json.push(serde_json::json!({
+            json.push(trmma_bench::json!({
                 "dataset": bundle.ds.name,
                 "method": name,
                 "sec_per_epoch": rep.mean_epoch_time_s(),
@@ -39,5 +38,5 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape (paper Fig. 6): TRMMA trains faster per epoch than the |E|-softmax baseline.");
-    write_json("fig6_recovery_training", &serde_json::Value::Array(json));
+    write_json("fig6_recovery_training", &trmma_bench::Value::Array(json));
 }

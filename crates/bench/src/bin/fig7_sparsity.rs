@@ -5,9 +5,7 @@
 //! whole sweep.
 
 use trmma_baselines::{FmmMatcher, HmmConfig, LinearRecovery};
-use trmma_bench::harness::{
-    eval_recovery, trained_mma, trained_trmma, Bundle, ExpConfig,
-};
+use trmma_bench::harness::{eval_recovery, trained_mma, trained_trmma, Bundle, ExpConfig};
 use trmma_bench::report::{write_json, Table};
 use trmma_core::TrmmaPipeline;
 
@@ -49,7 +47,7 @@ fn main() {
             let mut cells = vec![bundle.ds.name.clone(), name.clone()];
             cells.extend(accs.iter().map(|a| format!("{:.3}", a)));
             table.row(cells);
-            json.push(serde_json::json!({
+            json.push(trmma_bench::json!({
                 "dataset": bundle.ds.name,
                 "method": name,
                 "gammas": GAMMAS,
@@ -59,5 +57,5 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape (paper Fig. 7): accuracy rises with gamma; TRMMA dominates at every gamma.");
-    write_json("fig7_sparsity", &serde_json::Value::Array(json));
+    write_json("fig7_sparsity", &trmma_bench::Value::Array(json));
 }

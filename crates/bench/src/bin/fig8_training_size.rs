@@ -49,7 +49,7 @@ fn main() {
         let mut trm_row = vec![bundle.ds.name.clone(), "TRMMA".into()];
         trm_row.extend(trmma_accs.iter().map(|a| format!("{a:.3}")));
         table.row(trm_row);
-        json.push(serde_json::json!({
+        json.push(trmma_bench::json!({
             "dataset": bundle.ds.name,
             "fractions": FRACTIONS,
             "linear_accuracy": lin_metrics.accuracy,
@@ -57,6 +57,8 @@ fn main() {
         }));
     }
     table.print();
-    println!("\nExpected shape (paper Fig. 8): TRMMA rises with data and crosses the flat Linear line.");
-    write_json("fig8_training_size", &serde_json::Value::Array(json));
+    println!(
+        "\nExpected shape (paper Fig. 8): TRMMA rises with data and crosses the flat Linear line."
+    );
+    write_json("fig8_training_size", &trmma_bench::Value::Array(json));
 }

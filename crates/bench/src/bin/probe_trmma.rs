@@ -10,11 +10,7 @@ use trmma_traj::types::{MatchedPoint, MatchedTrajectory};
 
 /// Linear interpolation along the *true* route between true matched points
 /// (the upper bound of any interpolate-style method).
-fn linear_on_truth(
-    bundle: &Bundle,
-    s: &trmma_traj::Sample,
-    epsilon: f64,
-) -> MatchedTrajectory {
+fn linear_on_truth(bundle: &Bundle, s: &trmma_traj::Sample, epsilon: f64) -> MatchedTrajectory {
     let net = &bundle.net;
     let route = &s.route;
     let mut prefix = Vec::with_capacity(route.len());
@@ -78,10 +74,13 @@ fn main() {
     });
     for round in 1..=(cfg.epochs / 2).max(1) {
         let rep = model.train(&bundle.train, 2);
-        print!("after {:2} epochs (loss {:.4}, {:.1}s/ep) -> ", round * 2, rep.final_loss(), rep.mean_epoch_time_s());
-        eval("trmma", &|s| {
-            model.recover_from_match(&s.sparse, &s.sparse_truth, &s.route, eps)
-        });
+        print!(
+            "after {:2} epochs (loss {:.4}, {:.1}s/ep) -> ",
+            round * 2,
+            rep.final_loss(),
+            rep.mean_epoch_time_s()
+        );
+        eval("trmma", &|s| model.recover_from_match(&s.sparse, &s.sparse_truth, &s.route, eps));
     }
 
     let _ = TrmmaConfig::default();

@@ -37,7 +37,7 @@ fn main() {
             s.n_intersections.to_string(),
             format!("{:.2}", s.area_km2),
         ]);
-        json.push(serde_json::json!({
+        json.push(trmma_bench::json!({
             "dataset": ds.name,
             "n_trajectories": s.n_trajectories,
             "epsilon_s": s.epsilon_s,
@@ -50,5 +50,5 @@ fn main() {
         }));
     }
     table.print();
-    write_json("table2_datasets", &serde_json::Value::Array(json));
+    write_json("table2_datasets", &trmma_bench::Value::Array(json));
 }

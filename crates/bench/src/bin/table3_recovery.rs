@@ -12,7 +12,6 @@
 //! Expected shape: TRMMA best on every metric; Seq2SeqFull between the
 //! interpolation baselines and TRMMA on segment metrics.
 
-
 use trmma_baselines::{FmmMatcher, HmmConfig, LinearRecovery, NearestMatcher};
 use trmma_bench::harness::{
     eval_recovery, per_1000, trained_mma, trained_seq2seq, trained_trmma, Bundle, ExpConfig,
@@ -28,7 +27,14 @@ fn main() {
         cfg.scale, cfg.epochs
     );
     let mut table = Table::new(&[
-        "Dataset", "Method", "Recall", "Precision", "F1", "Accuracy", "MAE(m)", "RMSE(m)",
+        "Dataset",
+        "Method",
+        "Recall",
+        "Precision",
+        "F1",
+        "Accuracy",
+        "MAE(m)",
+        "RMSE(m)",
         "s/1k",
     ]);
     let mut json = Vec::new();
@@ -48,8 +54,7 @@ fn main() {
         let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs);
         let pipeline = TrmmaPipeline::new(Box::new(mma), trmma, "TRMMA");
 
-        let methods: Vec<&dyn TrajectoryRecovery> =
-            vec![&near_lin, &fmm_lin, &seq2seq, &pipeline];
+        let methods: Vec<&dyn TrajectoryRecovery> = vec![&near_lin, &fmm_lin, &seq2seq, &pipeline];
         for m in methods {
             let (metrics, secs) = eval_recovery(&bundle.net, m, &bundle.test, eps);
             table.row(vec![
@@ -63,7 +68,7 @@ fn main() {
                 format!("{:.1}", metrics.rmse),
                 format!("{:.2}", per_1000(secs, bundle.test.len())),
             ]);
-            json.push(serde_json::json!({
+            json.push(trmma_bench::json!({
                 "dataset": bundle.ds.name,
                 "method": m.name(),
                 "recall": metrics.recall,
@@ -78,5 +83,5 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape (paper Table III): TRMMA best on all metrics per dataset.");
-    write_json("table3_recovery", &serde_json::Value::Array(json));
+    write_json("table3_recovery", &trmma_bench::Value::Array(json));
 }

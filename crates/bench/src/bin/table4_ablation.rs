@@ -31,7 +31,8 @@ fn main() {
         let eps = bundle.ds.epsilon_s;
 
         // Matchers.
-        let mk_hmm = || HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
+        let mk_hmm =
+            || HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), HmmConfig::default());
         let mk_near = || NearestMatcher::new(bundle.net.clone(), bundle.planner.clone());
         let (mma_full, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs);
         let (mma_no_ctx, _) = trained_mma(
@@ -82,7 +83,7 @@ fn main() {
                 bundle.ds.name.clone(),
                 format!("{:.2}", 100.0 * metrics.accuracy),
             ]);
-            json.push(serde_json::json!({
+            json.push(trmma_bench::json!({
                 "dataset": bundle.ds.name,
                 "method": m.name(),
                 "accuracy": metrics.accuracy,
@@ -91,5 +92,5 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape (paper Table IV): full TRMMA on top, every ablation below it.");
-    write_json("table4_ablation", &serde_json::Value::Array(json));
+    write_json("table4_ablation", &trmma_bench::Value::Array(json));
 }

@@ -13,9 +13,8 @@ use trmma_traj::MapMatcher;
 fn main() {
     let cfg = ExpConfig::from_env();
     println!("== Table V: map-matching quality ==\n");
-    let mut table = Table::new(&[
-        "Dataset", "Method", "Precision", "Recall", "F1", "Jaccard", "s/1k",
-    ]);
+    let mut table =
+        Table::new(&["Dataset", "Method", "Precision", "Recall", "F1", "Jaccard", "s/1k"]);
     let mut json = Vec::new();
     for dcfg in cfg.dataset_configs() {
         let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
@@ -42,7 +41,7 @@ fn main() {
                 format!("{:.2}", 100.0 * metrics.jaccard),
                 format!("{:.2}", per_1000(secs, bundle.test.len())),
             ]);
-            json.push(serde_json::json!({
+            json.push(trmma_bench::json!({
                 "dataset": bundle.ds.name,
                 "method": m.name(),
                 "precision": metrics.precision,
@@ -55,5 +54,5 @@ fn main() {
     }
     table.print();
     println!("\nExpected shape (paper Table V): MMA best everywhere; Nearest weakest.");
-    write_json("table5_matching", &serde_json::Value::Array(json));
+    write_json("table5_matching", &trmma_bench::Value::Array(json));
 }

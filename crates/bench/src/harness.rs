@@ -28,14 +28,8 @@ impl ExpConfig {
     /// Reads the configuration from the environment.
     #[must_use]
     pub fn from_env() -> Self {
-        let scale = std::env::var("TRMMA_SCALE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0.25);
-        let epochs = std::env::var("TRMMA_EPOCHS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(5);
+        let scale = std::env::var("TRMMA_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25);
+        let epochs = std::env::var("TRMMA_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
         let paper_profile = std::env::var("TRMMA_PROFILE").is_ok_and(|v| v == "paper");
         let datasets = std::env::var("TRMMA_DATASETS")
             .map(|v| v.split(',').map(|s| s.trim().to_uppercase()).collect())
@@ -123,10 +117,7 @@ impl Bundle {
     /// Re-samples train/test at a different γ (for the sparsity sweeps).
     #[must_use]
     pub fn resample(&self, gamma: f64) -> (Vec<Sample>, Vec<Sample>) {
-        (
-            self.ds.samples(Split::Train, gamma, 71),
-            self.ds.samples(Split::Test, gamma, 72),
-        )
+        (self.ds.samples(Split::Train, gamma, 71), self.ds.samples(Split::Test, gamma, 72))
     }
 }
 
@@ -134,12 +125,8 @@ impl Bundle {
 #[must_use]
 pub fn trained_mma(bundle: &Bundle, cfg: MmaConfig, epochs: usize) -> (Mma, TrainReport) {
     let cfg = MmaConfig { d0: bundle.node2vec.cols(), ..cfg };
-    let mut mma = Mma::new(
-        bundle.net.clone(),
-        bundle.planner.clone(),
-        Some(bundle.node2vec.clone()),
-        cfg,
-    );
+    let mut mma =
+        Mma::new(bundle.net.clone(), bundle.planner.clone(), Some(bundle.node2vec.clone()), cfg);
     let report = mma.train(&bundle.train, epochs);
     (mma, report)
 }
@@ -202,6 +189,42 @@ pub fn eval_matching(
     (avg.mean_matching(), infer_s)
 }
 
+/// Evaluates the batched recovery engine over the test set: mean
+/// per-trajectory metrics plus the batch wall-clock seconds (metric
+/// computation excluded). The parallel analogue of [`eval_recovery`].
+#[must_use]
+pub fn eval_recovery_batch(
+    net: &RoadNetwork,
+    engine: &trmma_core::BatchRecovery,
+    test: &[Sample],
+    epsilon_s: f64,
+) -> (trmma_traj::RecoveryMetrics, f64) {
+    let batch: Vec<_> = test.iter().map(|s| s.sparse.clone()).collect();
+    let (recovered, timing) = engine.recover_batch_timed(&batch, epsilon_s);
+    let cache = trmma_roadnet::shortest::DistCache::new();
+    let mut avg = trmma_traj::metrics::MetricAverager::new();
+    for (rec, s) in recovered.iter().zip(test) {
+        avg.add_recovery(trmma_traj::recovery_metrics(net, rec, &s.dense_truth, Some(&cache)));
+    }
+    (avg.mean_recovery(), timing.wall_s)
+}
+
+/// Evaluates the batched matcher over the test set: mean route metrics plus
+/// the batch wall-clock seconds. The parallel analogue of [`eval_matching`].
+#[must_use]
+pub fn eval_matching_batch(
+    engine: &trmma_core::BatchMatcher,
+    test: &[Sample],
+) -> (trmma_traj::MatchingMetrics, f64) {
+    let batch: Vec<_> = test.iter().map(|s| s.sparse.clone()).collect();
+    let (results, timing) = engine.match_batch_timed(&batch);
+    let mut avg = trmma_traj::metrics::MetricAverager::new();
+    for (res, s) in results.iter().zip(test) {
+        avg.add_matching(trmma_traj::matching_metrics(&res.route, &s.route));
+    }
+    (avg.mean_matching(), timing.wall_s)
+}
+
 /// Wall-clock seconds for `f`, returned alongside its output.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -231,7 +254,8 @@ mod tests {
 
     #[test]
     fn env_defaults() {
-        let cfg = ExpConfig { scale: 0.25, epochs: 5, paper_profile: false, datasets: vec!["PT".into()] };
+        let cfg =
+            ExpConfig { scale: 0.25, epochs: 5, paper_profile: false, datasets: vec!["PT".into()] };
         assert_eq!(cfg.dataset_configs().len(), 1);
         assert_eq!(cfg.dataset_configs()[0].name, "PT");
     }

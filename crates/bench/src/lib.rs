@@ -14,10 +14,11 @@
 //! artifact under `target/experiments/` so EXPERIMENTS.md numbers are
 //! reproducible.
 
+pub mod batch_bench;
 pub mod harness;
+pub mod json;
 pub mod report;
 
-pub use harness::{
-    trained_mma, trained_seq2seq, trained_trmma, Bundle, ExpConfig,
-};
+pub use harness::{trained_mma, trained_seq2seq, trained_trmma, Bundle, ExpConfig};
+pub use json::Value;
 pub use report::{write_json, Table};

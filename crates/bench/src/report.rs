@@ -67,22 +67,32 @@ pub fn experiments_dir() -> PathBuf {
 
 /// Writes a JSON artifact for an experiment; best-effort (failures are
 /// reported to stderr, not fatal — the stdout table is the primary output).
-pub fn write_json(name: &str, value: &serde_json::Value) {
+pub fn write_json(name: &str, value: &crate::json::Value) {
     let dir = experiments_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warn: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("warn: cannot write {}: {e}", path.display());
-            } else {
-                eprintln!("artifact: {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warn: cannot serialise {name}: {e}"),
+    let s = crate::json::to_string_pretty(value);
+    if let Err(e) = fs::write(&path, s) {
+        eprintln!("warn: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("artifact: {}", path.display());
+    }
+}
+
+/// Writes the batched-inference benchmark document to
+/// `BENCH_inference.json` in the repository root (override the path with
+/// `TRMMA_BENCH_OUT`), so the perf trajectory of the engine is versioned
+/// alongside the code. Best-effort like [`write_json`].
+pub fn write_bench_inference(value: &crate::json::Value) {
+    let path = std::env::var("TRMMA_BENCH_OUT").unwrap_or_else(|_| "BENCH_inference.json".into());
+    let s = crate::json::to_string_pretty(value);
+    if let Err(e) = fs::write(&path, s) {
+        eprintln!("warn: cannot write {path}: {e}");
+    } else {
+        eprintln!("artifact: {path}");
     }
 }
 

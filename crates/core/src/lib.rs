@@ -19,11 +19,17 @@
 //!   multitask loss of Eq. 19–21 (Algorithm 2).
 //! * [`pipeline::TrmmaPipeline`] — the end-to-end system (MMA feeding
 //!   TRMMA) plus the ablation wirings of Table IV.
+//! * [`batch`] — the batched, parallel inference engine: [`BatchMatcher`]
+//!   and [`BatchRecovery`] fan a `&[Trajectory]` out across worker threads
+//!   that share one immutable model and reuse per-worker scratch state,
+//!   with output bitwise-identical to the sequential API.
 
+pub mod batch;
 pub mod mma;
 pub mod pipeline;
 pub mod trmma;
 
-pub use mma::{Mma, MmaConfig};
+pub use batch::{par_match, par_recover, BatchMatcher, BatchOptions, BatchRecovery, BatchTiming};
+pub use mma::{Mma, MmaConfig, MmaScratch};
 pub use pipeline::TrmmaPipeline;
 pub use trmma::{Trmma, TrmmaConfig};

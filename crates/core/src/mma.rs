@@ -11,9 +11,26 @@ use trmma_baselines::TrainReport;
 use trmma_geom::{cosine_similarity, BBox, Vec2};
 use trmma_nn::{Adam, Graph, Linear, Matrix, Mlp, NodeId, Param, TransformerEncoder};
 use trmma_roadnet::{RoadNetwork, RoutePlanner, SegmentId};
-use trmma_traj::api::{Candidate, CandidateFinder, MapMatcher, MatchResult};
+use trmma_traj::api::{Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult};
 use trmma_traj::types::{MatchedPoint, Route, Trajectory};
 use trmma_traj::Sample;
+
+/// Reusable per-worker inference state for [`Mma`]: the autograd tape and
+/// the candidate-search buffers. One instance serves any number of
+/// trajectories; the batch engine keeps one per worker thread.
+#[derive(Default)]
+pub struct MmaScratch {
+    graph: Graph,
+    cand: CandidateScratch,
+}
+
+impl MmaScratch {
+    /// Empty scratch state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Hyper-parameters of MMA (§VI-A lists the paper's settings; defaults
 /// follow them with the FFN width scaled to the synthetic data size).
@@ -185,11 +202,7 @@ impl Mma {
     /// point `i`, plus the normalised perpendicular distance (see
     /// [`MmaConfig::use_distance`]).
     fn candidate_features(&self, traj: &Trajectory, i: usize, c: &Candidate) -> [f64; 5] {
-        let dist = if self.cfg.use_distance {
-            (c.dist_m / 30.0).min(4.0)
-        } else {
-            0.0
-        };
+        let dist = if self.cfg.use_distance { (c.dist_m / 30.0).min(4.0) } else { 0.0 };
         if !self.cfg.use_direction {
             return [0.0, 0.0, 0.0, 0.0, dist];
         }
@@ -199,11 +212,8 @@ impl Mma {
         let to_p = p - seg.line.a;
         let to_exit = seg.line.b - p;
         let from_prev = if i > 0 { p - traj.points[i - 1].pos } else { Vec2::default() };
-        let to_next = if i + 1 < traj.points.len() {
-            traj.points[i + 1].pos - p
-        } else {
-            Vec2::default()
-        };
+        let to_next =
+            if i + 1 < traj.points.len() { traj.points[i + 1].pos - p } else { Vec2::default() };
         [
             cosine_similarity(dir, to_p),
             cosine_similarity(dir, to_exit),
@@ -214,8 +224,14 @@ impl Mma {
     }
 
     /// Forward pass over one trajectory: per point, the candidate set and
-    /// the `kc × 1` logit column (`c_j · p_i` of Eq. 9).
-    fn forward(&self, g: &mut Graph, traj: &Trajectory) -> Vec<(Vec<Candidate>, NodeId)> {
+    /// the `kc × 1` logit column (`c_j · p_i` of Eq. 9). Candidate search
+    /// runs through `cand` so callers can reuse its buffers across calls.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        cand: &mut CandidateScratch,
+        traj: &Trajectory,
+    ) -> Vec<(Vec<Candidate>, NodeId)> {
         if traj.is_empty() {
             return Vec::new();
         }
@@ -226,16 +242,17 @@ impl Mma {
 
         let mut out = Vec::with_capacity(traj.points.len());
         for (i, p) in traj.points.iter().enumerate() {
-            let cands = self.finder.candidates(p.pos);
+            let mut cands = Vec::with_capacity(self.cfg.kc);
+            self.finder.candidates_into(p.pos, cand, &mut cands);
             let kc = cands.len();
             // Eq. 1–2: candidate embeddings.
             let ids: Vec<usize> = cands.iter().map(|c| c.seg.idx()).collect();
             let e_c = self.w_c.embed(g, &ids); // kc × d0
-            let dir_rows: Vec<Vec<f64>> = cands
-                .iter()
-                .map(|c| self.candidate_features(traj, i, c).to_vec())
-                .collect();
-            let dirs = g.input(Matrix::from_rows(&dir_rows)); // kc × 5
+            let mut dir_flat = Vec::with_capacity(cands.len() * 5);
+            for c in &cands {
+                dir_flat.extend_from_slice(&self.candidate_features(traj, i, c));
+            }
+            let dirs = g.input(Matrix::from_vec(cands.len(), 5, dir_flat)); // kc × 5
             let z_c = g.concat_cols(&[e_c, dirs]);
             let c_emb = self.cand_mlp.forward(g, z_c); // kc × d2
 
@@ -268,7 +285,8 @@ impl Mma {
             return None;
         }
         let mut g = Graph::new();
-        let per_point = self.forward(&mut g, &s.sparse);
+        let mut cand = CandidateScratch::new();
+        let per_point = self.forward(&mut g, &mut cand, &s.sparse);
         let mut logit_cols = Vec::new();
         let mut labels = Vec::new();
         for ((cands, logits), truth) in per_point.iter().zip(&s.sparse_truth) {
@@ -401,8 +419,21 @@ impl Mma {
     /// Per-point matching without route stitching (Algorithm 1 lines 1–9).
     #[must_use]
     pub fn match_points(&self, traj: &Trajectory) -> Vec<MatchedPoint> {
-        let mut g = Graph::new();
-        self.forward(&mut g, traj)
+        self.match_points_with(&mut MmaScratch::new(), traj)
+    }
+
+    /// [`Mma::match_points`] through caller-owned scratch state: the tape is
+    /// reset (arena kept) instead of reallocated, and candidate search hits
+    /// warm buffers. The batch engine's per-worker hot path.
+    #[must_use]
+    pub fn match_points_with(
+        &self,
+        scratch: &mut MmaScratch,
+        traj: &Trajectory,
+    ) -> Vec<MatchedPoint> {
+        scratch.graph.reset();
+        let g = &mut scratch.graph;
+        self.forward(g, &mut scratch.cand, traj)
             .into_iter()
             .zip(&traj.points)
             .map(|((cands, logits), p)| {
@@ -417,6 +448,25 @@ impl Mma {
             })
             .collect()
     }
+
+    /// [`MapMatcher::match_trajectory`] through caller-owned scratch state.
+    /// Bitwise-identical output to the trait method — the engine's
+    /// determinism property test pins this down.
+    #[must_use]
+    pub fn match_trajectory_with(
+        &self,
+        scratch: &mut MmaScratch,
+        traj: &Trajectory,
+    ) -> MatchResult {
+        let matched = self.match_points_with(scratch, traj);
+        let seq: Vec<SegmentId> = matched.iter().map(|m| m.seg).collect();
+        let route = self
+            .planner
+            .connect(&self.net, &seq)
+            .map(Route::new)
+            .unwrap_or_else(|| Route::new(seq));
+        MatchResult { matched, route }
+    }
 }
 
 impl MapMatcher for Mma {
@@ -425,14 +475,24 @@ impl MapMatcher for Mma {
     }
 
     fn match_trajectory(&self, traj: &Trajectory) -> MatchResult {
-        let matched = self.match_points(traj);
-        let seq: Vec<SegmentId> = matched.iter().map(|m| m.seg).collect();
-        let route = self
-            .planner
-            .connect(&self.net, &seq)
-            .map(Route::new)
-            .unwrap_or_else(|| Route::new(seq));
-        MatchResult { matched, route }
+        self.match_trajectory_with(&mut MmaScratch::new(), traj)
+    }
+}
+
+/// A cheaply cloneable handle making a shared model usable as a matcher:
+/// one trained [`Mma`] behind an `Arc` can be wired into a
+/// [`crate::TrmmaPipeline`] *and* a [`crate::BatchMatcher`] simultaneously
+/// without duplicating weights.
+#[derive(Clone)]
+pub struct SharedMma(pub Arc<Mma>);
+
+impl MapMatcher for SharedMma {
+    fn name(&self) -> &'static str {
+        "MMA"
+    }
+
+    fn match_trajectory(&self, traj: &Trajectory) -> MatchResult {
+        self.0.match_trajectory(traj)
     }
 }
 
@@ -492,7 +552,7 @@ mod tests {
         let untrained = Mma::new(net.clone(), planner.clone(), None, MmaConfig::small());
         let before = acc(&untrained);
         let mut trained = Mma::new(net, planner, None, MmaConfig::small());
-        trained.train(&train, 6);
+        trained.train(&train, 10);
         let after = acc(&trained);
         assert!(
             after > before.max(0.4),
@@ -504,7 +564,7 @@ mod tests {
     fn route_quality_reasonable_after_training() {
         let (net, planner, ds) = setup();
         let mut mma = Mma::new(net, planner, None, MmaConfig::small());
-        mma.train(&ds.samples(Split::Train, 0.2, 3), 6);
+        mma.train(&ds.samples(Split::Train, 0.2, 3), 10);
         let test: Vec<_> = ds.samples(Split::Test, 0.2, 4).into_iter().take(6).collect();
         let mut f1 = 0.0;
         for s in &test {
@@ -526,12 +586,8 @@ mod tests {
             None,
             MmaConfig { use_candidate_context: false, ..MmaConfig::small() },
         );
-        let no_dir = Mma::new(
-            net,
-            planner,
-            None,
-            MmaConfig { use_direction: false, ..MmaConfig::small() },
-        );
+        let no_dir =
+            Mma::new(net, planner, None, MmaConfig { use_direction: false, ..MmaConfig::small() });
         // Same seeds → same init; disabled paths must change the scores of
         // at least one point.
         let a = full.match_points(&s.sparse);

@@ -7,6 +7,7 @@
 use trmma_traj::api::{MapMatcher, TrajectoryRecovery};
 use trmma_traj::types::{MatchedTrajectory, Trajectory};
 
+use crate::batch::{parallel_map, BatchOptions};
 use crate::trmma::Trmma;
 
 /// Map-match-then-recover pipeline; see module docs.
@@ -35,10 +36,39 @@ impl TrmmaPipeline {
         &mut self.model
     }
 
+    /// Dismantles the pipeline into its matcher and recovery model — e.g.
+    /// to rewrap a sequentially evaluated pipeline into the batch engine
+    /// without retraining.
+    #[must_use]
+    pub fn into_parts(self) -> (Box<dyn MapMatcher>, Trmma) {
+        (self.matcher, self.model)
+    }
+
     /// The wired map matcher.
     #[must_use]
     pub fn matcher(&self) -> &dyn MapMatcher {
         self.matcher.as_ref()
+    }
+
+    /// Recovers a whole batch in parallel, sharing this pipeline read-only
+    /// across workers and reusing one TRMMA tape per worker. Output `i`
+    /// equals `self.recover(&batch[i], epsilon_s)`.
+    ///
+    /// For the MMA-matcher pipeline, [`crate::batch::BatchRecovery`] is the
+    /// faster entry point (it also reuses the matcher's scratch); this
+    /// method parallelises *any* matcher wiring, ablations included.
+    #[must_use]
+    pub fn recover_batch(
+        &self,
+        batch: &[Trajectory],
+        epsilon_s: f64,
+        opts: BatchOptions,
+    ) -> Vec<MatchedTrajectory> {
+        let threads = opts.effective_threads(batch.len());
+        parallel_map(batch, threads, trmma_nn::Graph::new, |g, traj| {
+            let result = self.matcher.match_trajectory(traj);
+            self.model.recover_from_match_with(g, traj, &result.matched, &result.route, epsilon_s)
+        })
     }
 }
 
@@ -49,8 +79,7 @@ impl TrajectoryRecovery for TrmmaPipeline {
 
     fn recover(&self, traj: &Trajectory, epsilon_s: f64) -> MatchedTrajectory {
         let result = self.matcher.match_trajectory(traj);
-        self.model
-            .recover_from_match(traj, &result.matched, &result.route, epsilon_s)
+        self.model.recover_from_match(traj, &result.matched, &result.route, epsilon_s)
     }
 }
 

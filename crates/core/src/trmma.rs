@@ -9,9 +9,7 @@ use rand::SeedableRng;
 
 use trmma_baselines::TrainReport;
 use trmma_geom::BBox;
-use trmma_nn::{
-    Adam, Graph, GruCell, Linear, Matrix, Mlp, NodeId, Param, TransformerEncoder,
-};
+use trmma_nn::{Adam, Graph, GruCell, Linear, Matrix, Mlp, NodeId, Param, TransformerEncoder};
 use trmma_roadnet::{RoadNetwork, SegmentId};
 use trmma_traj::types::{MatchedPoint, MatchedTrajectory, Route, Trajectory};
 use trmma_traj::Sample;
@@ -171,6 +169,13 @@ impl Trmma {
         &self.net
     }
 
+    /// Shared handle to the road network (for wiring batch engines and
+    /// sibling models without re-loading the network).
+    #[must_use]
+    pub fn network_arc(&self) -> Arc<RoadNetwork> {
+        self.net.clone()
+    }
+
     /// DualFormer encoding (Eq. 11–14): returns `H` (`ℓ_R × dh`).
     fn encode(
         &self,
@@ -261,17 +266,14 @@ impl Trmma {
         let route_len = geom.lens.len();
         let h_rep = g.gather_rows(h, &vec![0; route_len]);
         const S: f64 = 200.0;
-        let rows: Vec<Vec<f64>> = (0..route_len)
-            .map(|k| {
-                let mid = geom.prefix[k] + geom.lens[k] / 2.0;
-                vec![
-                    ((mid - anchor_off) / S).clamp(-4.0, 4.0),
-                    ((geom.prefix[k] - prev_off) / S).clamp(-4.0, 4.0),
-                    ((geom.prefix[k] + geom.lens[k] - end_off) / S).clamp(-4.0, 4.0),
-                ]
-            })
-            .collect();
-        let feats = g.input(Matrix::from_rows(&rows));
+        let mut flat = Vec::with_capacity(route_len * 3);
+        for k in 0..route_len {
+            let mid = geom.prefix[k] + geom.lens[k] / 2.0;
+            flat.push(((mid - anchor_off) / S).clamp(-4.0, 4.0));
+            flat.push(((geom.prefix[k] - prev_off) / S).clamp(-4.0, 4.0));
+            flat.push(((geom.prefix[k] + geom.lens[k] - end_off) / S).clamp(-4.0, 4.0));
+        }
+        let feats = g.input(Matrix::from_vec(route_len, 3, flat));
         let cat = g.concat_cols(&[big_h, h_rep, feats]);
         self.cls_mlp.forward(g, cat)
     }
@@ -480,10 +482,8 @@ impl Trmma {
         let targets = Matrix::from_vec(flat.len(), 1, flat);
         let seg_loss = g.bce_with_logits(all_w, targets);
         let all_ratio = g.concat_rows(&ratio_preds);
-        let ratio_loss = g.l1_loss(
-            all_ratio,
-            Matrix::from_vec(ratio_targets.len(), 1, ratio_targets),
-        );
+        let ratio_loss =
+            g.l1_loss(all_ratio, Matrix::from_vec(ratio_targets.len(), 1, ratio_targets));
         let scaled = g.scale(ratio_loss, self.cfg.lambda);
         let loss = g.add(seg_loss, scaled);
         g.backward(loss);
@@ -504,12 +504,28 @@ impl Trmma {
         route: &Route,
         epsilon_s: f64,
     ) -> MatchedTrajectory {
+        self.recover_from_match_with(&mut Graph::new(), traj, matched, route, epsilon_s)
+    }
+
+    /// [`Trmma::recover_from_match`] through a caller-owned tape: the graph
+    /// is reset (arena kept) instead of reallocated per trajectory. The
+    /// batch engine's per-worker hot path; output is bitwise-identical to
+    /// the allocating variant.
+    #[must_use]
+    pub fn recover_from_match_with(
+        &self,
+        g: &mut Graph,
+        traj: &Trajectory,
+        matched: &[MatchedPoint],
+        route: &Route,
+        epsilon_s: f64,
+    ) -> MatchedTrajectory {
         if matched.is_empty() || route.is_empty() {
             return MatchedTrajectory::new(matched.to_vec());
         }
         let segs = &route.segs;
-        let mut g = Graph::new();
-        let big_h = self.encode(&mut g, traj, matched, segs);
+        g.reset();
+        let big_h = self.encode(g, traj, matched, segs);
         let mut h = g.mean_rows(big_h);
         let geom = RouteGeom::new(&self.net, segs);
 
@@ -539,9 +555,9 @@ impl Trmma {
             let off_b = geom.offset(gap_end, next_obs.ratio).max(gap_start_off);
             for j in 1..=missing {
                 let frac = j as f64 / span;
-                h = self.gru_step(&mut g, big_h, h, cursor, prev.ratio, frac, gap_norm);
+                h = self.gru_step(g, big_h, h, cursor, prev.ratio, frac, gap_norm);
                 let anchor = gap_start_off + frac * (off_b - gap_start_off);
-                let w = self.cls_scores(&mut g, big_h, h, &geom, prev_off, anchor, off_b);
+                let w = self.cls_scores(g, big_h, h, &geom, prev_off, anchor, off_b);
                 let col = g.value(w);
                 // Eq. 17: argmax over the sub-route R[a_{j-1}.e, :],
                 // bounded above by the next observation's segment.
@@ -551,15 +567,8 @@ impl Trmma {
                         best = k;
                     }
                 }
-                let ratio_node = self.ratio_pred(
-                    &mut g,
-                    big_h,
-                    h,
-                    w,
-                    frac,
-                    anchor - prev_off,
-                    off_b - gap_start_off,
-                );
+                let ratio_node =
+                    self.ratio_pred(g, big_h, h, w, frac, anchor - prev_off, off_b - gap_start_off);
                 let ratio = g.value(ratio_node).get(0, 0);
                 cursor = best;
                 prev = MatchedPoint::new(segs[best], ratio, base_t + j as f64 * epsilon_s);
@@ -567,7 +576,7 @@ impl Trmma {
                 out.push(prev);
             }
             // Advance over the observed point.
-            h = self.gru_step(&mut g, big_h, h, cursor, prev.ratio, 1.0, gap_norm);
+            h = self.gru_step(g, big_h, h, cursor, prev.ratio, 1.0, gap_norm);
             cursor = gap_end.max(cursor);
             out.push(*next_obs);
             prev = *next_obs;
@@ -656,10 +665,7 @@ mod tests {
         let rec = model.recover_from_match(traj, matched, &route, ds.epsilon_s);
         let mut cursor = 0usize;
         for p in &rec.points {
-            let pos = route.segs[cursor..]
-                .iter()
-                .position(|&e| e == p.seg)
-                .map(|d| cursor + d);
+            let pos = route.segs[cursor..].iter().position(|&e| e == p.seg).map(|d| cursor + d);
             assert!(pos.is_some(), "segment order violated");
             cursor = pos.unwrap();
         }
@@ -671,11 +677,7 @@ mod tests {
         let mut model = Trmma::new(net, TrmmaConfig::small());
         let train: Vec<_> = ds.samples(Split::Train, 0.2, 3).into_iter().take(8).collect();
         let report = model.train(&train, 4);
-        assert!(
-            report.final_loss() < report.epoch_losses[0],
-            "{:?}",
-            report.epoch_losses
-        );
+        assert!(report.final_loss() < report.epoch_losses[0], "{:?}", report.epoch_losses);
     }
 
     #[test]
@@ -697,10 +699,7 @@ mod tests {
         let mut trained = Trmma::new(net, TrmmaConfig::small());
         trained.train(&train, 6);
         let after = eval(&trained);
-        assert!(
-            after >= before,
-            "training hurt recovery: before {before:.3} after {after:.3}"
-        );
+        assert!(after >= before, "training hurt recovery: before {before:.3} after {after:.3}");
         // The tiny fixture plus few epochs only supports a loose bar; the
         // bench harness exercises converged quality.
         assert!(after > 0.3, "trained accuracy too low: {after:.3}");
@@ -711,7 +710,8 @@ mod tests {
         let (net, ds) = setup();
         let s = &ds.samples(Split::Test, 0.2, 5)[0];
         let full = Trmma::new(net.clone(), TrmmaConfig::small());
-        let ablated = Trmma::new(net, TrmmaConfig { use_dualformer: false, ..TrmmaConfig::small() });
+        let ablated =
+            Trmma::new(net, TrmmaConfig { use_dualformer: false, ..TrmmaConfig::small() });
         let (traj, matched, route) = truth_inputs(s);
         let a = full.recover_from_match(traj, matched, &route, ds.epsilon_s);
         let b = ablated.recover_from_match(traj, matched, &route, ds.epsilon_s);

@@ -1,11 +1,10 @@
 use crate::Vec2;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned bounding box in the local planar frame.
 ///
 /// Used as the key of R-tree nodes; supports the `mindist` lower bound that
 /// drives best-first k-NN search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BBox {
     /// Lower-left corner.
     pub min: Vec2,

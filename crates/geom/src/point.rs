@@ -1,10 +1,8 @@
-use serde::{Deserialize, Serialize};
-
 /// Mean Earth radius in metres (IUGG).
 pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
 
 /// A raw WGS-84 coordinate, as found in GPS trajectories (Definition 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees, positive north.
     pub lat: f64,
@@ -32,7 +30,7 @@ impl GeoPoint {
 }
 
 /// A position or displacement in the local planar frame, in metres.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec2 {
     /// East component (metres).
     pub x: f64,
@@ -114,7 +112,7 @@ impl std::ops::Neg for Vec2 {
 /// is below 0.1 %, i.e. centimetres — negligible next to GPS noise. The
 /// projection is exactly invertible, so datasets can round-trip between
 /// WGS-84 storage and planar processing.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Projector {
     origin: GeoPoint,
     cos_lat: f64,

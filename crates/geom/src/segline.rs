@@ -1,12 +1,11 @@
 use crate::{BBox, Vec2};
-use serde::{Deserialize, Serialize};
 
 /// A directed straight line segment in the local planar frame, from the
 /// entrance node towards the exit node of a road segment (Definition 1).
 ///
 /// Position ratios (Definition 5) are measured from [`SegLine::a`]: ratio 0
 /// is the entrance, ratio 1 the exit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegLine {
     /// Entrance endpoint.
     pub a: Vec2,

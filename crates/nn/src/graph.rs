@@ -72,10 +72,20 @@ struct Node {
 }
 
 /// A single forward pass; see module docs.
+///
+/// A reused `Graph` (see [`Graph::reset`]) doubles as a forward-only
+/// **workspace**: the node arena keeps its allocation between passes, so
+/// inference loops pay no tape setup per trajectory. (A matrix buffer pool
+/// was tried here and measured slower than the system allocator at these
+/// matrix sizes — see DESIGN.md §3 — so node *storage* is allocated
+/// per-op, deliberately.)
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
     bindings: Vec<(usize, Param)>,
+    /// Row-gather bindings: `(node, param, row ids)` — the node's gradient
+    /// rows scatter-add into the param's gradient rows on backward.
+    gathers: Vec<(usize, Param, Vec<usize>)>,
 }
 
 impl Graph {
@@ -83,6 +93,16 @@ impl Graph {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears the tape for a fresh forward pass, keeping the node arena's
+    /// allocation. Inference loops (one tape per trajectory) reuse a
+    /// single `Graph` this way instead of reallocating the tape per call —
+    /// the scratch-buffer half of the batched inference engine.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.bindings.clear();
+        self.gathers.clear();
     }
 
     fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> NodeId {
@@ -134,9 +154,42 @@ impl Graph {
 
     /// Binds a [`Param`]: the node takes the param's current value and its
     /// gradient flushes back into the param on [`Graph::backward`].
+    ///
+    /// Rebinding the same param within one tape returns the existing node:
+    /// the value copy is paid once, and the flushed gradient is the same
+    /// sum either way.
     pub fn param(&mut self, p: &Param) -> NodeId {
+        if let Some(&(idx, _)) = self.bindings.iter().find(|(_, q)| q.same_as(p)) {
+            return NodeId(idx);
+        }
         let id = self.push(p.value(), Op::Leaf, true);
         self.bindings.push((id.0, p.clone()));
+        id
+    }
+
+    /// Embedding lookup straight out of a [`Param`] table: the node's value
+    /// is the gathered `ids.len() × d` rows, and its gradient rows
+    /// scatter-add into the param's gradient on [`Graph::backward`].
+    ///
+    /// Equivalent to `gather_rows(param(p), ids)` — same values, same
+    /// flushed gradients — but never materialises the full `n × d` table
+    /// on the tape or an `n × d` gradient buffer. For MMA, which looks up
+    /// candidate embeddings once per GPS point, this is the difference
+    /// between copying the whole segment table per point and copying
+    /// `kc` rows.
+    pub fn embed_param(&mut self, p: &Param, ids: &[usize]) -> NodeId {
+        let mut buf = Vec::with_capacity(ids.len() * p.shape().1);
+        let value = {
+            let inner = p.read();
+            let src = &inner.value;
+            for &ix in ids {
+                assert!(ix < src.rows(), "embed index out of range");
+                buf.extend_from_slice(src.row(ix));
+            }
+            Matrix::from_vec(ids.len(), src.cols(), buf)
+        };
+        let id = self.push(value, Op::Leaf, true);
+        self.gathers.push((id.0, p.clone(), ids.to_vec()));
         id
     }
 
@@ -149,7 +202,8 @@ impl Graph {
 
     /// `a · b`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let mut v = Matrix::zeros(self.nodes[a.0].value.rows(), self.nodes[b.0].value.cols());
+        self.nodes[a.0].value.matmul_into(&self.nodes[b.0].value, &mut v);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::MatMul(a, b), ng)
     }
@@ -168,9 +222,9 @@ impl Graph {
         let (r, c) = self.nodes[a.0].value.shape();
         assert_eq!(self.nodes[row.0].value.shape(), (1, c), "add_row shape");
         let mut v = self.nodes[a.0].value.clone();
+        let rv = &self.nodes[row.0].value;
         for i in 0..r {
-            let rv = self.nodes[row.0].value.row(0).to_vec();
-            for (x, y) in v.row_mut(i).iter_mut().zip(rv.iter()) {
+            for (x, y) in v.row_mut(i).iter_mut().zip(rv.row(0)) {
                 *x += y;
             }
         }
@@ -181,18 +235,11 @@ impl Graph {
     /// `a ∘ b` (same shape).
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         assert_eq!(self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape(), "mul shape");
+        let mut buf = Vec::with_capacity(self.nodes[a.0].value.len());
+        let av = &self.nodes[a.0].value;
         let bv = &self.nodes[b.0].value;
-        let v = Matrix::from_vec(
-            bv.rows(),
-            bv.cols(),
-            self.nodes[a.0]
-                .value
-                .data()
-                .iter()
-                .zip(bv.data().iter())
-                .map(|(x, y)| x * y)
-                .collect(),
-        );
+        buf.extend(av.data().iter().zip(bv.data().iter()).map(|(x, y)| x * y));
+        let v = Matrix::from_vec(bv.rows(), bv.cols(), buf);
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Mul(a, b), ng)
     }
@@ -202,9 +249,9 @@ impl Graph {
         let (r, c) = self.nodes[a.0].value.shape();
         assert_eq!(self.nodes[row.0].value.shape(), (1, c), "mul_row shape");
         let mut v = self.nodes[a.0].value.clone();
+        let rv = &self.nodes[row.0].value;
         for i in 0..r {
-            let rv = self.nodes[row.0].value.row(0).to_vec();
-            for (x, y) in v.row_mut(i).iter_mut().zip(rv.iter()) {
+            for (x, y) in v.row_mut(i).iter_mut().zip(rv.row(0)) {
                 *x *= y;
             }
         }
@@ -255,8 +302,7 @@ impl Graph {
 
     /// Row-wise softmax (numerically stabilised).
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
-        let src = &self.nodes[a.0].value;
-        let mut v = src.clone();
+        let mut v = self.nodes[a.0].value.clone();
         for i in 0..v.rows() {
             let row = v.row_mut(i);
             let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -276,8 +322,7 @@ impl Graph {
     /// Row-wise standardisation (ε = 1e-5). Affine transforms compose via
     /// [`Graph::mul_row`] / [`Graph::add_row`].
     pub fn layer_norm_rows(&mut self, a: NodeId) -> NodeId {
-        let src = &self.nodes[a.0].value;
-        let mut v = src.clone();
+        let mut v = self.nodes[a.0].value.clone();
         let c = v.cols() as f64;
         for i in 0..v.rows() {
             let row = v.row_mut(i);
@@ -332,12 +377,12 @@ impl Graph {
 
     /// Rows `[start, start + len)` of `a`.
     pub fn slice_rows(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        let mut buf = Vec::with_capacity(len * self.nodes[a.0].value.cols());
         let src = &self.nodes[a.0].value;
         assert!(start + len <= src.rows(), "slice_rows out of range");
-        let mut v = Matrix::zeros(len, src.cols());
-        for i in 0..len {
-            v.row_mut(i).copy_from_slice(src.row(start + i));
-        }
+        let cols = src.cols();
+        buf.extend_from_slice(&src.data()[start * cols..(start + len) * cols]);
+        let v = Matrix::from_vec(len, cols, buf);
         let ng = self.needs(a);
         self.push(v, Op::SliceRows(a, start), ng)
     }
@@ -349,15 +394,22 @@ impl Graph {
 
     /// Transpose.
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.transpose();
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = Matrix::zeros(c, r);
+        let src = &self.nodes[a.0].value;
+        for i in 0..r {
+            for j in 0..c {
+                v.data_mut()[j * r + i] = src.get(i, j);
+            }
+        }
         let ng = self.needs(a);
         self.push(v, Op::Transpose(a), ng)
     }
 
     /// Column means over rows → `1 × cols` (mean pooling, Algorithm 2 line 6).
     pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let mut v = Matrix::zeros(1, self.nodes[a.0].value.cols());
         let src = &self.nodes[a.0].value;
-        let mut v = Matrix::zeros(1, src.cols());
         for i in 0..src.rows() {
             for (o, &x) in v.row_mut(0).iter_mut().zip(src.row(i)) {
                 *o += x;
@@ -378,12 +430,13 @@ impl Graph {
     /// Row gather: output row `i` = `a`'s row `indices[i]` (embedding
     /// lookup; duplicates allowed).
     pub fn gather_rows(&mut self, a: NodeId, indices: &[usize]) -> NodeId {
+        let mut buf = Vec::with_capacity(indices.len() * self.nodes[a.0].value.cols());
         let src = &self.nodes[a.0].value;
-        let mut v = Matrix::zeros(indices.len(), src.cols());
-        for (i, &ix) in indices.iter().enumerate() {
+        for &ix in indices {
             assert!(ix < src.rows(), "gather index out of range");
-            v.row_mut(i).copy_from_slice(src.row(ix));
+            buf.extend_from_slice(src.row(ix));
         }
+        let v = Matrix::from_vec(indices.len(), src.cols(), buf);
         let ng = self.needs(a);
         self.push(v, Op::GatherRows(a, indices.to_vec()), ng)
     }
@@ -436,12 +489,8 @@ impl Graph {
         let x = &self.nodes[pred.0].value;
         assert_eq!(x.shape(), target.shape(), "l1 target shape");
         let n = x.len() as f64;
-        let total: f64 = x
-            .data()
-            .iter()
-            .zip(target.data().iter())
-            .map(|(&p, &t)| (p - t).abs())
-            .sum();
+        let total: f64 =
+            x.data().iter().zip(target.data().iter()).map(|(&p, &t)| (p - t).abs()).sum();
         let ng = self.needs(pred);
         self.push(Matrix::row_vec(vec![total / n]), Op::L1Loss(pred, target), ng)
     }
@@ -465,6 +514,11 @@ impl Graph {
         for (node_idx, param) in &self.bindings {
             if let Some(g) = &self.nodes[*node_idx].grad {
                 param.accumulate_grad(g);
+            }
+        }
+        for (node_idx, param, ids) in &self.gathers {
+            if let Some(g) = &self.nodes[*node_idx].grad {
+                param.accumulate_grad_rows(ids, g);
             }
         }
     }
@@ -582,11 +636,7 @@ impl Graph {
                 let da = Matrix::from_vec(
                     g.rows(),
                     g.cols(),
-                    g.data()
-                        .iter()
-                        .zip(out.data())
-                        .map(|(&gx, &s)| gx * s * (1.0 - s))
-                        .collect(),
+                    g.data().iter().zip(out.data()).map(|(&gx, &s)| gx * s * (1.0 - s)).collect(),
                 );
                 self.add_grad(a, &da);
             }
@@ -595,11 +645,7 @@ impl Graph {
                 let da = Matrix::from_vec(
                     g.rows(),
                     g.cols(),
-                    g.data()
-                        .iter()
-                        .zip(out.data())
-                        .map(|(&gx, &t)| gx * (1.0 - t * t))
-                        .collect(),
+                    g.data().iter().zip(out.data()).map(|(&gx, &t)| gx * (1.0 - t * t)).collect(),
                 );
                 self.add_grad(a, &da);
             }
@@ -623,8 +669,7 @@ impl Graph {
                 let mut da = Matrix::zeros(g.rows(), g.cols());
                 for r in 0..g.rows() {
                     let mean = av.row(r).iter().sum::<f64>() / cols;
-                    let var =
-                        av.row(r).iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / cols;
+                    let var = av.row(r).iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / cols;
                     let denom = (var + 1e-5).sqrt();
                     let g_mean: f64 = g.row(r).iter().sum::<f64>() / cols;
                     let gy_mean: f64 =
@@ -770,6 +815,25 @@ mod tests {
     use super::*;
 
     #[test]
+    fn reset_clears_tape_but_keeps_capacity() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::row_vec(vec![1.0, 2.0]));
+        let b = g.mul(a, a);
+        let loss = g.sum_all(b);
+        g.backward(loss);
+        let cap = g.nodes.capacity();
+        g.reset();
+        assert!(g.is_empty());
+        assert_eq!(g.nodes.capacity(), cap, "reset must keep the arena");
+        // The tape is fully reusable after reset.
+        let a2 = g.leaf(Matrix::row_vec(vec![3.0]));
+        let sq = g.mul(a2, a2);
+        let loss2 = g.sum_all(sq);
+        g.backward(loss2);
+        assert_eq!(g.grad(a2).data(), &[6.0]);
+    }
+
+    #[test]
     fn forward_values_compose() {
         let mut g = Graph::new();
         let a = g.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
@@ -867,6 +931,46 @@ mod tests {
         let loss = g.softmax_cross_entropy(logits, &[2]);
         let z: f64 = (1.0f64.exp() + 2.0f64.exp() + 3.0f64.exp()).ln();
         assert!((g.value(loss).get(0, 0) - (z - 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embed_param_matches_param_gather() {
+        // Same values and same flushed gradients as param() + gather_rows().
+        let table = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let ids = [1usize, 1, 0];
+
+        let p_ref = Param::from_matrix(table.clone());
+        let mut g1 = Graph::new();
+        let w = g1.param(&p_ref);
+        let picked = g1.gather_rows(w, &ids);
+        let sq = g1.mul(picked, picked);
+        let loss = g1.sum_all(sq);
+        g1.backward(loss);
+
+        let p_new = Param::from_matrix(table);
+        let mut g2 = Graph::new();
+        let picked2 = g2.embed_param(&p_new, &ids);
+        let sq2 = g2.mul(picked2, picked2);
+        let loss2 = g2.sum_all(sq2);
+        g2.backward(loss2);
+
+        assert_eq!(g1.value(picked).data(), g2.value(picked2).data());
+        assert_eq!(g1.value(loss).data(), g2.value(loss2).data());
+        assert_eq!(p_ref.grad().data(), p_new.grad().data());
+    }
+
+    #[test]
+    fn param_rebind_is_memoised() {
+        let p = Param::from_matrix(Matrix::row_vec(vec![2.0]));
+        let mut g = Graph::new();
+        let a = g.param(&p);
+        let b = g.param(&p);
+        assert_eq!(a, b, "same param must bind to one node");
+        let m = g.mul(a, b);
+        let loss = g.sum_all(m);
+        g.backward(loss);
+        // d/dw w² = 2w, flushed exactly once.
+        assert_eq!(p.grad().data(), &[4.0]);
     }
 
     #[test]

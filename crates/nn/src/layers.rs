@@ -58,10 +58,10 @@ impl Linear {
     }
 
     /// Embedding lookup: rows of `W` selected by id — equivalent to one-hot
-    /// times `W` (Eq. 1) but O(k·d) instead of O(n·d).
+    /// times `W` (Eq. 1) but O(k·d) instead of O(n·d), gathering straight
+    /// out of the parameter so the full table never hits the tape.
     pub fn embed(&self, g: &mut Graph, ids: &[usize]) -> NodeId {
-        let w = g.param(&self.w);
-        g.gather_rows(w, ids)
+        g.embed_param(&self.w, ids)
     }
 
     /// The learnable parameters.
@@ -261,9 +261,17 @@ pub struct TransformerEncoder {
 impl TransformerEncoder {
     /// Builds `n_layers` stacked layers over `dim` features.
     #[must_use]
-    pub fn new(dim: usize, heads: usize, ffn_dim: usize, n_layers: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        dim: usize,
+        heads: usize,
+        ffn_dim: usize,
+        n_layers: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         Self {
-            layers: (0..n_layers).map(|_| TransformerLayer::new(dim, heads, ffn_dim, rng)).collect(),
+            layers: (0..n_layers)
+                .map(|_| TransformerLayer::new(dim, heads, ffn_dim, rng))
+                .collect(),
             use_pe: true,
             dim,
         }
@@ -429,7 +437,11 @@ mod tests {
     fn layer_norm_output_standardised_before_affine() {
         let ln = LayerNorm::new(6);
         let mut g = Graph::new();
-        let x = g.input(Matrix::from_vec(2, 6, vec![1.0, 5.0, 3.0, 2.0, 8.0, 0.0, -1.0, -2.0, 4.0, 4.0, 1.0, 0.5]));
+        let x = g.input(Matrix::from_vec(
+            2,
+            6,
+            vec![1.0, 5.0, 3.0, 2.0, 8.0, 0.0, -1.0, -2.0, 4.0, 4.0, 1.0, 0.5],
+        ));
         let y = ln.forward(&mut g, x);
         // Identity affine at init → each row standardised.
         for row in 0..2 {
@@ -444,11 +456,7 @@ mod tests {
         let mut r = rng();
         let attn = MultiHeadAttention::new(8, 2, &mut r);
         let mut g = Graph::new();
-        let x = g.input(Matrix::from_vec(
-            3,
-            8,
-            (0..24).map(|i| (i as f64) / 10.0).collect(),
-        ));
+        let x = g.input(Matrix::from_vec(3, 8, (0..24).map(|i| (i as f64) / 10.0).collect()));
         let y = attn.forward(&mut g, x, x);
         assert_eq!(g.value(y).shape(), (3, 8));
     }

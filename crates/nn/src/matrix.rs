@@ -145,8 +145,24 @@ impl Matrix {
     /// Panics on inner-dimension mismatch.
     #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul {}x{} · {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self · rhs` written into `out`, which must be a
+    /// zeroed `self.rows × rhs.cols` matrix (e.g. from a recycled buffer).
+    /// The allocation-free path of the forward-only inference workspace.
+    ///
+    /// # Panics
+    /// Panics on inner- or output-dimension mismatch.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into output shape");
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
@@ -160,7 +176,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transposed copy.
@@ -196,11 +211,7 @@ impl Matrix {
     /// Element-wise map into a new matrix.
     #[must_use]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Sets every element to zero (reusing the allocation).

@@ -50,7 +50,7 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for p in &self.params {
-            let mut inner = p.inner.borrow_mut();
+            let mut inner = p.write();
             let inner = &mut *inner;
             for i in 0..inner.value.len() {
                 let g = inner.grad.data()[i] * scale;
@@ -71,7 +71,7 @@ impl Adam {
             .params
             .iter()
             .map(|p| {
-                let g = p.inner.borrow();
+                let g = p.read();
                 g.grad.data().iter().map(|x| x * x).sum::<f64>()
             })
             .sum();
@@ -153,7 +153,7 @@ impl Sgd {
     /// Applies one descent step.
     pub fn step(&self) {
         for p in &self.params {
-            let mut inner = p.inner.borrow_mut();
+            let mut inner = p.write();
             let inner = &mut *inner;
             for i in 0..inner.value.len() {
                 inner.value.data_mut()[i] -= self.lr * inner.grad.data()[i];

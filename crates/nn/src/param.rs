@@ -1,7 +1,12 @@
 //! Persistent learnable parameters shared across computation graphs.
+//!
+//! Parameters are `Arc<RwLock<…>>` handles: cloning is cheap, training
+//! writes through the lock, and — crucially for the batched inference
+//! engine — a trained model is `Send + Sync`, so a single instance can be
+//! shared read-only across the worker threads of
+//! `trmma_core::batch` without copying its weights.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -34,21 +39,37 @@ pub(crate) struct ParamInner {
 /// [`crate::Graph::backward`].
 #[derive(Debug, Clone)]
 pub struct Param {
-    pub(crate) inner: Rc<RefCell<ParamInner>>,
+    pub(crate) inner: Arc<RwLock<ParamInner>>,
 }
 
 impl Param {
+    /// Read access to the inner state (uncontended in single-threaded
+    /// training; read-shared during batched inference).
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, ParamInner> {
+        self.inner.read().expect("param lock poisoned")
+    }
+
+    /// Write access to the inner state.
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, ParamInner> {
+        self.inner.write().expect("param lock poisoned")
+    }
     /// Creates a parameter with the given initialisation.
     #[must_use]
     pub fn new(rows: usize, cols: usize, init: Init, rng: &mut StdRng) -> Self {
         let value = match init {
             Init::Zeros => Matrix::zeros(rows, cols),
-            Init::Uniform(a) => {
-                Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect())
-            }
+            Init::Uniform(a) => Matrix::from_vec(
+                rows,
+                cols,
+                (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect(),
+            ),
             Init::Xavier => {
                 let a = (6.0 / (rows + cols) as f64).sqrt();
-                Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect())
+                Matrix::from_vec(
+                    rows,
+                    cols,
+                    (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect(),
+                )
             }
         };
         Self::from_matrix(value)
@@ -60,7 +81,7 @@ impl Param {
     pub fn from_matrix(value: Matrix) -> Self {
         let (r, c) = value.shape();
         Self {
-            inner: Rc::new(RefCell::new(ParamInner {
+            inner: Arc::new(RwLock::new(ParamInner {
                 value,
                 grad: Matrix::zeros(r, c),
                 m: Matrix::zeros(r, c),
@@ -72,13 +93,13 @@ impl Param {
     /// Shape of the parameter.
     #[must_use]
     pub fn shape(&self) -> (usize, usize) {
-        self.inner.borrow().value.shape()
+        self.read().value.shape()
     }
 
     /// Snapshot of the current value.
     #[must_use]
     pub fn value(&self) -> Matrix {
-        self.inner.borrow().value.clone()
+        self.read().value.clone()
     }
 
     /// Overwrites the value (e.g. for loading pre-trained weights).
@@ -86,7 +107,7 @@ impl Param {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn set_value(&self, value: Matrix) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         assert_eq!(inner.value.shape(), value.shape(), "param shape mismatch");
         inner.value = value;
     }
@@ -94,17 +115,29 @@ impl Param {
     /// Snapshot of the accumulated gradient.
     #[must_use]
     pub fn grad(&self) -> Matrix {
-        self.inner.borrow().grad.clone()
+        self.read().grad.clone()
     }
 
     /// Adds `g` into the accumulated gradient.
     pub(crate) fn accumulate_grad(&self, g: &Matrix) {
-        self.inner.borrow_mut().grad.add_assign(g);
+        self.write().grad.add_assign(g);
+    }
+
+    /// Scatter-adds gradient rows: row `i` of `g` accumulates into this
+    /// param's gradient row `rows[i]` (duplicates accumulate). The flush
+    /// path of [`crate::Graph::embed_param`].
+    pub(crate) fn accumulate_grad_rows(&self, rows: &[usize], g: &Matrix) {
+        let mut inner = self.write();
+        for (i, &r) in rows.iter().enumerate() {
+            for (dst, src) in inner.grad.row_mut(r).iter_mut().zip(g.row(i)) {
+                *dst += src;
+            }
+        }
     }
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        self.inner.borrow_mut().grad.fill_zero();
+        self.write().grad.fill_zero();
     }
 
     /// Number of scalar weights.
@@ -117,7 +150,7 @@ impl Param {
     /// Whether two handles refer to the same parameter.
     #[must_use]
     pub fn same_as(&self, other: &Param) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 

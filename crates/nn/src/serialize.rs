@@ -5,18 +5,41 @@
 //! * [`snapshot`] / [`restore`] — in-memory copies of parameter values,
 //!   used by validation-based early stopping (keep the best epoch);
 //! * [`save_params`] / [`load_params`] — a versioned little-endian binary
-//!   format (via the `bytes` crate) so trained MMA/TRMMA models can be
-//!   written to disk and reloaded without retraining.
+//!   format so trained MMA/TRMMA models can be written to disk and reloaded
+//!   without retraining.
 //!
 //! The format is `MAGIC (4) | version (u32) | count (u32) | {rows (u32),
 //! cols (u32), values (f64 × rows·cols)}*`. Loading validates the magic,
 //! version, parameter count and every shape before touching any value, so
 //! a failed load never leaves the model half-written.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::matrix::Matrix;
 use crate::param::Param;
+
+/// Little-endian cursor over a byte slice (local stand-in for `bytes::Buf`).
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        head
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
 
 const MAGIC: &[u8; 4] = b"TNN1";
 const VERSION: u32 = 1;
@@ -82,21 +105,21 @@ pub fn restore(params: &[Param], saved: &[Matrix]) {
 
 /// Serialises the parameter collection to a portable binary blob.
 #[must_use]
-pub fn save_params(params: &[Param]) -> Bytes {
+pub fn save_params(params: &[Param]) -> Vec<u8> {
     let total: usize = params.iter().map(Param::num_weights).sum();
-    let mut buf = BytesMut::with_capacity(12 + params.len() * 8 + total * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(params.len() as u32);
+    let mut buf = Vec::with_capacity(12 + params.len() * 8 + total * 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
     for p in params {
         let v = p.value();
-        buf.put_u32_le(v.rows() as u32);
-        buf.put_u32_le(v.cols() as u32);
+        buf.extend_from_slice(&(v.rows() as u32).to_le_bytes());
+        buf.extend_from_slice(&(v.cols() as u32).to_le_bytes());
         for &x in v.data() {
-            buf.put_f64_le(x);
+            buf.extend_from_slice(&x.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Loads a blob produced by [`save_params`] into `params`.
@@ -106,13 +129,11 @@ pub fn save_params(params: &[Param]) -> Bytes {
 /// # Errors
 /// See [`LoadError`].
 pub fn load_params(params: &[Param], blob: &[u8]) -> Result<(), LoadError> {
-    let mut buf = blob;
+    let mut buf = Reader { buf: blob };
     if buf.remaining() < 12 {
         return Err(LoadError::BadHeader);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if buf.take(4) != MAGIC {
         return Err(LoadError::BadHeader);
     }
     let version = buf.get_u32_le();
@@ -171,7 +192,7 @@ mod tests {
         let src = params();
         let blob = save_params(&src);
         let dst = params(); // same shapes, same init seed
-        // Perturb destination so the load visibly changes it.
+                            // Perturb destination so the load visibly changes it.
         dst[0].set_value(Matrix::zeros(3, 4));
         load_params(&dst, &blob).unwrap();
         for (a, b) in src.iter().zip(&dst) {
@@ -215,10 +236,7 @@ mod tests {
             Param::new(1, 7, Init::Zeros, &mut rng),
             Param::new(2, 2, Init::Zeros, &mut rng),
         ];
-        assert_eq!(
-            load_params(&wrong_shape, &blob),
-            Err(LoadError::ShapeMismatch { index: 0 })
-        );
+        assert_eq!(load_params(&wrong_shape, &blob), Err(LoadError::ShapeMismatch { index: 0 }));
         // Failed load must not have modified anything.
         assert!(wrong_shape[1].value().data().iter().all(|&x| x == 0.0));
     }

@@ -170,15 +170,10 @@ pub fn train_embeddings(net: &RoadNetwork, cfg: &Node2VecConfig) -> Matrix {
                     // One positive + `negatives` negative updates.
                     let mut grad_center = vec![0.0; cfg.dim];
                     for k in 0..=cfg.negatives {
-                        let (out, label) = if k == 0 {
-                            (target, 1.0)
-                        } else {
-                            (sample_negative(&mut rng), 0.0)
-                        };
+                        let (out, label) =
+                            if k == 0 { (target, 1.0) } else { (sample_negative(&mut rng), 0.0) };
                         let o_off = out * cfg.dim;
-                        let dot: f64 = (0..cfg.dim)
-                            .map(|d| emb[c_off + d] * ctx[o_off + d])
-                            .sum();
+                        let dot: f64 = (0..cfg.dim).map(|d| emb[c_off + d] * ctx[o_off + d]).sum();
                         let g = (sigmoid(dot) - label) * cfg.lr;
                         for d in 0..cfg.dim {
                             grad_center[d] += g * ctx[o_off + d];
@@ -244,7 +239,8 @@ mod tests {
     #[test]
     fn neighbours_more_similar_than_distant_segments() {
         let net = net();
-        let cfg = Node2VecConfig { dim: 32, walks_per_node: 8, walk_len: 16, epochs: 4, ..small_cfg() };
+        let cfg =
+            Node2VecConfig { dim: 32, walks_per_node: 8, walk_len: 16, epochs: 4, ..small_cfg() };
         let emb = train_embeddings(&net, &cfg);
         let cos = |a: usize, b: usize| -> f64 {
             let (ra, rb) = (emb.row(a), emb.row(b));
@@ -273,10 +269,7 @@ mod tests {
         }
         let adj_mean = adj_sum / adj_n as f64;
         let far_mean = far_sum / far_n as f64;
-        assert!(
-            adj_mean > far_mean,
-            "adjacent {adj_mean:.3} should beat distant {far_mean:.3}"
-        );
+        assert!(adj_mean > far_mean, "adjacent {adj_mean:.3} should beat distant {far_mean:.3}");
     }
 
     #[test]

@@ -140,7 +140,13 @@ pub fn generate_city(cfg: &NetworkConfig) -> RoadNetwork {
             }
             // Occasional diagonal shortcut across the block.
             if i + 1 < nx && j + 1 < ny && rng.gen::<f64>() < cfg.p_diagonal {
-                push_street(&mut rng, node_id(i, j), node_id(i + 1, j + 1), RoadClass::Local, false);
+                push_street(
+                    &mut rng,
+                    node_id(i, j),
+                    node_id(i + 1, j + 1),
+                    RoadClass::Local,
+                    false,
+                );
             }
         }
     }
@@ -211,7 +217,11 @@ mod tests {
 
     #[test]
     fn segment_lengths_near_spacing() {
-        let cfg = NetworkConfig { jitter_frac: 0.0, p_diagonal: 0.0, ..NetworkConfig::with_size(6, 6, 3) };
+        let cfg = NetworkConfig {
+            jitter_frac: 0.0,
+            p_diagonal: 0.0,
+            ..NetworkConfig::with_size(6, 6, 3)
+        };
         let net = generate_city(&cfg);
         for s in net.segments() {
             assert!((s.length - cfg.spacing_m).abs() < 1e-6, "len {}", s.length);

@@ -1,15 +1,14 @@
 //! The directed road-network graph.
 
-use serde::{Deserialize, Serialize};
 use trmma_geom::{BBox, SegLine, Vec2};
 use trmma_rtree::{IndexedSegment, RTree};
 
 /// Identifier of an intersection / road end (index into the node arena).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a directed road segment (index into the segment arena).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SegmentId(pub u32);
 
 impl NodeId {
@@ -29,7 +28,7 @@ impl SegmentId {
 }
 
 /// Functional class of a road, determining its free-flow speed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoadClass {
     /// Arterial / trunk roads.
     Arterial,
@@ -44,15 +43,15 @@ impl RoadClass {
     #[must_use]
     pub fn speed_mps(self) -> f64 {
         match self {
-            RoadClass::Arterial => 16.7, // ~60 km/h
+            RoadClass::Arterial => 16.7,  // ~60 km/h
             RoadClass::Collector => 11.1, // ~40 km/h
-            RoadClass::Local => 8.3,     // ~30 km/h
+            RoadClass::Local => 8.3,      // ~30 km/h
         }
     }
 }
 
 /// A directed road segment `e = (u, v)` with geometry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Segment {
     /// Entrance node `u`.
     pub from: NodeId,
@@ -79,7 +78,7 @@ impl Segment {
 /// Storage is arena-based (`Vec` indexed by the id newtypes); adjacency is
 /// precomputed in both directions. `n = |E|` is
 /// [`RoadNetwork::num_segments`], `m = |V|` is [`RoadNetwork::num_nodes`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RoadNetwork {
     node_pos: Vec<Vec2>,
     segments: Vec<Segment>,
@@ -128,10 +127,7 @@ impl RoadNetwork {
             .enumerate()
             .map(|(i, s)| ((s.from, s.to), SegmentId(i as u32)))
             .collect();
-        let reverse_twin = segments
-            .iter()
-            .map(|s| index.get(&(s.to, s.from)).copied())
-            .collect();
+        let reverse_twin = segments.iter().map(|s| index.get(&(s.to, s.from)).copied()).collect();
 
         Self { node_pos, segments, out_segs, in_segs, reverse_twin }
     }
@@ -453,10 +449,7 @@ mod tests {
         assert_eq!(core.num_nodes(), 4);
         assert_eq!(core.num_segments(), 4);
         // The spur has no image in the core network.
-        let spur = net
-            .segment_ids()
-            .find(|&i| net.segment(i).to == NodeId(4))
-            .unwrap();
+        let spur = net.segment_ids().find(|&i| net.segment(i).to == NodeId(4)).unwrap();
         assert!(seg_map[spur.idx()].is_none());
     }
 

@@ -123,10 +123,9 @@ pub fn read_network<R: Read>(r: R) -> Result<RoadNetwork, IoError> {
                 let from = parse_u32(parts.next(), "from")?;
                 let to = parse_u32(parts.next(), "to")?;
                 let class = parse_class(
-                    parts.next().ok_or(IoError::Parse {
-                        line: line_no,
-                        msg: "missing class".into(),
-                    })?,
+                    parts
+                        .next()
+                        .ok_or(IoError::Parse { line: line_no, msg: "missing class".into() })?,
                     line_no,
                 )?;
                 if from as usize >= nodes.len() || to as usize >= nodes.len() {

@@ -106,7 +106,12 @@ impl RoutePlanner {
     /// search reaches `dst` within the state cap, otherwise the free-flow
     /// fastest route, otherwise `None` (disconnected pair).
     #[must_use]
-    pub fn plan(&self, net: &RoadNetwork, src: SegmentId, dst: SegmentId) -> Option<Vec<SegmentId>> {
+    pub fn plan(
+        &self,
+        net: &RoadNetwork,
+        src: SegmentId,
+        dst: SegmentId,
+    ) -> Option<Vec<SegmentId>> {
         if src == dst {
             return Some(vec![src]);
         }
@@ -149,7 +154,8 @@ impl RoutePlanner {
             for &next in net.successors(SegmentId(seg)) {
                 // Forbid immediate U-turns unless the segment dead-ends:
                 // historical trajectories essentially never bounce back.
-                if Some(next) == net.reverse_twin(SegmentId(seg)) && net.successors(SegmentId(seg)).len() > 1
+                if Some(next) == net.reverse_twin(SegmentId(seg))
+                    && net.successors(SegmentId(seg)).len() > 1
                 {
                     continue;
                 }
@@ -165,7 +171,12 @@ impl RoutePlanner {
         None
     }
 
-    fn plan_fastest(&self, net: &RoadNetwork, src: SegmentId, dst: SegmentId) -> Option<Vec<SegmentId>> {
+    fn plan_fastest(
+        &self,
+        net: &RoadNetwork,
+        src: SegmentId,
+        dst: SegmentId,
+    ) -> Option<Vec<SegmentId>> {
         let (_, mid) = node_path(
             net,
             net.segment(src).to,

@@ -13,8 +13,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
 
 use crate::graph::{NodeId, RoadNetwork, SegmentId};
 
@@ -325,30 +325,117 @@ pub fn bidirectional_dist(
 /// All nodes reachable from `src` within `delta` (inclusive), with their
 /// distances. This bounded sweep is the kernel of FMM's UBODT precomputation.
 #[must_use]
-pub fn bounded_sssp(net: &RoadNetwork, src: NodeId, weight: Weight, delta: f64) -> Vec<(NodeId, f64)> {
-    let mut dist: HashMap<u32, f64> = HashMap::new();
-    let mut heap = BinaryHeap::new();
-    dist.insert(src.0, 0.0);
-    heap.push(QueueItem { dist: 0.0, node: src.0 });
-    while let Some(QueueItem { dist: d, node }) = heap.pop() {
-        if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
-            continue;
+pub fn bounded_sssp(
+    net: &RoadNetwork,
+    src: NodeId,
+    weight: Weight,
+    delta: f64,
+) -> Vec<(NodeId, f64)> {
+    let mut pool = SsspPool::new();
+    let mut out = Vec::new();
+    pool.bounded_sssp_into(net, src, weight, delta, &mut out);
+    out
+}
+
+/// Reusable single-source shortest-path state: the tentative-distance map
+/// and the priority queue of Dijkstra, kept allocated between searches.
+///
+/// Transition lookups in a batch of trajectories run thousands of small
+/// bounded sweeps over the same network; clearing a warm `HashMap` and
+/// `BinaryHeap` is far cheaper than reallocating them per query.
+/// [`bounded_sssp`] and [`DistCache`] both run their searches through a
+/// pool, so only cache *misses* pay for a sweep at all — and even those
+/// reuse warm buffers.
+#[derive(Debug, Default)]
+pub struct SsspPool {
+    dist: HashMap<u32, f64>,
+    heap: BinaryHeap<QueueItem>,
+}
+
+impl SsspPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clear(&mut self) {
+        self.dist.clear();
+        self.heap.clear();
+    }
+
+    /// Early-exit Dijkstra from `src` to `dst` reusing the pool's buffers.
+    /// Same contract as [`node_dist`].
+    #[must_use]
+    pub fn node_dist(
+        &mut self,
+        net: &RoadNetwork,
+        src: NodeId,
+        dst: NodeId,
+        weight: Weight,
+        max_cost: f64,
+    ) -> Option<f64> {
+        if src == dst {
+            return Some(0.0);
         }
-        for &seg in net.out_segments(NodeId(node)) {
-            let nd = d + weight.of(net, seg);
-            if nd > delta {
+        self.clear();
+        self.dist.insert(src.0, 0.0);
+        self.heap.push(QueueItem { dist: 0.0, node: src.0 });
+        while let Some(QueueItem { dist: d, node }) = self.heap.pop() {
+            if node == dst.0 {
+                return Some(d);
+            }
+            if d > *self.dist.get(&node).unwrap_or(&f64::INFINITY) {
                 continue;
             }
-            let to = net.segment(seg).to.0;
-            if nd < *dist.get(&to).unwrap_or(&f64::INFINITY) {
-                dist.insert(to, nd);
-                heap.push(QueueItem { dist: nd, node: to });
+            for &seg in net.out_segments(NodeId(node)) {
+                let nd = d + weight.of(net, seg);
+                if nd > max_cost {
+                    continue;
+                }
+                let to = net.segment(seg).to.0;
+                if nd < *self.dist.get(&to).unwrap_or(&f64::INFINITY) {
+                    self.dist.insert(to, nd);
+                    self.heap.push(QueueItem { dist: nd, node: to });
+                }
             }
         }
+        None
     }
-    let mut out: Vec<(NodeId, f64)> = dist.into_iter().map(|(n, d)| (NodeId(n), d)).collect();
-    out.sort_by_key(|e| e.0);
-    out
+
+    /// Bounded sweep from `src`, writing `(node, dist)` pairs sorted by node
+    /// id into `out` (cleared first). Same contract as [`bounded_sssp`].
+    pub fn bounded_sssp_into(
+        &mut self,
+        net: &RoadNetwork,
+        src: NodeId,
+        weight: Weight,
+        delta: f64,
+        out: &mut Vec<(NodeId, f64)>,
+    ) {
+        self.clear();
+        self.dist.insert(src.0, 0.0);
+        self.heap.push(QueueItem { dist: 0.0, node: src.0 });
+        while let Some(QueueItem { dist: d, node }) = self.heap.pop() {
+            if d > *self.dist.get(&node).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            for &seg in net.out_segments(NodeId(node)) {
+                let nd = d + weight.of(net, seg);
+                if nd > delta {
+                    continue;
+                }
+                let to = net.segment(seg).to.0;
+                if nd < *self.dist.get(&to).unwrap_or(&f64::INFINITY) {
+                    self.dist.insert(to, nd);
+                    self.heap.push(QueueItem { dist: nd, node: to });
+                }
+            }
+        }
+        out.clear();
+        out.extend(self.dist.iter().map(|(&n, &d)| (NodeId(n), d)));
+        out.sort_by_key(|e| e.0);
+    }
 }
 
 /// A position on the network: segment plus position ratio (Definition 5,
@@ -426,9 +513,15 @@ pub fn matched_dist(
 /// HMM transition probabilities hammer the same node pairs; the cache turns
 /// repeated Dijkstra runs into hash lookups. Misses within `max_cost` are
 /// cached as `+∞` so unreachable pairs are not retried.
+///
+/// Misses run through an internal [`SsspPool`], so the Dijkstra state stays
+/// warm across the many small sweeps a batch of lookups triggers. The pool
+/// sits behind its own mutex, taken only on a miss — hits touch nothing but
+/// the read lock.
 #[derive(Debug, Default)]
 pub struct DistCache {
     map: RwLock<HashMap<(u32, u32), f64>>,
+    pool: Mutex<SsspPool>,
 }
 
 impl DistCache {
@@ -447,12 +540,19 @@ impl DistCache {
         dst: NodeId,
         max_cost: f64,
     ) -> Option<f64> {
-        if let Some(&d) = self.map.read().get(&(src.0, dst.0)) {
+        if let Some(&d) = self.map.read().expect("dist cache poisoned").get(&(src.0, dst.0)) {
             return if d.is_finite() { Some(d) } else { None };
         }
-        let d = node_dist(net, src, dst, Weight::Length, max_cost);
+        let d = self.pool.lock().expect("sssp pool poisoned").node_dist(
+            net,
+            src,
+            dst,
+            Weight::Length,
+            max_cost,
+        );
         self.map
             .write()
+            .expect("dist cache poisoned")
             .insert((src.0, dst.0), d.unwrap_or(f64::INFINITY));
         d
     }
@@ -460,13 +560,13 @@ impl DistCache {
     /// Number of cached pairs.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.map.read().expect("dist cache poisoned").len()
     }
 
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.map.read().expect("dist cache poisoned").is_empty()
     }
 }
 
@@ -610,6 +710,41 @@ mod tests {
         assert!(astar_path(&net, NodeId(0), NodeId(2), 150.0).is_none());
         assert!(astar_path(&net, NodeId(0), NodeId(2), 250.0).is_some());
         assert!(bidirectional_dist(&net, NodeId(0), NodeId(2), 150.0).is_none());
+    }
+
+    #[test]
+    fn sssp_pool_matches_fresh_searches() {
+        let net = crate::gen::generate_city(&crate::gen::NetworkConfig::with_size(7, 7, 12));
+        let m = net.num_nodes() as u32;
+        let mut pool = SsspPool::new();
+        for (s, d) in [(0u32, 30u32), (5, 11), (40, 2), (3, 3), (17, 44)] {
+            let (src, dst) = (NodeId(s % m), NodeId(d % m));
+            let fresh = node_dist(&net, src, dst, Weight::Length, f64::INFINITY);
+            let pooled = pool.node_dist(&net, src, dst, Weight::Length, f64::INFINITY);
+            assert_eq!(fresh, pooled, "{src:?}->{dst:?}");
+        }
+        // Bounded sweeps agree with the allocating variant across reuses.
+        let mut out = Vec::new();
+        for src in [NodeId(0), NodeId(9), NodeId(20)] {
+            pool.bounded_sssp_into(&net, src, Weight::Length, 700.0, &mut out);
+            assert_eq!(out, bounded_sssp(&net, src, Weight::Length, 700.0));
+        }
+    }
+
+    #[test]
+    fn dist_cache_pooled_misses_agree_with_plain_dijkstra() {
+        // DistCache misses run through its internal pool; answers must match
+        // fresh searches across many consecutive misses (warm-buffer reuse).
+        let net = crate::gen::generate_city(&crate::gen::NetworkConfig::with_size(6, 6, 8));
+        let cache = DistCache::new();
+        let m = net.num_nodes() as u32;
+        for (s, d) in [(0u32, 20u32), (3, 14), (7, 7), (11, 2), (5, 33)] {
+            let (src, dst) = (NodeId(s % m), NodeId(d % m));
+            let pooled = cache.node_dist(&net, src, dst, f64::INFINITY);
+            let fresh = node_dist(&net, src, dst, Weight::Length, f64::INFINITY);
+            assert_eq!(pooled, fresh, "{src:?}->{dst:?}");
+        }
+        assert_eq!(cache.len(), 5);
     }
 
     #[test]

@@ -119,16 +119,48 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want smallest distance first.
-        other
-            .dist_sq
-            .partial_cmp(&self.dist_sq)
-            .unwrap_or(Ordering::Equal)
+        other.dist_sq.partial_cmp(&self.dist_sq).unwrap_or(Ordering::Equal)
     }
 }
 
 impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Total-ordered `f64` for the k-th-best pruning heap (max-heap).
+#[derive(Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable buffers for [`RTree::knn_into`]: the best-first traversal heap
+/// and the k-th-best pruning heap. One instance per worker thread serves
+/// any number of queries without reallocating.
+#[derive(Debug, Default)]
+pub struct KnnScratch {
+    heap: BinaryHeap<HeapEntry>,
+    kth: BinaryHeap<OrdF64>,
+}
+
+impl KnnScratch {
+    /// Empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -158,10 +190,7 @@ impl<T: SpatialObject> RTree<T> {
         let mut order: Vec<u32> = (0..n as u32).collect();
         let centers: Vec<Vec2> = tree.items.iter().map(|it| it.bbox().center()).collect();
         order.sort_by(|&a, &b| {
-            centers[a as usize]
-                .x
-                .partial_cmp(&centers[b as usize].x)
-                .unwrap_or(Ordering::Equal)
+            centers[a as usize].x.partial_cmp(&centers[b as usize].x).unwrap_or(Ordering::Equal)
         });
 
         let leaf_count = n.div_ceil(capacity);
@@ -171,10 +200,7 @@ impl<T: SpatialObject> RTree<T> {
         let mut leaves: Vec<u32> = Vec::with_capacity(leaf_count);
         for slice in order.chunks_mut(slice_len) {
             slice.sort_by(|&a, &b| {
-                centers[a as usize]
-                    .y
-                    .partial_cmp(&centers[b as usize].y)
-                    .unwrap_or(Ordering::Equal)
+                centers[a as usize].y.partial_cmp(&centers[b as usize].y).unwrap_or(Ordering::Equal)
             });
             for run in slice.chunks(capacity) {
                 let mut bbox = BBox::empty();
@@ -247,23 +273,58 @@ impl<T: SpatialObject> RTree<T> {
 
     /// The `k` nearest items to `q` in exact distance order.
     ///
+    /// Convenience wrapper over [`RTree::knn_into`] that allocates fresh
+    /// buffers; hot loops should hold a [`KnnScratch`] and an output vector
+    /// and call `knn_into` directly.
+    #[must_use]
+    pub fn knn(&self, q: Vec2, k: usize) -> Vec<Neighbor> {
+        let mut scratch = KnnScratch::new();
+        let mut out = Vec::with_capacity(k.min(self.items.len()));
+        self.knn_into(q, k, &mut scratch, &mut out);
+        out
+    }
+
+    /// The `k` nearest items to `q` in exact distance order, written into
+    /// `out` (cleared first) using caller-owned scratch buffers.
+    ///
     /// Best-first search: a min-heap holds both pruned subtrees (keyed by
     /// `MINDIST`) and concrete items (keyed by exact distance). Whenever an
     /// item surfaces it is provably no farther than anything unexplored, so
-    /// it can be emitted immediately.
-    #[must_use]
-    pub fn knn(&self, q: Vec2, k: usize) -> Vec<Neighbor> {
-        let mut out = Vec::with_capacity(k.min(self.items.len()));
+    /// it can be emitted immediately. Entries are pruned *before* they are
+    /// pushed: once `k` item distances are known, any leaf item or subtree
+    /// whose distance / `MINDIST` exceeds the current k-th best can never be
+    /// emitted, so it never enters the heap.
+    ///
+    /// Reusing `scratch` and `out` across queries keeps the per-query
+    /// allocation count at zero once the buffers have warmed up — the map
+    /// -matching candidate search calls this once per GPS point.
+    pub fn knn_into(&self, q: Vec2, k: usize, scratch: &mut KnnScratch, out: &mut Vec<Neighbor>) {
+        out.clear();
         if k == 0 {
-            return out;
+            return;
         }
-        let Some(root) = self.root else { return out };
-        let mut heap = BinaryHeap::new();
+        let Some(root) = self.root else { return };
+        let heap = &mut scratch.heap;
+        let kth = &mut scratch.kth;
+        heap.clear();
+        kth.clear();
         heap.push(HeapEntry {
             dist_sq: self.nodes[root as usize].bbox.min_dist_sq(q),
             target: HeapRef::Node(root),
         });
+        // `kth` is a max-heap of the k smallest *item* distances seen so
+        // far; its top is the pruning bound.
+        let bound = |kth: &BinaryHeap<OrdF64>| -> f64 {
+            if kth.len() == k {
+                kth.peek().map_or(f64::INFINITY, |b| b.0)
+            } else {
+                f64::INFINITY
+            }
+        };
         while let Some(entry) = heap.pop() {
+            if entry.dist_sq > bound(kth) {
+                break; // everything left is farther than the k-th best
+            }
             match entry.target {
                 HeapRef::Item(i) => {
                     out.push(Neighbor { item: i, dist: entry.dist_sq.sqrt() });
@@ -274,24 +335,29 @@ impl<T: SpatialObject> RTree<T> {
                 HeapRef::Node(nid) => match &self.nodes[nid as usize].kind {
                     NodeKind::Leaf(items) => {
                         for &i in items {
-                            heap.push(HeapEntry {
-                                dist_sq: self.items[i as usize].dist_sq(q),
-                                target: HeapRef::Item(i),
-                            });
+                            let d = self.items[i as usize].dist_sq(q);
+                            if d > bound(kth) {
+                                continue; // prune before push
+                            }
+                            if kth.len() == k {
+                                kth.pop();
+                            }
+                            kth.push(OrdF64(d));
+                            heap.push(HeapEntry { dist_sq: d, target: HeapRef::Item(i) });
                         }
                     }
                     NodeKind::Inner(children) => {
                         for &c in children {
-                            heap.push(HeapEntry {
-                                dist_sq: self.nodes[c as usize].bbox.min_dist_sq(q),
-                                target: HeapRef::Node(c),
-                            });
+                            let d = self.nodes[c as usize].bbox.min_dist_sq(q);
+                            if d > bound(kth) {
+                                continue; // subtree cannot beat the k-th best
+                            }
+                            heap.push(HeapEntry { dist_sq: d, target: HeapRef::Node(c) });
                         }
                     }
                 },
             }
         }
-        out
     }
 
     /// The single nearest item to `q`, if the tree is non-empty.
@@ -350,10 +416,7 @@ mod tests {
     fn brute_knn(items: &[Vec2], q: Vec2, k: usize) -> Vec<u32> {
         let mut idx: Vec<u32> = (0..items.len() as u32).collect();
         idx.sort_by(|&a, &b| {
-            items[a as usize]
-                .dist_sq(q)
-                .partial_cmp(&items[b as usize].dist_sq(q))
-                .unwrap()
+            items[a as usize].dist_sq(q).partial_cmp(&items[b as usize].dist_sq(q)).unwrap()
         });
         idx.truncate(k);
         idx
@@ -429,10 +492,7 @@ mod tests {
                 id: 0,
                 line: SegLine::new(Vec2::new(-100.0, 1.0), Vec2::new(100.0, 1.0)),
             },
-            IndexedSegment {
-                id: 1,
-                line: SegLine::new(Vec2::new(5.0, 5.0), Vec2::new(6.0, 6.0)),
-            },
+            IndexedSegment { id: 1, line: SegLine::new(Vec2::new(5.0, 5.0), Vec2::new(6.0, 6.0)) },
         ];
         let tree = RTree::bulk_load(segs);
         let res = tree.knn(Vec2::new(0.0, 0.0), 2);
@@ -447,11 +507,57 @@ mod tests {
         let range = BBox::of_points(&[Vec2::new(15.0, 15.0), Vec2::new(55.0, 35.0)]);
         let mut got = tree.query_bbox(&range);
         got.sort_unstable();
-        let mut want: Vec<u32> = (0..pts.len() as u32)
-            .filter(|&i| range.contains(pts[i as usize]))
-            .collect();
+        let mut want: Vec<u32> =
+            (0..pts.len() as u32).filter(|&i| range.contains(pts[i as usize])).collect();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_into_reuses_buffers_and_matches_knn() {
+        let pts = grid_points(20, 20);
+        let tree = RTree::bulk_load(pts);
+        let mut scratch = KnnScratch::new();
+        let mut out = Vec::new();
+        for (qi, q) in [
+            Vec2::new(33.0, 71.0),
+            Vec2::new(-5.0, -5.0),
+            Vec2::new(250.0, 100.0),
+            Vec2::new(95.0, 95.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let k = 3 + qi * 4;
+            tree.knn_into(q, k, &mut scratch, &mut out);
+            let fresh = tree.knn(q, k);
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.item, b.item, "scratch reuse changed results at {q:?}");
+                assert!((a.dist - b.dist).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_prunes_but_stays_exact_with_duplicated_distances() {
+        // Many tied distances stress the `>` (keep ties) pruning condition.
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                pts.push(Vec2::new(f64::from(i % 4) * 10.0, f64::from(j % 4) * 10.0));
+            }
+        }
+        let tree = RTree::bulk_load_with_capacity(pts.clone(), 4);
+        let q = Vec2::new(14.0, 14.0);
+        let got = tree.knn(q, 20);
+        assert_eq!(got.len(), 20);
+        let want = brute_knn(&pts, q, 20);
+        for (g, w) in got.iter().zip(want.iter()) {
+            let dg = pts[g.item as usize].dist(q);
+            let dw = pts[*w as usize].dist(q);
+            assert!((dg - dw).abs() < 1e-9, "tied-distance pruning broke exactness");
+        }
     }
 
     #[test]

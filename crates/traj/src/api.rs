@@ -10,7 +10,7 @@
 
 use trmma_geom::Vec2;
 use trmma_roadnet::{RoadNetwork, SegmentId};
-use trmma_rtree::{IndexedSegment, RTree};
+use trmma_rtree::{IndexedSegment, KnnScratch, Neighbor, RTree};
 
 use crate::types::{MatchedPoint, MatchedTrajectory, Route, Trajectory};
 
@@ -25,7 +25,11 @@ pub struct MatchResult {
 }
 
 /// A map-matching method.
-pub trait MapMatcher {
+///
+/// `Send + Sync` is part of the contract: matchers are immutable at
+/// inference time and are shared by reference across the worker threads of
+/// the batched inference engine (`trmma_core::batch`).
+pub trait MapMatcher: Send + Sync {
     /// Short display name used in experiment tables.
     fn name(&self) -> &'static str;
 
@@ -35,7 +39,10 @@ pub trait MapMatcher {
 }
 
 /// A trajectory-recovery method (Definition 7).
-pub trait TrajectoryRecovery {
+///
+/// `Send + Sync` for the same reason as [`MapMatcher`]: recovery models are
+/// shared read-only across batch workers.
+pub trait TrajectoryRecovery: Send + Sync {
     /// Short display name used in experiment tables.
     fn name(&self) -> &'static str;
 
@@ -53,6 +60,22 @@ pub struct Candidate {
     pub dist_m: f64,
     /// Projection ratio of the GPS point onto the segment.
     pub ratio: f64,
+}
+
+/// Reusable buffers for [`CandidateFinder::candidates_into`]: the R-tree
+/// search scratch plus the raw neighbour list.
+#[derive(Debug, Default)]
+pub struct CandidateScratch {
+    knn: KnnScratch,
+    neighbors: Vec<Neighbor>,
+}
+
+impl CandidateScratch {
+    /// Empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Top-`kc` nearest-segment query over an STR R-tree (Definition 8).
@@ -79,18 +102,30 @@ impl CandidateFinder {
     /// The top-`kc` nearest segments to `p`, closest first.
     #[must_use]
     pub fn candidates(&self, p: Vec2) -> Vec<Candidate> {
-        self.tree
-            .knn(p, self.kc)
-            .into_iter()
-            .map(|n| {
-                let seg = self.tree.item(n.item);
-                Candidate {
-                    seg: SegmentId(seg.id),
-                    dist_m: n.dist,
-                    ratio: seg.line.project_ratio(p),
-                }
-            })
-            .collect()
+        let mut scratch = CandidateScratch::new();
+        let mut out = Vec::with_capacity(self.kc);
+        self.candidates_into(p, &mut scratch, &mut out);
+        out
+    }
+
+    /// The top-`kc` nearest segments to `p`, closest first, written into
+    /// `out` (cleared first) through caller-owned scratch buffers.
+    ///
+    /// The allocation-free path of the batched inference engine: one
+    /// [`CandidateScratch`] per worker serves every GPS point of every
+    /// trajectory assigned to that worker.
+    pub fn candidates_into(
+        &self,
+        p: Vec2,
+        scratch: &mut CandidateScratch,
+        out: &mut Vec<Candidate>,
+    ) {
+        self.tree.knn_into(p, self.kc, &mut scratch.knn, &mut scratch.neighbors);
+        out.clear();
+        out.extend(scratch.neighbors.iter().map(|n| {
+            let seg = self.tree.item(n.item);
+            Candidate { seg: SegmentId(seg.id), dist_m: n.dist, ratio: seg.line.project_ratio(p) }
+        }));
     }
 
     /// The single nearest segment to `p`.
@@ -98,11 +133,7 @@ impl CandidateFinder {
     pub fn nearest(&self, p: Vec2) -> Option<Candidate> {
         self.tree.nearest(p).map(|n| {
             let seg = self.tree.item(n.item);
-            Candidate {
-                seg: SegmentId(seg.id),
-                dist_m: n.dist,
-                ratio: seg.line.project_ratio(p),
-            }
+            Candidate { seg: SegmentId(seg.id), dist_m: n.dist, ratio: seg.line.project_ratio(p) }
         })
     }
 }

@@ -48,7 +48,13 @@ impl DatasetConfig {
     pub fn porto_like(scale: f64) -> Self {
         Self {
             name: "PT".into(),
-            net: NetworkConfig { nx: 14, ny: 12, spacing_m: 170.0, seed: 101, ..NetworkConfig::default() },
+            net: NetworkConfig {
+                nx: 14,
+                ny: 12,
+                spacing_m: 170.0,
+                seed: 101,
+                ..NetworkConfig::default()
+            },
             traj: TrajConfig { epsilon_s: 15.0, gps_noise_m: 8.0, ..TrajConfig::default() },
             n_trajectories: scaled(260, scale),
             default_gamma: 0.1,
@@ -61,7 +67,13 @@ impl DatasetConfig {
     pub fn xian_like(scale: f64) -> Self {
         Self {
             name: "XA".into(),
-            net: NetworkConfig { nx: 10, ny: 10, spacing_m: 150.0, seed: 102, ..NetworkConfig::default() },
+            net: NetworkConfig {
+                nx: 10,
+                ny: 10,
+                spacing_m: 150.0,
+                seed: 102,
+                ..NetworkConfig::default()
+            },
             traj: TrajConfig { epsilon_s: 12.0, gps_noise_m: 6.0, ..TrajConfig::default() },
             n_trajectories: scaled(300, scale),
             default_gamma: 0.1,
@@ -74,7 +86,13 @@ impl DatasetConfig {
     pub fn beijing_like(scale: f64) -> Self {
         Self {
             name: "BJ".into(),
-            net: NetworkConfig { nx: 18, ny: 18, spacing_m: 240.0, seed: 103, ..NetworkConfig::default() },
+            net: NetworkConfig {
+                nx: 18,
+                ny: 18,
+                spacing_m: 240.0,
+                seed: 103,
+                ..NetworkConfig::default()
+            },
             traj: TrajConfig {
                 epsilon_s: 60.0,
                 gps_noise_m: 15.0,
@@ -94,7 +112,13 @@ impl DatasetConfig {
     pub fn chengdu_like(scale: f64) -> Self {
         Self {
             name: "CD".into(),
-            net: NetworkConfig { nx: 12, ny: 12, spacing_m: 160.0, seed: 104, ..NetworkConfig::default() },
+            net: NetworkConfig {
+                nx: 12,
+                ny: 12,
+                spacing_m: 160.0,
+                seed: 104,
+                ..NetworkConfig::default()
+            },
             traj: TrajConfig { epsilon_s: 12.0, gps_noise_m: 6.0, ..TrajConfig::default() },
             n_trajectories: scaled(320, scale),
             default_gamma: 0.1,
@@ -119,7 +143,12 @@ impl DatasetConfig {
         Self {
             name: "TINY".into(),
             net: NetworkConfig::with_size(8, 8, 9),
-            traj: TrajConfig { epsilon_s: 15.0, min_points: 10, max_points: 40, ..TrajConfig::default() },
+            traj: TrajConfig {
+                epsilon_s: 15.0,
+                min_points: 10,
+                max_points: 40,
+                ..TrajConfig::default()
+            },
             n_trajectories: 40,
             default_gamma: 0.2,
             seed: 900,
@@ -221,10 +250,7 @@ impl Dataset {
     #[must_use]
     pub fn samples(&self, split: Split, gamma: f64, seed: u64) -> Vec<Sample> {
         let mut rng = StdRng::seed_from_u64(seed);
-        self.indices(split)
-            .iter()
-            .map(|&i| sparsify(&self.raws[i], gamma, &mut rng))
-            .collect()
+        self.indices(split).iter().map(|&i| sparsify(&self.raws[i], gamma, &mut rng)).collect()
     }
 
     /// Table II statistics for this dataset.
@@ -264,11 +290,8 @@ mod tests {
         let ds = build_dataset(&DatasetConfig::tiny());
         let n = ds.all_raws().len();
         assert!(n > 0);
-        let (tr, va, te) = (
-            ds.raws(Split::Train).len(),
-            ds.raws(Split::Val).len(),
-            ds.raws(Split::Test).len(),
-        );
+        let (tr, va, te) =
+            (ds.raws(Split::Train).len(), ds.raws(Split::Val).len(), ds.raws(Split::Test).len());
         assert_eq!(tr + va + te, n);
         assert!((tr as f64 / n as f64 - 0.4).abs() < 0.1, "train {tr}/{n}");
     }

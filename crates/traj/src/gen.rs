@@ -215,7 +215,12 @@ fn drive_route(
 
 /// Generates `n` trajectories deterministically from `seed`.
 #[must_use]
-pub fn generate_corpus(net: &RoadNetwork, cfg: &TrajConfig, n: usize, seed: u64) -> Vec<RawTrajectory> {
+pub fn generate_corpus(
+    net: &RoadNetwork,
+    cfg: &TrajConfig,
+    n: usize,
+    seed: u64,
+) -> Vec<RawTrajectory> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     let mut failures = 0usize;
@@ -251,9 +256,7 @@ pub fn sparsify(raw: &RawTrajectory, gamma: f64, rng: &mut StdRng) -> Sample {
     }
     indices.push(n - 1);
 
-    let sparse = Trajectory {
-        points: indices.iter().map(|&i| raw.dense_gps.points[i]).collect(),
-    };
+    let sparse = Trajectory { points: indices.iter().map(|&i| raw.dense_gps.points[i]).collect() };
     let sparse_truth = indices.iter().map(|&i| raw.dense_truth.points[i]).collect();
     Sample {
         sparse,
@@ -339,10 +342,8 @@ mod tests {
     fn route_perturbation_diversifies() {
         let (net, cfg) = setup();
         let corpus = generate_corpus(&net, &cfg, 20, 5);
-        let distinct: std::collections::HashSet<Vec<u32>> = corpus
-            .iter()
-            .map(|r| r.route.segs.iter().map(|s| s.0).collect())
-            .collect();
+        let distinct: std::collections::HashSet<Vec<u32>> =
+            corpus.iter().map(|r| r.route.segs.iter().map(|s| s.0).collect()).collect();
         assert!(distinct.len() > 10, "routes too uniform: {}", distinct.len());
     }
 

@@ -93,10 +93,9 @@ pub fn read_trajectories<R: Read>(r: R) -> Result<Vec<Trajectory>, TrajIoError> 
             return Err(TrajIoError::Parse { line: line_no, msg: "expected x,y,t".into() });
         }
         let parse = |s: &str, what: &str| -> Result<f64, TrajIoError> {
-            s.trim().parse().map_err(|_| TrajIoError::Parse {
-                line: line_no,
-                msg: format!("bad {what} `{s}`"),
-            })
+            s.trim()
+                .parse()
+                .map_err(|_| TrajIoError::Parse { line: line_no, msg: format!("bad {what} `{s}`") })
         };
         current.points.push(GpsPoint {
             pos: Vec2::new(parse(fields[0], "x")?, parse(fields[1], "y")?),
@@ -151,10 +150,9 @@ pub fn read_matched<R: Read>(r: R) -> Result<Vec<MatchedTrajectory>, TrajIoError
             msg: format!("bad segment id `{}`", fields[0]),
         })?;
         let parse = |s: &str, what: &str| -> Result<f64, TrajIoError> {
-            s.trim().parse().map_err(|_| TrajIoError::Parse {
-                line: line_no,
-                msg: format!("bad {what} `{s}`"),
-            })
+            s.trim()
+                .parse()
+                .map_err(|_| TrajIoError::Parse { line: line_no, msg: format!("bad {what} `{s}`") })
         };
         current.points.push(MatchedPoint::new(
             SegmentId(seg),

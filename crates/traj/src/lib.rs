@@ -24,7 +24,9 @@ pub mod io;
 pub mod metrics;
 pub mod types;
 
-pub use api::{Candidate, CandidateFinder, MapMatcher, MatchResult, TrajectoryRecovery};
+pub use api::{
+    Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult, TrajectoryRecovery,
+};
 pub use dataset::{build_dataset, Dataset, DatasetConfig, Split};
 pub use gen::{sparsify, RawTrajectory, Sample, TrajConfig};
 pub use metrics::{matching_metrics, recovery_metrics, MatchingMetrics, RecoveryMetrics};

@@ -1,12 +1,11 @@
 //! Core trajectory types (Definitions 2–6).
 
-use serde::{Deserialize, Serialize};
 use trmma_geom::Vec2;
 use trmma_roadnet::{RoadNetwork, SegmentId};
 
 /// A GPS observation: planar position plus timestamp in seconds
 /// (Definition 2's `⟨lat, lng, t⟩` after projection).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpsPoint {
     /// Position in the local planar frame (metres).
     pub pos: Vec2,
@@ -15,7 +14,7 @@ pub struct GpsPoint {
 }
 
 /// A GPS trajectory `T = ⟨p_1, …, p_ℓ⟩` (Definition 2).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trajectory {
     /// Time-ordered GPS points.
     pub points: Vec<GpsPoint>,
@@ -60,7 +59,7 @@ impl Trajectory {
 }
 
 /// A route: a path on the road network (Definition 3).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Route {
     /// Segment sequence; consecutive segments are connected head-to-tail.
     pub segs: Vec<SegmentId>,
@@ -105,7 +104,7 @@ impl Route {
 }
 
 /// A map-matched point `a = (e, r, t)` (Definition 5).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatchedPoint {
     /// The segment the point lies on.
     pub seg: SegmentId,
@@ -131,7 +130,7 @@ impl MatchedPoint {
 
 /// A map-matched ε-sampling trajectory `T_ε = ⟨a_1, …, a_ℓε⟩`
 /// (Definition 6).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MatchedTrajectory {
     /// Time-ordered matched points with constant inter-point interval ε.
     pub points: Vec<MatchedPoint>,
@@ -172,9 +171,7 @@ impl MatchedTrajectory {
     /// seconds (the Definition 6 invariant).
     #[must_use]
     pub fn satisfies_epsilon(&self, epsilon: f64, tol: f64) -> bool {
-        self.points
-            .windows(2)
-            .all(|w| ((w[1].t - w[0].t) - epsilon).abs() <= tol)
+        self.points.windows(2).all(|w| ((w[1].t - w[0].t) - epsilon).abs() <= tol)
     }
 }
 
@@ -220,7 +217,9 @@ mod tests {
         let next = net.successors(e)[0];
         let good = Route::new(vec![e, next]);
         assert!(good.is_valid(&net));
-        assert!((good.length_m(&net) - net.segment(e).length - net.segment(next).length).abs() < 1e-9);
+        assert!(
+            (good.length_m(&net) - net.segment(e).length - net.segment(next).length).abs() < 1e-9
+        );
         assert_eq!(good.position_of(next), Some(1));
         assert_eq!(good.position_of(SegmentId(9999)), None);
     }
@@ -245,18 +244,13 @@ mod tests {
             MatchedPoint::new(SegmentId(4), 0.2, 30.0),
             MatchedPoint::new(SegmentId(1), 0.3, 45.0),
         ]);
-        assert_eq!(
-            tr.segment_run(),
-            vec![SegmentId(1), SegmentId(4), SegmentId(1)]
-        );
+        assert_eq!(tr.segment_run(), vec![SegmentId(1), SegmentId(4), SegmentId(1)]);
     }
 
     #[test]
     fn epsilon_invariant() {
         let tr = MatchedTrajectory::new(
-            (0..5)
-                .map(|i| MatchedPoint::new(SegmentId(0), 0.0, 15.0 * f64::from(i)))
-                .collect(),
+            (0..5).map(|i| MatchedPoint::new(SegmentId(0), 0.0, 15.0 * f64::from(i))).collect(),
         );
         assert!(tr.satisfies_epsilon(15.0, 1e-9));
         assert!(!tr.satisfies_epsilon(12.0, 1e-9));

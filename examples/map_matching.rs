@@ -29,15 +29,14 @@ fn main() {
     let nearest = NearestMatcher::new(net.clone(), planner.clone());
     let hmm = HmmMatcher::new(net.clone(), planner.clone(), HmmConfig::default());
     let fmm = FmmMatcher::new(net.clone(), planner.clone(), HmmConfig::default());
-    println!(
-        "FMM UBODT: {} node pairs precomputed in {:.2} s",
-        fmm.table_len(),
-        fmm.precompute_s
-    );
+    println!("FMM UBODT: {} node pairs precomputed in {:.2} s", fmm.table_len(), fmm.precompute_s);
     let mut mma = Mma::new(net.clone(), planner, None, MmaConfig::small());
     mma.train(&train, 6);
 
-    println!("\n{:<10} {:>10} {:>10} {:>8} {:>8} {:>10}", "method", "precision", "recall", "F1", "jaccard", "ms/traj");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>8} {:>8} {:>10}",
+        "method", "precision", "recall", "F1", "jaccard", "ms/traj"
+    );
     let matchers: Vec<&dyn MapMatcher> = vec![&nearest, &hmm, &fmm, &mma];
     for m in matchers {
         let mut avg = MetricAverager::new();

@@ -34,10 +34,7 @@ fn main() {
     model.train(&train, 6);
     let trmma = TrmmaPipeline::new(Box::new(mma), model, "TRMMA");
 
-    println!(
-        "{:>6} {:>12} {:>10} {:>10} {:>10}",
-        "gamma", "method", "accuracy", "F1", "MAE(m)"
-    );
+    println!("{:>6} {:>12} {:>10} {:>10} {:>10}", "gamma", "method", "accuracy", "F1", "MAE(m)");
     for gamma in [0.1, 0.3, 0.5] {
         let test = ds.samples(Split::Test, gamma, 2);
         for method in [&linear as &dyn TrajectoryRecovery, &trmma] {

@@ -20,7 +20,10 @@ use trmma::traj::TrajectoryRecovery;
 
 /// Per-segment mean traversal speed (m/s) estimated from consecutive
 /// same-segment matched points.
-fn estimate_speeds(net: &trmma::roadnet::RoadNetwork, trajs: &[MatchedTrajectory]) -> HashMap<u32, f64> {
+fn estimate_speeds(
+    net: &trmma::roadnet::RoadNetwork,
+    trajs: &[MatchedTrajectory],
+) -> HashMap<u32, f64> {
     let mut sums: HashMap<u32, (f64, f64)> = HashMap::new();
     for t in trajs {
         for w in t.points.windows(2) {
@@ -68,15 +71,12 @@ fn main() {
     let planner = Arc::new(planner);
 
     // Ground-truth speeds from the dense trajectories.
-    let dense: Vec<MatchedTrajectory> =
-        test.iter().map(|s| s.dense_truth.clone()).collect();
+    let dense: Vec<MatchedTrajectory> = test.iter().map(|s| s.dense_truth.clone()).collect();
     let truth_speeds = estimate_speeds(&net, &dense);
 
     // (a) Estimates from the raw sparse observations only.
-    let sparse: Vec<MatchedTrajectory> = test
-        .iter()
-        .map(|s| MatchedTrajectory::new(s.sparse_truth.clone()))
-        .collect();
+    let sparse: Vec<MatchedTrajectory> =
+        test.iter().map(|s| MatchedTrajectory::new(s.sparse_truth.clone())).collect();
     let sparse_speeds = estimate_speeds(&net, &sparse);
 
     // (b) Estimates from TRMMA-recovered ε-trajectories.
@@ -85,10 +85,8 @@ fn main() {
     let mut model = Trmma::new(net.clone(), TrmmaConfig::small());
     model.train(&train, 8);
     let pipeline = TrmmaPipeline::new(Box::new(mma), model, "TRMMA");
-    let recovered: Vec<MatchedTrajectory> = test
-        .iter()
-        .map(|s| pipeline.recover(&s.sparse, ds.epsilon_s))
-        .collect();
+    let recovered: Vec<MatchedTrajectory> =
+        test.iter().map(|s| pipeline.recover(&s.sparse, ds.epsilon_s)).collect();
     let recovered_speeds = estimate_speeds(&net, &recovered);
 
     let (c_sparse, e_sparse) = coverage_and_error(&net, &sparse_speeds, &truth_speeds);

@@ -7,11 +7,10 @@ use trmma::baselines::{FmmMatcher, HmmConfig, HmmMatcher, LinearRecovery, Neares
 use trmma::core::{Mma, MmaConfig, Trmma, TrmmaConfig, TrmmaPipeline};
 use trmma::roadnet::RoutePlanner;
 use trmma::traj::dataset::{build_dataset, Dataset, DatasetConfig, Split};
-use trmma::traj::{
-    matching_metrics, recovery_metrics, MapMatcher, Sample, TrajectoryRecovery,
-};
+use trmma::traj::{matching_metrics, recovery_metrics, MapMatcher, Sample, TrajectoryRecovery};
 
-fn fixture() -> (Dataset, Arc<trmma::roadnet::RoadNetwork>, Arc<RoutePlanner>, Vec<Sample>, Vec<Sample>) {
+fn fixture(
+) -> (Dataset, Arc<trmma::roadnet::RoadNetwork>, Arc<RoutePlanner>, Vec<Sample>, Vec<Sample>) {
     let ds = build_dataset(&DatasetConfig::tiny());
     let net = Arc::new(ds.net.clone());
     let train = ds.samples(Split::Train, 0.2, 11);
@@ -56,10 +55,7 @@ fn hmm_beats_nearest_on_route_quality() {
     };
     let f1_nearest = mean_f1(&nearest);
     let f1_hmm = mean_f1(&hmm);
-    assert!(
-        f1_hmm > f1_nearest,
-        "HMM ({f1_hmm:.3}) should beat Nearest ({f1_nearest:.3})"
-    );
+    assert!(f1_hmm > f1_nearest, "HMM ({f1_hmm:.3}) should beat Nearest ({f1_nearest:.3})");
 }
 
 #[test]
@@ -104,10 +100,7 @@ fn training_is_deterministic_under_fixed_seeds() {
     let run = || -> Vec<u32> {
         let mut mma = Mma::new(net.clone(), planner.clone(), None, MmaConfig::small());
         mma.train(subset, 2);
-        test.iter()
-            .flat_map(|s| mma.match_points(&s.sparse))
-            .map(|p| p.seg.0)
-            .collect()
+        test.iter().flat_map(|s| mma.match_points(&s.sparse)).map(|p| p.seg.0).collect()
     };
     assert_eq!(run(), run(), "same seed, same data → same predictions");
 }

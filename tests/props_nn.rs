@@ -11,7 +11,10 @@ fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 }
 
 /// Central-difference check of d loss / d x for a composed computation.
-fn grad_matches_numeric(input: &Matrix, f: impl Fn(&mut Graph, trmma::nn::NodeId) -> trmma::nn::NodeId) -> bool {
+fn grad_matches_numeric(
+    input: &Matrix,
+    f: impl Fn(&mut Graph, trmma::nn::NodeId) -> trmma::nn::NodeId,
+) -> bool {
     let mut g = Graph::new();
     let x = g.leaf(input.clone());
     let loss = f(&mut g, x);

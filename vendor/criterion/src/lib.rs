@@ -1,0 +1,205 @@
+//! Offline stand-in for the subset of the `criterion` API used by the
+//! workspace's benchmarks: [`Criterion::bench_function`], benchmark groups
+//! with [`BenchmarkGroup::bench_with_input`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing model: a short calibration pass sizes the batch, then each
+//! benchmark runs a fixed wall-clock budget and reports the mean, minimum
+//! and p50 iteration time to stdout. No statistics beyond that — the goal
+//! is a dependency-free `cargo bench` that surfaces regressions, not
+//! publication-grade confidence intervals.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work (forwards to [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Time budget per benchmark after calibration.
+const MEASURE_BUDGET: Duration = Duration::from_millis(600);
+/// Minimum number of measured iterations.
+const MIN_ITERS: u64 = 10;
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one sample per call.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Calibration: one untimed call, then time in small batches.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_BUDGET || iters < MIN_ITERS {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn run_bench(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let n = b.samples.len();
+    let mean = b.samples.iter().sum::<f64>() / n as f64;
+    let mut sorted = b.samples;
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let min = sorted[0];
+    let p50 = sorted[n / 2];
+    println!(
+        "{name:<44} mean {:>10}  p50 {:>10}  min {:>10}  ({n} iters)",
+        fmt_time(mean),
+        fmt_time(p50),
+        fmt_time(min)
+    );
+}
+
+/// Benchmark registry/driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Registers and immediately runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+
+    /// Compatibility no-op (`criterion` builds its config here).
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+}
+
+/// Identifier of a parameterised benchmark (subset of
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (sample-count hint).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_bench(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterised benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{name}", self.name);
+        run_bench(&label, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (subset of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (subset of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("knn", 10).id, "knn/10");
+        assert_eq!(BenchmarkId::from_parameter(500).id, "500");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-5).contains("µs"));
+        assert!(fmt_time(5e-2).contains("ms"));
+        assert!(fmt_time(2.0).contains(" s"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace's
+//! property tests: the [`proptest!`] macro, range/tuple/collection
+//! strategies, `prop_map`, and the `prop_assert*` macros.
+//!
+//! Generation is deterministic: each test case derives its RNG stream from
+//! the test name and case index, so failures reproduce exactly. Shrinking
+//! is not implemented — a failing case reports its index and message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property (subset of `proptest::test_runner::TestCaseError`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Deterministic RNG for one test case.
+#[must_use]
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// A value generator (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+
+/// Strategy namespace (subset of `proptest::prelude::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Length specification for [`vec`]: an exact size or a range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange(Range<usize>);
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self(n..n + 1)
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                Self(r)
+            }
+        }
+
+        /// A strategy producing `Vec`s of `element` values.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.0.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `proptest::collection::vec`: vectors with lengths drawn from
+        /// `size` and elements from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+}
+
+/// The usual imports (subset of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case with
+/// an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let left = $a;
+        let right = $b;
+        if left != right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let left = $a;
+        let right = $b;
+        if left != right {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Declares deterministic property tests (subset of `proptest::proptest!`).
+///
+/// Each declared function runs `config.cases` generated cases; a failing
+/// case panics with its index so it can be reproduced (generation is a pure
+/// function of the test name and case index).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("proptest case {case} of {} failed: {e}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0..7.0f64, n in 2u32..9) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((2..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u8..2, 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 2));
+        }
+
+        #[test]
+        fn prop_map_applies(p in (0.0..1.0f64, 0.0..1.0f64).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = 0.0..1.0f64;
+        let a = s.generate(&mut crate::case_rng("t", 4));
+        let b = s.generate(&mut crate::case_rng("t", 4));
+        assert_eq!(a, b);
+        let c = s.generate(&mut crate::case_rng("t", 5));
+        assert_ne!(a, c);
+    }
+}

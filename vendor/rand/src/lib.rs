@@ -1,0 +1,331 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API used by this
+//! workspace: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the
+//! [`Rng`] sampling methods, [`seq::SliceRandom::shuffle`] and
+//! [`seq::index::sample`].
+//!
+//! The workspace builds in environments without a crates.io mirror, so the
+//! handful of primitives the models need are implemented here directly.
+//! The generator is xoshiro256** seeded through SplitMix64 — statistically
+//! solid for simulation/initialisation workloads and fully deterministic
+//! given a seed (every stream in the repo is seeded). Streams differ from
+//! upstream `rand`'s ChaCha-based `StdRng`; nothing in the workspace
+//! depends on upstream's exact bit streams, only on determinism.
+
+use std::ops::Range;
+
+/// Uniform pseudo-random source: 64 fresh bits per call.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `seed` (SplitMix64 key expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable uniformly from an [`Rng`] via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let u = f64::draw(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift (Lemire); span ≪ 2^64 in practice,
+                // so the rejection loop almost never spins.
+                let zone = u64::MAX - u64::MAX % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform draw of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// A uniform draw from `range`.
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** with SplitMix64
+    /// seeding. Deterministic, `Clone`, and cheap to fork.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling and choosing (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` on an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    /// Index sampling without replacement (subset of `rand::seq::index`).
+    pub mod index {
+        use crate::Rng;
+
+        /// A set of sampled indices (mirrors `rand::seq::index::IndexVec`).
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The indices as a vector.
+            #[must_use]
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            #[must_use]
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            #[must_use]
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` uniformly,
+        /// in random order.
+        ///
+        /// # Panics
+        /// Panics if `amount > length`.
+        pub fn sample<R: Rng>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} of {length}");
+            // Partial Fisher–Yates over an index arena: O(length) setup,
+            // fine at the corpus sizes this repo works with.
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{index, SliceRandom};
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let n: usize = rng.gen_range(5..17);
+            assert!((5..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_centred() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left order intact");
+    }
+
+    #[test]
+    fn index_sample_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let picked = index::sample(&mut rng, 50, 20).into_vec();
+        assert_eq!(picked.len(), 20);
+        let mut s = picked.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 20, "duplicates sampled");
+        assert!(picked.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn gen_bool_probability_roughly_holds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+}
