@@ -10,15 +10,22 @@
 //!   R-tree). When no transition is feasible (sparse data, bounded search)
 //!   the chain restarts at that point, the standard HMM-break handling.
 //!
-//! [`FmmMatcher`] differs only in the route-distance oracle: a precomputed
-//! [`Ubodt`] table turns the per-transition Dijkstra into a hash lookup.
+//! Route distances come from a shared [`TransitionProvider`]
+//! (`trmma-roadnet`): [`HmmMatcher`] reads through a `DistCache` whose
+//! misses run on the caller's pooled Dijkstra state; [`FmmMatcher`] differs
+//! only in attaching a precomputed [`Ubodt`] table, which turns every
+//! lookup into a hash probe. All mutable search state lives in
+//! [`HmmScratch`] — one per batch worker — so the matchers are `Send +
+//! Sync` and parallelise through `trmma_core::batch` with output identical
+//! to the sequential path.
 
 use std::sync::Arc;
 
-use trmma_roadnet::shortest::{matched_dist_directed, DistCache, NetPos};
-use trmma_roadnet::{RoadNetwork, RoutePlanner};
-use trmma_traj::api::{Candidate, CandidateFinder, MapMatcher, MatchResult};
+use trmma_roadnet::shortest::{NetPos, SsspPool};
+use trmma_roadnet::{RoadNetwork, RoutePlanner, TransitionProvider};
+use trmma_traj::api::{Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult};
 use trmma_traj::types::{MatchedPoint, Route, Trajectory};
+use trmma_traj::ScratchMatcher;
 
 use crate::ubodt::Ubodt;
 
@@ -42,26 +49,40 @@ impl Default for HmmConfig {
     }
 }
 
-enum Oracle {
-    Dijkstra(DistCache),
-    Table(Ubodt),
+/// Per-worker mutable state of the HMM matchers: warm Dijkstra buffers for
+/// transition lookups plus the candidate-search heaps. One scratch serves
+/// every trajectory a batch worker claims.
+#[derive(Debug, Default)]
+pub struct HmmScratch {
+    pool: SsspPool,
+    cand: CandidateScratch,
 }
 
-/// Newson–Krumm HMM matcher (Dijkstra route-distance oracle).
+impl HmmScratch {
+    /// Empty scratch state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Newson–Krumm HMM matcher (pooled, cached Dijkstra route distances).
 pub struct HmmMatcher {
     net: Arc<RoadNetwork>,
     planner: Arc<RoutePlanner>,
     finder: CandidateFinder,
     cfg: HmmConfig,
-    oracle: Oracle,
+    provider: TransitionProvider,
     name: &'static str,
 }
 
 impl HmmMatcher {
-    /// Builds the matcher with on-demand (cached) Dijkstra route distances.
+    /// Builds the matcher with on-demand (cached, pooled) Dijkstra route
+    /// distances.
     #[must_use]
     pub fn new(net: Arc<RoadNetwork>, planner: Arc<RoutePlanner>, cfg: HmmConfig) -> Self {
-        Self::with_name(net, planner, cfg, "HMM")
+        let provider = TransitionProvider::dijkstra(cfg.max_route_m);
+        Self::with_provider(net, planner, cfg, provider, "HMM")
     }
 
     /// Like [`HmmMatcher::new`] with a custom display name (used by the
@@ -73,25 +94,25 @@ impl HmmMatcher {
         cfg: HmmConfig,
         name: &'static str,
     ) -> Self {
-        let finder = CandidateFinder::new(&net, cfg.k_candidates);
-        Self { net, planner, finder, cfg, oracle: Oracle::Dijkstra(DistCache::new()), name }
+        let provider = TransitionProvider::dijkstra(cfg.max_route_m);
+        Self::with_provider(net, planner, cfg, provider, name)
     }
 
-    fn route_dist(&self, a: NetPos, b: NetPos) -> Option<f64> {
-        match &self.oracle {
-            Oracle::Dijkstra(cache) => {
-                matched_dist_directed(&self.net, a, b, self.cfg.max_route_m, Some(cache))
-            }
-            Oracle::Table(t) => {
-                let sa = self.net.segment(a.seg);
-                let sb = self.net.segment(b.seg);
-                if a.seg == b.seg && b.ratio >= a.ratio {
-                    return Some((b.ratio - a.ratio) * sa.length);
-                }
-                let mid = t.query(sa.to, sb.from)?;
-                Some((1.0 - a.ratio) * sa.length + mid + b.ratio * sb.length)
-            }
-        }
+    fn with_provider(
+        net: Arc<RoadNetwork>,
+        planner: Arc<RoutePlanner>,
+        cfg: HmmConfig,
+        provider: TransitionProvider,
+        name: &'static str,
+    ) -> Self {
+        let finder = CandidateFinder::new(&net, cfg.k_candidates);
+        Self { net, planner, finder, cfg, provider, name }
+    }
+
+    /// The route-distance oracle (shared, read-only).
+    #[must_use]
+    pub fn provider(&self) -> &TransitionProvider {
+        &self.provider
     }
 
     fn emission_log(&self, c: &Candidate) -> f64 {
@@ -99,19 +120,32 @@ impl HmmMatcher {
         -0.5 * z * z
     }
 
-    fn transition_log(&self, from: &Candidate, to: &Candidate, straight_m: f64) -> f64 {
+    fn transition_log(
+        &self,
+        pool: &mut SsspPool,
+        from: &Candidate,
+        to: &Candidate,
+        straight_m: f64,
+    ) -> f64 {
         let a = NetPos::new(from.seg, from.ratio);
         let b = NetPos::new(to.seg, to.ratio);
-        match self.route_dist(a, b) {
+        match self.provider.route_dist(&self.net, pool, a, b) {
             Some(route) => -(route - straight_m).abs() / self.cfg.beta_m,
             None => f64::NEG_INFINITY,
         }
     }
 
     /// Viterbi decode over candidate sets; returns one candidate per point.
-    fn viterbi(&self, traj: &Trajectory) -> Vec<Candidate> {
-        let cand_sets: Vec<Vec<Candidate>> =
-            traj.points.iter().map(|p| self.finder.candidates(p.pos)).collect();
+    fn viterbi(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> Vec<Candidate> {
+        let cand_sets: Vec<Vec<Candidate>> = traj
+            .points
+            .iter()
+            .map(|p| {
+                let mut set = Vec::with_capacity(self.cfg.k_candidates);
+                self.finder.candidates_into(p.pos, &mut scratch.cand, &mut set);
+                set
+            })
+            .collect();
         let n = cand_sets.len();
         if n == 0 {
             return Vec::new();
@@ -131,7 +165,7 @@ impl HmmMatcher {
                     if score[i - 1][k] == f64::NEG_INFINITY {
                         continue;
                     }
-                    let tr = self.transition_log(ck, cj, straight);
+                    let tr = self.transition_log(&mut scratch.pool, ck, cj, straight);
                     if tr == f64::NEG_INFINITY {
                         continue;
                     }
@@ -178,7 +212,19 @@ impl MapMatcher for HmmMatcher {
     }
 
     fn match_trajectory(&self, traj: &Trajectory) -> MatchResult {
-        let picks = self.viterbi(traj);
+        self.match_trajectory_with(&mut HmmScratch::new(), traj)
+    }
+}
+
+impl ScratchMatcher for HmmMatcher {
+    type Scratch = HmmScratch;
+
+    fn make_scratch(&self) -> HmmScratch {
+        HmmScratch::new()
+    }
+
+    fn match_trajectory_with(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> MatchResult {
+        let picks = self.viterbi(scratch, traj);
         let matched: Vec<MatchedPoint> = picks
             .iter()
             .zip(&traj.points)
@@ -194,7 +240,8 @@ impl MapMatcher for HmmMatcher {
     }
 }
 
-/// FMM: the HMM above with a precomputed [`Ubodt`] route-distance oracle.
+/// FMM: the HMM above with a precomputed [`Ubodt`] route-distance table
+/// attached to its [`TransitionProvider`].
 pub struct FmmMatcher {
     inner: HmmMatcher,
     /// Wall-clock seconds spent building the UBODT (reported by the
@@ -210,27 +257,20 @@ impl FmmMatcher {
         let start = std::time::Instant::now();
         let ubodt = Ubodt::build(&net, cfg.max_route_m);
         let precompute_s = start.elapsed().as_secs_f64();
-        let finder = CandidateFinder::new(&net, cfg.k_candidates);
-        Self {
-            inner: HmmMatcher {
-                net,
-                planner,
-                finder,
-                cfg,
-                oracle: Oracle::Table(ubodt),
-                name: "FMM",
-            },
-            precompute_s,
-        }
+        let provider = TransitionProvider::with_table(ubodt.shared());
+        Self { inner: HmmMatcher::with_provider(net, planner, cfg, provider, "FMM"), precompute_s }
     }
 
     /// Size of the precomputed table.
     #[must_use]
     pub fn table_len(&self) -> usize {
-        match &self.inner.oracle {
-            Oracle::Table(t) => t.len(),
-            Oracle::Dijkstra(_) => 0,
-        }
+        self.inner.provider.table().map_or(0, |t| t.len())
+    }
+
+    /// The route-distance oracle (shared, read-only, table-backed).
+    #[must_use]
+    pub fn provider(&self) -> &TransitionProvider {
+        self.inner.provider()
     }
 }
 
@@ -241,6 +281,18 @@ impl MapMatcher for FmmMatcher {
 
     fn match_trajectory(&self, traj: &Trajectory) -> MatchResult {
         self.inner.match_trajectory(traj)
+    }
+}
+
+impl ScratchMatcher for FmmMatcher {
+    type Scratch = HmmScratch;
+
+    fn make_scratch(&self) -> HmmScratch {
+        HmmScratch::new()
+    }
+
+    fn match_trajectory_with(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> MatchResult {
+        self.inner.match_trajectory_with(scratch, traj)
     }
 }
 
@@ -288,6 +340,7 @@ mod tests {
     fn hmm_transition_prefers_direct_continuation() {
         let (net, planner, _) = setup();
         let hmm = HmmMatcher::new(net.clone(), planner, HmmConfig::default());
+        let mut pool = SsspPool::new();
         // Candidate on a segment, straight-line equal to route distance →
         // detour 0 → transition log 0. A contrived far candidate scores less.
         let e = trmma_roadnet::SegmentId(0);
@@ -295,9 +348,9 @@ mod tests {
         let c_next = Candidate { seg: e, dist_m: 4.0, ratio: 0.8 };
         let seg_len = net.segment(e).length;
         let straight = (0.6 * seg_len).abs();
-        let t_direct = hmm.transition_log(&c_near, &c_next, straight);
+        let t_direct = hmm.transition_log(&mut pool, &c_near, &c_next, straight);
         assert!(t_direct > -1e-6, "zero detour should give ~0 log prob");
-        let t_detour = hmm.transition_log(&c_near, &c_next, straight + 500.0);
+        let t_detour = hmm.transition_log(&mut pool, &c_near, &c_next, straight + 500.0);
         assert!(t_detour < t_direct);
     }
 
@@ -318,6 +371,30 @@ mod tests {
                 "FMM diverged from HMM: {same}/{}",
                 a.matched.len()
             );
+        }
+    }
+
+    #[test]
+    fn fmm_table_shares_ubodt_construction() {
+        // One construction routine (DistTable::build) serves both the
+        // stand-alone Ubodt and the table FmmMatcher actually queries.
+        let (net, planner, _) = setup();
+        let cfg = HmmConfig::default();
+        let fmm = FmmMatcher::new(net.clone(), planner, cfg.clone());
+        let ubodt = Ubodt::build(&net, cfg.max_route_m);
+        assert_eq!(fmm.table_len(), ubodt.len());
+        assert_eq!(fmm.provider().table().map(|t| t.delta()), Some(ubodt.delta()));
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_to_fresh_scratch() {
+        let (net, planner, samples) = setup();
+        let hmm = HmmMatcher::new(net, planner, HmmConfig::default());
+        let mut warm = HmmScratch::new();
+        for s in &samples {
+            let pooled = hmm.match_trajectory_with(&mut warm, &s.sparse);
+            let fresh = hmm.match_trajectory(&s.sparse);
+            assert_eq!(pooled, fresh);
         }
     }
 

@@ -14,11 +14,11 @@ use std::sync::Arc;
 use trmma_geom::Vec2;
 use trmma_roadnet::shortest::{matched_dist_directed, DistCache, NetPos};
 use trmma_roadnet::{RoadNetwork, RoutePlanner};
-use trmma_traj::api::{MapMatcher, MatchResult};
+use trmma_traj::api::{MapMatcher, MatchResult, ScratchMatcher};
 use trmma_traj::types::Trajectory;
 use trmma_traj::Sample;
 
-use crate::hmm::{HmmConfig, HmmMatcher};
+use crate::hmm::{HmmConfig, HmmMatcher, HmmScratch};
 use crate::TrainReport;
 
 /// Fitted HMM parameters.
@@ -117,6 +117,18 @@ impl MapMatcher for LhmmMatcher {
 
     fn match_trajectory(&self, traj: &Trajectory) -> MatchResult {
         self.inner.match_trajectory(traj)
+    }
+}
+
+impl ScratchMatcher for LhmmMatcher {
+    type Scratch = HmmScratch;
+
+    fn make_scratch(&self) -> HmmScratch {
+        HmmScratch::new()
+    }
+
+    fn match_trajectory_with(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> MatchResult {
+        self.inner.match_trajectory_with(scratch, traj)
     }
 }
 

@@ -16,6 +16,13 @@
 //!   emission/transition parameters fitted by maximum likelihood on the
 //!   training corpus.
 //!
+//! The HMM family shares one route-distance oracle
+//! (`trmma_roadnet::TransitionProvider`) and keeps all mutable search state
+//! in a per-worker [`HmmScratch`]; every matcher implements
+//! `trmma_traj::ScratchMatcher`, so `trmma_core::batch::par_match_pooled`
+//! fans baseline batches across threads with one warm Dijkstra pool per
+//! worker and output identical to the sequential API.
+//!
 //! **Trajectory recovery**
 //! * [`LinearRecovery`] — map-match with any [`trmma_traj::MapMatcher`], then linearly
 //!   interpolate missing points along the route (the `Linear`,
@@ -32,7 +39,7 @@ pub mod nearest;
 pub mod seq2seq;
 pub mod ubodt;
 
-pub use hmm::{FmmMatcher, HmmConfig, HmmMatcher};
+pub use hmm::{FmmMatcher, HmmConfig, HmmMatcher, HmmScratch};
 pub use lhmm::{fit_params, FittedParams, LhmmMatcher};
 pub use linear::LinearRecovery;
 pub use nearest::NearestMatcher;

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use trmma_roadnet::{RoadNetwork, RoutePlanner};
-use trmma_traj::api::{CandidateFinder, MapMatcher, MatchResult};
+use trmma_traj::api::{CandidateFinder, MapMatcher, MatchResult, ScratchMatcher};
 use trmma_traj::types::{MatchedPoint, Route, Trajectory};
 
 /// Nearest-segment map matcher.
@@ -47,6 +47,19 @@ impl MapMatcher for NearestMatcher {
             .map(Route::new)
             .unwrap_or_else(|| Route::new(seq));
         MatchResult { matched, route }
+    }
+}
+
+/// Nearest keeps no per-query search state (single-nearest R-tree probes
+/// allocate nothing worth pooling), so its scratch is empty — the impl just
+/// registers the matcher with the pooled batch fan-out.
+impl ScratchMatcher for NearestMatcher {
+    type Scratch = ();
+
+    fn make_scratch(&self) {}
+
+    fn match_trajectory_with(&self, (): &mut (), traj: &Trajectory) -> MatchResult {
+        self.match_trajectory(traj)
     }
 }
 

@@ -6,35 +6,42 @@
 //! `delta` the dominant knob: it must cover the typical inter-point gap
 //! (ε/γ seconds of driving).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use trmma_roadnet::shortest::{bounded_sssp, Weight};
-use trmma_roadnet::{NodeId, RoadNetwork};
+use trmma_roadnet::{DistTable, NodeId, RoadNetwork};
 
 /// Precomputed bounded all-pairs table; see module docs.
-#[derive(Debug)]
+///
+/// A thin, shareable wrapper around the one table-construction routine of
+/// the workspace, [`DistTable::build`] (`trmma-roadnet::transition`) — the
+/// same structure `FmmMatcher` attaches to its `TransitionProvider`, so
+/// the stand-alone table and the matcher's oracle can never drift apart.
+#[derive(Debug, Clone)]
 pub struct Ubodt {
-    delta: f64,
-    table: HashMap<(u32, u32), f64>,
+    table: Arc<DistTable>,
 }
 
 impl Ubodt {
-    /// Builds the table by running a bounded Dijkstra from every node.
+    /// Builds the table by running a bounded Dijkstra from every node
+    /// (pooled: one warm [`SsspPool`] serves all sources).
+    ///
+    /// [`SsspPool`]: trmma_roadnet::shortest::SsspPool
     #[must_use]
     pub fn build(net: &RoadNetwork, delta: f64) -> Self {
-        let mut table = HashMap::new();
-        for src in 0..net.num_nodes() as u32 {
-            for (dst, d) in bounded_sssp(net, NodeId(src), Weight::Length, delta) {
-                table.insert((src, dst.0), d);
-            }
-        }
-        Self { delta, table }
+        Self { table: Arc::new(DistTable::build(net, delta)) }
+    }
+
+    /// A shared read-only handle to the underlying table (what
+    /// `FmmMatcher`'s transition provider keeps).
+    #[must_use]
+    pub fn shared(&self) -> Arc<DistTable> {
+        self.table.clone()
     }
 
     /// The distance bound the table was built with.
     #[must_use]
     pub fn delta(&self) -> f64 {
-        self.delta
+        self.table.delta()
     }
 
     /// Number of stored pairs.
@@ -52,15 +59,28 @@ impl Ubodt {
     /// Shortest distance `src → dst` if within `delta`.
     #[must_use]
     pub fn query(&self, src: NodeId, dst: NodeId) -> Option<f64> {
-        self.table.get(&(src.0, dst.0)).copied()
+        self.table.query(src, dst)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trmma_roadnet::shortest::node_dist;
+    use trmma_roadnet::shortest::{node_dist, Weight};
     use trmma_roadnet::{generate_city, NetworkConfig};
+
+    #[test]
+    fn ubodt_is_the_shared_dist_table() {
+        let net = generate_city(&NetworkConfig::with_size(5, 5, 13));
+        let ubodt = Ubodt::build(&net, 400.0);
+        let direct = DistTable::build(&net, 400.0);
+        assert_eq!(ubodt.len(), direct.len());
+        assert_eq!(ubodt.delta(), direct.delta());
+        // `shared()` hands out the same allocation the wrapper queries.
+        let handle = ubodt.shared();
+        assert_eq!(handle.len(), ubodt.len());
+        assert!(Arc::ptr_eq(&handle, &ubodt.shared()));
+    }
 
     #[test]
     fn table_matches_dijkstra_within_delta() {

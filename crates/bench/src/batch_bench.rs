@@ -12,9 +12,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use trmma_core::{BatchMatcher, BatchOptions, BatchRecovery, BatchTiming, Mma, Trmma};
+use trmma_core::{
+    par_match_pooled, BatchMatcher, BatchOptions, BatchRecovery, BatchTiming, Mma, Trmma,
+};
 use trmma_traj::types::Trajectory;
-use trmma_traj::MapMatcher;
+use trmma_traj::{MapMatcher, ScratchMatcher};
 
 use crate::json::Value;
 
@@ -23,6 +25,9 @@ use crate::json::Value;
 pub struct InferenceRow {
     /// `"matching"` or `"recovery"`.
     pub task: String,
+    /// The method measured: `"MMA"`, `"MMA+TRMMA"`, or a baseline matcher
+    /// name (`"HMM"`, `"FMM"`, `"LHMM"`).
+    pub method: String,
     /// `"sequential_api"` (baseline) or `"batch_engine"`.
     pub mode: String,
     /// Worker threads used (1 for the sequential baseline).
@@ -42,6 +47,7 @@ pub struct InferenceRow {
 impl InferenceRow {
     fn from_timing(
         task: &str,
+        method: &str,
         mode: &str,
         threads: usize,
         timing: &BatchTiming,
@@ -51,6 +57,7 @@ impl InferenceRow {
         let tput = timing.throughput();
         Self {
             task: task.to_string(),
+            method: method.to_string(),
             mode: mode.to_string(),
             threads,
             traj_per_s: tput,
@@ -115,14 +122,64 @@ pub fn bench_matching(
     let (reference, seq_timing) =
         best_of(repeats, || timed_loop(batch.len(), |i| mma.match_trajectory(&batch[i])));
     let base = seq_timing.throughput();
-    let mut rows =
-        vec![InferenceRow::from_timing("matching", "sequential_api", 1, &seq_timing, base, true)];
+    let mut rows = vec![InferenceRow::from_timing(
+        "matching",
+        "MMA",
+        "sequential_api",
+        1,
+        &seq_timing,
+        base,
+        true,
+    )];
     for &threads in thread_counts {
         let engine = BatchMatcher::new(mma.clone(), BatchOptions::with_threads(threads));
         let (results, timing) = best_of(repeats, || engine.match_batch_timed(batch));
         let identical = results == reference;
         rows.push(InferenceRow::from_timing(
             "matching",
+            "MMA",
+            "batch_engine",
+            threads,
+            &timing,
+            base,
+            identical,
+        ));
+    }
+    rows
+}
+
+/// Benchmarks a scratch-capable baseline matcher across `thread_counts`
+/// through [`par_match_pooled`] (one warm `SsspPool`/kNN scratch per
+/// worker), validating each parallel run against the sequential per-call
+/// reference. Produces the baseline thread-scaling rows of
+/// `BENCH_inference.json`.
+#[must_use]
+pub fn bench_baseline_matching<M: ScratchMatcher + Sync>(
+    matcher: &M,
+    batch: &[Trajectory],
+    thread_counts: &[usize],
+    repeats: usize,
+) -> Vec<InferenceRow> {
+    let method = matcher.name();
+    let (reference, seq_timing) =
+        best_of(repeats, || timed_loop(batch.len(), |i| matcher.match_trajectory(&batch[i])));
+    let base = seq_timing.throughput();
+    let mut rows = vec![InferenceRow::from_timing(
+        "matching",
+        method,
+        "sequential_api",
+        1,
+        &seq_timing,
+        base,
+        true,
+    )];
+    for &threads in thread_counts {
+        let opts = BatchOptions::with_threads(threads);
+        let (results, timing) = best_of(repeats, || par_match_pooled(matcher, batch, opts));
+        let identical = results == reference;
+        rows.push(InferenceRow::from_timing(
+            "matching",
+            method,
             "batch_engine",
             threads,
             &timing,
@@ -152,8 +209,15 @@ pub fn bench_recovery(
         })
     });
     let base = seq_timing.throughput();
-    let mut rows =
-        vec![InferenceRow::from_timing("recovery", "sequential_api", 1, &seq_timing, base, true)];
+    let mut rows = vec![InferenceRow::from_timing(
+        "recovery",
+        "MMA+TRMMA",
+        "sequential_api",
+        1,
+        &seq_timing,
+        base,
+        true,
+    )];
     for &threads in thread_counts {
         let engine =
             BatchRecovery::new(mma.clone(), model.clone(), BatchOptions::with_threads(threads));
@@ -161,6 +225,7 @@ pub fn bench_recovery(
         let identical = results == reference;
         rows.push(InferenceRow::from_timing(
             "recovery",
+            "MMA+TRMMA",
             "batch_engine",
             threads,
             &timing,
@@ -189,6 +254,7 @@ pub fn rows_to_json(rows: &[InferenceRow], batch_size: usize, dataset: &str) -> 
                     .map(|r| {
                         crate::json!({
                             "task": r.task,
+                            "method": r.method,
                             "mode": r.mode,
                             "threads": r.threads,
                             "traj_per_s": r.traj_per_s,
@@ -238,7 +304,27 @@ mod tests {
         let v = rows_to_json(&rows, batch.len(), "TINY");
         let s = crate::json::to_string_pretty(&v);
         assert!(s.contains("\"task\": \"recovery\""));
+        assert!(s.contains("\"method\": \"MMA+TRMMA\""));
         assert!(s.contains("\"identical_to_sequential\": true"));
+    }
+
+    #[test]
+    fn baseline_rows_are_valid_and_identical() {
+        use trmma_baselines::{HmmConfig, HmmMatcher};
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let net = Arc::new(ds.net.clone());
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let hmm = HmmMatcher::new(net, planner, HmmConfig::default());
+        let batch: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 10).into_iter().take(5).map(|s| s.sparse).collect();
+        let rows = bench_baseline_matching(&hmm, &batch, &[1, 2], 1);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].mode, "sequential_api");
+        for r in &rows {
+            assert_eq!(r.method, "HMM");
+            assert!(r.identical, "pooled HMM diverged at {} threads", r.threads);
+            assert!(r.traj_per_s > 0.0);
+        }
     }
 
     #[test]

@@ -1,46 +1,79 @@
 //! Batched-inference throughput benchmark (`BENCH_inference.json`).
 //!
 //! Trains small MMA/TRMMA models once, then sweeps the batch engine over
-//! thread counts for both tasks, validating every parallel run against the
+//! thread counts for both tasks — plus the HMM-family baselines (HMM, FMM,
+//! LHMM) through the pooled fan-out (`par_match_pooled`, one warm
+//! `SsspPool` per worker) — validating every parallel run against the
 //! sequential output. Writes `BENCH_inference.json` to the repository root
 //! (the committed perf trajectory) and an artifact copy under
 //! `target/experiments/`.
 //!
 //! Scale knobs: the usual `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE`
 //! environment variables, plus `TRMMA_BENCH_REPEATS` (default 3 — each
-//! configuration keeps its best-throughput run).
+//! configuration keeps its best-throughput run). Pass `--smoke` for the CI
+//! profile: tiny dataset, one repeat, threads {1, 2}, artifact copy only
+//! (the committed repo-root file is left untouched).
 
 use std::sync::Arc;
 
+use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher};
 use trmma_bench::batch_bench::{
-    bench_matching, bench_recovery, default_thread_counts, rows_to_json, InferenceRow,
+    bench_baseline_matching, bench_matching, bench_recovery, default_thread_counts, rows_to_json,
+    InferenceRow,
 };
 use trmma_bench::harness::{trained_mma, trained_trmma, Bundle, ExpConfig};
 use trmma_bench::report::{write_bench_inference, write_json, Table};
+use trmma_traj::dataset::DatasetConfig;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let cfg = ExpConfig::from_env();
-    let repeats: usize =
-        std::env::var("TRMMA_BENCH_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let repeats: usize = if smoke {
+        1
+    } else {
+        std::env::var("TRMMA_BENCH_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+    };
     println!("== Batched inference: throughput vs thread count ==\n");
 
-    let dcfg = cfg.dataset_configs().into_iter().next().expect("at least one dataset selected");
+    let dcfg = if smoke {
+        DatasetConfig::tiny()
+    } else {
+        cfg.dataset_configs().into_iter().next().expect("at least one dataset selected")
+    };
     let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
     let eps = bundle.ds.epsilon_s;
-    let (mma, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs.min(3));
-    let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), cfg.epochs.min(3));
+    let epochs = if smoke { 1 } else { cfg.epochs.min(3) };
+    let (mma, _) = trained_mma(&bundle, cfg.mma_config(), epochs);
+    let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), epochs);
     let mma = Arc::new(mma);
     let trmma = Arc::new(trmma);
 
+    let hmm_cfg = HmmConfig::default();
+    let hmm = HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone());
+    let fmm = FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone());
+    let lhmm = LhmmMatcher::fit(bundle.net.clone(), bundle.planner.clone(), hmm_cfg, &bundle.train);
+
     // Benchmark over the test sparse trajectories, tiled up so the batch is
     // large enough to keep every worker busy.
+    let target = if smoke { 24 } else { 96 };
     let mut batch: Vec<_> = bundle.test.iter().map(|s| s.sparse.clone()).collect();
     assert!(!batch.is_empty(), "dataset {} produced no test trajectories", bundle.ds.name);
-    while batch.len() < 96 {
-        let again: Vec<_> = batch.iter().take(96 - batch.len()).cloned().collect();
+    while batch.len() < target {
+        let again: Vec<_> = batch.iter().take(target - batch.len()).cloned().collect();
         batch.extend(again);
     }
-    let threads = default_thread_counts();
+    let threads = if smoke {
+        vec![1, 2]
+    } else {
+        let mut t = default_thread_counts();
+        // On a single-core host still record a 2-thread row: it cannot beat
+        // 1× but it exercises the parallel path and keeps the scaling-row
+        // schema stable across hosts.
+        if t == [1] {
+            t.push(2);
+        }
+        t
+    };
     println!(
         "dataset {} | batch {} trajectories | threads {threads:?} | repeats {repeats}\n",
         bundle.ds.name,
@@ -49,9 +82,13 @@ fn main() {
 
     let mut rows = bench_matching(&mma, &batch, &threads, repeats);
     rows.extend(bench_recovery(&mma, &trmma, &batch, eps, &threads, repeats));
+    rows.extend(bench_baseline_matching(&hmm, &batch, &threads, repeats));
+    rows.extend(bench_baseline_matching(&fmm, &batch, &threads, repeats));
+    rows.extend(bench_baseline_matching(&lhmm, &batch, &threads, repeats));
 
     let mut table = Table::new(&[
         "Task",
+        "Method",
         "Mode",
         "Threads",
         "traj/s",
@@ -63,6 +100,7 @@ fn main() {
     for r in &rows {
         table.row(vec![
             r.task.clone(),
+            r.method.clone(),
             r.mode.clone(),
             r.threads.to_string(),
             format!("{:.1}", r.traj_per_s),
@@ -76,16 +114,23 @@ fn main() {
 
     let diverged: Vec<&InferenceRow> = rows.iter().filter(|r| !r.identical).collect();
     assert!(diverged.is_empty(), "parallel output diverged from sequential: {diverged:?}");
-    let best = |task: &str| -> f64 {
-        rows.iter().filter(|r| r.task == task).map(|r| r.speedup).fold(0.0, f64::max)
+    let best = |method: &str| -> f64 {
+        rows.iter().filter(|r| r.method == method).map(|r| r.speedup).fold(0.0, f64::max)
     };
     println!(
-        "\nbest speedup: matching {:.2}x, recovery {:.2}x (vs the sequential per-call API)",
-        best("matching"),
-        best("recovery")
+        "\nbest speedup: MMA {:.2}x, MMA+TRMMA {:.2}x, HMM {:.2}x, FMM {:.2}x, LHMM {:.2}x (vs the sequential per-call API)",
+        best("MMA"),
+        best("MMA+TRMMA"),
+        best("HMM"),
+        best("FMM"),
+        best("LHMM")
     );
 
     let doc = rows_to_json(&rows, batch.len(), &bundle.ds.name);
-    write_bench_inference(&doc);
+    if smoke {
+        println!("\n--smoke: repo-root BENCH_inference.json left untouched");
+    } else {
+        write_bench_inference(&doc);
+    }
     write_json("bench_inference", &doc);
 }

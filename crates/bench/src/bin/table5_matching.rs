@@ -4,14 +4,20 @@
 //! MMA. Expected shape: MMA best on every metric; FMM ≈ HMM (same model,
 //! different oracle); LHMM ≥ HMM (parameters fitted to the corpus);
 //! Nearest worst.
+//!
+//! Every row runs through the pooled batch engine (`par_match_pooled`) —
+//! quality numbers are identical to the sequential loop by the engine's
+//! determinism contract, and the s/1k column is the parallel wall-clock.
 
 use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher, NearestMatcher};
-use trmma_bench::harness::{eval_matching, per_1000, trained_mma, Bundle, ExpConfig};
+use trmma_bench::harness::{eval_matching_pooled, per_1000, trained_mma, Bundle, ExpConfig};
 use trmma_bench::report::{write_json, Table};
-use trmma_traj::MapMatcher;
+use trmma_core::BatchOptions;
+use trmma_traj::{MapMatcher, MatchingMetrics};
 
 fn main() {
     let cfg = ExpConfig::from_env();
+    let opts = BatchOptions::default();
     println!("== Table V: map-matching quality ==\n");
     let mut table =
         Table::new(&["Dataset", "Method", "Precision", "Recall", "F1", "Jaccard", "s/1k"]);
@@ -29,12 +35,20 @@ fn main() {
         );
         let (mma, _) = trained_mma(&bundle, cfg.mma_config(), cfg.epochs);
 
-        let methods: Vec<&dyn MapMatcher> = vec![&nearest, &hmm, &fmm, &lhmm, &mma];
-        for m in methods {
-            let (metrics, secs) = eval_matching(m, &bundle.test);
+        let rows: Vec<(&str, MatchingMetrics, f64)> = vec![
+            (nearest.name(), eval_matching_pooled(&nearest, &bundle.test, opts)),
+            (hmm.name(), eval_matching_pooled(&hmm, &bundle.test, opts)),
+            (fmm.name(), eval_matching_pooled(&fmm, &bundle.test, opts)),
+            (lhmm.name(), eval_matching_pooled(&lhmm, &bundle.test, opts)),
+            (mma.name(), eval_matching_pooled(&mma, &bundle.test, opts)),
+        ]
+        .into_iter()
+        .map(|(name, (metrics, secs))| (name, metrics, secs))
+        .collect();
+        for (name, metrics, secs) in rows {
             table.row(vec![
                 bundle.ds.name.clone(),
-                m.name().into(),
+                name.into(),
                 format!("{:.2}", 100.0 * metrics.precision),
                 format!("{:.2}", 100.0 * metrics.recall),
                 format!("{:.2}", 100.0 * metrics.f1),
@@ -43,7 +57,7 @@ fn main() {
             ]);
             json.push(trmma_bench::json!({
                 "dataset": bundle.ds.name,
-                "method": m.name(),
+                "method": name,
                 "precision": metrics.precision,
                 "recall": metrics.recall,
                 "f1": metrics.f1,

@@ -172,6 +172,20 @@ pub fn eval_recovery(
     (avg.mean_recovery(), infer_s)
 }
 
+/// Mean per-trajectory route metrics of `results` against their samples'
+/// true routes — the one aggregation all matching evaluators share, so the
+/// sequential, engine and pooled paths cannot drift apart.
+fn mean_matching_metrics(
+    results: &[trmma_traj::MatchResult],
+    test: &[Sample],
+) -> trmma_traj::MatchingMetrics {
+    let mut avg = trmma_traj::metrics::MetricAverager::new();
+    for (res, s) in results.iter().zip(test) {
+        avg.add_matching(trmma_traj::matching_metrics(&res.route, &s.route));
+    }
+    avg.mean_matching()
+}
+
 /// Evaluates a map matcher over the test set: mean per-trajectory route
 /// metrics plus total inference seconds.
 #[must_use]
@@ -179,14 +193,31 @@ pub fn eval_matching(
     matcher: &dyn trmma_traj::MapMatcher,
     test: &[Sample],
 ) -> (trmma_traj::MatchingMetrics, f64) {
-    let mut avg = trmma_traj::metrics::MetricAverager::new();
+    let mut results = Vec::with_capacity(test.len());
     let mut infer_s = 0.0;
     for s in test {
         let (res, dt) = timed(|| matcher.match_trajectory(&s.sparse));
         infer_s += dt;
-        avg.add_matching(trmma_traj::matching_metrics(&res.route, &s.route));
+        results.push(res);
     }
-    (avg.mean_matching(), infer_s)
+    (mean_matching_metrics(&results, test), infer_s)
+}
+
+/// Evaluates a scratch-capable matcher through the pooled batch fan-out
+/// (`par_match_pooled`: one warm `SsspPool`/kNN scratch per worker): mean
+/// route metrics plus the batch wall-clock seconds. The pooled analogue of
+/// [`eval_matching`] for the baseline rows of fig. 9 / Table V — output is
+/// identical to the sequential loop (property-tested in
+/// `tests/props_baselines.rs`), only the wall-clock parallelises.
+#[must_use]
+pub fn eval_matching_pooled<M: trmma_traj::ScratchMatcher + Sync>(
+    matcher: &M,
+    test: &[Sample],
+    opts: trmma_core::BatchOptions,
+) -> (trmma_traj::MatchingMetrics, f64) {
+    let batch: Vec<_> = test.iter().map(|s| s.sparse.clone()).collect();
+    let (results, timing) = trmma_core::par_match_pooled(matcher, &batch, opts);
+    (mean_matching_metrics(&results, test), timing.wall_s)
 }
 
 /// Evaluates the batched recovery engine over the test set: mean
@@ -218,11 +249,7 @@ pub fn eval_matching_batch(
 ) -> (trmma_traj::MatchingMetrics, f64) {
     let batch: Vec<_> = test.iter().map(|s| s.sparse.clone()).collect();
     let (results, timing) = engine.match_batch_timed(&batch);
-    let mut avg = trmma_traj::metrics::MetricAverager::new();
-    for (res, s) in results.iter().zip(test) {
-        avg.add_matching(trmma_traj::matching_metrics(&res.route, &s.route));
-    }
-    (avg.mean_matching(), timing.wall_s)
+    (mean_matching_metrics(&results, test), timing.wall_s)
 }
 
 /// Wall-clock seconds for `f`, returned alongside its output.

@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use trmma_nn::Graph;
-use trmma_traj::api::{MapMatcher, MatchResult, TrajectoryRecovery};
+use trmma_traj::api::{MapMatcher, MatchResult, ScratchMatcher, TrajectoryRecovery};
 use trmma_traj::types::{MatchedTrajectory, Trajectory};
 
 use crate::mma::{Mma, MmaScratch};
@@ -309,9 +309,34 @@ impl BatchRecovery {
     }
 }
 
+/// Fans a [`ScratchMatcher`] out over a batch with one scratch per worker —
+/// for the HMM-family baselines that means one warm [`SsspPool`] and one
+/// set of kNN heaps per thread, shared nothing, while the matcher's
+/// `TransitionProvider` (distance cache / UBODT) is shared read-only.
+/// Output order matches input order and every result is identical to the
+/// sequential `matcher.match_trajectory(&batch[i])` call
+/// (`tests/props_baselines.rs`).
+///
+/// [`SsspPool`]: trmma_roadnet::shortest::SsspPool
+#[must_use]
+pub fn par_match_pooled<M: ScratchMatcher + Sync>(
+    matcher: &M,
+    batch: &[Trajectory],
+    opts: BatchOptions,
+) -> (Vec<MatchResult>, BatchTiming) {
+    let threads = opts.effective_threads(batch.len());
+    timed_map(
+        batch,
+        threads,
+        || matcher.make_scratch(),
+        |scratch, traj| matcher.match_trajectory_with(scratch, traj),
+    )
+}
+
 /// Fans any [`MapMatcher`] out over a batch (no scratch reuse — the trait
-/// has no scratch surface — but full thread-level parallelism). Output
-/// order matches input order.
+/// has no scratch surface — but full thread-level parallelism). Prefer
+/// [`par_match_pooled`] when the matcher implements [`ScratchMatcher`].
+/// Output order matches input order.
 #[must_use]
 pub fn par_match(
     matcher: &dyn MapMatcher,
@@ -449,6 +474,31 @@ mod tests {
         let (rec, timing) = par_recover(&pipeline, &batch, eps, BatchOptions::default());
         assert_eq!(rec.len(), batch.len());
         assert_eq!(timing.per_item_s.len(), batch.len());
+    }
+
+    #[test]
+    fn par_match_pooled_baselines_identical_to_sequential() {
+        use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher};
+        let (net, planner, ds) = setup();
+        let batch: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 8).into_iter().take(6).map(|s| s.sparse).collect();
+        let hmm = HmmMatcher::new(net.clone(), planner.clone(), HmmConfig::default());
+        let fmm = FmmMatcher::new(net.clone(), planner.clone(), HmmConfig::default());
+        let hmm_ref: Vec<_> = batch.iter().map(|t| hmm.match_trajectory(t)).collect();
+        let fmm_ref: Vec<_> = batch.iter().map(|t| fmm.match_trajectory(t)).collect();
+        for threads in [1, 2, 4] {
+            let opts = BatchOptions::with_threads(threads);
+            let (got, timing) = par_match_pooled(&hmm, &batch, opts);
+            assert_eq!(got, hmm_ref, "HMM diverged at {threads} threads");
+            assert_eq!(timing.per_item_s.len(), batch.len());
+            let (got, _) = par_match_pooled(&fmm, &batch, opts);
+            assert_eq!(got, fmm_ref, "FMM diverged at {threads} threads");
+        }
+        // MMA implements the same surface.
+        let (mma, _) = trained_models(&net, &planner, &ds);
+        let seq: Vec<_> = batch.iter().map(|t| mma.match_trajectory(t)).collect();
+        let (got, _) = par_match_pooled(mma.as_ref(), &batch, BatchOptions::with_threads(3));
+        assert_eq!(got, seq);
     }
 
     #[test]

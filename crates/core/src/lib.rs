@@ -29,7 +29,10 @@ pub mod mma;
 pub mod pipeline;
 pub mod trmma;
 
-pub use batch::{par_match, par_recover, BatchMatcher, BatchOptions, BatchRecovery, BatchTiming};
+pub use batch::{
+    par_match, par_match_pooled, par_recover, BatchMatcher, BatchOptions, BatchRecovery,
+    BatchTiming,
+};
 pub use mma::{Mma, MmaConfig, MmaScratch};
 pub use pipeline::TrmmaPipeline;
 pub use trmma::{Trmma, TrmmaConfig};

@@ -11,7 +11,9 @@ use trmma_baselines::TrainReport;
 use trmma_geom::{cosine_similarity, BBox, Vec2};
 use trmma_nn::{Adam, Graph, Linear, Matrix, Mlp, NodeId, Param, TransformerEncoder};
 use trmma_roadnet::{RoadNetwork, RoutePlanner, SegmentId};
-use trmma_traj::api::{Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult};
+use trmma_traj::api::{
+    Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult, ScratchMatcher,
+};
 use trmma_traj::types::{MatchedPoint, Route, Trajectory};
 use trmma_traj::Sample;
 
@@ -476,6 +478,21 @@ impl MapMatcher for Mma {
 
     fn match_trajectory(&self, traj: &Trajectory) -> MatchResult {
         self.match_trajectory_with(&mut MmaScratch::new(), traj)
+    }
+}
+
+/// Registers MMA with the pooled batch fan-out
+/// (`trmma_core::batch::par_match_pooled`), the same per-worker-scratch
+/// surface the baseline matchers expose.
+impl ScratchMatcher for Mma {
+    type Scratch = MmaScratch;
+
+    fn make_scratch(&self) -> MmaScratch {
+        MmaScratch::new()
+    }
+
+    fn match_trajectory_with(&self, scratch: &mut MmaScratch, traj: &Trajectory) -> MatchResult {
+        Mma::match_trajectory_with(self, scratch, traj)
     }
 }
 

@@ -15,6 +15,11 @@
 //!   on basic statistical counts" (ref.\[2\], used at Algorithm 1 line 12): a
 //!   maximum-likelihood path search over historical segment-transition
 //!   counts with a travel-time fallback;
+//! * [`transition`] — the pooled transition-cost oracle shared by the
+//!   HMM-family matchers: [`TransitionProvider`] answers route distances
+//!   from a precomputed [`DistTable`] (FMM's UBODT) or a shared
+//!   [`shortest::DistCache`] read-through, with all mutable Dijkstra state
+//!   in per-worker [`shortest::SsspPool`]s;
 //! * [`gen`] — a synthetic city generator standing in for the paper's
 //!   OpenStreetMap extracts (see DESIGN.md §1 for the substitution
 //!   rationale);
@@ -26,7 +31,9 @@ pub mod graph;
 pub mod io;
 pub mod planner;
 pub mod shortest;
+pub mod transition;
 
 pub use gen::{generate_city, NetworkConfig};
 pub use graph::{NodeId, RoadClass, RoadNetwork, Segment, SegmentId};
 pub use planner::RoutePlanner;
+pub use transition::{DistTable, TransitionProvider};

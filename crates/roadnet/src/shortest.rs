@@ -14,6 +14,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Mutex, RwLock};
 
 use crate::graph::{NodeId, RoadNetwork, SegmentId};
@@ -514,14 +515,35 @@ pub fn matched_dist(
 /// repeated Dijkstra runs into hash lookups. Misses within `max_cost` are
 /// cached as `+∞` so unreachable pairs are not retried.
 ///
-/// Misses run through an internal [`SsspPool`], so the Dijkstra state stays
-/// warm across the many small sweeps a batch of lookups triggers. The pool
-/// sits behind its own mutex, taken only on a miss — hits touch nothing but
-/// the read lock.
+/// Misses run through a caller-supplied [`SsspPool`]
+/// ([`DistCache::node_dist_pooled`] — one pool per batch worker), or through
+/// an internal pool behind a mutex for callers without their own
+/// ([`DistCache::node_dist`]). Either way the Dijkstra state stays warm
+/// across the many small sweeps a batch of lookups triggers, and hits touch
+/// nothing but the read lock.
 #[derive(Debug, Default)]
 pub struct DistCache {
     map: RwLock<HashMap<(u32, u32), f64>>,
     pool: Mutex<SsspPool>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss counters of a [`DistCache`]; see [`DistCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that ran a Dijkstra sweep.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
 }
 
 impl DistCache {
@@ -541,6 +563,7 @@ impl DistCache {
         max_cost: f64,
     ) -> Option<f64> {
         if let Some(&d) = self.map.read().expect("dist cache poisoned").get(&(src.0, dst.0)) {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
             return if d.is_finite() { Some(d) } else { None };
         }
         let d = self.pool.lock().expect("sssp pool poisoned").node_dist(
@@ -550,11 +573,54 @@ impl DistCache {
             Weight::Length,
             max_cost,
         );
+        self.record_miss(src, dst, d);
+        d
+    }
+
+    /// Cached shortest length-weighted distance between nodes, running any
+    /// miss through the caller's own [`SsspPool`] instead of the cache's
+    /// internal (mutex-guarded) one.
+    ///
+    /// This is the batch-engine read-through: workers share one cache but
+    /// each owns a pool, so concurrent misses run concurrent sweeps instead
+    /// of serialising on the internal pool's lock. Distances are a pure
+    /// function of the network, so racing misses on the same pair insert
+    /// the same value — answers never depend on interleaving.
+    #[must_use]
+    pub fn node_dist_pooled(
+        &self,
+        net: &RoadNetwork,
+        src: NodeId,
+        dst: NodeId,
+        max_cost: f64,
+        pool: &mut SsspPool,
+    ) -> Option<f64> {
+        if let Some(&d) = self.map.read().expect("dist cache poisoned").get(&(src.0, dst.0)) {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+            return if d.is_finite() { Some(d) } else { None };
+        }
+        let d = pool.node_dist(net, src, dst, Weight::Length, max_cost);
+        self.record_miss(src, dst, d);
+        d
+    }
+
+    fn record_miss(&self, src: NodeId, dst: NodeId, d: Option<f64>) {
+        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
         self.map
             .write()
             .expect("dist cache poisoned")
             .insert((src.0, dst.0), d.unwrap_or(f64::INFINITY));
-        d
+    }
+
+    /// Hit/miss counters so far. `hits + misses` equals the number of
+    /// lookups; racing misses on one pair may each count as a miss, so
+    /// `misses` can exceed [`DistCache::len`] but never undercounts it.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+        }
     }
 
     /// Number of cached pairs.
@@ -755,8 +821,24 @@ mod tests {
         let d2 = cache.node_dist(&net, NodeId(0), NodeId(2), 1e9).unwrap();
         assert_eq!(d1, d2);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
         // Unreachable-within-bound is cached as a miss, not retried forever.
         assert!(cache.node_dist(&net, NodeId(2), NodeId(0), 0.0).is_none());
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().total(), 3);
+    }
+
+    #[test]
+    fn dist_cache_pooled_shares_entries_with_internal_path() {
+        let net = line3();
+        let cache = DistCache::new();
+        let mut pool = SsspPool::new();
+        let miss = cache.node_dist_pooled(&net, NodeId(0), NodeId(2), 1e9, &mut pool);
+        assert_eq!(miss, node_dist(&net, NodeId(0), NodeId(2), Weight::Length, 1e9));
+        // The entry is visible to the internal-pool path and vice versa.
+        assert_eq!(cache.node_dist(&net, NodeId(0), NodeId(2), 1e9), miss);
+        let d = cache.node_dist(&net, NodeId(1), NodeId(2), 1e9);
+        assert_eq!(cache.node_dist_pooled(&net, NodeId(1), NodeId(2), 1e9, &mut pool), d);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 2 });
     }
 }

@@ -1,0 +1,261 @@
+//! Pooled point-to-point transition costs for HMM-family matchers.
+//!
+//! Every probabilistic matcher in the repository evaluates the same hot
+//! expression for each candidate transition: the network route distance
+//! between two on-segment positions. This module centralises that lookup
+//! behind [`TransitionProvider`], which answers from (in order):
+//!
+//! 1. a **precomputed bounded all-pairs table** ([`DistTable`] — FMM's
+//!    UBODT), when one is attached: a hash lookup, no search at all;
+//! 2. otherwise a **shared [`DistCache`] read-through**: hits are hash
+//!    lookups, misses run an early-exit Dijkstra on the *caller's*
+//!    [`SsspPool`], so batch workers search concurrently on warm buffers
+//!    while publishing results to every other worker.
+//!
+//! The provider itself is immutable and `Send + Sync`; all mutable search
+//! state lives in the per-worker pool the caller passes in. Answers are a
+//! pure function of the network, so output is bitwise-identical no matter
+//! how many workers share one provider or how queries interleave
+//! (property-tested in `tests/props_baselines.rs`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::graph::{NodeId, RoadNetwork};
+use crate::shortest::{DistCache, NetPos, SsspPool, Weight};
+
+/// Bounded all-pairs shortest-distance table: for every node pair within
+/// length `delta`, the exact network distance. This is the construction
+/// routine shared by FMM's UBODT (`trmma-baselines::ubodt`) and anything
+/// else that wants precomputed transitions; building runs one bounded
+/// Dijkstra sweep per node through a single warm [`SsspPool`].
+#[derive(Debug)]
+pub struct DistTable {
+    delta: f64,
+    table: HashMap<(u32, u32), f64>,
+}
+
+impl DistTable {
+    /// Builds the table by sweeping every node with a bounded Dijkstra,
+    /// reusing one pool's buffers across all sources.
+    #[must_use]
+    pub fn build(net: &RoadNetwork, delta: f64) -> Self {
+        let mut pool = SsspPool::new();
+        let mut reach = Vec::new();
+        let mut table = HashMap::new();
+        for src in 0..net.num_nodes() as u32 {
+            pool.bounded_sssp_into(net, NodeId(src), Weight::Length, delta, &mut reach);
+            for &(dst, d) in &reach {
+                table.insert((src, dst.0), d);
+            }
+        }
+        Self { delta, table }
+    }
+
+    /// The distance bound the table was built with.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of stored pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Shortest distance `src → dst` if within `delta`.
+    #[must_use]
+    pub fn query(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        self.table.get(&(src.0, dst.0)).copied()
+    }
+}
+
+/// Shared, read-only oracle for route distances between on-segment
+/// positions; see module docs for the lookup order and sharing model.
+#[derive(Debug, Clone)]
+pub struct TransitionProvider {
+    cache: Arc<DistCache>,
+    table: Option<Arc<DistTable>>,
+    max_route_m: f64,
+}
+
+impl TransitionProvider {
+    /// A Dijkstra-backed provider with its own fresh cache; searches are
+    /// bounded by `max_route_m`.
+    #[must_use]
+    pub fn dijkstra(max_route_m: f64) -> Self {
+        Self::with_cache(Arc::new(DistCache::new()), max_route_m)
+    }
+
+    /// A Dijkstra-backed provider reading through an existing shared cache.
+    #[must_use]
+    pub fn with_cache(cache: Arc<DistCache>, max_route_m: f64) -> Self {
+        Self { cache, table: None, max_route_m }
+    }
+
+    /// A table-backed provider: every mid-route distance comes from the
+    /// precomputed `table` (pairs beyond its delta are unreachable, exactly
+    /// FMM's contract), so no query ever runs a search.
+    #[must_use]
+    pub fn with_table(table: Arc<DistTable>) -> Self {
+        let max_route_m = table.delta();
+        Self { cache: Arc::new(DistCache::new()), table: Some(table), max_route_m }
+    }
+
+    /// The attached precomputed table, if any.
+    #[must_use]
+    pub fn table(&self) -> Option<&Arc<DistTable>> {
+        self.table.as_ref()
+    }
+
+    /// The shared read-through cache (unused while a table is attached).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<DistCache> {
+        &self.cache
+    }
+
+    /// The search bound in metres.
+    #[must_use]
+    pub fn max_route_m(&self) -> f64 {
+        self.max_route_m
+    }
+
+    /// Directed route distance from `a` to `b` in metres: remaining length
+    /// of `a`'s segment, plus the shortest node path, plus the offset into
+    /// `b`'s segment; same-segment forward moves are measured directly.
+    /// `None` when the node path is unreachable within the bound.
+    ///
+    /// Mutable search state lives entirely in `pool` — one per worker.
+    #[must_use]
+    pub fn route_dist(
+        &self,
+        net: &RoadNetwork,
+        pool: &mut SsspPool,
+        a: NetPos,
+        b: NetPos,
+    ) -> Option<f64> {
+        let sa = net.segment(a.seg);
+        let sb = net.segment(b.seg);
+        if a.seg == b.seg && b.ratio >= a.ratio {
+            return Some((b.ratio - a.ratio) * sa.length);
+        }
+        let mid = match &self.table {
+            Some(t) => t.query(sa.to, sb.from)?,
+            None => self.cache.node_dist_pooled(net, sa.to, sb.from, self.max_route_m, pool)?,
+        };
+        Some((1.0 - a.ratio) * sa.length + mid + b.ratio * sb.length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_city, NetworkConfig};
+    use crate::graph::{RoadClass, SegmentId};
+    use crate::shortest::{matched_dist_directed, node_dist};
+    use trmma_geom::Vec2;
+
+    /// A hand-computable one-way chain: 0 →100m→ 1 →100m→ 2 →100m→ 3 →100m→ 4.
+    fn chain5() -> RoadNetwork {
+        let pos = (0..5).map(|i| Vec2::new(100.0 * f64::from(i), 0.0)).collect();
+        let edges =
+            (0..4).map(|i| (NodeId(i), NodeId(i + 1), RoadClass::Local)).collect::<Vec<_>>();
+        RoadNetwork::new(pos, edges)
+    }
+
+    #[test]
+    fn dist_table_size_pinned_on_hand_computed_chain() {
+        // Within delta = 250 m each source reaches itself plus up to two
+        // successors: {0,1,2}, {1,2,3}, {2,3,4}, {3,4}, {4} → 12 pairs.
+        let net = chain5();
+        let table = DistTable::build(&net, 250.0);
+        assert_eq!(table.len(), 12);
+        assert_eq!(table.delta(), 250.0);
+        assert_eq!(table.query(NodeId(0), NodeId(2)), Some(200.0));
+        assert_eq!(table.query(NodeId(0), NodeId(3)), None, "300 m exceeds delta");
+        assert_eq!(table.query(NodeId(1), NodeId(0)), None, "one-way chain");
+        for v in 0..5 {
+            assert_eq!(table.query(NodeId(v), NodeId(v)), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn dist_table_matches_bounded_dijkstra_on_city() {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, 29));
+        let delta = 600.0;
+        let table = DistTable::build(&net, delta);
+        for src in (0..net.num_nodes() as u32).step_by(5) {
+            for dst in (0..net.num_nodes() as u32).step_by(7) {
+                let exact = node_dist(&net, NodeId(src), NodeId(dst), Weight::Length, delta);
+                match (exact, table.query(NodeId(src), NodeId(dst))) {
+                    (Some(e), Some(l)) => assert!((e - l).abs() < 1e-9, "{src}->{dst}"),
+                    (None, None) => {}
+                    other => panic!("mismatch {src}->{dst}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn provider_dijkstra_agrees_with_matched_dist_directed() {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, 30));
+        let provider = TransitionProvider::dijkstra(5_000.0);
+        let mut pool = SsspPool::new();
+        let m = net.num_segments() as u32;
+        for (s, r1, d, r2) in [(0u32, 0.3, 17u32, 0.6), (5, 0.9, 5, 0.1), (40, 0.0, 3, 0.99)] {
+            let a = NetPos::new(SegmentId(s % m), r1);
+            let b = NetPos::new(SegmentId(d % m), r2);
+            let got = provider.route_dist(&net, &mut pool, a, b);
+            let want = matched_dist_directed(&net, a, b, 5_000.0, None);
+            match (got, want) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{a:?}->{b:?}"),
+                (None, None) => {}
+                other => panic!("reachability mismatch {a:?}->{b:?}: {other:?}"),
+            }
+        }
+        assert!(provider.cache().stats().misses > 0);
+    }
+
+    #[test]
+    fn provider_table_and_dijkstra_agree_within_delta() {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, 31));
+        let delta = 5_000.0;
+        let dij = TransitionProvider::dijkstra(delta);
+        let tab = TransitionProvider::with_table(Arc::new(DistTable::build(&net, delta)));
+        assert_eq!(tab.max_route_m(), delta);
+        let mut pool = SsspPool::new();
+        let m = net.num_segments() as u32;
+        for (s, d) in [(0u32, 9u32), (12, 44), (7, 7), (31, 2)] {
+            let a = NetPos::new(SegmentId(s % m), 0.25);
+            let b = NetPos::new(SegmentId(d % m), 0.75);
+            let x = dij.route_dist(&net, &mut pool, a, b);
+            let y = tab.route_dist(&net, &mut pool, a, b);
+            match (x, y) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                (None, None) => {}
+                other => panic!("oracle mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn provider_same_segment_forward_is_direct() {
+        let net = chain5();
+        let provider = TransitionProvider::dijkstra(1e9);
+        let mut pool = SsspPool::new();
+        let seg = SegmentId(0);
+        let d = provider
+            .route_dist(&net, &mut pool, NetPos::new(seg, 0.2), NetPos::new(seg, 0.7))
+            .unwrap();
+        assert!((d - 50.0).abs() < 1e-9);
+        // Direct answers never touch the cache.
+        assert_eq!(provider.cache().stats().total(), 0);
+    }
+}

@@ -38,6 +38,26 @@ pub trait MapMatcher: Send + Sync {
     fn match_trajectory(&self, traj: &Trajectory) -> MatchResult;
 }
 
+/// Map matching through caller-owned, per-worker scratch state.
+///
+/// The batched inference engine (`trmma_core::batch::par_match_pooled`)
+/// creates one `Scratch` per worker thread and reuses it for every
+/// trajectory that worker claims — pooled Dijkstra buffers, kNN heaps,
+/// autograd tapes. The contract: [`ScratchMatcher::match_trajectory_with`]
+/// must return output identical to [`MapMatcher::match_trajectory`]
+/// regardless of what the scratch previously served; `tests/
+/// props_baselines.rs` property-tests this for every baseline matcher.
+pub trait ScratchMatcher: MapMatcher {
+    /// Per-worker mutable state.
+    type Scratch: Send;
+
+    /// Creates one worker's scratch.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// Like [`MapMatcher::match_trajectory`], reusing `scratch`'s buffers.
+    fn match_trajectory_with(&self, scratch: &mut Self::Scratch, traj: &Trajectory) -> MatchResult;
+}
+
 /// A trajectory-recovery method (Definition 7).
 ///
 /// `Send + Sync` for the same reason as [`MapMatcher`]: recovery models are

@@ -25,7 +25,8 @@ pub mod metrics;
 pub mod types;
 
 pub use api::{
-    Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult, TrajectoryRecovery,
+    Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult, ScratchMatcher,
+    TrajectoryRecovery,
 };
 pub use dataset::{build_dataset, Dataset, DatasetConfig, Split};
 pub use gen::{sparsify, RawTrajectory, Sample, TrajConfig};

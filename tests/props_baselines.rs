@@ -1,0 +1,194 @@
+//! Property tests for the pooled baseline matchers and their shortest-path
+//! substrate:
+//!
+//! * pooled HMM / LHMM / FMM output through `par_match_pooled` is
+//!   bitwise-identical to the sequential per-call API for arbitrary
+//!   generated road networks, trajectories, thread counts and input orders
+//!   (mirrors `tests/props_batch.rs` for the MMA engine);
+//! * `SsspPool` reuse across interleaved sources never leaks state — a
+//!   pooled query after N arbitrary prior queries equals a fresh-pool
+//!   query;
+//! * `DistCache` read-through stays consistent under concurrent hammering
+//!   from scoped threads (hit/miss counters add up, every answer is the
+//!   true distance).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use trmma::baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher};
+use trmma::core::{par_match_pooled, BatchOptions};
+use trmma::roadnet::shortest::{node_dist, DistCache, SsspPool, Weight};
+use trmma::roadnet::{generate_city, NetworkConfig, NodeId, RoadNetwork, RoutePlanner};
+use trmma::traj::gen::{generate_trajectory, sparsify, TrajConfig};
+use trmma::traj::types::Trajectory;
+use trmma::traj::{MatchResult, Sample, ScratchMatcher};
+
+/// Generates a city plus a handful of sparse samples from a seed pair.
+fn arbitrary_world(net_seed: u64, traj_seed: u64) -> (Arc<RoadNetwork>, Vec<Sample>) {
+    let side = 6 + (net_seed % 3) as usize; // 6x6 .. 8x8 grids
+    let net = Arc::new(generate_city(&NetworkConfig::with_size(side, side, net_seed)));
+    let cfg = TrajConfig { min_points: 8, ..TrajConfig::default() };
+    let mut rng = StdRng::seed_from_u64(traj_seed);
+    let mut samples = Vec::new();
+    for _ in 0..10 {
+        if samples.len() == 4 {
+            break;
+        }
+        if let Some(raw) = generate_trajectory(&net, &cfg, &mut rng) {
+            samples.push(sparsify(&raw, 0.3, &mut rng));
+        }
+    }
+    (net, samples)
+}
+
+/// Asserts that the pooled parallel fan-out reproduces the sequential
+/// per-call output exactly, in the given order and in a shuffled order.
+fn assert_pooled_identical<M: ScratchMatcher + Sync>(
+    matcher: &M,
+    batch: &[Trajectory],
+    threads: usize,
+    order: &[usize],
+) {
+    let reference: Vec<MatchResult> = batch.iter().map(|t| matcher.match_trajectory(t)).collect();
+    let opts = BatchOptions::with_threads(threads);
+    let (got, _) = par_match_pooled(matcher, batch, opts);
+    assert_eq!(got, reference, "{} diverged at {threads} threads", matcher.name());
+    let shuffled: Vec<Trajectory> = order.iter().map(|&i| batch[i].clone()).collect();
+    let (got_shuffled, _) = par_match_pooled(matcher, &shuffled, opts);
+    for (slot, &src) in order.iter().enumerate() {
+        assert_eq!(
+            got_shuffled[slot],
+            reference[src],
+            "{} shuffle broke keying at {threads} threads",
+            matcher.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn pooled_baselines_identical_to_sequential_for_arbitrary_worlds(
+        net_seed in 0u64..1_000,
+        traj_seed in 0u64..1_000,
+        threads in 1usize..5,
+        shuffle_seed in 0u64..1_000,
+    ) {
+        let (net, samples) = arbitrary_world(net_seed, traj_seed);
+        if samples.is_empty() {
+            // A barren seed pair (all OD draws too short) proves nothing;
+            // skip rather than fail — other cases cover the property.
+            return Ok(());
+        }
+        let batch: Vec<Trajectory> = samples.iter().map(|s| s.sparse.clone()).collect();
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let cfg = HmmConfig::default();
+        let hmm = HmmMatcher::new(net.clone(), planner.clone(), cfg.clone());
+        let fmm = FmmMatcher::new(net.clone(), planner.clone(), cfg.clone());
+        let lhmm = LhmmMatcher::fit(net.clone(), planner, cfg, &samples);
+        assert_pooled_identical(&hmm, &batch, threads, &order);
+        assert_pooled_identical(&fmm, &batch, threads, &order);
+        assert_pooled_identical(&lhmm, &batch, threads, &order);
+    }
+
+    #[test]
+    fn sssp_pool_reuse_never_leaks_state(
+        net_seed in 0u64..1_000,
+        priors in prop::collection::vec((0u32..10_000, 0u32..10_000, 150.0f64..4_000.0), 0usize..12),
+        last in (0u32..10_000, 0u32..10_000),
+        bound in 150.0f64..4_000.0,
+    ) {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, net_seed));
+        let m = net.num_nodes() as u32;
+        let mut pool = SsspPool::new();
+        let mut sweep = Vec::new();
+        // Arbitrary interleaved history: point-to-point queries and bounded
+        // sweeps, each leaving whatever state they leave.
+        for (i, &(s, d, b)) in priors.iter().enumerate() {
+            let _ = pool.node_dist(&net, NodeId(s % m), NodeId(d % m), Weight::Length, b);
+            if i % 3 == 1 {
+                pool.bounded_sssp_into(&net, NodeId(s % m), Weight::Length, b, &mut sweep);
+            }
+        }
+        let (src, dst) = (NodeId(last.0 % m), NodeId(last.1 % m));
+        let warm = pool.node_dist(&net, src, dst, Weight::Length, bound);
+        let fresh = SsspPool::new().node_dist(&net, src, dst, Weight::Length, bound);
+        let plain = node_dist(&net, src, dst, Weight::Length, bound);
+        prop_assert_eq!(warm, fresh, "warm pool diverged from fresh pool after {} priors", priors.len());
+        prop_assert_eq!(warm, plain, "pooled query diverged from allocating Dijkstra");
+    }
+}
+
+/// Hammer one shared `DistCache` from several scoped threads, each reading
+/// through its own `SsspPool`, and check: every answer is the true
+/// distance, the hit/miss counters account for every lookup, and exactly
+/// the queried pairs are cached.
+#[test]
+fn dist_cache_concurrent_read_through_is_consistent() {
+    let net = generate_city(&NetworkConfig::with_size(7, 7, 77));
+    let m = net.num_nodes() as u32;
+    let pairs: Vec<(NodeId, NodeId)> =
+        (0..24).map(|i| (NodeId((i * 5) % m), NodeId((i * 11 + 3) % m))).collect();
+    let cache = DistCache::new();
+    let threads = 4;
+    let passes = 6;
+    let answers: Vec<Vec<Option<f64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let net = &net;
+                let cache = &cache;
+                let pairs = &pairs;
+                scope.spawn(move || {
+                    let mut pool = SsspPool::new();
+                    let mut got = Vec::new();
+                    // Each worker walks the pair list from a different
+                    // offset so lookups interleave hit/miss differently.
+                    for pass in 0..passes {
+                        for i in 0..pairs.len() {
+                            let (src, dst) = pairs[(i + w * 7 + pass) % pairs.len()];
+                            got.push(cache.node_dist_pooled(
+                                net,
+                                src,
+                                dst,
+                                f64::INFINITY,
+                                &mut pool,
+                            ));
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("cache hammer worker panicked")).collect()
+    });
+
+    // Every returned distance equals a fresh Dijkstra run: no entry was
+    // ever served with a wrong (e.g. torn or cross-keyed) value.
+    for (w, got) in answers.iter().enumerate() {
+        assert_eq!(got.len(), passes * pairs.len());
+        for (i, &d) in got.iter().enumerate() {
+            let (src, dst) = pairs[(i % pairs.len() + w * 7 + i / pairs.len()) % pairs.len()];
+            let truth = node_dist(&net, src, dst, Weight::Length, f64::INFINITY);
+            assert_eq!(d, truth, "worker {w} lookup {i}: wrong distance for {src:?}->{dst:?}");
+        }
+    }
+
+    // Counter consistency: every lookup is exactly one hit or one miss;
+    // racing first lookups may each count a miss for the same pair, so
+    // misses is bounded below by the distinct pairs and above by the total.
+    let stats = cache.stats();
+    let total = (threads * passes * pairs.len()) as u64;
+    let distinct: std::collections::HashSet<_> = pairs.iter().collect();
+    assert_eq!(stats.total(), total, "hits {} + misses {} != lookups", stats.hits, stats.misses);
+    assert!(stats.misses >= distinct.len() as u64, "first lookup of each pair must miss");
+    assert!(stats.misses <= total, "misses cannot exceed lookups");
+    assert_eq!(cache.len(), distinct.len(), "exactly the queried pairs are cached");
+}
