@@ -1,0 +1,294 @@
+//! The HMM-family Viterbi decoder as an explicit, resumable state machine.
+//!
+//! The whole-trajectory `viterbi` loops of [`HmmMatcher`] / `FMM` / `LHMM`
+//! used to be closed: candidate search, the per-layer transition/emission
+//! update and the backtrack were fused into one pass over a complete
+//! trajectory. [`ViterbiState`] pulls the per-step update out: it holds the
+//! beam of survivors (per-layer scores), the backpointers and the pushed
+//! points, and is advanced one GPS point at a time by [`ViterbiState::
+//! advance`]. The offline decode is now literally a replay — push every
+//! point, then [`ViterbiState::decode`] — so the batch path and the
+//! streaming path share one decoder and cannot drift.
+//!
+//! **Stabilized prefix (watermark).** In online decoding the newest match is
+//! provisional, but prefixes *converge*: once every surviving candidate's
+//! backpointer chain passes through a single candidate at layer `i`, the
+//! decode of layers `0..=i` can never change again, no matter what arrives
+//! later (future layers only connect through the current survivors, and an
+//! HMM break restarts from an argmax over already-frozen scores).
+//! [`ViterbiState::refresh_watermark`] computes that convergence point; the
+//! watermark is monotone and `tests/props_streaming.rs` property-tests that
+//! finalized output never contradicts it.
+//!
+//! [`HmmMatcher`]: crate::hmm::HmmMatcher
+
+use trmma_traj::api::Candidate;
+use trmma_traj::types::{GpsPoint, MatchedPoint};
+
+/// Index of the maximum score (first wins ties), mirroring the historical
+/// backtrack tie-breaking exactly.
+pub(crate) fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Resumable Viterbi decoder state: pushed points, per-layer candidate sets,
+/// the beam of survivor scores and the backpointer lattice. See module docs.
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiState {
+    points: Vec<GpsPoint>,
+    cand_sets: Vec<Vec<Candidate>>,
+    /// `score[i][j]`: best log-prob of any path ending at candidate `j` of
+    /// point `i` (`−∞` for dead candidates).
+    score: Vec<Vec<f64>>,
+    /// `back[i][j]`: predecessor candidate index at layer `i − 1`, or
+    /// `usize::MAX` at layer 0 and chain restarts (HMM breaks).
+    back: Vec<Vec<usize>>,
+    watermark: usize,
+}
+
+impl ViterbiState {
+    /// An empty decoder (no points pushed).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of points pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether any point has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The current stabilized-prefix watermark (see
+    /// [`ViterbiState::refresh_watermark`]).
+    #[must_use]
+    pub fn watermark(&self) -> usize {
+        self.watermark
+    }
+
+    /// Advances the decoder by one GPS point: `cands` is the candidate set
+    /// of `p` (closest first), `emission` scores a candidate against `p`,
+    /// and `transition` scores a candidate pair given the straight-line
+    /// displacement from the previous point. This is the per-step
+    /// transition/emission update shared verbatim by the offline and
+    /// online paths.
+    pub fn advance(
+        &mut self,
+        p: GpsPoint,
+        cands: Vec<Candidate>,
+        emission: impl Fn(&Candidate) -> f64,
+        mut transition: impl FnMut(&Candidate, &Candidate, f64) -> f64,
+    ) {
+        if self.points.is_empty() {
+            self.score.push(cands.iter().map(&emission).collect());
+            self.back.push(vec![usize::MAX; cands.len()]);
+        } else {
+            let i = self.points.len();
+            let straight = p.pos.dist(self.points[i - 1].pos);
+            let prev_cands = &self.cand_sets[i - 1];
+            let prev_score = &self.score[i - 1];
+            let mut s_i = vec![f64::NEG_INFINITY; cands.len()];
+            let mut b_i = vec![usize::MAX; cands.len()];
+            for (j, cj) in cands.iter().enumerate() {
+                let em = emission(cj);
+                for (k, ck) in prev_cands.iter().enumerate() {
+                    if prev_score[k] == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let tr = transition(ck, cj, straight);
+                    if tr == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let cand_score = prev_score[k] + tr + em;
+                    if cand_score > s_i[j] {
+                        s_i[j] = cand_score;
+                        b_i[j] = k;
+                    }
+                }
+            }
+            // HMM break: no feasible transition — restart the chain here.
+            if s_i.iter().all(|&s| s == f64::NEG_INFINITY) {
+                s_i = cands.iter().map(&emission).collect();
+                b_i = vec![usize::MAX; cands.len()];
+            }
+            self.score.push(s_i);
+            self.back.push(b_i);
+        }
+        self.points.push(p);
+        self.cand_sets.push(cands);
+    }
+
+    /// The provisional match of the newest point: the candidate the final
+    /// backtrack would pick if the stream ended now.
+    #[must_use]
+    pub fn provisional(&self) -> Option<MatchedPoint> {
+        let last = self.points.len().checked_sub(1)?;
+        let j = argmax(&self.score[last]);
+        let c = self.cand_sets[last].get(j)?;
+        Some(MatchedPoint::new(c.seg, c.ratio, self.points[last].t))
+    }
+
+    /// Recomputes the stabilized-prefix watermark and returns it.
+    ///
+    /// Walks the backpointer lattice down from the newest layer, carrying
+    /// the set of candidates any future decode could pass through: the
+    /// survivors (finite score) at the top, their backpointer images below,
+    /// a single argmax candidate across a chain restart. The first layer
+    /// where that set collapses to one candidate pins the decode of
+    /// everything at and below it. Monotone: never returns less than a
+    /// previous call. `O(depth × beam)` in the worst case, but the walk
+    /// stops at the previous watermark.
+    pub fn refresh_watermark(&mut self) -> usize {
+        let Some(mut layer) = self.points.len().checked_sub(1) else {
+            return self.watermark;
+        };
+        let mut alive: Vec<usize> = (0..self.score[layer].len())
+            .filter(|&j| self.score[layer][j] != f64::NEG_INFINITY)
+            .collect();
+        loop {
+            if alive.len() == 1 {
+                // One candidate pins this layer; below it the backpointers
+                // (and break-time argmaxes over frozen scores) are fixed.
+                self.watermark = self.watermark.max(layer + 1);
+                return self.watermark;
+            }
+            if alive.is_empty() || layer == 0 || layer <= self.watermark {
+                // No survivors to converge, or no room to beat the current
+                // watermark: collapsing at `layer - 1` would only re-derive
+                // a prefix already stabilized.
+                return self.watermark;
+            }
+            if self.back[layer][alive[0]] == usize::MAX {
+                // Chain restart: the backtrack below this layer starts from
+                // argmax over layer − 1's (now frozen) scores.
+                alive = vec![argmax(&self.score[layer - 1])];
+            } else {
+                let mut parents: Vec<usize> = alive.iter().map(|&j| self.back[layer][j]).collect();
+                parents.sort_unstable();
+                parents.dedup();
+                alive = parents;
+            }
+            layer -= 1;
+        }
+    }
+
+    /// The final decode: backtracks through the lattice (chain restarts
+    /// resume from per-layer argmaxes) and returns one matched point per
+    /// pushed point. Pure — the state can keep accepting points afterwards.
+    #[must_use]
+    pub fn decode(&self) -> Vec<MatchedPoint> {
+        let n = self.points.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut picks = vec![0usize; n];
+        let last = n - 1;
+        picks[last] = argmax(&self.score[last]);
+        for i in (0..last).rev() {
+            let bp = self.back[i + 1][picks[i + 1]];
+            picks[i] = if bp == usize::MAX { argmax(&self.score[i]) } else { bp };
+        }
+        picks
+            .into_iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let c = &self.cand_sets[i][j];
+                MatchedPoint::new(c.seg, c.ratio, self.points[i].t)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trmma_geom::Vec2;
+    use trmma_roadnet::SegmentId;
+
+    fn gp(x: f64, t: f64) -> GpsPoint {
+        GpsPoint { pos: Vec2::new(x, 0.0), t }
+    }
+
+    fn cand(seg: u32, ratio: f64, dist: f64) -> Candidate {
+        Candidate { seg: SegmentId(seg), dist_m: dist, ratio }
+    }
+
+    /// Hand-computable two-layer lattice: emission prefers candidate 0, but
+    /// the transition only allows 1 → 1, so the survivor path flips.
+    #[test]
+    fn advance_and_decode_follow_feasible_transitions() {
+        let mut st = ViterbiState::new();
+        let em = |c: &Candidate| -c.dist_m;
+        st.advance(gp(0.0, 0.0), vec![cand(0, 0.1, 1.0), cand(1, 0.2, 2.0)], em, |_, _, _| 0.0);
+        st.advance(gp(10.0, 1.0), vec![cand(2, 0.5, 1.0), cand(3, 0.5, 5.0)], em, |from, to, _| {
+            if from.seg == SegmentId(1) && to.seg == SegmentId(3) {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        });
+        let picks = st.decode();
+        assert_eq!(picks.len(), 2);
+        assert_eq!(picks[0].seg, SegmentId(1), "only 1 → 3 was feasible");
+        assert_eq!(picks[1].seg, SegmentId(3));
+        // A single feasible survivor means the whole prefix is stable.
+        assert_eq!(st.refresh_watermark(), 2);
+    }
+
+    #[test]
+    fn break_restarts_chain_and_stabilizes_prefix() {
+        let mut st = ViterbiState::new();
+        let em = |c: &Candidate| -c.dist_m;
+        st.advance(gp(0.0, 0.0), vec![cand(0, 0.1, 1.0), cand(1, 0.2, 2.0)], em, |_, _, _| 0.0);
+        // No transition feasible at all: break, chain restarts on emissions.
+        st.advance(gp(10.0, 1.0), vec![cand(2, 0.5, 3.0), cand(3, 0.5, 1.0)], em, |_, _, _| {
+            f64::NEG_INFINITY
+        });
+        let picks = st.decode();
+        assert_eq!(picks[0].seg, SegmentId(0), "pre-break layer decodes by argmax");
+        assert_eq!(picks[1].seg, SegmentId(3), "post-break layer decodes by emission");
+        // The break froze layer 0; layer 1 still has two survivors.
+        assert_eq!(st.refresh_watermark(), 1);
+    }
+
+    #[test]
+    fn watermark_is_monotone_and_bounded() {
+        let mut st = ViterbiState::new();
+        let em = |_: &Candidate| 0.0;
+        let mut prev = 0;
+        for i in 0..6 {
+            st.advance(
+                gp(f64::from(i), f64::from(i)),
+                vec![cand(0, 0.1, 1.0), cand(1, 0.2, 2.0)],
+                em,
+                |_, _, _| 0.0,
+            );
+            let w = st.refresh_watermark();
+            assert!(w >= prev, "watermark regressed: {w} < {prev}");
+            assert!(w <= st.len());
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn empty_state_is_well_behaved() {
+        let mut st = ViterbiState::new();
+        assert!(st.is_empty());
+        assert_eq!(st.len(), 0);
+        assert!(st.decode().is_empty());
+        assert!(st.provisional().is_none());
+        assert_eq!(st.refresh_watermark(), 0);
+    }
+}

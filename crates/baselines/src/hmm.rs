@@ -23,10 +23,14 @@ use std::sync::Arc;
 
 use trmma_roadnet::shortest::{NetPos, SsspPool};
 use trmma_roadnet::{RoadNetwork, RoutePlanner, TransitionProvider};
-use trmma_traj::api::{Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult};
-use trmma_traj::types::{MatchedPoint, Route, Trajectory};
+use trmma_traj::api::{
+    stitch_route, Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult,
+};
+use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::types::{GpsPoint, MatchedPoint, Trajectory};
 use trmma_traj::ScratchMatcher;
 
+use crate::decoder::ViterbiState;
 use crate::ubodt::Ubodt;
 
 /// Tunables of the HMM matchers.
@@ -135,75 +139,48 @@ impl HmmMatcher {
         }
     }
 
-    /// Viterbi decode over candidate sets; returns one candidate per point.
-    fn viterbi(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> Vec<Candidate> {
-        let cand_sets: Vec<Vec<Candidate>> = traj
-            .points
-            .iter()
-            .map(|p| {
-                let mut set = Vec::with_capacity(self.cfg.k_candidates);
-                self.finder.candidates_into(p.pos, &mut scratch.cand, &mut set);
-                set
-            })
-            .collect();
-        let n = cand_sets.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        // score[i][j]: best log-prob path ending at candidate j of point i.
-        let mut score: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut back: Vec<Vec<usize>> = Vec::with_capacity(n);
-        score.push(cand_sets[0].iter().map(|c| self.emission_log(c)).collect());
-        back.push(vec![usize::MAX; cand_sets[0].len()]);
-        for i in 1..n {
-            let straight = traj.points[i].pos.dist(traj.points[i - 1].pos);
-            let mut s_i = vec![f64::NEG_INFINITY; cand_sets[i].len()];
-            let mut b_i = vec![usize::MAX; cand_sets[i].len()];
-            for (j, cj) in cand_sets[i].iter().enumerate() {
-                let em = self.emission_log(cj);
-                for (k, ck) in cand_sets[i - 1].iter().enumerate() {
-                    if score[i - 1][k] == f64::NEG_INFINITY {
-                        continue;
-                    }
-                    let tr = self.transition_log(&mut scratch.pool, ck, cj, straight);
-                    if tr == f64::NEG_INFINITY {
-                        continue;
-                    }
-                    let cand_score = score[i - 1][k] + tr + em;
-                    if cand_score > s_i[j] {
-                        s_i[j] = cand_score;
-                        b_i[j] = k;
-                    }
-                }
-            }
-            // HMM break: no feasible transition — restart the chain here.
-            if s_i.iter().all(|&s| s == f64::NEG_INFINITY) {
-                s_i = cand_sets[i].iter().map(|c| self.emission_log(c)).collect();
-                b_i = vec![usize::MAX; cand_sets[i].len()];
-            }
-            score.push(s_i);
-            back.push(b_i);
-        }
-        // Backtrack (breaks simply restart the backpointer chain).
-        let mut picks = vec![0usize; n];
-        let last = n - 1;
-        picks[last] = argmax(&score[last]);
-        for i in (0..last).rev() {
-            let bp = back[i + 1][picks[i + 1]];
-            picks[i] = if bp == usize::MAX { argmax(&score[i]) } else { bp };
-        }
-        picks.into_iter().enumerate().map(|(i, j)| cand_sets[i][j]).collect()
+    /// Advances a resumable decoder by one GPS point: candidate search on
+    /// the scratch's kNN buffers, then the transition/emission update of
+    /// [`ViterbiState::advance`] with route distances on the scratch's
+    /// Dijkstra pool. The one step function shared by the offline decode
+    /// (which replays a whole trajectory through it) and the online path.
+    fn advance(&self, scratch: &mut HmmScratch, state: &mut ViterbiState, p: GpsPoint) {
+        let mut cands = Vec::with_capacity(self.cfg.k_candidates);
+        self.finder.candidates_into(p.pos, &mut scratch.cand, &mut cands);
+        let pool = &mut scratch.pool;
+        state.advance(
+            p,
+            cands,
+            |c| self.emission_log(c),
+            |from, to, straight| self.transition_log(pool, from, to, straight),
+        );
+    }
+
+    fn stitch(&self, matched: Vec<MatchedPoint>) -> MatchResult {
+        stitch_route(&self.net, &self.planner, matched)
     }
 }
 
-fn argmax(xs: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &x) in xs.iter().enumerate() {
-        if x > xs[best] {
-            best = i;
-        }
+/// Per-session decoder state of the HMM-family matchers: the resumable
+/// Viterbi lattice. One per live trajectory; the heavyweight search buffers
+/// stay in the per-worker [`HmmScratch`].
+#[derive(Debug, Clone, Default)]
+pub struct HmmSession {
+    state: ViterbiState,
+}
+
+impl HmmSession {
+    /// Points pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.len()
     }
-    best
+
+    /// Whether any point has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
 }
 
 impl MapMatcher for HmmMatcher {
@@ -224,19 +201,37 @@ impl ScratchMatcher for HmmMatcher {
     }
 
     fn match_trajectory_with(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> MatchResult {
-        let picks = self.viterbi(scratch, traj);
-        let matched: Vec<MatchedPoint> = picks
-            .iter()
-            .zip(&traj.points)
-            .map(|(c, p)| MatchedPoint::new(c.seg, c.ratio, p.t))
-            .collect();
-        let seq: Vec<_> = matched.iter().map(|m| m.seg).collect();
-        let route = self
-            .planner
-            .connect(&self.net, &seq)
-            .map(Route::new)
-            .unwrap_or_else(|| Route::new(seq));
-        MatchResult { matched, route }
+        // Offline is online replayed: push every point, then decode.
+        let mut state = ViterbiState::new();
+        for &p in &traj.points {
+            self.advance(scratch, &mut state, p);
+        }
+        self.stitch(state.decode())
+    }
+}
+
+impl OnlineMatcher for HmmMatcher {
+    type Session = HmmSession;
+
+    fn begin_session(&self) -> HmmSession {
+        HmmSession::default()
+    }
+
+    fn push_point(
+        &self,
+        scratch: &mut HmmScratch,
+        session: &mut HmmSession,
+        point: GpsPoint,
+    ) -> OnlineUpdate {
+        self.advance(scratch, &mut session.state, point);
+        OnlineUpdate {
+            provisional: session.state.provisional(),
+            stable_prefix: session.state.refresh_watermark(),
+        }
+    }
+
+    fn finalize(&self, _scratch: &mut HmmScratch, session: HmmSession) -> MatchResult {
+        self.stitch(session.state.decode())
     }
 }
 
@@ -293,6 +288,27 @@ impl ScratchMatcher for FmmMatcher {
 
     fn match_trajectory_with(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> MatchResult {
         self.inner.match_trajectory_with(scratch, traj)
+    }
+}
+
+impl OnlineMatcher for FmmMatcher {
+    type Session = HmmSession;
+
+    fn begin_session(&self) -> HmmSession {
+        self.inner.begin_session()
+    }
+
+    fn push_point(
+        &self,
+        scratch: &mut HmmScratch,
+        session: &mut HmmSession,
+        point: GpsPoint,
+    ) -> OnlineUpdate {
+        self.inner.push_point(scratch, session, point)
+    }
+
+    fn finalize(&self, scratch: &mut HmmScratch, session: HmmSession) -> MatchResult {
+        self.inner.finalize(scratch, session)
     }
 }
 

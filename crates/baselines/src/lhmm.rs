@@ -18,7 +18,10 @@ use trmma_traj::api::{MapMatcher, MatchResult, ScratchMatcher};
 use trmma_traj::types::Trajectory;
 use trmma_traj::Sample;
 
-use crate::hmm::{HmmConfig, HmmMatcher, HmmScratch};
+use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::types::GpsPoint;
+
+use crate::hmm::{HmmConfig, HmmMatcher, HmmScratch, HmmSession};
 use crate::TrainReport;
 
 /// Fitted HMM parameters.
@@ -108,6 +111,12 @@ impl LhmmMatcher {
     pub fn report(&self) -> &TrainReport {
         &self.report
     }
+
+    /// The route-distance oracle (shared, read-only) of the fitted matcher.
+    #[must_use]
+    pub fn provider(&self) -> &trmma_roadnet::TransitionProvider {
+        self.inner.provider()
+    }
 }
 
 impl MapMatcher for LhmmMatcher {
@@ -129,6 +138,27 @@ impl ScratchMatcher for LhmmMatcher {
 
     fn match_trajectory_with(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> MatchResult {
         self.inner.match_trajectory_with(scratch, traj)
+    }
+}
+
+impl OnlineMatcher for LhmmMatcher {
+    type Session = HmmSession;
+
+    fn begin_session(&self) -> HmmSession {
+        self.inner.begin_session()
+    }
+
+    fn push_point(
+        &self,
+        scratch: &mut HmmScratch,
+        session: &mut HmmSession,
+        point: GpsPoint,
+    ) -> OnlineUpdate {
+        self.inner.push_point(scratch, session, point)
+    }
+
+    fn finalize(&self, scratch: &mut HmmScratch, session: HmmSession) -> MatchResult {
+        self.inner.finalize(scratch, session)
     }
 }
 

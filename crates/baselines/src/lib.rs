@@ -32,6 +32,7 @@
 //!   "evaluate the entire road network" design whose cost TRMMA's
 //!   route-restricted decoding avoids.
 
+pub mod decoder;
 pub mod hmm;
 pub mod lhmm;
 pub mod linear;
@@ -39,10 +40,11 @@ pub mod nearest;
 pub mod seq2seq;
 pub mod ubodt;
 
-pub use hmm::{FmmMatcher, HmmConfig, HmmMatcher, HmmScratch};
+pub use decoder::ViterbiState;
+pub use hmm::{FmmMatcher, HmmConfig, HmmMatcher, HmmScratch, HmmSession};
 pub use lhmm::{fit_params, FittedParams, LhmmMatcher};
 pub use linear::LinearRecovery;
-pub use nearest::NearestMatcher;
+pub use nearest::{NearestMatcher, NearestSession};
 pub use seq2seq::{Seq2SeqConfig, Seq2SeqFull};
 pub use ubodt::Ubodt;
 

@@ -7,8 +7,9 @@
 use std::sync::Arc;
 
 use trmma_roadnet::{RoadNetwork, RoutePlanner};
-use trmma_traj::api::{CandidateFinder, MapMatcher, MatchResult, ScratchMatcher};
-use trmma_traj::types::{MatchedPoint, Route, Trajectory};
+use trmma_traj::api::{stitch_route, CandidateFinder, MapMatcher, MatchResult, ScratchMatcher};
+use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::types::{GpsPoint, MatchedPoint, Trajectory};
 
 /// Nearest-segment map matcher.
 pub struct NearestMatcher {
@@ -26,6 +27,12 @@ impl NearestMatcher {
     }
 }
 
+impl NearestMatcher {
+    fn stitch(&self, matched: Vec<MatchedPoint>) -> MatchResult {
+        stitch_route(&self.net, &self.planner, matched)
+    }
+}
+
 impl MapMatcher for NearestMatcher {
     fn name(&self) -> &'static str {
         "Nearest"
@@ -40,13 +47,41 @@ impl MapMatcher for NearestMatcher {
                 MatchedPoint::new(c.seg, c.ratio, p.t)
             })
             .collect();
-        let seq: Vec<_> = matched.iter().map(|m| m.seg).collect();
-        let route = self
-            .planner
-            .connect(&self.net, &seq)
-            .map(Route::new)
-            .unwrap_or_else(|| Route::new(seq));
-        MatchResult { matched, route }
+        self.stitch(matched)
+    }
+}
+
+/// Per-session state of the nearest matcher: each point's match is final the
+/// moment it is pushed, so the session is just the matched prefix.
+#[derive(Debug, Clone, Default)]
+pub struct NearestSession {
+    matched: Vec<MatchedPoint>,
+}
+
+/// Nearest is the degenerate online decoder: no global decoding means every
+/// provisional match is already final and the watermark always equals the
+/// number of pushed points.
+impl OnlineMatcher for NearestMatcher {
+    type Session = NearestSession;
+
+    fn begin_session(&self) -> NearestSession {
+        NearestSession::default()
+    }
+
+    fn push_point(
+        &self,
+        (): &mut (),
+        session: &mut NearestSession,
+        point: GpsPoint,
+    ) -> OnlineUpdate {
+        let c = self.finder.nearest(point.pos).expect("non-empty road network");
+        let mp = MatchedPoint::new(c.seg, c.ratio, point.t);
+        session.matched.push(mp);
+        OnlineUpdate { provisional: Some(mp), stable_prefix: session.matched.len() }
+    }
+
+    fn finalize(&self, (): &mut (), session: NearestSession) -> MatchResult {
+        self.stitch(session.matched)
     }
 }
 

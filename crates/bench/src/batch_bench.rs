@@ -15,10 +15,22 @@ use std::time::Instant;
 use trmma_core::{
     par_match_pooled, BatchMatcher, BatchOptions, BatchRecovery, BatchTiming, Mma, Trmma,
 };
+use trmma_roadnet::shortest::CacheStats;
+use trmma_roadnet::TransitionProvider;
 use trmma_traj::types::Trajectory;
 use trmma_traj::{MapMatcher, ScratchMatcher};
 
 use crate::json::Value;
+
+/// The counter delta `after − before` of one measured run — the
+/// route-distance-oracle lookups a row accumulated (from
+/// [`TransitionProvider::stats`]).
+pub(crate) fn cache_delta(before: CacheStats, after: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: after.hits.saturating_sub(before.hits),
+        misses: after.misses.saturating_sub(before.misses),
+    }
+}
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +54,10 @@ pub struct InferenceRow {
     pub speedup: f64,
     /// Whether the run's output matched the sequential reference exactly.
     pub identical: bool,
+    /// Transition-oracle cache counters accumulated during this row's runs
+    /// (all repeats), when the method has a [`TransitionProvider`]. `None`
+    /// for methods without a route-distance oracle (MMA's learned scoring).
+    pub cache: Option<CacheStats>,
 }
 
 impl InferenceRow {
@@ -65,7 +81,13 @@ impl InferenceRow {
             p99_ms: timing.latency_quantile(0.99) * 1e3,
             speedup: if base > 0.0 { tput / base } else { 1.0 },
             identical,
+            cache: None,
         }
+    }
+
+    fn with_cache(mut self, cache: Option<CacheStats>) -> Self {
+        self.cache = cache;
+        self
     }
 }
 
@@ -152,17 +174,23 @@ pub fn bench_matching(
 /// through [`par_match_pooled`] (one warm `SsspPool`/kNN scratch per
 /// worker), validating each parallel run against the sequential per-call
 /// reference. Produces the baseline thread-scaling rows of
-/// `BENCH_inference.json`.
+/// `BENCH_inference.json`. When the matcher's [`TransitionProvider`] is
+/// given, each row also records the oracle's hit/miss counter delta over
+/// its runs, so cache efficacy is tracked across PRs.
 #[must_use]
 pub fn bench_baseline_matching<M: ScratchMatcher + Sync>(
     matcher: &M,
     batch: &[Trajectory],
     thread_counts: &[usize],
     repeats: usize,
+    provider: Option<&TransitionProvider>,
 ) -> Vec<InferenceRow> {
     let method = matcher.name();
+    let snap = || provider.map_or(CacheStats { hits: 0, misses: 0 }, TransitionProvider::stats);
+    let before = snap();
     let (reference, seq_timing) =
         best_of(repeats, || timed_loop(batch.len(), |i| matcher.match_trajectory(&batch[i])));
+    let seq_cache = provider.map(|_| cache_delta(before, snap()));
     let base = seq_timing.throughput();
     let mut rows = vec![InferenceRow::from_timing(
         "matching",
@@ -172,20 +200,26 @@ pub fn bench_baseline_matching<M: ScratchMatcher + Sync>(
         &seq_timing,
         base,
         true,
-    )];
+    )
+    .with_cache(seq_cache)];
     for &threads in thread_counts {
         let opts = BatchOptions::with_threads(threads);
+        let before = snap();
         let (results, timing) = best_of(repeats, || par_match_pooled(matcher, batch, opts));
+        let row_cache = provider.map(|_| cache_delta(before, snap()));
         let identical = results == reference;
-        rows.push(InferenceRow::from_timing(
-            "matching",
-            method,
-            "batch_engine",
-            threads,
-            &timing,
-            base,
-            identical,
-        ));
+        rows.push(
+            InferenceRow::from_timing(
+                "matching",
+                method,
+                "batch_engine",
+                threads,
+                &timing,
+                base,
+                identical,
+            )
+            .with_cache(row_cache),
+        );
     }
     rows
 }
@@ -262,6 +296,8 @@ pub fn rows_to_json(rows: &[InferenceRow], batch_size: usize, dataset: &str) -> 
                             "p99_ms": r.p99_ms,
                             "speedup_vs_sequential": r.speedup,
                             "identical_to_sequential": r.identical,
+                            "cache_hits": r.cache.map(|c| c.hits),
+                            "cache_misses": r.cache.map(|c| c.misses),
                         })
                     })
                     .collect(),
@@ -317,14 +353,22 @@ mod tests {
         let hmm = HmmMatcher::new(net, planner, HmmConfig::default());
         let batch: Vec<Trajectory> =
             ds.samples(Split::Test, 0.2, 10).into_iter().take(5).map(|s| s.sparse).collect();
-        let rows = bench_baseline_matching(&hmm, &batch, &[1, 2], 1);
+        let rows = bench_baseline_matching(&hmm, &batch, &[1, 2], 1, Some(hmm.provider()));
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].mode, "sequential_api");
         for r in &rows {
             assert_eq!(r.method, "HMM");
             assert!(r.identical, "pooled HMM diverged at {} threads", r.threads);
             assert!(r.traj_per_s > 0.0);
+            let cache = r.cache.expect("provider stats recorded per row");
+            assert!(cache.hits + cache.misses > 0, "HMM must consult its oracle");
         }
+        // The first (sequential) row pays the cold misses; later rows reuse
+        // the shared cache, so their miss count cannot exceed the first's.
+        assert!(rows[0].cache.unwrap().misses >= rows[1].cache.unwrap().misses);
+        let s = crate::json::to_string_pretty(&rows_to_json(&rows, batch.len(), "TINY"));
+        assert!(s.contains("\"cache_hits\":"));
+        assert!(s.contains("\"cache_misses\":"));
     }
 
     #[test]

@@ -82,9 +82,9 @@ fn main() {
 
     let mut rows = bench_matching(&mma, &batch, &threads, repeats);
     rows.extend(bench_recovery(&mma, &trmma, &batch, eps, &threads, repeats));
-    rows.extend(bench_baseline_matching(&hmm, &batch, &threads, repeats));
-    rows.extend(bench_baseline_matching(&fmm, &batch, &threads, repeats));
-    rows.extend(bench_baseline_matching(&lhmm, &batch, &threads, repeats));
+    rows.extend(bench_baseline_matching(&hmm, &batch, &threads, repeats, Some(hmm.provider())));
+    rows.extend(bench_baseline_matching(&fmm, &batch, &threads, repeats, Some(fmm.provider())));
+    rows.extend(bench_baseline_matching(&lhmm, &batch, &threads, repeats, Some(lhmm.provider())));
 
     let mut table = Table::new(&[
         "Task",
@@ -96,6 +96,7 @@ fn main() {
         "p99(ms)",
         "Speedup",
         "Identical",
+        "Cache h/m",
     ]);
     for r in &rows {
         table.row(vec![
@@ -108,6 +109,7 @@ fn main() {
             format!("{:.3}", r.p99_ms),
             format!("{:.2}x", r.speedup),
             r.identical.to_string(),
+            r.cache.map_or_else(|| "-".to_string(), |c| format!("{}/{}", c.hits, c.misses)),
         ]);
     }
     table.print();

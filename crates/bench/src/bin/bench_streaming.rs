@@ -1,0 +1,126 @@
+//! Streaming-inference benchmark (`BENCH_streaming.json`).
+//!
+//! Replays a synthetic corpus as one interleaved point stream — every
+//! session's points in order, sessions arbitrarily mixed, the shape live
+//! traffic has — through `trmma_core::StreamEngine`, for MMA and all
+//! HMM-family baselines (HMM, FMM, LHMM), sweeping engine thread counts.
+//! Reports per-point decode latency quantiles, points/s, sessions/s, the
+//! mean stabilization lag of the watermark, and the transition-oracle
+//! cache counters; every session's finalized result is validated against
+//! the offline `match_trajectory` before any row is emitted.
+//!
+//! Scale knobs: `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE`, plus
+//! `TRMMA_STREAM_SESSIONS` (target concurrent sessions, default 64). Pass
+//! `--smoke` for the CI profile: tiny dataset, threads {1, 2}, artifact
+//! copy only (the committed repo-root file is left untouched).
+
+use std::sync::Arc;
+
+use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher};
+use trmma_bench::harness::{trained_mma, Bundle, ExpConfig};
+use trmma_bench::report::{write_bench_streaming, write_json, Table};
+use trmma_bench::stream_bench::{bench_streaming, interleave, stream_rows_to_json, StreamRow};
+use trmma_traj::dataset::DatasetConfig;
+use trmma_traj::types::Trajectory;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = ExpConfig::from_env();
+    println!("== Streaming inference: interleaved live sessions ==\n");
+
+    let dcfg = if smoke {
+        DatasetConfig::tiny()
+    } else {
+        cfg.dataset_configs().into_iter().next().expect("at least one dataset selected")
+    };
+    let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+    let epochs = if smoke { 1 } else { cfg.epochs.min(3) };
+    let (mma, _) = trained_mma(&bundle, cfg.mma_config(), epochs);
+    let mma = Arc::new(mma);
+
+    let hmm_cfg = HmmConfig::default();
+    let hmm =
+        Arc::new(HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone()));
+    let fmm =
+        Arc::new(FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone()));
+    let lhmm = Arc::new(LhmmMatcher::fit(
+        bundle.net.clone(),
+        bundle.planner.clone(),
+        hmm_cfg,
+        &bundle.train,
+    ));
+
+    // The session corpus: test sparse trajectories, tiled up to the target
+    // concurrent-session count, then shuffled into one point stream.
+    let target: usize = if smoke {
+        16
+    } else {
+        std::env::var("TRMMA_STREAM_SESSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    };
+    let mut sessions: Vec<Trajectory> =
+        bundle.test.iter().map(|s| s.sparse.clone()).filter(|t| !t.is_empty()).collect();
+    assert!(!sessions.is_empty(), "dataset {} produced no test trajectories", bundle.ds.name);
+    while sessions.len() < target {
+        let again: Vec<_> = sessions.iter().take(target - sessions.len()).cloned().collect();
+        sessions.extend(again);
+    }
+    let events = interleave(&sessions, 0x5EED);
+    let threads = if smoke {
+        vec![1, 2]
+    } else {
+        let mut t = trmma_bench::batch_bench::default_thread_counts();
+        if t == [1] {
+            t.push(2);
+        }
+        t
+    };
+    println!(
+        "dataset {} | {} sessions | {} streamed points | threads {threads:?}\n",
+        bundle.ds.name,
+        sessions.len(),
+        events.len()
+    );
+
+    let mut rows: Vec<StreamRow> = Vec::new();
+    rows.extend(bench_streaming(&mma, &sessions, &events, &threads, None));
+    rows.extend(bench_streaming(&hmm, &sessions, &events, &threads, Some(hmm.provider())));
+    rows.extend(bench_streaming(&fmm, &sessions, &events, &threads, Some(fmm.provider())));
+    rows.extend(bench_streaming(&lhmm, &sessions, &events, &threads, Some(lhmm.provider())));
+
+    let mut table = Table::new(&[
+        "Method",
+        "Threads",
+        "pts/s",
+        "sess/s",
+        "p50(ms)",
+        "p99(ms)",
+        "StableLag",
+        "Identical",
+        "Cache h/m",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.method.clone(),
+            r.threads.to_string(),
+            format!("{:.1}", r.points_per_s),
+            format!("{:.2}", r.sessions_per_s),
+            format!("{:.3}", r.p50_ms),
+            format!("{:.3}", r.p99_ms),
+            format!("{:.2}", r.mean_stable_lag),
+            r.identical.to_string(),
+            r.cache.map_or_else(|| "-".to_string(), |c| format!("{}/{}", c.hits, c.misses)),
+        ]);
+    }
+    table.print();
+
+    let diverged: Vec<&StreamRow> = rows.iter().filter(|r| !r.identical).collect();
+    assert!(diverged.is_empty(), "streamed output diverged from offline decode: {diverged:?}");
+
+    let doc = stream_rows_to_json(&rows, events.len(), &bundle.ds.name);
+    if smoke {
+        println!("\n--smoke: repo-root BENCH_streaming.json left untouched");
+    } else {
+        write_bench_streaming(&doc);
+    }
+    write_json("bench_streaming", &doc);
+}

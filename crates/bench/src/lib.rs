@@ -18,6 +18,7 @@ pub mod batch_bench;
 pub mod harness;
 pub mod json;
 pub mod report;
+pub mod stream_bench;
 
 pub use harness::{trained_mma, trained_seq2seq, trained_trmma, Bundle, ExpConfig};
 pub use json::Value;

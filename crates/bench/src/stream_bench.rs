@@ -1,0 +1,263 @@
+//! Streaming-inference benchmark: replay a synthetic corpus as one
+//! interleaved point stream through `trmma_core::StreamEngine` and measure
+//! what a live deployment cares about — per-point decode latency quantiles,
+//! points/s and sessions/s — per method and thread count.
+//!
+//! Produces the rows behind `BENCH_streaming.json`. Every run is validated:
+//! each session's finalized result must equal the offline
+//! `match_trajectory` on the same trajectory (the replay-equivalence
+//! contract of `OnlineMatcher`), and the row carries an
+//! `identical_to_offline` flag the binary asserts on. Rows for HMM-family
+//! methods also record their `TransitionProvider` hit/miss counter deltas.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trmma_core::{SessionId, StreamEngine, StreamEvent, StreamOptions};
+use trmma_roadnet::shortest::CacheStats;
+use trmma_roadnet::TransitionProvider;
+use trmma_traj::online::OnlineMatcher;
+use trmma_traj::types::{GpsPoint, Trajectory};
+use trmma_traj::MatchResult;
+
+use crate::batch_bench::cache_delta;
+use crate::json::Value;
+
+/// One measured streaming configuration.
+#[derive(Debug, Clone)]
+pub struct StreamRow {
+    /// The matcher measured (`"MMA"`, `"HMM"`, `"FMM"`, `"LHMM"`).
+    pub method: String,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Concurrent sessions replayed.
+    pub sessions: usize,
+    /// Points decoded across all sessions.
+    pub points: u64,
+    /// Decoded points per second over the run's wall clock.
+    pub points_per_s: f64,
+    /// Sessions finalized per second over the run's wall clock.
+    pub sessions_per_s: f64,
+    /// Median worker-side per-point decode latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-point decode latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean stabilization lag: pushed points minus the stabilized-prefix
+    /// watermark, averaged over all updates (how far the decoder's
+    /// committed prefix trails the stream; 0 = every point final
+    /// immediately).
+    pub mean_stable_lag: f64,
+    /// Whether every finalized session matched the offline decode exactly.
+    pub identical: bool,
+    /// Transition-oracle counters accumulated during the run, when the
+    /// method has a [`TransitionProvider`].
+    pub cache: Option<CacheStats>,
+}
+
+/// Interleaves the points of `sessions` into one stream: at every step a
+/// seeded RNG picks one unfinished session and emits its next point, so
+/// arrivals from different devices are arbitrarily mixed while each
+/// session's own points stay in order (the shape the engine promises to
+/// handle).
+#[must_use]
+pub fn interleave(sessions: &[Trajectory], seed: u64) -> Vec<(SessionId, GpsPoint)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cursors = vec![0usize; sessions.len()];
+    let mut open: Vec<usize> = (0..sessions.len()).filter(|&i| !sessions[i].is_empty()).collect();
+    let total: usize = sessions.iter().map(Trajectory::len).sum();
+    let mut out = Vec::with_capacity(total);
+    while !open.is_empty() {
+        let pick = rng.gen_range(0..open.len());
+        let sid = open[pick];
+        out.push((sid as SessionId, sessions[sid].points[cursors[sid]]));
+        cursors[sid] += 1;
+        if cursors[sid] == sessions[sid].len() {
+            open.swap_remove(pick);
+        }
+    }
+    out
+}
+
+/// Replays `events` through a fresh engine per thread count and collects a
+/// [`StreamRow`] per configuration, validating finalized output against
+/// the sequential offline reference.
+#[must_use]
+pub fn bench_streaming<M: OnlineMatcher + 'static>(
+    matcher: &Arc<M>,
+    sessions: &[Trajectory],
+    events: &[(SessionId, GpsPoint)],
+    thread_counts: &[usize],
+    provider: Option<&TransitionProvider>,
+) -> Vec<StreamRow> {
+    // The corpus tiles trajectories up to the target session count; decode
+    // each unique trajectory once and share the result across duplicates.
+    let mut reference: Vec<MatchResult> = Vec::with_capacity(sessions.len());
+    for (i, t) in sessions.iter().enumerate() {
+        match sessions[..i].iter().position(|u| u == t) {
+            Some(j) => {
+                let dup = reference[j].clone();
+                reference.push(dup);
+            }
+            None => reference.push(matcher.match_trajectory(t)),
+        }
+    }
+    let snap = || provider.map_or(CacheStats { hits: 0, misses: 0 }, TransitionProvider::stats);
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let before = snap();
+        // Idle eviction off: the replay is as fast as the engine can go,
+        // and a mid-replay eviction would split a session.
+        let engine = StreamEngine::new(
+            matcher.clone(),
+            StreamOptions::with_threads(threads).idle_timeout_s(0.0),
+        );
+        let started = Instant::now();
+        let mut proc_s: Vec<f64> = Vec::with_capacity(events.len());
+        let mut lag_sum = 0.0f64;
+        let mut finals: HashMap<SessionId, MatchResult> = HashMap::new();
+        let absorb = |es: Vec<StreamEvent>,
+                      proc_s: &mut Vec<f64>,
+                      lag_sum: &mut f64,
+                      finals: &mut HashMap<SessionId, MatchResult>| {
+            for e in es {
+                match e {
+                    StreamEvent::Update { seq, update, proc_s: dt, .. } => {
+                        proc_s.push(dt);
+                        *lag_sum += (seq + 1).saturating_sub(update.stable_prefix) as f64;
+                    }
+                    StreamEvent::Finalized { session, result, .. } => {
+                        finals.insert(session, result);
+                    }
+                }
+            }
+        };
+        for (i, &(sid, p)) in events.iter().enumerate() {
+            assert!(engine.push(sid, p), "worker queue closed mid-replay");
+            if i % 512 == 511 {
+                absorb(engine.poll_events(), &mut proc_s, &mut lag_sum, &mut finals);
+            }
+        }
+        for sid in 0..sessions.len() {
+            engine.finish(sid as SessionId);
+        }
+        let (rest, stats) = engine.shutdown();
+        let wall_s = started.elapsed().as_secs_f64();
+        absorb(rest, &mut proc_s, &mut lag_sum, &mut finals);
+
+        let identical = sessions.iter().enumerate().all(|(sid, t)| {
+            t.is_empty() || finals.get(&(sid as SessionId)) == Some(&reference[sid])
+        });
+        proc_s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let quantile = |q: f64| -> f64 {
+            if proc_s.is_empty() {
+                return 0.0;
+            }
+            let ix = ((proc_s.len() - 1) as f64 * q).round() as usize;
+            proc_s[ix] * 1e3
+        };
+        rows.push(StreamRow {
+            method: matcher.name().to_string(),
+            threads,
+            sessions: sessions.len(),
+            points: stats.points,
+            points_per_s: if wall_s > 0.0 { stats.points as f64 / wall_s } else { 0.0 },
+            sessions_per_s: if wall_s > 0.0 { stats.finalized() as f64 / wall_s } else { 0.0 },
+            p50_ms: quantile(0.5),
+            p99_ms: quantile(0.99),
+            mean_stable_lag: if stats.points > 0 { lag_sum / stats.points as f64 } else { 0.0 },
+            identical,
+            cache: provider.map(|_| cache_delta(before, snap())),
+        });
+    }
+    rows
+}
+
+/// Serialises streaming rows into the `BENCH_streaming.json` document.
+#[must_use]
+pub fn stream_rows_to_json(rows: &[StreamRow], total_points: usize, dataset: &str) -> Value {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    Value::Object(vec![
+        ("dataset".to_string(), Value::String(dataset.to_string())),
+        ("stream_points".to_string(), crate::json!(total_points)),
+        ("host_threads".to_string(), crate::json!(host)),
+        (
+            "rows".to_string(),
+            Value::Array(
+                rows.iter()
+                    .map(|r| {
+                        crate::json!({
+                            "method": r.method,
+                            "threads": r.threads,
+                            "sessions": r.sessions,
+                            "points": r.points,
+                            "points_per_s": r.points_per_s,
+                            "sessions_per_s": r.sessions_per_s,
+                            "p50_point_ms": r.p50_ms,
+                            "p99_point_ms": r.p99_ms,
+                            "mean_stable_lag_points": r.mean_stable_lag,
+                            "identical_to_offline": r.identical,
+                            "cache_hits": r.cache.map(|c| c.hits),
+                            "cache_misses": r.cache.map(|c| c.misses),
+                        })
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trmma_baselines::{HmmConfig, HmmMatcher};
+    use trmma_roadnet::RoutePlanner;
+    use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+
+    #[test]
+    fn interleave_preserves_per_session_order_and_total() {
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let sessions: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 30).into_iter().take(4).map(|s| s.sparse).collect();
+        let events = interleave(&sessions, 99);
+        let total: usize = sessions.iter().map(Trajectory::len).sum();
+        assert_eq!(events.len(), total);
+        let mut cursors = vec![0usize; sessions.len()];
+        for &(sid, p) in &events {
+            let sid = sid as usize;
+            assert_eq!(p, sessions[sid].points[cursors[sid]], "session {sid} out of order");
+            cursors[sid] += 1;
+        }
+        // Different seeds interleave differently (overwhelmingly likely).
+        assert_ne!(events, interleave(&sessions, 100));
+    }
+
+    #[test]
+    fn stream_rows_validate_against_offline() {
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let net = Arc::new(ds.net.clone());
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let hmm = Arc::new(HmmMatcher::new(net, planner, HmmConfig::default()));
+        let sessions: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 31).into_iter().take(4).map(|s| s.sparse).collect();
+        let events = interleave(&sessions, 7);
+        let rows = bench_streaming(&hmm, &sessions, &events, &[1, 2], Some(hmm.provider()));
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.identical, "streamed {} diverged at {} threads", r.method, r.threads);
+            assert_eq!(r.points as usize, events.len());
+            assert!(r.points_per_s > 0.0);
+            assert!(r.sessions_per_s > 0.0);
+            assert!(r.p50_ms <= r.p99_ms + 1e-9);
+            assert!(r.mean_stable_lag >= 0.0);
+            assert!(r.cache.is_some());
+        }
+        let s = crate::json::to_string_pretty(&stream_rows_to_json(&rows, events.len(), "TINY"));
+        assert!(s.contains("\"identical_to_offline\": true"));
+        assert!(s.contains("\"p99_point_ms\":"));
+        assert!(s.contains("\"cache_hits\":"));
+    }
+}

@@ -23,16 +23,25 @@
 //!   and [`BatchRecovery`] fan a `&[Trajectory]` out across worker threads
 //!   that share one immutable model and reuse per-worker scratch state,
 //!   with output bitwise-identical to the sequential API.
+//! * [`stream`] — the streaming session engine: [`StreamEngine`]
+//!   multiplexes live `trmma_traj::OnlineMatcher` sessions (points arriving
+//!   one at a time, interleaved across devices) over the same per-worker
+//!   scratch model, with provisional per-point matches, stabilized-prefix
+//!   watermarks, and idle-session finalize-on-timeout.
 
 pub mod batch;
 pub mod mma;
 pub mod pipeline;
+pub mod stream;
 pub mod trmma;
 
 pub use batch::{
     par_match, par_match_pooled, par_recover, BatchMatcher, BatchOptions, BatchRecovery,
     BatchTiming,
 };
-pub use mma::{Mma, MmaConfig, MmaScratch};
+pub use mma::{Mma, MmaConfig, MmaScratch, MmaSession};
 pub use pipeline::TrmmaPipeline;
+pub use stream::{
+    FinalizeReason, SessionId, StreamEngine, StreamEvent, StreamOptions, StreamStats,
+};
 pub use trmma::{Trmma, TrmmaConfig};

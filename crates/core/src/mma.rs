@@ -10,11 +10,13 @@ use rand::SeedableRng;
 use trmma_baselines::TrainReport;
 use trmma_geom::{cosine_similarity, BBox, Vec2};
 use trmma_nn::{Adam, Graph, Linear, Matrix, Mlp, NodeId, Param, TransformerEncoder};
-use trmma_roadnet::{RoadNetwork, RoutePlanner, SegmentId};
+use trmma_roadnet::{RoadNetwork, RoutePlanner};
 use trmma_traj::api::{
-    Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult, ScratchMatcher,
+    stitch_route, Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult,
+    ScratchMatcher,
 };
-use trmma_traj::types::{MatchedPoint, Route, Trajectory};
+use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::types::{GpsPoint, MatchedPoint, Trajectory};
 use trmma_traj::Sample;
 
 /// Reusable per-worker inference state for [`Mma`]: the autograd tape and
@@ -234,6 +236,28 @@ impl Mma {
         cand: &mut CandidateScratch,
         traj: &Trajectory,
     ) -> Vec<(Vec<Candidate>, NodeId)> {
+        let mut cand_sets = Vec::with_capacity(traj.len());
+        for p in &traj.points {
+            let mut cands = Vec::with_capacity(self.cfg.kc);
+            self.finder.candidates_into(p.pos, cand, &mut cands);
+            cand_sets.push(cands);
+        }
+        let logits = self.forward_cached(g, &cand_sets, traj);
+        cand_sets.into_iter().zip(logits).collect()
+    }
+
+    /// [`Mma::forward`] with the per-point candidate sets already known —
+    /// the shape the online session uses: candidates are ranked once when a
+    /// point is pushed and carried forward, so re-encoding a growing prefix
+    /// never repeats a kNN search. Scores are identical either way
+    /// (candidate search is a pure function of the point).
+    fn forward_cached(
+        &self,
+        g: &mut Graph,
+        cand_sets: &[Vec<Candidate>],
+        traj: &Trajectory,
+    ) -> Vec<NodeId> {
+        assert_eq!(cand_sets.len(), traj.len(), "one candidate set per GPS point");
         if traj.is_empty() {
             return Vec::new();
         }
@@ -243,15 +267,13 @@ impl Mma {
         let z2 = self.encoder.forward(g, z1); // ℓ × d2
 
         let mut out = Vec::with_capacity(traj.points.len());
-        for (i, p) in traj.points.iter().enumerate() {
-            let mut cands = Vec::with_capacity(self.cfg.kc);
-            self.finder.candidates_into(p.pos, cand, &mut cands);
+        for (i, cands) in cand_sets.iter().enumerate() {
             let kc = cands.len();
             // Eq. 1–2: candidate embeddings.
             let ids: Vec<usize> = cands.iter().map(|c| c.seg.idx()).collect();
             let e_c = self.w_c.embed(g, &ids); // kc × d0
             let mut dir_flat = Vec::with_capacity(cands.len() * 5);
-            for c in &cands {
+            for c in cands {
                 dir_flat.extend_from_slice(&self.candidate_features(traj, i, c));
             }
             let dirs = g.input(Matrix::from_vec(cands.len(), 5, dir_flat)); // kc × 5
@@ -275,7 +297,7 @@ impl Mma {
             // Eq. 9 logits: c_j · p_i for every candidate.
             let p_col = g.transpose(p_i); // d2 × 1
             let logits = g.matmul(c_emb, p_col); // kc × 1
-            out.push((cands, logits));
+            out.push(logits);
         }
         out
     }
@@ -433,22 +455,13 @@ impl Mma {
         scratch: &mut MmaScratch,
         traj: &Trajectory,
     ) -> Vec<MatchedPoint> {
-        scratch.graph.reset();
-        let g = &mut scratch.graph;
-        self.forward(g, &mut scratch.cand, traj)
-            .into_iter()
-            .zip(&traj.points)
-            .map(|((cands, logits), p)| {
-                let col = g.value(logits);
-                let mut best = 0usize;
-                for k in 1..cands.len() {
-                    if col.get(k, 0) > col.get(best, 0) {
-                        best = k;
-                    }
-                }
-                MatchedPoint::new(cands[best].seg, cands[best].ratio, p.t)
-            })
-            .collect()
+        let mut cand_sets = Vec::with_capacity(traj.len());
+        for p in &traj.points {
+            let mut cands = Vec::with_capacity(self.cfg.kc);
+            self.finder.candidates_into(p.pos, &mut scratch.cand, &mut cands);
+            cand_sets.push(cands);
+        }
+        self.match_points_cached(scratch, &cand_sets, traj)
     }
 
     /// [`MapMatcher::match_trajectory`] through caller-owned scratch state.
@@ -461,13 +474,39 @@ impl Mma {
         traj: &Trajectory,
     ) -> MatchResult {
         let matched = self.match_points_with(scratch, traj);
-        let seq: Vec<SegmentId> = matched.iter().map(|m| m.seg).collect();
-        let route = self
-            .planner
-            .connect(&self.net, &seq)
-            .map(Route::new)
-            .unwrap_or_else(|| Route::new(seq));
-        MatchResult { matched, route }
+        self.stitch(matched)
+    }
+
+    /// Per-point argmax over a prefix forward pass with cached candidate
+    /// sets — the shared tail of the offline (freshly searched) and online
+    /// (carried forward) decodes.
+    fn match_points_cached(
+        &self,
+        scratch: &mut MmaScratch,
+        cand_sets: &[Vec<Candidate>],
+        traj: &Trajectory,
+    ) -> Vec<MatchedPoint> {
+        scratch.graph.reset();
+        let g = &mut scratch.graph;
+        self.forward_cached(g, cand_sets, traj)
+            .into_iter()
+            .zip(cand_sets)
+            .zip(&traj.points)
+            .map(|((logits, cands), p)| {
+                let col = g.value(logits);
+                let mut best = 0usize;
+                for k in 1..cands.len() {
+                    if col.get(k, 0) > col.get(best, 0) {
+                        best = k;
+                    }
+                }
+                MatchedPoint::new(cands[best].seg, cands[best].ratio, p.t)
+            })
+            .collect()
+    }
+
+    fn stitch(&self, matched: Vec<MatchedPoint>) -> MatchResult {
+        stitch_route(&self.net, &self.planner, matched)
     }
 }
 
@@ -493,6 +532,64 @@ impl ScratchMatcher for Mma {
 
     fn match_trajectory_with(&self, scratch: &mut MmaScratch, traj: &Trajectory) -> MatchResult {
         Mma::match_trajectory_with(self, scratch, traj)
+    }
+}
+
+/// Per-session streaming state of MMA: the accumulated GPS prefix plus each
+/// point's ranked candidate set, searched once at push time and carried
+/// forward so neither the provisional re-encodes nor the final decode ever
+/// repeat a kNN query.
+#[derive(Debug, Clone, Default)]
+pub struct MmaSession {
+    traj: Trajectory,
+    cand_sets: Vec<Vec<Candidate>>,
+}
+
+impl MmaSession {
+    /// Points pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traj.len()
+    }
+
+    /// Whether any point has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.traj.is_empty()
+    }
+}
+
+/// MMA as an online decoder. Unlike the HMM family, MMA's transformer
+/// attends over the *whole* point sequence (Eq. 3) and its features are
+/// normalised by the trajectory's full extent, so every new point can in
+/// principle revise every earlier match: each push re-encodes the prefix
+/// (with cached candidate sets) to produce the provisional match, and the
+/// stabilized-prefix watermark honestly stays at 0 until `finalize` — the
+/// watermark is a per-decoder *guarantee*, not a fixed schedule.
+impl OnlineMatcher for Mma {
+    type Session = MmaSession;
+
+    fn begin_session(&self) -> MmaSession {
+        MmaSession::default()
+    }
+
+    fn push_point(
+        &self,
+        scratch: &mut MmaScratch,
+        session: &mut MmaSession,
+        point: GpsPoint,
+    ) -> OnlineUpdate {
+        let mut cands = Vec::with_capacity(self.cfg.kc);
+        self.finder.candidates_into(point.pos, &mut scratch.cand, &mut cands);
+        session.traj.points.push(point);
+        session.cand_sets.push(cands);
+        let matched = self.match_points_cached(scratch, &session.cand_sets, &session.traj);
+        OnlineUpdate { provisional: matched.last().copied(), stable_prefix: 0 }
+    }
+
+    fn finalize(&self, scratch: &mut MmaScratch, session: MmaSession) -> MatchResult {
+        let matched = self.match_points_cached(scratch, &session.cand_sets, &session.traj);
+        self.stitch(matched)
     }
 }
 

@@ -1,0 +1,570 @@
+//! The streaming session engine: thousands of live [`OnlineMatcher`]
+//! sessions multiplexed across a worker pool.
+//!
+//! The batch engine ([`crate::batch`]) answers "here are 10 000 complete
+//! trajectories"; this module answers the production-shaped inverse — an
+//! interleaved point stream from many concurrent devices, each device
+//! wanting a provisional match per point and a final route when its trip
+//! ends (or goes quiet). Large-scale matchers get their throughput from
+//! keeping per-trajectory search state warm across updates (Fiedler et
+//! al., 2019); here that state is the per-session decoder
+//! ([`OnlineMatcher::Session`]) plus the per-worker scratch
+//! (`SsspPool`/kNN heaps/autograd tape) every session on that worker
+//! shares.
+//!
+//! **Architecture.** [`StreamEngine::new`] spawns `threads` workers, each
+//! owning a bounded command queue, one scratch, and a session table.
+//! [`StreamEngine::push`] routes a `(session id, point)` pair to the
+//! worker `id % threads` — points of *different* sessions may arrive in
+//! any interleaving, while each session's points stay in arrival order on
+//! its home worker. Every processed point emits a
+//! [`StreamEvent::Update`] (provisional match + stabilized-prefix
+//! watermark + worker-side processing time) on the engine's event channel;
+//! [`StreamEngine::finish`], idle eviction, and [`StreamEngine::shutdown`]
+//! emit [`StreamEvent::Finalized`] with the full offline-equivalent
+//! [`MatchResult`].
+//!
+//! **Lifecycle and guarantees.**
+//!
+//! * A session is created implicitly by the first point carrying its id
+//!   and destroyed by whichever comes first: an explicit `finish`, going
+//!   idle longer than [`StreamOptions::idle_timeout_s`]
+//!   (finalize-on-timeout — the trip is assumed over), or engine
+//!   shutdown. Each destruction finalizes the decoder and reports the
+//!   [`FinalizeReason`].
+//! * Within a session, points must advance in time: a point whose
+//!   timestamp is not strictly newer than the session's last accepted
+//!   point is counted in [`StreamStats::late_dropped`] and skipped (the
+//!   incremental decoders cannot un-push evidence).
+//! * Decoding is a pure function of (model, point sequence), so for any
+//!   thread count and any cross-session interleaving, a session's
+//!   finalized result is identical to the offline
+//!   `match_trajectory` on the same points — property-tested in
+//!   `tests/props_streaming.rs`.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use trmma_traj::api::MatchResult;
+use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::types::GpsPoint;
+
+/// Identifies one live trajectory (one device/trip) within the engine.
+pub type SessionId = u64;
+
+/// Tuning knobs of the streaming engine.
+///
+/// Mirrors [`crate::BatchOptions`]: zero-config by default, an explicit
+/// thread count via [`StreamOptions::with_threads`], and chainable builder
+/// methods for the rest.
+///
+/// ```
+/// use trmma_core::StreamOptions;
+///
+/// // Default: hardware threads, 30 s idle eviction, 1024-deep queues.
+/// let opts = StreamOptions::default();
+/// assert_eq!(opts.threads, 0); // 0 = available_parallelism
+///
+/// // Builder style, mirroring `BatchOptions::with_threads`:
+/// let opts = StreamOptions::with_threads(4).idle_timeout_s(5.0).queue_capacity(256);
+/// assert_eq!(opts.threads, 4);
+/// assert_eq!(opts.effective_threads(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamOptions {
+    /// Worker threads; `0` uses [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Sessions idle longer than this are finalized and evicted
+    /// (finalize-on-timeout). `0` or non-finite disables eviction.
+    pub idle_timeout_s: f64,
+    /// Bound of each worker's command queue — the engine's backpressure:
+    /// [`StreamEngine::push`] blocks while the target worker is this far
+    /// behind.
+    pub queue_capacity: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self { threads: 0, idle_timeout_s: 30.0, queue_capacity: 1024 }
+    }
+}
+
+impl StreamOptions {
+    /// An explicit thread count (`0` = auto), other knobs at their
+    /// defaults — the same shape as [`crate::BatchOptions::with_threads`].
+    ///
+    /// ```
+    /// use trmma_core::StreamOptions;
+    /// assert_eq!(StreamOptions::with_threads(2).threads, 2);
+    /// ```
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads, ..Self::default() }
+    }
+
+    /// Sets the idle-eviction timeout in seconds (`0` disables eviction).
+    #[must_use]
+    pub fn idle_timeout_s(mut self, seconds: f64) -> Self {
+        self.idle_timeout_s = seconds;
+        self
+    }
+
+    /// Sets the per-worker command-queue bound (minimum 1).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// The worker count the engine will spawn.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        }
+    }
+
+    /// The idle timeout as a duration, if eviction is enabled.
+    fn idle_timeout(&self) -> Option<Duration> {
+        (self.idle_timeout_s.is_finite() && self.idle_timeout_s > 0.0)
+            .then(|| Duration::from_secs_f64(self.idle_timeout_s))
+    }
+}
+
+/// Why a session was finalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalizeReason {
+    /// The caller ended the trip via [`StreamEngine::finish`].
+    Explicit,
+    /// The session went quiet longer than [`StreamOptions::idle_timeout_s`].
+    IdleTimeout,
+    /// The engine was shut down with the session still live.
+    Shutdown,
+}
+
+/// What the engine reports back on its event channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// One GPS point was decoded into the session.
+    Update {
+        /// The session the point belonged to.
+        session: SessionId,
+        /// Zero-based index of the point within its session.
+        seq: usize,
+        /// Provisional match + stabilized-prefix watermark.
+        update: OnlineUpdate,
+        /// Worker-side seconds spent decoding this point (the per-point
+        /// latency the streaming benchmark reports quantiles of).
+        proc_s: f64,
+    },
+    /// A session ended; `result` is identical to the offline
+    /// `match_trajectory` over the session's accepted points.
+    Finalized {
+        /// The session that ended.
+        session: SessionId,
+        /// What ended it.
+        reason: FinalizeReason,
+        /// Number of points the session decoded.
+        points: usize,
+        /// The final matched points and stitched route.
+        result: MatchResult,
+    },
+}
+
+/// Aggregate counters of one engine run (summed over workers at shutdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Points decoded (late-dropped points excluded).
+    pub points: u64,
+    /// Sessions implicitly opened by their first point.
+    pub sessions_opened: u64,
+    /// Sessions finalized by [`StreamEngine::finish`].
+    pub finalized_explicit: u64,
+    /// Sessions finalized by idle eviction.
+    pub finalized_idle: u64,
+    /// Sessions finalized live at shutdown.
+    pub finalized_shutdown: u64,
+    /// Points rejected for running backwards in time within their session.
+    pub late_dropped: u64,
+}
+
+impl StreamStats {
+    /// Sessions finalized for any reason.
+    #[must_use]
+    pub fn finalized(&self) -> u64 {
+        self.finalized_explicit + self.finalized_idle + self.finalized_shutdown
+    }
+
+    fn merge(&mut self, other: StreamStats) {
+        self.points += other.points;
+        self.sessions_opened += other.sessions_opened;
+        self.finalized_explicit += other.finalized_explicit;
+        self.finalized_idle += other.finalized_idle;
+        self.finalized_shutdown += other.finalized_shutdown;
+        self.late_dropped += other.late_dropped;
+    }
+}
+
+enum Cmd {
+    Push { session: SessionId, point: GpsPoint },
+    Finish { session: SessionId },
+}
+
+struct Live<S> {
+    session: S,
+    seq: usize,
+    last_t: f64,
+    last_seen: Instant,
+}
+
+fn finalize_one<M: OnlineMatcher>(
+    matcher: &M,
+    scratch: &mut M::Scratch,
+    id: SessionId,
+    live: Live<M::Session>,
+    reason: FinalizeReason,
+    events: &Sender<StreamEvent>,
+) {
+    let result = matcher.finalize(scratch, live.session);
+    let _ = events.send(StreamEvent::Finalized { session: id, reason, points: live.seq, result });
+}
+
+fn worker_loop<M: OnlineMatcher>(
+    matcher: &M,
+    rx: &Receiver<Cmd>,
+    events: &Sender<StreamEvent>,
+    idle: Option<Duration>,
+) -> StreamStats {
+    let mut scratch = matcher.make_scratch();
+    let mut live: HashMap<SessionId, Live<M::Session>> = HashMap::new();
+    let mut stats = StreamStats::default();
+    // The tick bounds both how long a quiet worker sleeps between idle
+    // sweeps and how often a busy one pays the O(live sessions) sweep.
+    let tick = idle.map_or(Duration::from_millis(500), |d| {
+        (d / 4).clamp(Duration::from_millis(5), Duration::from_millis(500))
+    });
+    let mut last_sweep = Instant::now();
+    loop {
+        match rx.recv_timeout(tick) {
+            Ok(Cmd::Push { session, point }) => {
+                let entry = live.entry(session).or_insert_with(|| {
+                    stats.sessions_opened += 1;
+                    Live {
+                        session: matcher.begin_session(),
+                        seq: 0,
+                        last_t: f64::NEG_INFINITY,
+                        last_seen: Instant::now(),
+                    }
+                });
+                entry.last_seen = Instant::now();
+                if point.t <= entry.last_t {
+                    stats.late_dropped += 1;
+                } else {
+                    let t0 = Instant::now();
+                    let update = matcher.push_point(&mut scratch, &mut entry.session, point);
+                    let proc_s = t0.elapsed().as_secs_f64();
+                    entry.last_t = point.t;
+                    let seq = entry.seq;
+                    entry.seq += 1;
+                    stats.points += 1;
+                    let _ = events.send(StreamEvent::Update { session, seq, update, proc_s });
+                }
+            }
+            Ok(Cmd::Finish { session }) => {
+                if let Some(l) = live.remove(&session) {
+                    finalize_one(
+                        matcher,
+                        &mut scratch,
+                        session,
+                        l,
+                        FinalizeReason::Explicit,
+                        events,
+                    );
+                    stats.finalized_explicit += 1;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if let Some(idle) = idle {
+            if last_sweep.elapsed() >= tick {
+                last_sweep = Instant::now();
+                let now = Instant::now();
+                let expired: Vec<SessionId> = live
+                    .iter()
+                    .filter(|(_, l)| now.duration_since(l.last_seen) >= idle)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in expired {
+                    let l = live.remove(&id).expect("expired session is live");
+                    finalize_one(matcher, &mut scratch, id, l, FinalizeReason::IdleTimeout, events);
+                    stats.finalized_idle += 1;
+                }
+            }
+        }
+    }
+    // Engine dropped its senders: flush every remaining session.
+    for (id, l) in live.drain() {
+        finalize_one(matcher, &mut scratch, id, l, FinalizeReason::Shutdown, events);
+        stats.finalized_shutdown += 1;
+    }
+    stats
+}
+
+/// The multiplexer; see module docs for the architecture and guarantees.
+pub struct StreamEngine<M: OnlineMatcher + 'static> {
+    matcher: Arc<M>,
+    txs: Vec<SyncSender<Cmd>>,
+    events: Receiver<StreamEvent>,
+    handles: Vec<JoinHandle<StreamStats>>,
+}
+
+impl<M: OnlineMatcher + 'static> StreamEngine<M> {
+    /// Spawns the worker pool around a shared matcher.
+    #[must_use]
+    pub fn new(matcher: Arc<M>, opts: StreamOptions) -> Self {
+        let threads = opts.effective_threads().max(1);
+        let idle = opts.idle_timeout();
+        let (etx, events) = channel();
+        let mut txs = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = sync_channel(opts.queue_capacity.max(1));
+            let m = matcher.clone();
+            let e = etx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(&*m, &rx, &e, idle)));
+            txs.push(tx);
+        }
+        Self { matcher, txs, events, handles }
+    }
+
+    /// The shared model.
+    #[must_use]
+    pub fn matcher(&self) -> &M {
+        &self.matcher
+    }
+
+    /// Worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.txs.len()
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn route(&self, session: SessionId) -> &SyncSender<Cmd> {
+        &self.txs[(session % self.txs.len() as u64) as usize]
+    }
+
+    /// Feeds the next point of `session` (opening it if unseen), blocking
+    /// while the session's home worker queue is full. Returns `false` if
+    /// the worker is gone (it panicked — shutdown will surface that).
+    pub fn push(&self, session: SessionId, point: GpsPoint) -> bool {
+        self.route(session).send(Cmd::Push { session, point }).is_ok()
+    }
+
+    /// Ends `session` explicitly: its final decode arrives as a
+    /// [`StreamEvent::Finalized`]. Unknown ids are ignored (the trip may
+    /// already have been evicted).
+    pub fn finish(&self, session: SessionId) -> bool {
+        self.route(session).send(Cmd::Finish { session }).is_ok()
+    }
+
+    /// Drains every event currently buffered, without blocking. Call
+    /// periodically — the event channel is unbounded, so an undrained
+    /// engine buffers one update per pushed point.
+    pub fn poll_events(&self) -> Vec<StreamEvent> {
+        self.events.try_iter().collect()
+    }
+
+    /// Blocks up to `timeout` for one event.
+    pub fn recv_event_timeout(&self, timeout: Duration) -> Option<StreamEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Stops intake, finalizes every live session (reason
+    /// [`FinalizeReason::Shutdown`]), joins the workers and returns the
+    /// events not yet polled plus the aggregate counters.
+    ///
+    /// # Panics
+    /// Propagates a worker panic (a matcher implementation bug).
+    #[must_use]
+    pub fn shutdown(self) -> (Vec<StreamEvent>, StreamStats) {
+        drop(self.txs);
+        let mut stats = StreamStats::default();
+        for h in self.handles {
+            stats.merge(h.join().expect("stream worker panicked"));
+        }
+        // Workers are joined, so every in-flight event is buffered by now.
+        let events = self.events.try_iter().collect();
+        (events, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use trmma_baselines::{HmmConfig, HmmMatcher};
+    use trmma_roadnet::RoutePlanner;
+    use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+    use trmma_traj::types::Trajectory;
+    use trmma_traj::MapMatcher;
+
+    fn world() -> (Arc<HmmMatcher>, Vec<Trajectory>) {
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let net = Arc::new(ds.net.clone());
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let hmm = Arc::new(HmmMatcher::new(net, planner, HmmConfig::default()));
+        let batch: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 21).into_iter().take(4).map(|s| s.sparse).collect();
+        (hmm, batch)
+    }
+
+    fn collect_finalized(
+        events: &[StreamEvent],
+    ) -> HashMap<SessionId, (FinalizeReason, MatchResult)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Finalized { session, reason, result, .. } => {
+                    Some((*session, (*reason, result.clone())))
+                }
+                StreamEvent::Update { .. } => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleaved_sessions_finalize_to_offline_results() {
+        let (hmm, batch) = world();
+        let engine =
+            StreamEngine::new(hmm.clone(), StreamOptions::with_threads(3).idle_timeout_s(0.0));
+        // Round-robin interleave all sessions' points.
+        let longest = batch.iter().map(Trajectory::len).max().unwrap();
+        for i in 0..longest {
+            for (sid, t) in batch.iter().enumerate() {
+                if let Some(&p) = t.points.get(i) {
+                    assert!(engine.push(sid as SessionId, p));
+                }
+            }
+        }
+        for sid in 0..batch.len() {
+            engine.finish(sid as SessionId);
+        }
+        let (events, stats) = engine.shutdown();
+        let finals = collect_finalized(&events);
+        assert_eq!(finals.len(), batch.len());
+        for (sid, t) in batch.iter().enumerate() {
+            let (reason, result) = &finals[&(sid as SessionId)];
+            assert_eq!(*reason, FinalizeReason::Explicit);
+            assert_eq!(*result, hmm.match_trajectory(t), "session {sid} diverged from offline");
+        }
+        let total_points: u64 = batch.iter().map(|t| t.len() as u64).sum();
+        assert_eq!(stats.points, total_points);
+        assert_eq!(stats.sessions_opened, batch.len() as u64);
+        assert_eq!(stats.finalized(), batch.len() as u64);
+        assert_eq!(stats.late_dropped, 0);
+        // One update per accepted point, each with a provisional match.
+        let updates =
+            events.iter().filter(|e| matches!(e, StreamEvent::Update { .. })).count() as u64;
+        assert_eq!(updates, total_points);
+    }
+
+    #[test]
+    fn unfinished_sessions_flush_on_shutdown() {
+        let (hmm, batch) = world();
+        let engine = StreamEngine::new(hmm.clone(), StreamOptions::with_threads(2));
+        for (sid, t) in batch.iter().enumerate() {
+            for &p in &t.points {
+                engine.push(sid as SessionId, p);
+            }
+        }
+        let (events, stats) = engine.shutdown();
+        let finals = collect_finalized(&events);
+        assert_eq!(finals.len(), batch.len());
+        for (sid, t) in batch.iter().enumerate() {
+            let (reason, result) = &finals[&(sid as SessionId)];
+            assert_eq!(*reason, FinalizeReason::Shutdown);
+            assert_eq!(*result, hmm.match_trajectory(t));
+        }
+        assert_eq!(stats.finalized_shutdown, batch.len() as u64);
+    }
+
+    #[test]
+    fn idle_sessions_are_finalized_on_timeout() {
+        let (hmm, batch) = world();
+        let engine =
+            StreamEngine::new(hmm.clone(), StreamOptions::with_threads(1).idle_timeout_s(0.05));
+        let t = &batch[0];
+        for &p in &t.points {
+            engine.push(7, p);
+        }
+        // Wait (generously) for the idle sweep to fire.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut finalized = None;
+        while finalized.is_none() && Instant::now() < deadline {
+            for e in engine.poll_events() {
+                if let StreamEvent::Finalized { session, reason, result, .. } = e {
+                    finalized = Some((session, reason, result));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (session, reason, result) = finalized.expect("idle session never evicted");
+        assert_eq!(session, 7);
+        assert_eq!(reason, FinalizeReason::IdleTimeout);
+        assert_eq!(result, hmm.match_trajectory(t));
+        let (_, stats) = engine.shutdown();
+        assert_eq!(stats.finalized_idle, 1);
+        assert_eq!(stats.finalized(), 1);
+    }
+
+    #[test]
+    fn late_points_are_dropped_not_decoded() {
+        let (hmm, batch) = world();
+        let engine =
+            StreamEngine::new(hmm.clone(), StreamOptions::with_threads(2).idle_timeout_s(0.0));
+        let t = &batch[0];
+        for &p in &t.points {
+            engine.push(1, p);
+        }
+        // Replay the first half again: all strictly older than last_t.
+        let stale = t.len() / 2;
+        for &p in &t.points[..stale] {
+            engine.push(1, p);
+        }
+        engine.finish(1);
+        let (events, stats) = engine.shutdown();
+        assert_eq!(stats.late_dropped, stale as u64);
+        assert_eq!(stats.points, t.len() as u64);
+        let finals = collect_finalized(&events);
+        assert_eq!(finals[&1].1, hmm.match_trajectory(t), "late points must not perturb decode");
+    }
+
+    #[test]
+    fn finish_of_unknown_session_is_a_noop() {
+        let (hmm, _) = world();
+        let engine = StreamEngine::new(hmm, StreamOptions::with_threads(2));
+        assert!(engine.finish(99));
+        let (events, stats) = engine.shutdown();
+        assert!(events.is_empty());
+        assert_eq!(stats, StreamStats::default());
+    }
+
+    #[test]
+    fn options_builder_and_defaults() {
+        let d = StreamOptions::default();
+        assert_eq!(d.threads, 0);
+        assert!(d.effective_threads() >= 1);
+        let o = StreamOptions::with_threads(3).idle_timeout_s(0.0).queue_capacity(0);
+        assert_eq!(o.effective_threads(), 3);
+        assert_eq!(o.queue_capacity, 1, "capacity clamps to 1");
+        assert!(o.idle_timeout().is_none(), "0 disables eviction");
+        assert!(StreamOptions::default().idle_timeout().is_some());
+    }
+}

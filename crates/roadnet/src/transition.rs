@@ -19,10 +19,11 @@
 //! (property-tested in `tests/props_baselines.rs`).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::graph::{NodeId, RoadNetwork};
-use crate::shortest::{DistCache, NetPos, SsspPool, Weight};
+use crate::shortest::{CacheStats, DistCache, NetPos, SsspPool, Weight};
 
 /// Bounded all-pairs shortest-distance table: for every node pair within
 /// length `delta`, the exact network distance. This is the construction
@@ -83,6 +84,11 @@ impl DistTable {
 pub struct TransitionProvider {
     cache: Arc<DistCache>,
     table: Option<Arc<DistTable>>,
+    /// Table-probe counters (hits = pair in table, misses = beyond delta),
+    /// shared across clones like the cache's own counters. Unused without a
+    /// table — Dijkstra-backed providers count inside [`DistCache`].
+    table_hits: Arc<AtomicU64>,
+    table_misses: Arc<AtomicU64>,
     max_route_m: f64,
 }
 
@@ -97,7 +103,13 @@ impl TransitionProvider {
     /// A Dijkstra-backed provider reading through an existing shared cache.
     #[must_use]
     pub fn with_cache(cache: Arc<DistCache>, max_route_m: f64) -> Self {
-        Self { cache, table: None, max_route_m }
+        Self {
+            cache,
+            table: None,
+            table_hits: Arc::new(AtomicU64::new(0)),
+            table_misses: Arc::new(AtomicU64::new(0)),
+            max_route_m,
+        }
     }
 
     /// A table-backed provider: every mid-route distance comes from the
@@ -106,7 +118,13 @@ impl TransitionProvider {
     #[must_use]
     pub fn with_table(table: Arc<DistTable>) -> Self {
         let max_route_m = table.delta();
-        Self { cache: Arc::new(DistCache::new()), table: Some(table), max_route_m }
+        Self {
+            cache: Arc::new(DistCache::new()),
+            table: Some(table),
+            table_hits: Arc::new(AtomicU64::new(0)),
+            table_misses: Arc::new(AtomicU64::new(0)),
+            max_route_m,
+        }
     }
 
     /// The attached precomputed table, if any.
@@ -125,6 +143,25 @@ impl TransitionProvider {
     #[must_use]
     pub fn max_route_m(&self) -> f64 {
         self.max_route_m
+    }
+
+    /// Lookup counters of the oracle's mid-route stage, for tracking cache
+    /// efficacy across runs (surfaced by `bench_inference` /
+    /// `bench_streaming`). Table-backed providers count hash probes (hit =
+    /// pair within delta); Dijkstra-backed providers report the shared
+    /// [`DistCache`]'s counters (hit = memoised, miss = a sweep ran) —
+    /// which include every other user of that cache when it is shared.
+    /// Same-segment forward moves are answered directly and never counted.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        if self.table.is_some() {
+            CacheStats {
+                hits: self.table_hits.load(Ordering::Relaxed),
+                misses: self.table_misses.load(Ordering::Relaxed),
+            }
+        } else {
+            self.cache.stats()
+        }
     }
 
     /// Directed route distance from `a` to `b` in metres: remaining length
@@ -147,7 +184,12 @@ impl TransitionProvider {
             return Some((b.ratio - a.ratio) * sa.length);
         }
         let mid = match &self.table {
-            Some(t) => t.query(sa.to, sb.from)?,
+            Some(t) => {
+                let got = t.query(sa.to, sb.from);
+                let counter = if got.is_some() { &self.table_hits } else { &self.table_misses };
+                counter.fetch_add(1, Ordering::Relaxed);
+                got?
+            }
             None => self.cache.node_dist_pooled(net, sa.to, sb.from, self.max_route_m, pool)?,
         };
         Some((1.0 - a.ratio) * sa.length + mid + b.ratio * sb.length)
@@ -243,6 +285,30 @@ mod tests {
                 other => panic!("oracle mismatch: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn provider_stats_count_table_probes_and_cache_lookups() {
+        let net = chain5();
+        let mut pool = SsspPool::new();
+        // Table-backed: a within-delta pair counts a hit, a beyond-delta
+        // pair counts a miss.
+        let tab = TransitionProvider::with_table(Arc::new(DistTable::build(&net, 150.0)));
+        let near = (NetPos::new(SegmentId(0), 0.5), NetPos::new(SegmentId(1), 0.5));
+        let far = (NetPos::new(SegmentId(0), 0.5), NetPos::new(SegmentId(3), 0.5));
+        assert!(tab.route_dist(&net, &mut pool, near.0, near.1).is_some());
+        assert!(tab.route_dist(&net, &mut pool, far.0, far.1).is_none());
+        assert_eq!(tab.stats(), CacheStats { hits: 1, misses: 1 });
+        // Clones share the counters (one oracle, many handles).
+        let clone = tab.clone();
+        assert!(clone.route_dist(&net, &mut pool, near.0, near.1).is_some());
+        assert_eq!(tab.stats(), CacheStats { hits: 2, misses: 1 });
+        // Dijkstra-backed: stats delegate to the shared DistCache.
+        let dij = TransitionProvider::dijkstra(5_000.0);
+        assert!(dij.route_dist(&net, &mut pool, near.0, near.1).is_some());
+        assert!(dij.route_dist(&net, &mut pool, near.0, near.1).is_some());
+        assert_eq!(dij.stats(), dij.cache().stats());
+        assert_eq!(dij.stats(), CacheStats { hits: 1, misses: 1 });
     }
 
     #[test]

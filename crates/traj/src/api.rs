@@ -9,7 +9,7 @@
 //! mechanical to regenerate.
 
 use trmma_geom::Vec2;
-use trmma_roadnet::{RoadNetwork, SegmentId};
+use trmma_roadnet::{RoadNetwork, RoutePlanner, SegmentId};
 use trmma_rtree::{IndexedSegment, KnnScratch, Neighbor, RTree};
 
 use crate::types::{MatchedPoint, MatchedTrajectory, Route, Trajectory};
@@ -22,6 +22,21 @@ pub struct MatchResult {
     pub matched: Vec<MatchedPoint>,
     /// The stitched route of the trajectory.
     pub route: Route,
+}
+
+/// Stitches per-point matches into a [`MatchResult`]: the matched segment
+/// sequence is connected into a route by the shared planner, falling back
+/// to the raw sequence when no connection exists. The common tail of every
+/// matcher's offline and online decode.
+#[must_use]
+pub fn stitch_route(
+    net: &RoadNetwork,
+    planner: &RoutePlanner,
+    matched: Vec<MatchedPoint>,
+) -> MatchResult {
+    let seq: Vec<SegmentId> = matched.iter().map(|m| m.seg).collect();
+    let route = planner.connect(net, &seq).map(Route::new).unwrap_or_else(|| Route::new(seq));
+    MatchResult { matched, route }
 }
 
 /// A map-matching method.

@@ -15,20 +15,25 @@
 //!   (40/30/30 as in the paper);
 //! * [`metrics`] — MAE/RMSE over road-network distance (Eq. 22), Precision /
 //!   Recall / F1 / Accuracy for recovery, and Precision / Recall / F1 /
-//!   Jaccard for map matching.
+//!   Jaccard for map matching;
+//! * [`online`] — the streaming interface: [`OnlineMatcher`] sessions fed
+//!   one GPS point at a time, with provisional matches and a
+//!   stabilized-prefix watermark.
 
 pub mod api;
 pub mod dataset;
 pub mod gen;
 pub mod io;
 pub mod metrics;
+pub mod online;
 pub mod types;
 
 pub use api::{
-    Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult, ScratchMatcher,
-    TrajectoryRecovery,
+    stitch_route, Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult,
+    ScratchMatcher, TrajectoryRecovery,
 };
 pub use dataset::{build_dataset, Dataset, DatasetConfig, Split};
 pub use gen::{sparsify, RawTrajectory, Sample, TrajConfig};
 pub use metrics::{matching_metrics, recovery_metrics, MatchingMetrics, RecoveryMetrics};
+pub use online::{OnlineMatcher, OnlineUpdate};
 pub use types::{GpsPoint, MatchedPoint, MatchedTrajectory, Route, Trajectory};

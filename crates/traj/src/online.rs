@@ -1,0 +1,93 @@
+//! Streaming (online) map matching: incremental decoders behind a
+//! session-per-device interface.
+//!
+//! The batch engine serves complete, pre-collected trajectories; production
+//! traffic is the opposite shape — GPS points arrive one at a time from many
+//! concurrent devices, and each device wants a match *now*, refined as more
+//! evidence arrives. The map-matching literature treats this online /
+//! incremental mode as first-class, distinct from offline global decoding
+//! (Chao et al., 2019): the decoder must keep its search state warm between
+//! updates instead of re-decoding from scratch.
+//!
+//! [`OnlineMatcher`] is that contract. A *session* holds one trajectory's
+//! decoder state (the Viterbi beam and backpointers for the HMM family, the
+//! accumulated point/candidate history for MMA); the per-worker *scratch*
+//! ([`ScratchMatcher::Scratch`]) holds the reusable search buffers shared by
+//! every session a worker serves (warm Dijkstra pools, kNN heaps, autograd
+//! tapes). Each [`OnlineMatcher::push_point`] returns an [`OnlineUpdate`]:
+//! the *provisional* match of the newest point (what the decoder would
+//! answer if the stream ended now) plus the *stabilized prefix watermark* —
+//! the number of leading points whose final match can no longer change, no
+//! matter what arrives later.
+//!
+//! **Offline as replay.** Feeding a whole trajectory through
+//! `begin_session` → `push_point`* → `finalize` must produce output
+//! identical to [`MapMatcher::match_trajectory`] — the offline decode *is*
+//! the online decode replayed; `tests/props_streaming.rs` property-tests
+//! this for every implementation in the repository.
+//!
+//! [`MapMatcher::match_trajectory`]: crate::api::MapMatcher::match_trajectory
+
+use crate::api::{MatchResult, ScratchMatcher};
+use crate::types::{GpsPoint, MatchedPoint};
+
+/// What one [`OnlineMatcher::push_point`] call tells the caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineUpdate {
+    /// Best-known match of the point just pushed — the match the decoder
+    /// would commit to if the stream ended here. `None` only when the
+    /// decoder found no candidate at all (empty road network).
+    pub provisional: Option<MatchedPoint>,
+    /// Stabilized-prefix watermark: the first `stable_prefix` points of the
+    /// session have reached their final match — [`OnlineMatcher::finalize`]
+    /// is guaranteed to return exactly those matches for them regardless of
+    /// any points still to come. Monotonically non-decreasing over a
+    /// session's lifetime.
+    pub stable_prefix: usize,
+}
+
+/// An incremental map matcher: the decoder as a resumable state machine.
+///
+/// Implementations split their mutable state in two:
+///
+/// * **Session** — per-trajectory decoder state, created by
+///   [`OnlineMatcher::begin_session`] and advanced one GPS point at a time.
+///   `Send` so a streaming engine can hold thousands and migrate them
+///   between threads.
+/// * **Scratch** — per-*worker* search buffers (inherited from
+///   [`ScratchMatcher`]): one scratch serves every session on that worker,
+///   exactly as it serves every trajectory in the batch engine.
+///
+/// The contract, property-tested in `tests/props_streaming.rs`:
+///
+/// 1. *Replay equivalence*: pushing a trajectory's points in order and
+///    finalizing returns output identical to
+///    [`MapMatcher::match_trajectory`] on the whole trajectory.
+/// 2. *Watermark soundness*: once an update reports `stable_prefix = w`,
+///    the first `w` matched points of any future `finalize` equal what
+///    `finalize` would return right now.
+///
+/// [`MapMatcher::match_trajectory`]: crate::api::MapMatcher::match_trajectory
+pub trait OnlineMatcher: ScratchMatcher {
+    /// Per-session decoder state.
+    type Session: Send;
+
+    /// Opens a fresh session (no points yet).
+    fn begin_session(&self) -> Self::Session;
+
+    /// Feeds the next GPS point of the session's trajectory; returns the
+    /// provisional match and the stabilized-prefix watermark.
+    fn push_point(
+        &self,
+        scratch: &mut Self::Scratch,
+        session: &mut Self::Session,
+        point: GpsPoint,
+    ) -> OnlineUpdate;
+
+    /// Closes the session: runs the final (global) decode over everything
+    /// pushed and stitches the route — identical to the offline
+    /// [`MapMatcher::match_trajectory`] on the same points.
+    ///
+    /// [`MapMatcher::match_trajectory`]: crate::api::MapMatcher::match_trajectory
+    fn finalize(&self, scratch: &mut Self::Scratch, session: Self::Session) -> MatchResult;
+}

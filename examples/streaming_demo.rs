@@ -1,0 +1,85 @@
+//! Streaming map matching: live GPS points from several concurrent devices
+//! flow through the `StreamEngine`, which answers each point with a
+//! provisional match plus a stabilized-prefix watermark and emits the final
+//! route when a trip ends — identical to the offline decode of the same
+//! points.
+//!
+//! ```sh
+//! cargo run --release --example streaming_demo
+//! ```
+
+use std::sync::Arc;
+
+use trmma::baselines::{HmmConfig, HmmMatcher};
+use trmma::core::{SessionId, StreamEngine, StreamEvent, StreamOptions};
+use trmma::traj::dataset::{build_dataset, DatasetConfig, Split};
+use trmma::traj::types::Trajectory;
+use trmma::traj::MapMatcher;
+
+fn main() {
+    let ds = build_dataset(&DatasetConfig::tiny());
+    let net = Arc::new(ds.net.clone());
+    let planner = Arc::new(trmma::roadnet::RoutePlanner::untrained(&net));
+    let hmm = Arc::new(HmmMatcher::new(net, planner, HmmConfig::default()));
+
+    // Three "devices", each mid-trip.
+    let trips: Vec<Trajectory> =
+        ds.samples(Split::Test, 0.2, 5).into_iter().take(3).map(|s| s.sparse).collect();
+
+    let engine =
+        StreamEngine::new(hmm.clone(), StreamOptions::with_threads(2).idle_timeout_s(10.0));
+
+    // Interleave the devices round-robin, as live traffic would arrive.
+    let longest = trips.iter().map(Trajectory::len).max().unwrap_or(0);
+    for i in 0..longest {
+        for (device, trip) in trips.iter().enumerate() {
+            if let Some(&p) = trip.points.get(i) {
+                engine.push(device as SessionId, p);
+            }
+        }
+    }
+    for device in 0..trips.len() {
+        engine.finish(device as SessionId);
+    }
+    let (events, stats) = engine.shutdown();
+
+    println!("per-point updates (device 0):");
+    println!(
+        "{:>5} {:>12} {:>8} {:>14} {:>12}",
+        "seq", "prov. seg", "ratio", "stable prefix", "decode µs"
+    );
+    for e in &events {
+        if let StreamEvent::Update { session: 0, seq, update, proc_s } = e {
+            let m = update.provisional.expect("candidate exists");
+            println!(
+                "{:>5} {:>12} {:>8.3} {:>11}/{:<2} {:>12.1}",
+                seq,
+                m.seg.0,
+                m.ratio,
+                update.stable_prefix,
+                seq + 1,
+                proc_s * 1e6
+            );
+        }
+    }
+
+    println!("\nfinalized trips:");
+    for e in &events {
+        if let StreamEvent::Finalized { session, reason, points, result } = e {
+            let offline = hmm.match_trajectory(&trips[*session as usize]);
+            println!(
+                "device {session}: {points} points, route of {} segments ({reason:?}); identical to offline decode: {}",
+                result.route.len(),
+                *result == offline
+            );
+        }
+    }
+    println!(
+        "\nstats: {} points over {} sessions ({} finalized explicitly, {} idle-evicted, {} at shutdown)",
+        stats.points,
+        stats.sessions_opened,
+        stats.finalized_explicit,
+        stats.finalized_idle,
+        stats.finalized_shutdown
+    );
+}
