@@ -181,6 +181,12 @@ impl HmmSession {
     pub fn is_empty(&self) -> bool {
         self.state.is_empty()
     }
+
+    /// The current stabilized-prefix watermark of the lattice.
+    #[must_use]
+    pub fn watermark(&self) -> usize {
+        self.state.watermark()
+    }
 }
 
 impl MapMatcher for HmmMatcher {
@@ -232,6 +238,18 @@ impl OnlineMatcher for HmmMatcher {
 
     fn finalize(&self, _scratch: &mut HmmScratch, session: HmmSession) -> MatchResult {
         self.stitch(session.state.decode())
+    }
+
+    fn session_len(&self, session: &HmmSession) -> usize {
+        session.state.len()
+    }
+
+    fn session_watermark(&self, session: &HmmSession) -> usize {
+        session.state.watermark()
+    }
+
+    fn session_stable(&self, session: &HmmSession) -> bool {
+        session.state.is_stable()
     }
 }
 
@@ -309,6 +327,18 @@ impl OnlineMatcher for FmmMatcher {
 
     fn finalize(&self, scratch: &mut HmmScratch, session: HmmSession) -> MatchResult {
         self.inner.finalize(scratch, session)
+    }
+
+    fn session_len(&self, session: &HmmSession) -> usize {
+        self.inner.session_len(session)
+    }
+
+    fn session_watermark(&self, session: &HmmSession) -> usize {
+        self.inner.session_watermark(session)
+    }
+
+    fn session_stable(&self, session: &HmmSession) -> bool {
+        self.inner.session_stable(session)
     }
 }
 

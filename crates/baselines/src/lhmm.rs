@@ -160,6 +160,18 @@ impl OnlineMatcher for LhmmMatcher {
     fn finalize(&self, scratch: &mut HmmScratch, session: HmmSession) -> MatchResult {
         self.inner.finalize(scratch, session)
     }
+
+    fn session_len(&self, session: &HmmSession) -> usize {
+        self.inner.session_len(session)
+    }
+
+    fn session_watermark(&self, session: &HmmSession) -> usize {
+        self.inner.session_watermark(session)
+    }
+
+    fn session_stable(&self, session: &HmmSession) -> bool {
+        self.inner.session_stable(session)
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,37 @@
 //!   each recovered point over **all** `|E|` segments of the network — the
 //!   "evaluate the entire road network" design whose cost TRMMA's
 //!   route-restricted decoding avoids.
+//!
+//! # Example
+//!
+//! Match a sparse trajectory with the classic HMM — offline and as a
+//! point-at-a-time online session, which are bitwise-identical by
+//! contract:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use trmma_baselines::{HmmConfig, HmmMatcher};
+//! use trmma_roadnet::RoutePlanner;
+//! use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+//! use trmma_traj::{MapMatcher, OnlineMatcher, ScratchMatcher};
+//!
+//! let ds = build_dataset(&DatasetConfig::tiny());
+//! let net = Arc::new(ds.net.clone());
+//! let planner = Arc::new(RoutePlanner::untrained(&net));
+//! let hmm = HmmMatcher::new(net, planner, HmmConfig::default());
+//!
+//! let traj = &ds.samples(Split::Test, 0.2, 1)[0].sparse;
+//! let offline = hmm.match_trajectory(traj);
+//! assert_eq!(offline.matched.len(), traj.len());
+//!
+//! // Offline is online replayed: push every point, then finalize.
+//! let mut scratch = hmm.make_scratch();
+//! let mut session = hmm.begin_session();
+//! for &p in &traj.points {
+//!     hmm.push_point(&mut scratch, &mut session, p);
+//! }
+//! assert_eq!(hmm.finalize(&mut scratch, session), offline);
+//! ```
 
 pub mod decoder;
 pub mod hmm;

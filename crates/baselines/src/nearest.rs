@@ -83,6 +83,15 @@ impl OnlineMatcher for NearestMatcher {
     fn finalize(&self, (): &mut (), session: NearestSession) -> MatchResult {
         self.stitch(session.matched)
     }
+
+    fn session_len(&self, session: &NearestSession) -> usize {
+        session.matched.len()
+    }
+
+    fn session_watermark(&self, session: &NearestSession) -> usize {
+        // Every match is final the moment it is pushed.
+        session.matched.len()
+    }
 }
 
 /// Nearest keeps no per-query search state (single-nearest R-tree probes

@@ -9,6 +9,14 @@
 //! cache counters; every session's finalized result is validated against
 //! the offline `match_trajectory` before any row is emitted.
 //!
+//! A second sweep replays the same corpus under **skewed** session ids
+//! (all colliding modulo the worker count) for both router policies —
+//! the legacy `id % threads` and the load-aware power-of-two-choices
+//! router — and reports the per-worker queue-depth variance of each, so
+//! the imbalance and its fix are visible in the committed artifact even
+//! on a single-core host (queue depth is a routing property, not a
+//! parallel-speedup property).
+//!
 //! Scale knobs: `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE`, plus
 //! `TRMMA_STREAM_SESSIONS` (target concurrent sessions, default 64). Pass
 //! `--smoke` for the CI profile: tiny dataset, threads {1, 2}, artifact
@@ -19,7 +27,11 @@ use std::sync::Arc;
 use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher};
 use trmma_bench::harness::{trained_mma, Bundle, ExpConfig};
 use trmma_bench::report::{write_bench_streaming, write_json, Table};
-use trmma_bench::stream_bench::{bench_streaming, interleave, stream_rows_to_json, StreamRow};
+use trmma_bench::stream_bench::{
+    bench_streaming, bench_streaming_routed, interleave, interleave_ids, skewed_session_ids,
+    stream_rows_to_json, StreamRow,
+};
+use trmma_core::RouterPolicy;
 use trmma_traj::dataset::DatasetConfig;
 use trmma_traj::types::Trajectory;
 
@@ -87,14 +99,37 @@ fn main() {
     rows.extend(bench_streaming(&fmm, &sessions, &events, &threads, Some(fmm.provider())));
     rows.extend(bench_streaming(&lhmm, &sessions, &events, &threads, Some(lhmm.provider())));
 
+    // Skewed-arrival sweep: every id collides modulo the worker count, the
+    // adversary of the legacy hash router. Same corpus, same interleaving
+    // order, both policies, widest thread count measured above.
+    let skew_threads = *threads.last().expect("non-empty thread list");
+    let skew_ids = skewed_session_ids(sessions.len(), skew_threads);
+    let skew_events = interleave_ids(&sessions, &skew_ids, 0x5EED);
+    for policy in [RouterPolicy::HashMod, RouterPolicy::PowerOfTwo] {
+        rows.extend(bench_streaming_routed(
+            &hmm,
+            &sessions,
+            &skew_ids,
+            &skew_events,
+            &[skew_threads],
+            policy,
+            "skewed",
+            Some(hmm.provider()),
+        ));
+    }
+
     let mut table = Table::new(&[
         "Method",
         "Threads",
+        "Router",
+        "Workload",
         "pts/s",
         "sess/s",
         "p50(ms)",
         "p99(ms)",
         "StableLag",
+        "QDepthVar",
+        "Migr",
         "Identical",
         "Cache h/m",
     ]);
@@ -102,11 +137,15 @@ fn main() {
         table.row(vec![
             r.method.clone(),
             r.threads.to_string(),
+            r.router.clone(),
+            r.workload.clone(),
             format!("{:.1}", r.points_per_s),
             format!("{:.2}", r.sessions_per_s),
             format!("{:.3}", r.p50_ms),
             format!("{:.3}", r.p99_ms),
             format!("{:.2}", r.mean_stable_lag),
+            format!("{:.1}", r.queue_depth_variance),
+            r.migrations.to_string(),
             r.identical.to_string(),
             r.cache.map_or_else(|| "-".to_string(), |c| format!("{}/{}", c.hits, c.misses)),
         ]);
@@ -115,6 +154,24 @@ fn main() {
 
     let diverged: Vec<&StreamRow> = rows.iter().filter(|r| !r.identical).collect();
     assert!(diverged.is_empty(), "streamed output diverged from offline decode: {diverged:?}");
+
+    // The load-aware router must not balance *worse* than id % threads on
+    // its adversary workload (the strict inequality is pinned by the
+    // `Slow`-decoder unit test in `stream_bench`, where queues are forced
+    // to build; a live replay on a fast host can legitimately tie at 0).
+    let skew_var = |router: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.workload == "skewed" && r.router == router)
+            .map_or(0.0, |r| r.queue_depth_variance)
+    };
+    let (v_hash, v_p2c) = (skew_var("hash_mod"), skew_var("power_of_two"));
+    println!(
+        "\nskewed-arrival queue-depth variance: hash_mod {v_hash:.1} vs power_of_two {v_p2c:.1}"
+    );
+    assert!(
+        v_p2c <= v_hash || v_hash == 0.0,
+        "load-aware router balanced worse than id % threads: {v_p2c} > {v_hash}"
+    );
 
     let doc = stream_rows_to_json(&rows, events.len(), &bundle.ds.name);
     if smoke {

@@ -1,7 +1,7 @@
 //! Dependency-free JSON values and serialisation for experiment artifacts.
 //!
 //! The experiment binaries emit small flat JSON records (method, dataset,
-//! metric values). This module provides the [`Value`] tree, the [`json!`]
+//! metric values). This module provides the [`Value`] tree, the [`crate::json!`]
 //! object/array literal macro and a pretty printer — the subset of
 //! `serde_json` the harness needs, without the dependency.
 
@@ -22,7 +22,7 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
-/// Conversion into a [`Value`] by reference (what the [`json!`] macro uses,
+/// Conversion into a [`Value`] by reference (what the [`crate::json!`] macro uses,
 /// so object fields never move out of borrowed structs).
 pub trait ToJson {
     /// The JSON representation of `self`.

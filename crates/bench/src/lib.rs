@@ -12,7 +12,25 @@
 //!
 //! Every binary prints the paper-style rows to stdout *and* appends a JSON
 //! artifact under `target/experiments/` so EXPERIMENTS.md numbers are
-//! reproducible.
+//! reproducible. The two committed artifacts (`BENCH_inference.json`,
+//! `BENCH_streaming.json`) are documented field-by-field in the repo-root
+//! `BENCHMARKS.md`.
+//!
+//! # Example
+//!
+//! The reporting building blocks are plain values — a paper-style table
+//! and a dependency-free JSON tree:
+//!
+//! ```
+//! use trmma_bench::{json, Table, Value};
+//!
+//! let mut t = Table::new(&["Method", "F1"]);
+//! t.row(vec!["MMA".into(), "94.35".into()]);
+//! assert!(t.render().contains("94.35"));
+//!
+//! let doc = json!({ "method": "MMA", "f1": 0.9435 });
+//! assert!(matches!(doc, Value::Object(_)));
+//! ```
 
 pub mod batch_bench;
 pub mod harness;

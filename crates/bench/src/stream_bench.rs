@@ -1,7 +1,8 @@
 //! Streaming-inference benchmark: replay a synthetic corpus as one
 //! interleaved point stream through `trmma_core::StreamEngine` and measure
 //! what a live deployment cares about — per-point decode latency quantiles,
-//! points/s and sessions/s — per method and thread count.
+//! points/s and sessions/s — per method, thread count, **router policy and
+//! arrival skew**.
 //!
 //! Produces the rows behind `BENCH_streaming.json`. Every run is validated:
 //! each session's finalized result must equal the offline
@@ -9,6 +10,13 @@
 //! contract of `OnlineMatcher`), and the row carries an
 //! `identical_to_offline` flag the binary asserts on. Rows for HMM-family
 //! methods also record their `TransitionProvider` hit/miss counter deltas.
+//!
+//! The *skewed* workload gives every session an id that collides modulo
+//! the worker count — the adversary of the legacy `id % threads` router.
+//! Each row snapshots the engine's `RouterStats` and reports the variance
+//! of the per-worker queue-depth high-water marks, so the imbalance (and
+//! the load-aware router's fix) is measurable even on a single-core host:
+//! queue depth is a property of routing, not of parallel speedup.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -17,7 +25,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use trmma_core::{SessionId, StreamEngine, StreamEvent, StreamOptions};
+use trmma_core::{RouterPolicy, SessionId, StreamEngine, StreamEvent, StreamOptions};
 use trmma_roadnet::shortest::CacheStats;
 use trmma_roadnet::TransitionProvider;
 use trmma_traj::online::OnlineMatcher;
@@ -34,6 +42,11 @@ pub struct StreamRow {
     pub method: String,
     /// Engine worker threads.
     pub threads: usize,
+    /// Router policy the engine ran (`"hash_mod"` or `"power_of_two"`).
+    pub router: String,
+    /// Arrival workload (`"uniform"` ids or `"skewed"` — ids colliding
+    /// modulo the worker count).
+    pub workload: String,
     /// Concurrent sessions replayed.
     pub sessions: usize,
     /// Points decoded across all sessions.
@@ -51,6 +64,11 @@ pub struct StreamRow {
     /// committed prefix trails the stream; 0 = every point final
     /// immediately).
     pub mean_stable_lag: f64,
+    /// Variance of the per-worker queue-depth high-water marks — the
+    /// router-imbalance signal (lower = better balanced).
+    pub queue_depth_variance: f64,
+    /// Sessions the router migrated between workers during the run.
+    pub migrations: u64,
     /// Whether every finalized session matched the offline decode exactly.
     pub identical: bool,
     /// Transition-oracle counters accumulated during the run, when the
@@ -58,13 +76,31 @@ pub struct StreamRow {
     pub cache: Option<CacheStats>,
 }
 
+/// Session ids that all collide modulo `threads` — the skewed-arrival
+/// distribution that starves workers under `id % threads` routing.
+#[must_use]
+pub fn skewed_session_ids(n: usize, threads: usize) -> Vec<SessionId> {
+    (0..n).map(|i| (i * threads.max(1)) as SessionId).collect()
+}
+
+/// The identity id assignment of the uniform workload.
+#[must_use]
+pub fn uniform_session_ids(n: usize) -> Vec<SessionId> {
+    (0..n as u64).collect()
+}
+
 /// Interleaves the points of `sessions` into one stream: at every step a
 /// seeded RNG picks one unfinished session and emits its next point, so
 /// arrivals from different devices are arbitrarily mixed while each
 /// session's own points stay in order (the shape the engine promises to
-/// handle).
+/// handle). `ids[i]` is the stream id carried by session `i`'s points.
 #[must_use]
-pub fn interleave(sessions: &[Trajectory], seed: u64) -> Vec<(SessionId, GpsPoint)> {
+pub fn interleave_ids(
+    sessions: &[Trajectory],
+    ids: &[SessionId],
+    seed: u64,
+) -> Vec<(SessionId, GpsPoint)> {
+    assert_eq!(sessions.len(), ids.len(), "one id per session");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cursors = vec![0usize; sessions.len()];
     let mut open: Vec<usize> = (0..sessions.len()).filter(|&i| !sessions[i].is_empty()).collect();
@@ -73,7 +109,7 @@ pub fn interleave(sessions: &[Trajectory], seed: u64) -> Vec<(SessionId, GpsPoin
     while !open.is_empty() {
         let pick = rng.gen_range(0..open.len());
         let sid = open[pick];
-        out.push((sid as SessionId, sessions[sid].points[cursors[sid]]));
+        out.push((ids[sid], sessions[sid].points[cursors[sid]]));
         cursors[sid] += 1;
         if cursors[sid] == sessions[sid].len() {
             open.swap_remove(pick);
@@ -82,17 +118,30 @@ pub fn interleave(sessions: &[Trajectory], seed: u64) -> Vec<(SessionId, GpsPoin
     out
 }
 
+/// [`interleave_ids`] with the identity id assignment (session `i` streams
+/// as id `i`).
+#[must_use]
+pub fn interleave(sessions: &[Trajectory], seed: u64) -> Vec<(SessionId, GpsPoint)> {
+    interleave_ids(sessions, &uniform_session_ids(sessions.len()), seed)
+}
+
 /// Replays `events` through a fresh engine per thread count and collects a
 /// [`StreamRow`] per configuration, validating finalized output against
-/// the sequential offline reference.
+/// the sequential offline reference. `ids[i]` must be the stream id of
+/// `sessions[i]` (as produced by [`interleave_ids`]).
 #[must_use]
-pub fn bench_streaming<M: OnlineMatcher + 'static>(
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn bench_streaming_routed<M: OnlineMatcher + 'static>(
     matcher: &Arc<M>,
     sessions: &[Trajectory],
+    ids: &[SessionId],
     events: &[(SessionId, GpsPoint)],
     thread_counts: &[usize],
+    policy: RouterPolicy,
+    workload: &str,
     provider: Option<&TransitionProvider>,
 ) -> Vec<StreamRow> {
+    assert_eq!(sessions.len(), ids.len(), "one id per session");
     // The corpus tiles trajectories up to the target session count; decode
     // each unique trajectory once and share the result across duplicates.
     let mut reference: Vec<MatchResult> = Vec::with_capacity(sessions.len());
@@ -113,7 +162,7 @@ pub fn bench_streaming<M: OnlineMatcher + 'static>(
         // and a mid-replay eviction would split a session.
         let engine = StreamEngine::new(
             matcher.clone(),
-            StreamOptions::with_threads(threads).idle_timeout_s(0.0),
+            StreamOptions::with_threads(threads).idle_timeout_s(0.0).router_policy(policy),
         );
         let started = Instant::now();
         let mut proc_s: Vec<f64> = Vec::with_capacity(events.len());
@@ -141,16 +190,24 @@ pub fn bench_streaming<M: OnlineMatcher + 'static>(
                 absorb(engine.poll_events(), &mut proc_s, &mut lag_sum, &mut finals);
             }
         }
-        for sid in 0..sessions.len() {
-            engine.finish(sid as SessionId);
+        for &sid in ids {
+            engine.finish(sid);
         }
+        // Let the workers drain, then snapshot routing telemetry before
+        // the engine (and its counters) is torn down — worker-side
+        // counters (points, migrations) only settle once the queues are
+        // empty. The replay isn't over until then anyway, so this wait is
+        // part of the measured wall clock, not overhead.
+        engine.quiesce(std::time::Duration::from_secs(60));
+        let router = engine.router_stats();
         let (rest, stats) = engine.shutdown();
         let wall_s = started.elapsed().as_secs_f64();
         absorb(rest, &mut proc_s, &mut lag_sum, &mut finals);
 
-        let identical = sessions.iter().enumerate().all(|(sid, t)| {
-            t.is_empty() || finals.get(&(sid as SessionId)) == Some(&reference[sid])
-        });
+        let identical = sessions
+            .iter()
+            .enumerate()
+            .all(|(i, t)| t.is_empty() || finals.get(&ids[i]) == Some(&reference[i]));
         proc_s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let quantile = |q: f64| -> f64 {
             if proc_s.is_empty() {
@@ -162,6 +219,8 @@ pub fn bench_streaming<M: OnlineMatcher + 'static>(
         rows.push(StreamRow {
             method: matcher.name().to_string(),
             threads,
+            router: policy.name().to_string(),
+            workload: workload.to_string(),
             sessions: sessions.len(),
             points: stats.points,
             points_per_s: if wall_s > 0.0 { stats.points as f64 / wall_s } else { 0.0 },
@@ -169,11 +228,36 @@ pub fn bench_streaming<M: OnlineMatcher + 'static>(
             p50_ms: quantile(0.5),
             p99_ms: quantile(0.99),
             mean_stable_lag: if stats.points > 0 { lag_sum / stats.points as f64 } else { 0.0 },
+            queue_depth_variance: router.queue_depth_hwm_variance(),
+            migrations: router.migrated(),
             identical,
             cache: provider.map(|_| cache_delta(before, snap())),
         });
     }
     rows
+}
+
+/// [`bench_streaming_routed`] under the default load-aware router and the
+/// uniform (identity-id) workload — the primary per-method sweep.
+#[must_use]
+pub fn bench_streaming<M: OnlineMatcher + 'static>(
+    matcher: &Arc<M>,
+    sessions: &[Trajectory],
+    events: &[(SessionId, GpsPoint)],
+    thread_counts: &[usize],
+    provider: Option<&TransitionProvider>,
+) -> Vec<StreamRow> {
+    let ids = uniform_session_ids(sessions.len());
+    bench_streaming_routed(
+        matcher,
+        sessions,
+        &ids,
+        events,
+        thread_counts,
+        RouterPolicy::PowerOfTwo,
+        "uniform",
+        provider,
+    )
 }
 
 /// Serialises streaming rows into the `BENCH_streaming.json` document.
@@ -192,6 +276,8 @@ pub fn stream_rows_to_json(rows: &[StreamRow], total_points: usize, dataset: &st
                         crate::json!({
                             "method": r.method,
                             "threads": r.threads,
+                            "router": r.router,
+                            "workload": r.workload,
                             "sessions": r.sessions,
                             "points": r.points,
                             "points_per_s": r.points_per_s,
@@ -199,6 +285,8 @@ pub fn stream_rows_to_json(rows: &[StreamRow], total_points: usize, dataset: &st
                             "p50_point_ms": r.p50_ms,
                             "p99_point_ms": r.p99_ms,
                             "mean_stable_lag_points": r.mean_stable_lag,
+                            "queue_depth_variance": r.queue_depth_variance,
+                            "migrations": r.migrations,
                             "identical_to_offline": r.identical,
                             "cache_hits": r.cache.map(|c| c.hits),
                             "cache_misses": r.cache.map(|c| c.misses),
@@ -213,9 +301,11 @@ pub fn stream_rows_to_json(rows: &[StreamRow], total_points: usize, dataset: &st
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trmma_baselines::{HmmConfig, HmmMatcher};
+    use trmma_baselines::{HmmConfig, HmmMatcher, HmmScratch, HmmSession};
     use trmma_roadnet::RoutePlanner;
+    use trmma_traj::api::{MapMatcher, ScratchMatcher};
     use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+    use trmma_traj::online::OnlineUpdate;
 
     #[test]
     fn interleave_preserves_per_session_order_and_total() {
@@ -233,6 +323,21 @@ mod tests {
         }
         // Different seeds interleave differently (overwhelmingly likely).
         assert_ne!(events, interleave(&sessions, 100));
+        // Remapped ids carry the same points in the same per-session order.
+        let ids = skewed_session_ids(sessions.len(), 3);
+        let skewed = interleave_ids(&sessions, &ids, 99);
+        assert_eq!(skewed.len(), total);
+        for (&(a, pa), &(b, pb)) in events.iter().zip(&skewed) {
+            assert_eq!(ids[a as usize], b);
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn skewed_ids_collide_modulo_threads() {
+        let ids = skewed_session_ids(5, 4);
+        assert_eq!(ids, vec![0, 4, 8, 12, 16]);
+        assert!(ids.iter().all(|id| id % 4 == 0));
     }
 
     #[test]
@@ -253,11 +358,121 @@ mod tests {
             assert!(r.sessions_per_s > 0.0);
             assert!(r.p50_ms <= r.p99_ms + 1e-9);
             assert!(r.mean_stable_lag >= 0.0);
+            assert!(r.queue_depth_variance >= 0.0);
+            assert_eq!(r.router, "power_of_two");
+            assert_eq!(r.workload, "uniform");
             assert!(r.cache.is_some());
         }
         let s = crate::json::to_string_pretty(&stream_rows_to_json(&rows, events.len(), "TINY"));
         assert!(s.contains("\"identical_to_offline\": true"));
         assert!(s.contains("\"p99_point_ms\":"));
         assert!(s.contains("\"cache_hits\":"));
+        assert!(s.contains("\"router\": \"power_of_two\""));
+        assert!(s.contains("\"queue_depth_variance\":"));
+        assert!(s.contains("\"migrations\":"));
+    }
+
+    /// A decoder wrapper that sleeps per point, so worker queues actually
+    /// build up and the routing imbalance becomes visible even on a fast
+    /// or single-core host.
+    struct Slow(HmmMatcher);
+
+    impl MapMatcher for Slow {
+        fn name(&self) -> &'static str {
+            "SlowHMM"
+        }
+
+        fn match_trajectory(&self, traj: &Trajectory) -> trmma_traj::MatchResult {
+            self.0.match_trajectory(traj)
+        }
+    }
+
+    impl ScratchMatcher for Slow {
+        type Scratch = HmmScratch;
+
+        fn make_scratch(&self) -> HmmScratch {
+            self.0.make_scratch()
+        }
+
+        fn match_trajectory_with(
+            &self,
+            scratch: &mut HmmScratch,
+            traj: &Trajectory,
+        ) -> trmma_traj::MatchResult {
+            self.0.match_trajectory_with(scratch, traj)
+        }
+    }
+
+    impl OnlineMatcher for Slow {
+        type Session = HmmSession;
+
+        fn begin_session(&self) -> HmmSession {
+            self.0.begin_session()
+        }
+
+        fn push_point(
+            &self,
+            scratch: &mut HmmScratch,
+            session: &mut HmmSession,
+            point: GpsPoint,
+        ) -> OnlineUpdate {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            self.0.push_point(scratch, session, point)
+        }
+
+        fn finalize(
+            &self,
+            scratch: &mut HmmScratch,
+            session: HmmSession,
+        ) -> trmma_traj::MatchResult {
+            self.0.finalize(scratch, session)
+        }
+
+        fn session_len(&self, session: &HmmSession) -> usize {
+            self.0.session_len(session)
+        }
+
+        fn session_watermark(&self, session: &HmmSession) -> usize {
+            self.0.session_watermark(session)
+        }
+    }
+
+    #[test]
+    fn skewed_arrivals_balance_better_under_power_of_two() {
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let net = Arc::new(ds.net.clone());
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let slow = Arc::new(Slow(HmmMatcher::new(net, planner, HmmConfig::default())));
+        let sessions: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 32).into_iter().take(6).map(|s| s.sparse).collect();
+        let threads = 2;
+        let ids = skewed_session_ids(sessions.len(), threads);
+        let events = interleave_ids(&sessions, &ids, 13);
+        let run = |policy| {
+            bench_streaming_routed(
+                &slow,
+                &sessions,
+                &ids,
+                &events,
+                &[threads],
+                policy,
+                "skewed",
+                None,
+            )
+            .remove(0)
+        };
+        let hash = run(RouterPolicy::HashMod);
+        let p2c = run(RouterPolicy::PowerOfTwo);
+        assert!(hash.identical && p2c.identical);
+        // Every skewed id hashes to worker 0: all queueing piles up there,
+        // so the high-water-mark variance is strictly positive…
+        assert!(hash.queue_depth_variance > 0.0, "hash router showed no imbalance: {hash:?}");
+        // …while the load-aware router spreads the same arrivals.
+        assert!(
+            p2c.queue_depth_variance < hash.queue_depth_variance,
+            "p2c variance {} not below hash_mod variance {}",
+            p2c.queue_depth_variance,
+            hash.queue_depth_variance
+        );
     }
 }

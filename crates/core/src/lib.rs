@@ -26,8 +26,44 @@
 //! * [`stream`] — the streaming session engine: [`StreamEngine`]
 //!   multiplexes live `trmma_traj::OnlineMatcher` sessions (points arriving
 //!   one at a time, interleaved across devices) over the same per-worker
-//!   scratch model, with provisional per-point matches, stabilized-prefix
-//!   watermarks, and idle-session finalize-on-timeout.
+//!   scratch model, behind a load-aware router ([`RouterPolicy`]:
+//!   power-of-two-choices placement plus migration of watermark-stable
+//!   sessions off hot workers, telemetered via [`RouterStats`]), with
+//!   provisional per-point matches, stabilized-prefix watermarks, and
+//!   idle-session finalize-on-timeout.
+//!
+//! # Example
+//!
+//! Stream one live trip through the session engine and confirm the
+//! finalized route equals the offline decode of the same points:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use trmma_core::{StreamEngine, StreamEvent, StreamOptions};
+//! use trmma_core::{Mma, MmaConfig};
+//! use trmma_roadnet::RoutePlanner;
+//! use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+//! use trmma_traj::MapMatcher;
+//!
+//! let ds = build_dataset(&DatasetConfig::tiny());
+//! let net = Arc::new(ds.net.clone());
+//! let planner = Arc::new(RoutePlanner::untrained(&net));
+//! let mma = Arc::new(Mma::new(net, planner, None, MmaConfig::small()));
+//!
+//! let trip = ds.samples(Split::Test, 0.2, 3)[0].sparse.clone();
+//! let engine = StreamEngine::new(mma.clone(), StreamOptions::with_threads(2));
+//! for &p in &trip.points {
+//!     engine.push(42, p);
+//! }
+//! engine.finish(42);
+//! let (events, stats) = engine.shutdown();
+//! assert_eq!(stats.points, trip.len() as u64);
+//! let finalized = events.iter().find_map(|e| match e {
+//!     StreamEvent::Finalized { result, .. } => Some(result.clone()),
+//!     StreamEvent::Update { .. } => None,
+//! });
+//! assert_eq!(finalized.as_ref(), Some(&mma.match_trajectory(&trip)));
+//! ```
 
 pub mod batch;
 pub mod mma;
@@ -42,6 +78,7 @@ pub use batch::{
 pub use mma::{Mma, MmaConfig, MmaScratch, MmaSession};
 pub use pipeline::TrmmaPipeline;
 pub use stream::{
-    FinalizeReason, SessionId, StreamEngine, StreamEvent, StreamOptions, StreamStats,
+    FinalizeReason, RouterPolicy, RouterStats, SessionId, StreamEngine, StreamEvent, StreamOptions,
+    StreamStats, WorkerTelemetry,
 };
 pub use trmma::{Trmma, TrmmaConfig};

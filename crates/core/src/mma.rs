@@ -591,6 +591,15 @@ impl OnlineMatcher for Mma {
         let matched = self.match_points_cached(scratch, &session.cand_sets, &session.traj);
         self.stitch(matched)
     }
+
+    fn session_len(&self, session: &MmaSession) -> usize {
+        session.traj.len()
+    }
+
+    fn session_watermark(&self, _session: &MmaSession) -> usize {
+        // Global attention: nothing stabilizes before finalize (see above).
+        0
+    }
 }
 
 /// A cheaply cloneable handle making a shared model usable as a matcher:

@@ -1,5 +1,6 @@
 //! The streaming session engine: thousands of live [`OnlineMatcher`]
-//! sessions multiplexed across a worker pool.
+//! sessions multiplexed across a worker pool behind a **load-aware
+//! router**.
 //!
 //! The batch engine ([`crate::batch`]) answers "here are 10 000 complete
 //! trajectories"; this module answers the production-shaped inverse — an
@@ -14,15 +15,57 @@
 //!
 //! **Architecture.** [`StreamEngine::new`] spawns `threads` workers, each
 //! owning a bounded command queue, one scratch, and a session table.
-//! [`StreamEngine::push`] routes a `(session id, point)` pair to the
-//! worker `id % threads` — points of *different* sessions may arrive in
-//! any interleaving, while each session's points stay in arrival order on
-//! its home worker. Every processed point emits a
-//! [`StreamEvent::Update`] (provisional match + stabilized-prefix
-//! watermark + worker-side processing time) on the engine's event channel;
-//! [`StreamEngine::finish`], idle eviction, and [`StreamEngine::shutdown`]
-//! emit [`StreamEvent::Finalized`] with the full offline-equivalent
-//! [`MatchResult`].
+//! [`StreamEngine::push`] routes a `(session id, point)` pair through the
+//! engine-side router: a new session is *placed* on a worker by the
+//! configured [`RouterPolicy`] and stays there (its points are decoded in
+//! arrival order on its home worker) until it ends or is *migrated*.
+//! Points of *different* sessions may arrive in any interleaving. Every
+//! processed point emits a [`StreamEvent::Update`] (provisional match +
+//! stabilized-prefix watermark + worker-side processing time) on the
+//! engine's event channel; [`StreamEngine::finish`], idle eviction, and
+//! [`StreamEngine::shutdown`] emit [`StreamEvent::Finalized`] with the
+//! full offline-equivalent [`MatchResult`].
+//!
+//! **Routing.** The historical router was `id % threads` — stateless, but
+//! under skewed session-id distributions it starves some workers while
+//! others queue up (kept available as [`RouterPolicy::HashMod`] for
+//! comparison). The default [`RouterPolicy::PowerOfTwo`] places each new
+//! session by *power-of-two-choices*: sample two distinct workers, place
+//! on the one with the lower instantaneous load (queue depth + live
+//! sessions) — the classic balanced-allocations result that exponentially
+//! tightens the load gap versus single-choice hashing. The router also
+//! *migrates* sessions: when the load gap between the hottest and coolest
+//! worker exceeds [`StreamOptions::rebalance_threshold`], the
+//! least-recently-pushed session on the hot worker is moved to the cool
+//! one — but only if its decoder is **watermark-stable**
+//! ([`OnlineMatcher::session_stable`]): every pushed point's final match
+//! is already pinned, so nothing provisional is in flight. Migration is
+//! *correct* for any session (sessions are detachable by contract and
+//! scratch never influences output — `tests/props_streaming.rs` forces
+//! migrations at arbitrary points and asserts bitwise offline identity);
+//! stability merely makes it cheap and honest. Per-worker telemetry
+//! (queue-depth high-water mark, sessions placed/migrated, points
+//! processed) is exposed through [`StreamEngine::router_stats`].
+//!
+//! **Placement is sticky.** A session's placement entry outlives the
+//! session instance: explicit finish and idle eviction leave it in place,
+//! so a reopened or reused session id keeps routing to the same worker
+//! and its commands stay FIFO-serialized behind the previous trip's —
+//! one id can never run live on two workers at once, matching the old
+//! `id % threads` guarantee. Stale entries (a few dozen bytes each) are
+//! reclaimed when a detach aimed at an ended session misses.
+//!
+//! **Migration protocol.** The router (engine side, under one lock) keeps
+//! a placement table. To move session `s` from worker `A` to `B` it sends
+//! `Detach(s)` down `A`'s command queue — FIFO ordering guarantees `A`
+//! first decodes every point of `s` already queued — and marks `s` *in
+//! transit*, buffering any arriving commands engine-side. `A` hands the
+//! detached [`OnlineMatcher::Session`] back on a reply channel; on the
+//! next engine call the router forwards it to `B` as `Attach`, flushes the
+//! buffered commands behind it (order preserved), and re-points the
+//! placement. Because `A` sends all of `s`'s updates before the detach
+//! reply and `B` decodes only after the attach, per-session event order is
+//! preserved end to end.
 //!
 //! **Lifecycle and guarantees.**
 //!
@@ -37,14 +80,15 @@
 //!   point is counted in [`StreamStats::late_dropped`] and skipped (the
 //!   incremental decoders cannot un-push evidence).
 //! * Decoding is a pure function of (model, point sequence), so for any
-//!   thread count and any cross-session interleaving, a session's
-//!   finalized result is identical to the offline
-//!   `match_trajectory` on the same points — property-tested in
-//!   `tests/props_streaming.rs`.
+//!   thread count, any cross-session interleaving, any router policy and
+//!   any migration schedule, a session's finalized result is identical to
+//!   the offline `match_trajectory` on the same points — property-tested
+//!   in `tests/props_streaming.rs`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -55,23 +99,75 @@ use trmma_traj::types::GpsPoint;
 /// Identifies one live trajectory (one device/trip) within the engine.
 pub type SessionId = u64;
 
+/// How [`StreamEngine`] assigns new sessions to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// The legacy static router: worker `id % threads`. Stateless, but a
+    /// skewed session-id distribution concentrates load on few workers.
+    /// Never migrates.
+    HashMod,
+    /// Load-aware placement (the default): sample two distinct workers,
+    /// place on the one with the lower queue depth + live-session count,
+    /// and migrate watermark-stable sessions off hot workers when the
+    /// load gap exceeds [`StreamOptions::rebalance_threshold`].
+    PowerOfTwo,
+}
+
+impl RouterPolicy {
+    /// Stable identifier used in benchmark artifacts
+    /// (`BENCH_streaming.json`'s `router` column).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::HashMod => "hash_mod",
+            Self::PowerOfTwo => "power_of_two",
+        }
+    }
+}
+
 /// Tuning knobs of the streaming engine.
 ///
 /// Mirrors [`crate::BatchOptions`]: zero-config by default, an explicit
 /// thread count via [`StreamOptions::with_threads`], and chainable builder
-/// methods for the rest.
+/// methods for the rest. The knobs cover the engine's four behaviours:
+///
+/// * **Backpressure** — `queue_capacity` bounds each worker's command
+///   queue; [`StreamEngine::push`] blocks while the session's home worker
+///   is that far behind, so a slow decoder throttles its producers instead
+///   of buffering unboundedly.
+/// * **Late-point drop** — within a session, points must advance in time;
+///   a point whose timestamp is not strictly newer than the session's last
+///   accepted point is counted in [`StreamStats::late_dropped`] and
+///   skipped, never decoded.
+/// * **Idle eviction** — `idle_timeout_s` finalizes sessions that go
+///   quiet (the trip is assumed over); `0` disables eviction.
+/// * **Routing** — `router_policy` selects session placement
+///   ([`RouterPolicy::PowerOfTwo`] load-aware placement by default,
+///   [`RouterPolicy::HashMod`] for the legacy `id % threads`), and
+///   `rebalance_threshold` sets the hot/cool worker load gap that
+///   triggers migration of watermark-stable sessions (`0` disables
+///   migration).
 ///
 /// ```
-/// use trmma_core::StreamOptions;
+/// use trmma_core::{RouterPolicy, StreamOptions};
 ///
-/// // Default: hardware threads, 30 s idle eviction, 1024-deep queues.
+/// // Default: hardware threads, 30 s idle eviction, 1024-deep queues,
+/// // load-aware routing with migration at a load gap of 16.
 /// let opts = StreamOptions::default();
 /// assert_eq!(opts.threads, 0); // 0 = available_parallelism
+/// assert_eq!(opts.router, RouterPolicy::PowerOfTwo);
+/// assert_eq!(opts.rebalance_threshold, 16);
 ///
 /// // Builder style, mirroring `BatchOptions::with_threads`:
-/// let opts = StreamOptions::with_threads(4).idle_timeout_s(5.0).queue_capacity(256);
+/// let opts = StreamOptions::with_threads(4)
+///     .idle_timeout_s(5.0)            // evict sessions quiet for 5 s
+///     .queue_capacity(256)            // push() blocks 256 commands deep
+///     .router_policy(RouterPolicy::HashMod) // legacy id % threads
+///     .rebalance_threshold(0);        // no migration
 /// assert_eq!(opts.threads, 4);
 /// assert_eq!(opts.effective_threads(), 4);
+/// assert_eq!(opts.queue_capacity, 256);
+/// assert_eq!(opts.router, RouterPolicy::HashMod);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamOptions {
@@ -84,11 +180,24 @@ pub struct StreamOptions {
     /// [`StreamEngine::push`] blocks while the target worker is this far
     /// behind.
     pub queue_capacity: usize,
+    /// Session-placement policy (see [`RouterPolicy`]).
+    pub router: RouterPolicy,
+    /// Load gap (hottest minus coolest worker, in queued commands + live
+    /// sessions) above which the router migrates one watermark-stable
+    /// session per check off the hot worker. `0` disables automatic
+    /// migration. Only meaningful under [`RouterPolicy::PowerOfTwo`].
+    pub rebalance_threshold: usize,
 }
 
 impl Default for StreamOptions {
     fn default() -> Self {
-        Self { threads: 0, idle_timeout_s: 30.0, queue_capacity: 1024 }
+        Self {
+            threads: 0,
+            idle_timeout_s: 30.0,
+            queue_capacity: 1024,
+            router: RouterPolicy::PowerOfTwo,
+            rebalance_threshold: 16,
+        }
     }
 }
 
@@ -116,6 +225,20 @@ impl StreamOptions {
     #[must_use]
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the session-placement policy.
+    #[must_use]
+    pub fn router_policy(mut self, policy: RouterPolicy) -> Self {
+        self.router = policy;
+        self
+    }
+
+    /// Sets the load gap that triggers migration (`0` disables it).
+    #[must_use]
+    pub fn rebalance_threshold(mut self, gap: usize) -> Self {
+        self.rebalance_threshold = gap;
         self
     }
 
@@ -210,9 +333,146 @@ impl StreamStats {
     }
 }
 
-enum Cmd {
-    Push { session: SessionId, point: GpsPoint },
-    Finish { session: SessionId },
+/// One worker's routing telemetry, snapshot by
+/// [`StreamEngine::router_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// Commands queued to the worker and not yet processed.
+    pub queue_depth: usize,
+    /// High-water mark of `queue_depth` over the engine's lifetime — the
+    /// imbalance signal the skewed-workload benchmark reports variance of.
+    pub queue_depth_hwm: usize,
+    /// Sessions currently live on the worker.
+    pub live_sessions: usize,
+    /// GPS points the worker has decoded.
+    pub points: u64,
+    /// New sessions the router placed on the worker.
+    pub sessions_placed: u64,
+    /// Sessions migrated onto the worker.
+    pub migrated_in: u64,
+    /// Sessions migrated off the worker.
+    pub migrated_out: u64,
+}
+
+/// Snapshot of the router's per-worker load and migration counters.
+///
+/// Obtained live from [`StreamEngine::router_stats`]; all counters are
+/// monotone over the engine's lifetime except `queue_depth` and
+/// `live_sessions`, which are instantaneous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// The placement policy the engine runs.
+    pub policy: RouterPolicy,
+    /// Per-worker telemetry, indexed by worker.
+    pub workers: Vec<WorkerTelemetry>,
+    /// Migrations the router initiated (detach requests sent).
+    pub migrations_requested: u64,
+    /// Migrations that completed (session re-attached elsewhere).
+    pub migrations_completed: u64,
+    /// Migrations refused by the worker because the session was not
+    /// watermark-stable at detach time.
+    pub migrations_refused: u64,
+    /// Detach requests that found no live session (it had already
+    /// finished or been idle-evicted) — these reclaim the stale placement
+    /// instead of migrating.
+    pub migrations_missed: u64,
+}
+
+fn variance(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64
+}
+
+impl RouterStats {
+    /// Population variance of the per-worker queue-depth high-water marks
+    /// — the scalar the skewed-arrival benchmark compares across router
+    /// policies (lower = better balanced).
+    #[must_use]
+    pub fn queue_depth_hwm_variance(&self) -> f64 {
+        variance(self.workers.iter().map(|w| w.queue_depth_hwm as f64))
+    }
+
+    /// Population variance of per-worker decoded-point counts.
+    #[must_use]
+    pub fn points_variance(&self) -> f64 {
+        variance(self.workers.iter().map(|w| w.points as f64))
+    }
+
+    /// Total sessions migrated between workers.
+    #[must_use]
+    pub fn migrated(&self) -> u64 {
+        self.migrations_completed
+    }
+}
+
+/// Per-worker load counters shared between the engine-side router (reads
+/// for placement, writes `depth`/`depth_hwm`/`placed` on send) and the
+/// worker (writes the rest as it processes commands).
+#[derive(Default)]
+struct WorkerLoad {
+    depth: AtomicUsize,
+    depth_hwm: AtomicUsize,
+    live: AtomicUsize,
+    points: AtomicU64,
+    placed: AtomicU64,
+    migrated_in: AtomicU64,
+    migrated_out: AtomicU64,
+}
+
+impl WorkerLoad {
+    /// The placement signal: commands not yet processed plus sessions the
+    /// worker is already serving.
+    fn load(&self) -> usize {
+        self.depth.load(Ordering::Relaxed) + self.live.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> WorkerTelemetry {
+        WorkerTelemetry {
+            queue_depth: self.depth.load(Ordering::Relaxed),
+            queue_depth_hwm: self.depth_hwm.load(Ordering::Relaxed),
+            live_sessions: self.live.load(Ordering::Relaxed),
+            points: self.points.load(Ordering::Relaxed),
+            sessions_placed: self.placed.load(Ordering::Relaxed),
+            migrated_in: self.migrated_in.load(Ordering::Relaxed),
+            migrated_out: self.migrated_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum Cmd<S> {
+    Push {
+        session: SessionId,
+        point: GpsPoint,
+    },
+    Finish {
+        session: SessionId,
+    },
+    /// Hand the session's decoder state back to the router (migration).
+    /// With `stable_only`, refuse unless the session is watermark-stable.
+    Detach {
+        session: SessionId,
+        stable_only: bool,
+    },
+    /// Adopt a session detached from another worker.
+    Attach {
+        session: SessionId,
+        live: Box<Live<S>>,
+    },
+}
+
+/// What workers report back to the router (engine side).
+enum Reply<S> {
+    /// Detach succeeded; the state travels back through the router, which
+    /// forwards it to the target worker.
+    Detached { session: SessionId, live: Box<Live<S>> },
+    /// Detach refused: the session was not watermark-stable.
+    DetachRefused { session: SessionId },
+    /// Detach found no such session (it was evicted or finished first).
+    DetachMiss { session: SessionId },
 }
 
 struct Live<S> {
@@ -220,6 +480,61 @@ struct Live<S> {
     seq: usize,
     last_t: f64,
     last_seen: Instant,
+}
+
+/// A command buffered engine-side while its session is in transit between
+/// workers.
+enum Pending {
+    Point(GpsPoint),
+    Finish,
+}
+
+/// Where a session currently lives, from the router's point of view.
+///
+/// Placements are **sticky**: they outlive the session instance (explicit
+/// finish, idle eviction), so a reused or reopened session id keeps
+/// routing to the same worker — its commands stay FIFO-serialized behind
+/// the previous trip's, exactly as under the old `id % threads` router.
+/// (Removing the entry eagerly would race the worker: a finalize or
+/// eviction on the worker with commands still in flight could let one
+/// session id run live on two workers at once.) A stale entry costs a few
+/// dozen bytes; finished entries are pruned once their worker's queue has
+/// drained (the Finish provably processed — see
+/// `StreamEngine::prune_finished`), and evicted-but-never-finished ones
+/// are reclaimed when a detach aimed at them misses.
+enum Placement {
+    /// Decoding on `worker`; `last_push` drives the migrate-the-idlest
+    /// heuristic. `finished` means a Finish was the last command forwarded
+    /// — the entry is only kept to serialize a possible id reuse, and is
+    /// safe to prune once the worker's queue has drained.
+    On { worker: usize, last_push: Instant, finished: bool },
+    /// Detach requested `from` its old worker; commands buffer in
+    /// `pending` (in order, capped at the queue capacity — push blocks
+    /// past that) until the state lands on `to` (or the detach is refused
+    /// and the session stays on `from`).
+    InTransit { from: usize, to: usize, pending: Vec<Pending> },
+}
+
+/// Engine-side router state, behind the engine's mutex.
+struct Router<S> {
+    place: HashMap<SessionId, Placement>,
+    replies: Receiver<Reply<S>>,
+    /// SplitMix64 state for power-of-two-choices sampling (deterministic;
+    /// placement affects only scheduling, never output).
+    rng: u64,
+    pushes: u64,
+    migrations_requested: u64,
+    migrations_completed: u64,
+    migrations_refused: u64,
+    migrations_missed: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn finalize_one<M: OnlineMatcher>(
@@ -234,10 +549,13 @@ fn finalize_one<M: OnlineMatcher>(
     let _ = events.send(StreamEvent::Finalized { session: id, reason, points: live.seq, result });
 }
 
+#[allow(clippy::too_many_lines)]
 fn worker_loop<M: OnlineMatcher>(
     matcher: &M,
-    rx: &Receiver<Cmd>,
+    rx: &Receiver<Cmd<M::Session>>,
     events: &Sender<StreamEvent>,
+    replies: &Sender<Reply<M::Session>>,
+    load: &WorkerLoad,
     idle: Option<Duration>,
 ) -> StreamStats {
     let mut scratch = matcher.make_scratch();
@@ -251,42 +569,76 @@ fn worker_loop<M: OnlineMatcher>(
     let mut last_sweep = Instant::now();
     loop {
         match rx.recv_timeout(tick) {
-            Ok(Cmd::Push { session, point }) => {
-                let entry = live.entry(session).or_insert_with(|| {
-                    stats.sessions_opened += 1;
-                    Live {
-                        session: matcher.begin_session(),
-                        seq: 0,
-                        last_t: f64::NEG_INFINITY,
-                        last_seen: Instant::now(),
+            Ok(cmd) => {
+                match cmd {
+                    Cmd::Push { session, point } => {
+                        let entry = live.entry(session).or_insert_with(|| {
+                            stats.sessions_opened += 1;
+                            load.live.fetch_add(1, Ordering::Relaxed);
+                            Live {
+                                session: matcher.begin_session(),
+                                seq: 0,
+                                last_t: f64::NEG_INFINITY,
+                                last_seen: Instant::now(),
+                            }
+                        });
+                        entry.last_seen = Instant::now();
+                        if point.t <= entry.last_t {
+                            stats.late_dropped += 1;
+                        } else {
+                            let t0 = Instant::now();
+                            let update =
+                                matcher.push_point(&mut scratch, &mut entry.session, point);
+                            let proc_s = t0.elapsed().as_secs_f64();
+                            entry.last_t = point.t;
+                            let seq = entry.seq;
+                            entry.seq += 1;
+                            stats.points += 1;
+                            load.points.fetch_add(1, Ordering::Relaxed);
+                            let _ =
+                                events.send(StreamEvent::Update { session, seq, update, proc_s });
+                        }
                     }
-                });
-                entry.last_seen = Instant::now();
-                if point.t <= entry.last_t {
-                    stats.late_dropped += 1;
-                } else {
-                    let t0 = Instant::now();
-                    let update = matcher.push_point(&mut scratch, &mut entry.session, point);
-                    let proc_s = t0.elapsed().as_secs_f64();
-                    entry.last_t = point.t;
-                    let seq = entry.seq;
-                    entry.seq += 1;
-                    stats.points += 1;
-                    let _ = events.send(StreamEvent::Update { session, seq, update, proc_s });
+                    Cmd::Finish { session } => {
+                        if let Some(l) = live.remove(&session) {
+                            load.live.fetch_sub(1, Ordering::Relaxed);
+                            finalize_one(
+                                matcher,
+                                &mut scratch,
+                                session,
+                                l,
+                                FinalizeReason::Explicit,
+                                events,
+                            );
+                            stats.finalized_explicit += 1;
+                        }
+                    }
+                    Cmd::Detach { session, stable_only } => match live.remove(&session) {
+                        None => {
+                            let _ = replies.send(Reply::DetachMiss { session });
+                        }
+                        Some(l) if stable_only && !matcher.session_stable(&l.session) => {
+                            live.insert(session, l);
+                            let _ = replies.send(Reply::DetachRefused { session });
+                        }
+                        Some(l) => {
+                            load.live.fetch_sub(1, Ordering::Relaxed);
+                            load.migrated_out.fetch_add(1, Ordering::Relaxed);
+                            let _ = replies.send(Reply::Detached { session, live: Box::new(l) });
+                        }
+                    },
+                    Cmd::Attach { session, live: l } => {
+                        load.live.fetch_add(1, Ordering::Relaxed);
+                        load.migrated_in.fetch_add(1, Ordering::Relaxed);
+                        let mut l = *l;
+                        l.last_seen = Instant::now();
+                        live.insert(session, l);
+                    }
                 }
-            }
-            Ok(Cmd::Finish { session }) => {
-                if let Some(l) = live.remove(&session) {
-                    finalize_one(
-                        matcher,
-                        &mut scratch,
-                        session,
-                        l,
-                        FinalizeReason::Explicit,
-                        events,
-                    );
-                    stats.finalized_explicit += 1;
-                }
+                // Decrement *after* processing: an observer then always
+                // sees the command in `depth` or its session in `live`,
+                // never a spurious zero load in between.
+                load.depth.fetch_sub(1, Ordering::Relaxed);
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -302,14 +654,20 @@ fn worker_loop<M: OnlineMatcher>(
                     .collect();
                 for id in expired {
                     let l = live.remove(&id).expect("expired session is live");
+                    load.live.fetch_sub(1, Ordering::Relaxed);
                     finalize_one(matcher, &mut scratch, id, l, FinalizeReason::IdleTimeout, events);
                     stats.finalized_idle += 1;
+                    // The router is NOT told: its sticky placement keeps
+                    // routing this id here, so a later point (a new trip)
+                    // reopens on this worker instead of racing onto
+                    // another one.
                 }
             }
         }
     }
     // Engine dropped its senders: flush every remaining session.
     for (id, l) in live.drain() {
+        load.live.fetch_sub(1, Ordering::Relaxed);
         finalize_one(matcher, &mut scratch, id, l, FinalizeReason::Shutdown, events);
         stats.finalized_shutdown += 1;
     }
@@ -319,9 +677,14 @@ fn worker_loop<M: OnlineMatcher>(
 /// The multiplexer; see module docs for the architecture and guarantees.
 pub struct StreamEngine<M: OnlineMatcher + 'static> {
     matcher: Arc<M>,
-    txs: Vec<SyncSender<Cmd>>,
+    txs: Vec<SyncSender<Cmd<M::Session>>>,
     events: Receiver<StreamEvent>,
     handles: Vec<JoinHandle<StreamStats>>,
+    loads: Arc<Vec<WorkerLoad>>,
+    router: Mutex<Router<M::Session>>,
+    policy: RouterPolicy,
+    rebalance_gap: usize,
+    queue_cap: usize,
 }
 
 impl<M: OnlineMatcher + 'static> StreamEngine<M> {
@@ -331,16 +694,41 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
         let threads = opts.effective_threads().max(1);
         let idle = opts.idle_timeout();
         let (etx, events) = channel();
+        let (rtx, replies) = channel();
+        let loads: Arc<Vec<WorkerLoad>> =
+            Arc::new((0..threads).map(|_| WorkerLoad::default()).collect());
         let mut txs = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for w in 0..threads {
             let (tx, rx) = sync_channel(opts.queue_capacity.max(1));
             let m = matcher.clone();
             let e = etx.clone();
-            handles.push(std::thread::spawn(move || worker_loop(&*m, &rx, &e, idle)));
+            let r = rtx.clone();
+            let ld = loads.clone();
+            handles.push(std::thread::spawn(move || worker_loop(&*m, &rx, &e, &r, &ld[w], idle)));
             txs.push(tx);
         }
-        Self { matcher, txs, events, handles }
+        let router = Mutex::new(Router {
+            place: HashMap::new(),
+            replies,
+            rng: 0x7272_6D6D_615F_7232, // arbitrary fixed seed: "trmma_r2"
+            pushes: 0,
+            migrations_requested: 0,
+            migrations_completed: 0,
+            migrations_refused: 0,
+            migrations_missed: 0,
+        });
+        Self {
+            matcher,
+            txs,
+            events,
+            handles,
+            loads,
+            router,
+            policy: opts.router,
+            rebalance_gap: opts.rebalance_threshold,
+            queue_cap: opts.queue_capacity.max(1),
+        }
     }
 
     /// The shared model.
@@ -355,35 +743,394 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
         self.txs.len()
     }
 
+    /// Sends a command to `worker`, accounting queue depth; blocks while
+    /// the worker's queue is full. Used for the rare, small command
+    /// bursts of the migration/finish paths — the per-point hot path
+    /// ([`StreamEngine::push`]) uses a lock-released `try_send` loop
+    /// instead, so only these bounded sends ever hold the router lock
+    /// across a wait. Returns `false` if the worker is gone (it panicked
+    /// — shutdown will surface that).
+    fn send_to(&self, worker: usize, cmd: Cmd<M::Session>) -> bool {
+        let load = &self.loads[worker];
+        let depth = load.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        load.depth_hwm.fetch_max(depth, Ordering::Relaxed);
+        if self.txs[worker].send(cmd).is_ok() {
+            true
+        } else {
+            load.depth.fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Picks the worker for a brand-new session under the engine's policy.
     #[allow(clippy::cast_possible_truncation)]
-    fn route(&self, session: SessionId) -> &SyncSender<Cmd> {
-        &self.txs[(session % self.txs.len() as u64) as usize]
+    fn place_new(&self, router: &mut Router<M::Session>, session: SessionId) -> usize {
+        let n = self.txs.len();
+        let w = match self.policy {
+            RouterPolicy::HashMod => (session % n as u64) as usize,
+            RouterPolicy::PowerOfTwo => {
+                if n == 1 {
+                    0
+                } else {
+                    // Two distinct uniform picks; keep the less loaded.
+                    let a = (splitmix64(&mut router.rng) % n as u64) as usize;
+                    let mut b = (splitmix64(&mut router.rng) % (n - 1) as u64) as usize;
+                    if b >= a {
+                        b += 1;
+                    }
+                    if self.loads[b].load() < self.loads[a].load() {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            }
+        };
+        self.loads[w].placed.fetch_add(1, Ordering::Relaxed);
+        w
+    }
+
+    /// Forwards the commands buffered while a session was in transit and
+    /// re-points its (sticky) placement at `worker`. With `gc_if_empty`
+    /// and nothing buffered, the placement is dropped instead — the one
+    /// place stale entries of ended sessions are reclaimed.
+    fn settle(
+        &self,
+        router: &mut Router<M::Session>,
+        session: SessionId,
+        worker: usize,
+        pending: Vec<Pending>,
+        gc_if_empty: bool,
+    ) {
+        if gc_if_empty && pending.is_empty() {
+            router.place.remove(&session);
+            return;
+        }
+        let finished = matches!(pending.last(), Some(Pending::Finish));
+        for cmd in pending {
+            match cmd {
+                Pending::Point(point) => {
+                    self.send_to(worker, Cmd::Push { session, point });
+                }
+                Pending::Finish => {
+                    self.send_to(worker, Cmd::Finish { session });
+                }
+            }
+        }
+        router.place.insert(session, Placement::On { worker, last_push: Instant::now(), finished });
+    }
+
+    /// Applies one worker reply to the routing table.
+    fn apply_reply(&self, router: &mut Router<M::Session>, reply: Reply<M::Session>) {
+        match reply {
+            Reply::Detached { session, live } => {
+                let Some(Placement::InTransit { to, pending, .. }) = router.place.remove(&session)
+                else {
+                    // A detach the router no longer tracks (cannot happen
+                    // through the public API); drop the state rather than
+                    // strand it.
+                    return;
+                };
+                router.migrations_completed += 1;
+                self.send_to(to, Cmd::Attach { session, live });
+                self.settle(router, session, to, pending, false);
+            }
+            Reply::DetachRefused { session } => {
+                let Some(Placement::InTransit { from, pending, .. }) =
+                    router.place.remove(&session)
+                else {
+                    return;
+                };
+                router.migrations_refused += 1;
+                // The session never moved: flush the buffer back to its
+                // old worker and keep the placement there.
+                self.settle(router, session, from, pending, false);
+            }
+            Reply::DetachMiss { session } => {
+                let Some(Placement::InTransit { to, pending, .. }) = router.place.remove(&session)
+                else {
+                    return;
+                };
+                router.migrations_missed += 1;
+                // The instance ended (evicted/finished) before the detach
+                // arrived. With nothing buffered this reclaims the stale
+                // placement; buffered commands open a fresh trip on the
+                // target instead.
+                self.settle(router, session, to, pending, true);
+            }
+        }
+    }
+
+    /// Drains worker replies without blocking.
+    fn drain_replies(&self, router: &mut Router<M::Session>) {
+        loop {
+            let Ok(reply) = router.replies.try_recv() else { break };
+            self.apply_reply(router, reply);
+        }
+    }
+
+    /// Starts moving `session` to worker `to`; `stable_only` lets the
+    /// worker refuse unless the session is watermark-stable.
+    fn start_migration(
+        &self,
+        router: &mut Router<M::Session>,
+        session: SessionId,
+        to: usize,
+        stable_only: bool,
+    ) -> bool {
+        if to >= self.txs.len() {
+            return false;
+        }
+        let from = match router.place.get(&session) {
+            Some(&Placement::On { worker, .. }) if worker != to => worker,
+            _ => return false,
+        };
+        if !self.send_to(from, Cmd::Detach { session, stable_only }) {
+            return false;
+        }
+        router.migrations_requested += 1;
+        router.place.insert(session, Placement::InTransit { from, to, pending: Vec::new() });
+        true
+    }
+
+    /// One rebalance check: if the hottest worker is more than the
+    /// configured gap ahead of the coolest, migrate its least-recently
+    /// pushed session there (watermark-stable sessions only).
+    fn maybe_rebalance(&self, router: &mut Router<M::Session>) {
+        if self.rebalance_gap == 0 || self.txs.len() < 2 {
+            return;
+        }
+        let loads: Vec<usize> = self.loads.iter().map(WorkerLoad::load).collect();
+        let hot = (0..loads.len()).max_by_key(|&w| loads[w]).expect("non-empty pool");
+        let cool = (0..loads.len()).min_by_key(|&w| loads[w]).expect("non-empty pool");
+        if loads[hot] - loads[cool] <= self.rebalance_gap {
+            return;
+        }
+        let candidate = router
+            .place
+            .iter()
+            .filter_map(|(&sid, p)| match p {
+                Placement::On { worker, last_push, finished: false } if *worker == hot => {
+                    Some((sid, *last_push))
+                }
+                _ => None,
+            })
+            .min_by_key(|&(_, t)| t)
+            .map(|(sid, _)| sid);
+        if let Some(sid) = candidate {
+            self.start_migration(router, sid, cool, true);
+        }
     }
 
     /// Feeds the next point of `session` (opening it if unseen), blocking
     /// while the session's home worker queue is full. Returns `false` if
     /// the worker is gone (it panicked — shutdown will surface that).
     pub fn push(&self, session: SessionId, point: GpsPoint) -> bool {
-        self.route(session).send(Cmd::Push { session, point }).is_ok()
+        // The routing decision needs the router lock, but the wait for a
+        // full worker queue must not: a blocking send under the lock
+        // would stall every other producer (and finish/migrate/stats) on
+        // one hot worker. So: decide and try_send under the lock; on a
+        // full queue, release the lock, wait briefly, re-resolve — the
+        // placement may legitimately have moved (migration) meanwhile.
+        loop {
+            let mut router = self.router.lock().expect("router poisoned");
+            self.drain_replies(&mut router);
+            let worker = match router.place.get_mut(&session) {
+                Some(Placement::InTransit { pending, .. }) => {
+                    // The transit buffer honours the same bound as a
+                    // worker queue: past it, push blocks (lock released)
+                    // until the migration resolves — each retry's
+                    // drain_replies drives that resolution.
+                    if pending.len() >= self.queue_cap {
+                        drop(router);
+                        std::thread::sleep(Duration::from_micros(20));
+                        continue;
+                    }
+                    pending.push(Pending::Point(point));
+                    self.after_push(&mut router);
+                    return true;
+                }
+                Some(Placement::On { worker, last_push, finished }) => {
+                    *last_push = Instant::now();
+                    *finished = false;
+                    *worker
+                }
+                None => {
+                    let w = self.place_new(&mut router, session);
+                    router.place.insert(
+                        session,
+                        Placement::On { worker: w, last_push: Instant::now(), finished: false },
+                    );
+                    w
+                }
+            };
+            let load = &self.loads[worker];
+            let depth = load.depth.fetch_add(1, Ordering::Relaxed) + 1;
+            load.depth_hwm.fetch_max(depth, Ordering::Relaxed);
+            match self.txs[worker].try_send(Cmd::Push { session, point }) {
+                Ok(()) => {
+                    self.after_push(&mut router);
+                    return true;
+                }
+                Err(std::sync::mpsc::TrySendError::Full(_)) => {
+                    load.depth.fetch_sub(1, Ordering::Relaxed);
+                    drop(router);
+                    // Backpressure: the worker is queue_capacity behind.
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
+                    load.depth.fetch_sub(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Post-push bookkeeping under the router lock: the push counter, the
+    /// periodic rebalance check, and the periodic sweep of finished
+    /// placements.
+    fn after_push(&self, router: &mut Router<M::Session>) {
+        router.pushes += 1;
+        if self.policy == RouterPolicy::PowerOfTwo && router.pushes.is_multiple_of(64) {
+            self.maybe_rebalance(router);
+        }
+        if router.pushes.is_multiple_of(1024) {
+            self.prune_finished(router);
+        }
+    }
+
+    /// Removes placements whose trip was finished AND whose worker's queue
+    /// has since drained: the engine is the only sender (always under this
+    /// lock), so an observed depth of 0 proves the Finish was processed
+    /// and no live instance remains — removing the entry cannot split a
+    /// session. Bounds the placement table by the live session count plus
+    /// ids evicted-but-never-finished (those are reclaimed by detach-miss
+    /// instead).
+    fn prune_finished(&self, router: &mut Router<M::Session>) {
+        let drained: Vec<bool> =
+            self.loads.iter().map(|l| l.depth.load(Ordering::Relaxed) == 0).collect();
+        router.place.retain(
+            |_, p| !matches!(p, Placement::On { worker, finished: true, .. } if drained[*worker]),
+        );
     }
 
     /// Ends `session` explicitly: its final decode arrives as a
     /// [`StreamEvent::Finalized`]. Unknown ids are ignored (the trip may
-    /// already have been evicted).
+    /// already have been evicted). The placement is kept (sticky), so a
+    /// later reuse of the id queues FIFO behind this trip's finalize on
+    /// the same worker.
     pub fn finish(&self, session: SessionId) -> bool {
-        self.route(session).send(Cmd::Finish { session }).is_ok()
+        let mut router = self.router.lock().expect("router poisoned");
+        self.drain_replies(&mut router);
+        match router.place.get_mut(&session) {
+            Some(Placement::InTransit { pending, .. }) => {
+                pending.push(Pending::Finish);
+                true
+            }
+            Some(Placement::On { worker, finished, .. }) => {
+                let w = *worker;
+                *finished = true;
+                self.send_to(w, Cmd::Finish { session })
+            }
+            None => true,
+        }
+    }
+
+    /// Forces `session` onto worker `to` (unconditional — used by tests
+    /// and operational tooling; the automatic policy only moves
+    /// watermark-stable sessions). Returns `false` when the session is
+    /// unknown, already on `to`, already in transit, or `to` is out of
+    /// range; the migration itself completes asynchronously.
+    pub fn migrate(&self, session: SessionId, to: usize) -> bool {
+        let mut router = self.router.lock().expect("router poisoned");
+        self.drain_replies(&mut router);
+        self.start_migration(&mut router, session, to, false)
+    }
+
+    /// Runs one rebalance check immediately (the same check `push` runs
+    /// periodically): migrate the least-recently-pushed watermark-stable
+    /// session off the hottest worker if the load gap warrants it.
+    pub fn rebalance(&self) {
+        let mut router = self.router.lock().expect("router poisoned");
+        self.drain_replies(&mut router);
+        self.maybe_rebalance(&mut router);
+    }
+
+    /// Snapshot of per-worker load/telemetry and migration counters.
+    #[must_use]
+    pub fn router_stats(&self) -> RouterStats {
+        let mut router = self.router.lock().expect("router poisoned");
+        self.drain_replies(&mut router);
+        RouterStats {
+            policy: self.policy,
+            workers: self.loads.iter().map(WorkerLoad::snapshot).collect(),
+            migrations_requested: router.migrations_requested,
+            migrations_completed: router.migrations_completed,
+            migrations_refused: router.migrations_refused,
+            migrations_missed: router.migrations_missed,
+        }
     }
 
     /// Drains every event currently buffered, without blocking. Call
     /// periodically — the event channel is unbounded, so an undrained
-    /// engine buffers one update per pushed point.
+    /// engine buffers one update per pushed point. Also advances any
+    /// in-flight migration (like every engine entry point), so a consumer
+    /// that only polls still makes the router progress.
     pub fn poll_events(&self) -> Vec<StreamEvent> {
+        let mut router = self.router.lock().expect("router poisoned");
+        self.drain_replies(&mut router);
+        drop(router);
         self.events.try_iter().collect()
     }
 
-    /// Blocks up to `timeout` for one event.
+    /// Blocks up to `timeout` for one event. Periodically advances
+    /// in-flight migrations while waiting, so a consumer blocked here
+    /// cannot deadlock against a session whose commands are buffered in
+    /// transit (e.g. a `finish` issued right after a `migrate`).
     pub fn recv_event_timeout(&self, timeout: Duration) -> Option<StreamEvent> {
-        self.events.recv_timeout(timeout).ok()
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut router = self.router.lock().expect("router poisoned");
+                self.drain_replies(&mut router);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let slice = remaining.min(Duration::from_millis(10));
+            match self.events.recv_timeout(slice) {
+                Ok(e) => return Some(e),
+                Err(RecvTimeoutError::Disconnected) => return None,
+                Err(RecvTimeoutError::Timeout) => {
+                    if remaining <= slice {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Waits (up to `timeout`) until the engine is quiescent: every worker
+    /// queue drained and no session in transit between workers. Polling
+    /// here also *drives* migration resolution. Returns whether quiescence
+    /// was reached. Worker-side telemetry (points decoded, migrations) is
+    /// only guaranteed complete for commands pushed before a successful
+    /// quiesce — snapshot [`StreamEngine::router_stats`] after it.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let idle = {
+                let mut router = self.router.lock().expect("router poisoned");
+                self.drain_replies(&mut router);
+                router.place.values().all(|p| !matches!(p, Placement::InTransit { .. }))
+                    && self.loads.iter().all(|l| l.depth.load(Ordering::Relaxed) == 0)
+            };
+            if idle {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// Stops intake, finalizes every live session (reason
@@ -394,13 +1141,28 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
     /// Propagates a worker panic (a matcher implementation bug).
     #[must_use]
     pub fn shutdown(self) -> (Vec<StreamEvent>, StreamStats) {
-        drop(self.txs);
+        // Resolve in-flight migrations first: a session detached but not
+        // yet re-attached lives only in the reply channel and would never
+        // be finalized.
+        {
+            let mut router = self.router.lock().expect("router poisoned");
+            while router.place.values().any(|p| matches!(p, Placement::InTransit { .. })) {
+                match router.replies.recv_timeout(Duration::from_secs(10)) {
+                    Ok(reply) => self.apply_reply(&mut router, reply),
+                    // A worker died mid-migration; the join below panics
+                    // with the real cause.
+                    Err(_) => break,
+                }
+            }
+        }
+        let Self { txs, events, handles, .. } = self;
+        drop(txs);
         let mut stats = StreamStats::default();
-        for h in self.handles {
+        for h in handles {
             stats.merge(h.join().expect("stream worker panicked"));
         }
         // Workers are joined, so every in-flight event is buffered by now.
-        let events = self.events.try_iter().collect();
+        let events = events.try_iter().collect();
         (events, stats)
     }
 }
@@ -409,7 +1171,7 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use trmma_baselines::{HmmConfig, HmmMatcher};
+    use trmma_baselines::{HmmConfig, HmmMatcher, NearestMatcher};
     use trmma_roadnet::RoutePlanner;
     use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
     use trmma_traj::types::Trajectory;
@@ -437,6 +1199,23 @@ mod tests {
                 StreamEvent::Update { .. } => None,
             })
             .collect()
+    }
+
+    /// Polls `router_stats` (which also drives migration resolution) until
+    /// `done` accepts a snapshot or the deadline passes; returns the last
+    /// snapshot either way.
+    fn wait_stats<M: OnlineMatcher + 'static>(
+        engine: &StreamEngine<M>,
+        done: impl Fn(&RouterStats) -> bool,
+    ) -> RouterStats {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let rs = engine.router_stats();
+            if done(&rs) || Instant::now() >= deadline {
+                return rs;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]
@@ -561,10 +1340,326 @@ mod tests {
         let d = StreamOptions::default();
         assert_eq!(d.threads, 0);
         assert!(d.effective_threads() >= 1);
-        let o = StreamOptions::with_threads(3).idle_timeout_s(0.0).queue_capacity(0);
+        assert_eq!(d.router, RouterPolicy::PowerOfTwo);
+        assert_eq!(d.rebalance_threshold, 16);
+        let o = StreamOptions::with_threads(3)
+            .idle_timeout_s(0.0)
+            .queue_capacity(0)
+            .router_policy(RouterPolicy::HashMod)
+            .rebalance_threshold(0);
         assert_eq!(o.effective_threads(), 3);
         assert_eq!(o.queue_capacity, 1, "capacity clamps to 1");
         assert!(o.idle_timeout().is_none(), "0 disables eviction");
+        assert_eq!(o.router, RouterPolicy::HashMod);
+        assert_eq!(o.rebalance_threshold, 0);
         assert!(StreamOptions::default().idle_timeout().is_some());
+        assert_eq!(RouterPolicy::HashMod.name(), "hash_mod");
+        assert_eq!(RouterPolicy::PowerOfTwo.name(), "power_of_two");
+    }
+
+    /// Session ids that all collide modulo the worker count: the adversary
+    /// workload of the load-aware router.
+    fn skewed_ids(n: usize, threads: usize) -> Vec<SessionId> {
+        (0..n).map(|i| (i * threads) as SessionId).collect()
+    }
+
+    #[test]
+    fn hash_mod_starves_workers_under_skewed_ids() {
+        let (hmm, batch) = world();
+        let threads = 3;
+        let engine = StreamEngine::new(
+            hmm.clone(),
+            StreamOptions::with_threads(threads)
+                .idle_timeout_s(0.0)
+                .router_policy(RouterPolicy::HashMod),
+        );
+        let ids = skewed_ids(batch.len(), threads);
+        for (t, &sid) in batch.iter().zip(&ids) {
+            for &p in &t.points {
+                engine.push(sid, p);
+            }
+        }
+        let rs = engine.router_stats();
+        assert_eq!(rs.policy, RouterPolicy::HashMod);
+        assert_eq!(rs.workers[0].sessions_placed, batch.len() as u64);
+        for w in &rs.workers[1..] {
+            assert_eq!(w.sessions_placed, 0, "hash router must starve non-zero workers");
+            assert_eq!(w.queue_depth_hwm, 0);
+        }
+        assert_eq!(rs.migrations_requested, 0, "hash router never migrates");
+        for &sid in &ids {
+            engine.finish(sid);
+        }
+        let (events, _) = engine.shutdown();
+        let finals = collect_finalized(&events);
+        for (t, &sid) in batch.iter().zip(&ids) {
+            assert_eq!(finals[&sid].1, hmm.match_trajectory(t));
+        }
+    }
+
+    #[test]
+    fn power_of_two_spreads_skewed_ids() {
+        let (hmm, batch) = world();
+        let threads = 3;
+        let engine = StreamEngine::new(
+            hmm.clone(),
+            StreamOptions::with_threads(threads).idle_timeout_s(0.0),
+        );
+        let ids = skewed_ids(batch.len(), threads);
+        // One session at a time: earlier sessions are live (load > 0) when
+        // later ones are placed, so p2c must route around them.
+        for (t, &sid) in batch.iter().zip(&ids) {
+            for &p in &t.points {
+                engine.push(sid, p);
+            }
+        }
+        let rs = engine.router_stats();
+        let used = rs.workers.iter().filter(|w| w.sessions_placed > 0).count();
+        assert!(
+            used >= 2,
+            "p2c left skewed ids on one worker: {:?}",
+            rs.workers.iter().map(|w| w.sessions_placed).collect::<Vec<_>>()
+        );
+        let placed: u64 = rs.workers.iter().map(|w| w.sessions_placed).sum();
+        assert_eq!(placed, batch.len() as u64);
+        for &sid in &ids {
+            engine.finish(sid);
+        }
+        let (events, stats) = engine.shutdown();
+        assert_eq!(stats.sessions_opened, batch.len() as u64);
+        let finals = collect_finalized(&events);
+        for (t, &sid) in batch.iter().zip(&ids) {
+            assert_eq!(finals[&sid].1, hmm.match_trajectory(t));
+        }
+    }
+
+    #[test]
+    fn forced_migration_preserves_offline_identity() {
+        let (hmm, batch) = world();
+        let engine =
+            StreamEngine::new(hmm.clone(), StreamOptions::with_threads(3).idle_timeout_s(0.0));
+        let t = &batch[0];
+        // Bounce the session between workers on every push.
+        for (i, &p) in t.points.iter().enumerate() {
+            assert!(engine.push(5, p));
+            engine.migrate(5, i % 3);
+        }
+        engine.finish(5);
+        let rs = wait_stats(&engine, |rs| {
+            rs.migrations_requested
+                == rs.migrations_completed + rs.migrations_refused + rs.migrations_missed
+        });
+        assert!(rs.migrations_completed >= 1, "no migration ever completed: {rs:?}");
+        assert_eq!(rs.migrations_refused, 0, "forced migration must not consult stability");
+        let (events, stats) = engine.shutdown();
+        assert_eq!(stats.sessions_opened, 1, "migration must not split the session");
+        assert_eq!(stats.points, t.len() as u64);
+        let finals = collect_finalized(&events);
+        assert_eq!(finals.len(), 1);
+        let (reason, result) = &finals[&5];
+        assert_eq!(*reason, FinalizeReason::Explicit);
+        assert_eq!(*result, hmm.match_trajectory(t), "migrated decode diverged from offline");
+        let updates = events.iter().filter(|e| matches!(e, StreamEvent::Update { .. })).count();
+        assert_eq!(updates, t.len(), "every point decoded exactly once across migrations");
+    }
+
+    #[test]
+    fn rebalance_migrates_stable_sessions_off_hot_worker() {
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let net = Arc::new(ds.net.clone());
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        // Nearest stabilizes instantly, so its sessions are always
+        // migration-eligible.
+        let nearest = Arc::new(NearestMatcher::new(net, planner));
+        let batch: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 22).into_iter().take(4).map(|s| s.sparse).collect();
+        let engine = StreamEngine::new(
+            nearest.clone(),
+            StreamOptions::with_threads(3).idle_timeout_s(0.0).rebalance_threshold(1),
+        );
+        for (sid, t) in batch.iter().enumerate() {
+            for &p in &t.points {
+                engine.push(sid as SessionId, p);
+            }
+        }
+        // Pile every session onto worker 0, then let the policy unpile.
+        let mut forced = 0;
+        for sid in 0..batch.len() {
+            if engine.migrate(sid as SessionId, 0) {
+                forced += 1;
+            }
+        }
+        let rs = wait_stats(&engine, |rs| {
+            rs.workers[0].live_sessions == batch.len() && rs.migrations_completed == forced
+        });
+        assert_eq!(rs.workers[0].live_sessions, batch.len(), "forced pile-up failed: {rs:?}");
+        engine.rebalance();
+        // `migrations_completed` bumps when the attach is *sent*; wait for
+        // the target worker to have *processed* it (`migrated_in`).
+        let rs = wait_stats(&engine, |rs| {
+            rs.workers[1..].iter().map(|w| w.migrated_in).sum::<u64>() >= 1
+        });
+        assert!(rs.migrations_completed > forced, "rebalance never moved a stable session: {rs:?}");
+        let off_zero: u64 = rs.workers[1..].iter().map(|w| w.migrated_in).sum();
+        assert!(off_zero >= 1, "policy migration must land off the hot worker: {rs:?}");
+        for sid in 0..batch.len() {
+            engine.finish(sid as SessionId);
+        }
+        let (events, _) = engine.shutdown();
+        let finals = collect_finalized(&events);
+        for (sid, t) in batch.iter().enumerate() {
+            assert_eq!(finals[&(sid as SessionId)].1, nearest.match_trajectory(t));
+        }
+    }
+
+    #[test]
+    fn rebalance_refuses_unstable_sessions() {
+        use crate::{Mma, MmaConfig};
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let net = Arc::new(ds.net.clone());
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        // MMA's watermark stays 0 until finalize: never migration-eligible.
+        let mma = Arc::new(Mma::new(net, planner, None, MmaConfig::small()));
+        let batch: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 23).into_iter().take(2).map(|s| s.sparse).collect();
+        let engine = StreamEngine::new(
+            mma.clone(),
+            StreamOptions::with_threads(2).idle_timeout_s(0.0).rebalance_threshold(1),
+        );
+        for (sid, t) in batch.iter().enumerate() {
+            for &p in &t.points {
+                engine.push(sid as SessionId, p);
+            }
+        }
+        let mut forced = 0;
+        for sid in 0..batch.len() {
+            if engine.migrate(sid as SessionId, 0) {
+                forced += 1;
+            }
+        }
+        let rs = wait_stats(&engine, |rs| {
+            rs.workers[0].live_sessions == batch.len() && rs.migrations_completed == forced
+        });
+        assert_eq!(rs.workers[0].live_sessions, batch.len(), "forced pile-up failed: {rs:?}");
+        engine.rebalance();
+        let rs = wait_stats(&engine, |rs| rs.migrations_refused >= 1);
+        assert!(rs.migrations_refused >= 1, "unstable session was not refused: {rs:?}");
+        for sid in 0..batch.len() {
+            engine.finish(sid as SessionId);
+        }
+        let (events, _) = engine.shutdown();
+        let finals = collect_finalized(&events);
+        for (sid, t) in batch.iter().enumerate() {
+            assert_eq!(finals[&(sid as SessionId)].1, mma.match_trajectory(t));
+        }
+    }
+
+    /// A consumer that only waits on `recv_event_timeout` (no further
+    /// pushes or stats calls) must still see the `Finalized` of a finish
+    /// that was buffered behind an in-flight migration — the event wait
+    /// itself drives migration resolution.
+    #[test]
+    fn finish_after_migrate_finalizes_without_further_engine_calls() {
+        let (hmm, batch) = world();
+        let engine =
+            StreamEngine::new(hmm.clone(), StreamOptions::with_threads(2).idle_timeout_s(0.0));
+        let t = &batch[0];
+        for &p in &t.points {
+            assert!(engine.push(3, p));
+        }
+        // The session lives on exactly one of the two workers, so one of
+        // these is a real move that puts it in transit.
+        assert!(engine.migrate(3, 0) || engine.migrate(3, 1));
+        engine.finish(3); // likely buffered while in transit
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut finalized = None;
+        while finalized.is_none() && Instant::now() < deadline {
+            if let Some(StreamEvent::Finalized { session, result, .. }) =
+                engine.recv_event_timeout(Duration::from_millis(50))
+            {
+                finalized = Some((session, result));
+            }
+        }
+        let (session, result) = finalized.expect("finalize stuck behind in-flight migration");
+        assert_eq!(session, 3);
+        assert_eq!(result, hmm.match_trajectory(t));
+        let _ = engine.shutdown();
+    }
+
+    /// Sticky placement: a session id reused after `finish` must queue
+    /// FIFO behind the previous trip on the same worker, so the first
+    /// trip's `Finalized` event precedes every event of the second trip
+    /// and both decode to their own offline references.
+    #[test]
+    fn reused_session_id_is_serialized_behind_previous_trip() {
+        let (hmm, batch) = world();
+        let engine =
+            StreamEngine::new(hmm.clone(), StreamOptions::with_threads(3).idle_timeout_s(0.0));
+        let (t1, t2) = (&batch[0], &batch[1]);
+        for &p in &t1.points {
+            assert!(engine.push(9, p));
+        }
+        engine.finish(9);
+        // Reuse the id immediately — the Finish above may still be queued.
+        for &p in &t2.points {
+            assert!(engine.push(9, p));
+        }
+        engine.finish(9);
+        let (events, stats) = engine.shutdown();
+        assert_eq!(stats.sessions_opened, 2);
+        assert_eq!(stats.finalized_explicit, 2);
+        let finals: Vec<(usize, &MatchResult)> = events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                StreamEvent::Finalized { result, .. } => Some((i, result)),
+                StreamEvent::Update { .. } => None,
+            })
+            .collect();
+        assert_eq!(finals.len(), 2);
+        assert_eq!(*finals[0].1, hmm.match_trajectory(t1));
+        assert_eq!(*finals[1].1, hmm.match_trajectory(t2));
+        // Every trip-2 event comes after trip 1 finalized.
+        let trip2_updates: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .skip(finals[0].0 + 1)
+            .filter_map(|(i, e)| matches!(e, StreamEvent::Update { .. }).then_some(i))
+            .collect();
+        assert_eq!(
+            trip2_updates.len(),
+            t2.len(),
+            "all of trip 2's updates must follow trip 1's Finalized"
+        );
+    }
+
+    #[test]
+    fn router_stats_counters_are_consistent() {
+        let (hmm, batch) = world();
+        let engine =
+            StreamEngine::new(hmm.clone(), StreamOptions::with_threads(2).idle_timeout_s(0.0));
+        for (sid, t) in batch.iter().enumerate() {
+            for &p in &t.points {
+                engine.push(sid as SessionId, p);
+            }
+            engine.migrate(sid as SessionId, sid % 2);
+        }
+        let rs = wait_stats(&engine, |rs| {
+            rs.migrations_requested
+                == rs.migrations_completed + rs.migrations_refused + rs.migrations_missed
+        });
+        let migrated_in: u64 = rs.workers.iter().map(|w| w.migrated_in).sum();
+        let migrated_out: u64 = rs.workers.iter().map(|w| w.migrated_out).sum();
+        assert_eq!(migrated_out, rs.migrations_completed);
+        assert!(migrated_in <= migrated_out, "attach cannot precede detach");
+        let placed: u64 = rs.workers.iter().map(|w| w.sessions_placed).sum();
+        assert_eq!(placed, batch.len() as u64);
+        for sid in 0..batch.len() {
+            engine.finish(sid as SessionId);
+        }
+        let (_, stats) = engine.shutdown();
+        assert_eq!(stats.sessions_opened, batch.len() as u64);
+        let total: u64 = batch.iter().map(|t| t.len() as u64).sum();
+        assert_eq!(stats.points, total);
     }
 }

@@ -17,6 +17,21 @@
 //! * [`SegLine`] — a directed straight segment with point projection,
 //!   perpendicular distance and position-ratio computation (Definition 5);
 //! * [`BBox`] — axis-aligned bounding boxes used by the STR R-tree.
+//!
+//! # Example
+//!
+//! Project a noisy GPS position onto a road segment — the core geometric
+//! step of every matcher in the workspace:
+//!
+//! ```
+//! use trmma_geom::{SegLine, Vec2};
+//!
+//! let road = SegLine::new(Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0));
+//! let gps = Vec2::new(40.0, 3.0); // 3 m of lateral noise
+//! assert!((road.distance_to(gps) - 3.0).abs() < 1e-12);
+//! assert!((road.project_ratio(gps) - 0.4).abs() < 1e-12);
+//! assert_eq!(road.closest_point(gps), Vec2::new(40.0, 0.0));
+//! ```
 
 mod bbox;
 mod point;

@@ -22,6 +22,25 @@
 //!   encodings.
 //!
 //! Everything is deterministic given a seed.
+//!
+//! # Example
+//!
+//! Record a tiny forward pass on the tape and read a hand-checkable
+//! gradient back out:
+//!
+//! ```
+//! use trmma_nn::{Graph, Matrix};
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(Matrix::from_rows(&[vec![2.0, 3.0]]));
+//! let y = g.mul(x, x);        // elementwise square
+//! let loss = g.sum_all(y);    // loss = Σ x² = 13
+//! assert!((g.value(loss).get(0, 0) - 13.0).abs() < 1e-12);
+//! g.backward(loss);
+//! // d loss / d x = 2x
+//! let grad = g.grad(x);
+//! assert_eq!((grad.get(0, 0), grad.get(0, 1)), (4.0, 6.0));
+//! ```
 
 pub mod graph;
 pub mod layers;

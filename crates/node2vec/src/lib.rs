@@ -13,6 +13,25 @@
 //! * [`train_embeddings`] — skip-gram with negative sampling trained by SGD
 //!   (negatives drawn from the unigram distribution raised to ¾, as in
 //!   word2vec).
+//!
+//! # Example
+//!
+//! ```
+//! use trmma_node2vec::{train_embeddings, Node2VecConfig};
+//! use trmma_roadnet::{generate_city, NetworkConfig};
+//!
+//! let net = generate_city(&NetworkConfig::with_size(3, 3, 5));
+//! let cfg = Node2VecConfig {
+//!     dim: 8,
+//!     walks_per_node: 1,
+//!     walk_len: 6,
+//!     epochs: 1,
+//!     ..Node2VecConfig::default()
+//! };
+//! let emb = train_embeddings(&net, &cfg);
+//! // One d0-dimensional embedding per road segment (Eq. 1's W_G).
+//! assert_eq!((emb.rows(), emb.cols()), (net.num_segments(), 8));
+//! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -25,6 +25,24 @@
 //!   rationale);
 //! * [`io`] — a plain-text interchange format so user-supplied networks can
 //!   be loaded.
+//!
+//! # Example
+//!
+//! Generate a synthetic city and query a bounded shortest-path distance —
+//! the oracle behind every HMM transition probability:
+//!
+//! ```
+//! use trmma_roadnet::shortest::{node_dist, Weight};
+//! use trmma_roadnet::{generate_city, NetworkConfig, SegmentId};
+//!
+//! let net = generate_city(&NetworkConfig::with_size(4, 4, 7));
+//! assert!(net.num_segments() > 0);
+//! let seg = net.segment(SegmentId(0));
+//! // A segment's endpoints are connected by at most its own length.
+//! let d = node_dist(&net, seg.from, seg.to, Weight::Length, 10_000.0)
+//!     .expect("endpoints of a segment are connected");
+//! assert!(d <= seg.length + 1e-9);
+//! ```
 
 pub mod gen;
 pub mod graph;

@@ -15,6 +15,24 @@
 //!
 //! The tree is generic over [`SpatialObject`], so it indexes both road
 //! segments (distance = clamped perpendicular distance) and plain points.
+//!
+//! # Example
+//!
+//! ```
+//! use trmma_geom::Vec2;
+//! use trmma_rtree::RTree;
+//!
+//! // A 10×10 grid of points, bulk-loaded once.
+//! let pts: Vec<Vec2> = (0..100)
+//!     .map(|i| Vec2::new(f64::from(i % 10) * 10.0, f64::from(i / 10) * 10.0))
+//!     .collect();
+//! let tree = RTree::bulk_load(pts);
+//! // Three nearest neighbours of (11, 12), in exact distance order.
+//! let nn = tree.knn(Vec2::new(11.0, 12.0), 3);
+//! assert_eq!(nn.len(), 3);
+//! assert_eq!(nn[0].item, 11, "grid point (10, 10) is closest");
+//! assert!(nn[0].dist <= nn[1].dist && nn[1].dist <= nn[2].dist);
+//! ```
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -19,6 +19,24 @@
 //! * [`online`] — the streaming interface: [`OnlineMatcher`] sessions fed
 //!   one GPS point at a time, with provisional matches and a
 //!   stabilized-prefix watermark.
+//!
+//! # Example
+//!
+//! Build the tiny synthetic dataset and draw sparse samples with exact
+//! map-matched ground truth — the input every experiment starts from:
+//!
+//! ```
+//! use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+//!
+//! let ds = build_dataset(&DatasetConfig::tiny());
+//! let samples = ds.samples(Split::Test, 0.2, 42);
+//! assert!(!samples.is_empty());
+//! let s = &samples[0];
+//! // One ground-truth matched point per sparse GPS point…
+//! assert_eq!(s.sparse.len(), s.sparse_truth.len());
+//! // …and the true route is a connected path in the network.
+//! assert!(s.route.is_valid(&ds.net));
+//! ```
 
 pub mod api;
 pub mod dataset;

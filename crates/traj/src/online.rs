@@ -26,6 +26,13 @@
 //! the online decode replayed; `tests/props_streaming.rs` property-tests
 //! this for every implementation in the repository.
 //!
+//! **Sessions are detachable.** A session owns its entire decode history
+//! and borrows nothing from the scratch that last advanced it, so a
+//! streaming engine may *migrate* a live session to a different worker
+//! (different scratch) between any two pushes without changing a single
+//! output bit — see [`OnlineMatcher::session_stable`] for the eligibility
+//! test the load-aware router uses.
+//!
 //! [`MapMatcher::match_trajectory`]: crate::api::MapMatcher::match_trajectory
 
 use crate::api::{MatchResult, ScratchMatcher};
@@ -52,11 +59,17 @@ pub struct OnlineUpdate {
 ///
 /// * **Session** — per-trajectory decoder state, created by
 ///   [`OnlineMatcher::begin_session`] and advanced one GPS point at a time.
-///   `Send` so a streaming engine can hold thousands and migrate them
-///   between threads.
+///   A session is *detachable*: it owns everything the decode depends on
+///   (the Viterbi lattice, MMA's accumulated candidate sets) and borrows
+///   nothing from the scratch it last ran on, so it is `Send` and a
+///   streaming engine can hold thousands and **migrate** them between
+///   workers mid-stream — any scratch continues the decode bitwise
+///   identically.
 /// * **Scratch** — per-*worker* search buffers (inherited from
 ///   [`ScratchMatcher`]): one scratch serves every session on that worker,
-///   exactly as it serves every trajectory in the batch engine.
+///   exactly as it serves every trajectory in the batch engine. Scratch
+///   contents are pure caches (warm Dijkstra pools, kNN heaps, autograd
+///   tapes) and never influence decoder output.
 ///
 /// The contract, property-tested in `tests/props_streaming.rs`:
 ///
@@ -66,6 +79,9 @@ pub struct OnlineUpdate {
 /// 2. *Watermark soundness*: once an update reports `stable_prefix = w`,
 ///    the first `w` matched points of any future `finalize` equal what
 ///    `finalize` would return right now.
+/// 3. *Scratch independence*: pushing the same points through the same
+///    session with different (or fresh) scratches yields identical
+///    updates and an identical finalize — the property migration rests on.
 ///
 /// [`MapMatcher::match_trajectory`]: crate::api::MapMatcher::match_trajectory
 pub trait OnlineMatcher: ScratchMatcher {
@@ -90,4 +106,22 @@ pub trait OnlineMatcher: ScratchMatcher {
     ///
     /// [`MapMatcher::match_trajectory`]: crate::api::MapMatcher::match_trajectory
     fn finalize(&self, scratch: &mut Self::Scratch, session: Self::Session) -> MatchResult;
+
+    /// Number of points pushed into `session` so far.
+    fn session_len(&self, session: &Self::Session) -> usize;
+
+    /// The session's current stabilized-prefix watermark — the value the
+    /// last [`OnlineUpdate::stable_prefix`] reported (`0` before any push).
+    fn session_watermark(&self, session: &Self::Session) -> usize;
+
+    /// Whether every pushed point has reached its final match
+    /// (`watermark == len`). A stable session's decode cannot be revised
+    /// by its own history, only extended by future points — the
+    /// eligibility test a load-aware streaming router applies before
+    /// migrating a session off a hot worker (migration is *correct*
+    /// regardless, because sessions are detachable; stability makes it
+    /// *cheap*, nothing provisional is in flight).
+    fn session_stable(&self, session: &Self::Session) -> bool {
+        self.session_watermark(session) >= self.session_len(session)
+    }
 }

@@ -2,7 +2,8 @@
 //! flow through the `StreamEngine`, which answers each point with a
 //! provisional match plus a stabilized-prefix watermark and emits the final
 //! route when a trip ends — identical to the offline decode of the same
-//! points.
+//! points. The engine's load-aware router places each device by
+//! power-of-two-choices and reports per-worker telemetry.
 //!
 //! ```sh
 //! cargo run --release --example streaming_demo
@@ -41,6 +42,10 @@ fn main() {
     for device in 0..trips.len() {
         engine.finish(device as SessionId);
     }
+    // Let the workers drain so the worker-side telemetry (points decoded,
+    // migrations) is complete before we snapshot it.
+    engine.quiesce(std::time::Duration::from_secs(10));
+    let router = engine.router_stats();
     let (events, stats) = engine.shutdown();
 
     println!("per-point updates (device 0):");
@@ -81,5 +86,17 @@ fn main() {
         stats.finalized_explicit,
         stats.finalized_idle,
         stats.finalized_shutdown
+    );
+
+    println!("\nrouter ({:?}): per-worker telemetry", router.policy);
+    for (w, t) in router.workers.iter().enumerate() {
+        println!(
+            "worker {w}: {} sessions placed, {} points decoded, queue-depth high-water {}, {} migrated in / {} out",
+            t.sessions_placed, t.points, t.queue_depth_hwm, t.migrated_in, t.migrated_out
+        );
+    }
+    println!(
+        "migrations: {} completed, {} refused (not watermark-stable) of {} requested",
+        router.migrations_completed, router.migrations_refused, router.migrations_requested
     );
 }

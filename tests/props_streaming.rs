@@ -6,17 +6,24 @@
 //!   bitwise-identical to the offline `match_trajectory`, over arbitrary
 //!   generated road networks and trajectories;
 //! * **Watermark soundness** — the stabilized-prefix watermark is monotone,
-//!   never exceeds the pushed count, and the decode prefix it pins never
-//!   changes as more points arrive (checked against a decode of every
-//!   longer prefix, including the final one);
+//!   never exceeds the pushed count, agrees with the
+//!   `session_len`/`session_watermark` introspection API, and the decode
+//!   prefix it pins never changes as more points arrive (checked against a
+//!   decode of every longer prefix, including the final one);
 //! * **Engine equivalence** — replaying many sessions through
 //!   `StreamEngine` under arbitrary cross-session interleavings, chunk
-//!   sizes and thread counts finalizes every session to exactly the
-//!   offline decode, with per-update provisional matches and watermarks
-//!   consistent with the direct session API.
+//!   sizes, thread counts *and router policies* finalizes every session to
+//!   exactly the offline decode, with per-update provisional matches and
+//!   watermarks consistent with the direct session API;
+//! * **Migration safety** — forcing sessions to migrate between workers at
+//!   arbitrary points in the stream changes nothing: the finalized output
+//!   of every `OnlineMatcher` stays bitwise-identical to the offline
+//!   decode, sessions are never split or duplicated, and the router's
+//!   migration counters balance.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -24,7 +31,8 @@ use rand::{Rng, SeedableRng};
 
 use trmma::baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher, NearestMatcher};
 use trmma::core::{
-    FinalizeReason, Mma, MmaConfig, SessionId, StreamEngine, StreamEvent, StreamOptions,
+    FinalizeReason, Mma, MmaConfig, RouterPolicy, SessionId, StreamEngine, StreamEvent,
+    StreamOptions,
 };
 use trmma::roadnet::{generate_city, NetworkConfig, RoadNetwork, RoutePlanner};
 use trmma::traj::gen::{generate_trajectory, sparsify, TrajConfig};
@@ -81,6 +89,21 @@ where
             "{}: watermark beyond pushed count at point {i}",
             matcher.name()
         );
+        // The introspection API (what the engine's migration policy reads)
+        // must agree with what push_point just reported.
+        assert_eq!(matcher.session_len(&session), i + 1, "{}: session_len", matcher.name());
+        assert_eq!(
+            matcher.session_watermark(&session),
+            update.stable_prefix,
+            "{}: session_watermark",
+            matcher.name()
+        );
+        assert_eq!(
+            matcher.session_stable(&session),
+            update.stable_prefix == i + 1,
+            "{}: session_stable",
+            matcher.name()
+        );
         prev_watermark = update.stable_prefix;
         watermarks.push(update.stable_prefix);
         prefix_decodes.push(matcher.finalize(&mut scratch, session.clone()).matched);
@@ -109,21 +132,33 @@ where
 
 /// Replays sessions through a `StreamEngine` under an arbitrary
 /// interleaving (random session choice, random chunk length) and asserts
-/// every finalized result equals the offline decode.
+/// every finalized result equals the offline decode. With
+/// `force_migrations`, a random force-migrate is issued after every chunk,
+/// so session state crosses workers at arbitrary stream positions.
 fn assert_engine_identical<M: OnlineMatcher + 'static>(
     matcher: &Arc<M>,
     batch: &[Trajectory],
     threads: usize,
     interleave_seed: u64,
     max_chunk: usize,
+    policy: RouterPolicy,
+    force_migrations: bool,
 ) {
+    // Automatic rebalancing off: it issues stable-only detaches that a
+    // lagging decoder may legitimately refuse, which would trip the
+    // forced-migration counter asserts below. Forced `migrate()` calls
+    // are unaffected by the threshold.
     let engine = StreamEngine::new(
         matcher.clone(),
-        StreamOptions::with_threads(threads).idle_timeout_s(0.0),
+        StreamOptions::with_threads(threads)
+            .idle_timeout_s(0.0)
+            .router_policy(policy)
+            .rebalance_threshold(0),
     );
     let mut rng = StdRng::seed_from_u64(interleave_seed);
     let mut cursors = vec![0usize; batch.len()];
     let mut open: Vec<usize> = (0..batch.len()).filter(|&i| !batch[i].is_empty()).collect();
+    let non_empty = open.len();
     while !open.is_empty() {
         let pick = rng.gen_range(0..open.len());
         let sid = open[pick];
@@ -135,6 +170,9 @@ fn assert_engine_identical<M: OnlineMatcher + 'static>(
             assert!(engine.push(sid as SessionId, batch[sid].points[cursors[sid]]));
             cursors[sid] += 1;
         }
+        if force_migrations {
+            engine.migrate(sid as SessionId, rng.gen_range(0..threads));
+        }
         if cursors[sid] == batch[sid].len() {
             open.swap_remove(pick);
         }
@@ -142,6 +180,31 @@ fn assert_engine_identical<M: OnlineMatcher + 'static>(
     for sid in 0..batch.len() {
         engine.finish(sid as SessionId);
     }
+    // Let in-flight migrations resolve so the counters can be checked
+    // (polling router_stats also drives the resolution).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let rs = loop {
+        let rs = engine.router_stats();
+        if rs.migrations_requested
+            == rs.migrations_completed + rs.migrations_refused + rs.migrations_missed
+            || Instant::now() >= deadline
+        {
+            break rs;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert_eq!(
+        rs.migrations_requested,
+        rs.migrations_completed + rs.migrations_refused + rs.migrations_missed,
+        "{}: migrations never settled",
+        matcher.name()
+    );
+    assert_eq!(rs.migrations_missed, 0, "forced migrations target live sessions only");
+    assert_eq!(rs.migrations_refused, 0, "forced migrations must not consult stability");
+    let placed: u64 = rs.workers.iter().map(|w| w.sessions_placed).sum();
+    assert_eq!(placed, non_empty as u64, "{}: placement per session", matcher.name());
+    let migrated_out: u64 = rs.workers.iter().map(|w| w.migrated_out).sum();
+    assert_eq!(migrated_out, rs.migrations_completed, "{}: detach counter", matcher.name());
     let (events, stats) = engine.shutdown();
     let finals: HashMap<SessionId, _> = events
         .iter()
@@ -156,6 +219,12 @@ fn assert_engine_identical<M: OnlineMatcher + 'static>(
     let total: u64 = batch.iter().map(|t| t.len() as u64).sum();
     assert_eq!(stats.points, total, "every streamed point must be decoded");
     assert_eq!(stats.late_dropped, 0);
+    assert_eq!(
+        stats.sessions_opened,
+        non_empty as u64,
+        "{}: a migration must never split a session",
+        matcher.name()
+    );
     for (sid, t) in batch.iter().enumerate() {
         if t.is_empty() {
             continue;
@@ -163,7 +232,7 @@ fn assert_engine_identical<M: OnlineMatcher + 'static>(
         assert_eq!(
             finals.get(&(sid as SessionId)),
             Some(&matcher.match_trajectory(t)),
-            "{} session {sid} diverged at {threads} threads",
+            "{} session {sid} diverged at {threads} threads ({policy:?})",
             matcher.name()
         );
     }
@@ -214,12 +283,40 @@ proptest! {
         let batch: Vec<Trajectory> = samples.iter().map(|s| s.sparse.clone()).collect();
         let planner = Arc::new(RoutePlanner::untrained(&net));
         let cfg = HmmConfig::default();
+        // Both router policies must satisfy the identity; derive the policy
+        // from the seed so the case budget covers each.
+        let policy = if net_seed % 2 == 0 { RouterPolicy::PowerOfTwo } else { RouterPolicy::HashMod };
         // One global-attention decoder (MMA) and one lattice decoder (HMM)
         // cover both session shapes; FMM/LHMM share HMM's session type.
         let hmm = Arc::new(HmmMatcher::new(net.clone(), planner.clone(), cfg));
         let mma = Arc::new(Mma::new(net.clone(), planner, None, MmaConfig::small()));
-        assert_engine_identical(&hmm, &batch, threads, interleave_seed, max_chunk);
-        assert_engine_identical(&mma, &batch, threads, interleave_seed, max_chunk);
+        assert_engine_identical(&hmm, &batch, threads, interleave_seed, max_chunk, policy, false);
+        assert_engine_identical(&mma, &batch, threads, interleave_seed, max_chunk, policy, false);
+    }
+
+    #[test]
+    fn forced_migrations_preserve_offline_identity(
+        net_seed in 0u64..1_000,
+        traj_seed in 0u64..1_000,
+        threads in 2usize..5,
+        interleave_seed in 0u64..1_000,
+        max_chunk in 1usize..6,
+    ) {
+        let (net, samples) = arbitrary_world(net_seed, traj_seed);
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let batch: Vec<Trajectory> = samples.iter().map(|s| s.sparse.clone()).collect();
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let cfg = HmmConfig::default();
+        let hmm = Arc::new(HmmMatcher::new(net.clone(), planner.clone(), cfg));
+        let mma = Arc::new(Mma::new(net.clone(), planner, None, MmaConfig::small()));
+        assert_engine_identical(
+            &hmm, &batch, threads, interleave_seed, max_chunk, RouterPolicy::PowerOfTwo, true,
+        );
+        assert_engine_identical(
+            &mma, &batch, threads, interleave_seed, max_chunk, RouterPolicy::PowerOfTwo, true,
+        );
     }
 }
 
@@ -234,5 +331,29 @@ fn sessions_sharing_a_worker_do_not_interfere() {
     let hmm = Arc::new(HmmMatcher::new(net, planner, HmmConfig::default()));
     let batch: Vec<Trajectory> = samples.iter().map(|s| s.sparse.clone()).collect();
     // One worker → every session lands on the same scratch.
-    assert_engine_identical(&hmm, &batch, 1, 17, 3);
+    assert_engine_identical(&hmm, &batch, 1, 17, 3, RouterPolicy::PowerOfTwo, false);
+}
+
+/// The acceptance bar of the migration feature: every `OnlineMatcher` in
+/// the repository survives forced migrations at arbitrary stream positions
+/// with bitwise-identical output — including the decoders whose sessions
+/// carry a full Viterbi lattice (HMM/FMM/LHMM) and accumulated candidate
+/// sets (MMA).
+#[test]
+fn every_matcher_survives_forced_migrations() {
+    let (net, samples) = arbitrary_world(6, 11);
+    assert!(!samples.is_empty());
+    let planner = Arc::new(RoutePlanner::untrained(&net));
+    let cfg = HmmConfig::default();
+    let batch: Vec<Trajectory> = samples.iter().map(|s| s.sparse.clone()).collect();
+    let nearest = Arc::new(NearestMatcher::new(net.clone(), planner.clone()));
+    let hmm = Arc::new(HmmMatcher::new(net.clone(), planner.clone(), cfg.clone()));
+    let fmm = Arc::new(FmmMatcher::new(net.clone(), planner.clone(), cfg.clone()));
+    let lhmm = Arc::new(LhmmMatcher::fit(net.clone(), planner.clone(), cfg, &samples));
+    let mma = Arc::new(Mma::new(net.clone(), planner, None, MmaConfig::small()));
+    assert_engine_identical(&nearest, &batch, 3, 23, 4, RouterPolicy::PowerOfTwo, true);
+    assert_engine_identical(&hmm, &batch, 3, 23, 4, RouterPolicy::PowerOfTwo, true);
+    assert_engine_identical(&fmm, &batch, 3, 23, 4, RouterPolicy::PowerOfTwo, true);
+    assert_engine_identical(&lhmm, &batch, 3, 23, 4, RouterPolicy::PowerOfTwo, true);
+    assert_engine_identical(&mma, &batch, 3, 23, 4, RouterPolicy::PowerOfTwo, true);
 }

@@ -132,7 +132,7 @@ pub mod prop {
         use rand::Rng;
         use std::ops::Range;
 
-        /// Length specification for [`vec`]: an exact size or a range.
+        /// Length specification for [`vec()`]: an exact size or a range.
         #[derive(Debug, Clone)]
         pub struct SizeRange(Range<usize>);
 
