@@ -23,6 +23,7 @@
 //! [`HmmMatcher`]: crate::hmm::HmmMatcher
 
 use trmma_traj::api::Candidate;
+use trmma_traj::snapshot::{self, Reader, SnapshotError};
 use trmma_traj::types::{GpsPoint, MatchedPoint};
 
 /// Index of the maximum score (first wins ties), mirroring the historical
@@ -192,6 +193,63 @@ impl ViterbiState {
             }
             layer -= 1;
         }
+    }
+
+    /// Serializes the full lattice — points, candidate sets, survivor
+    /// scores, backpointers, watermark — with every `f64` as its exact bit
+    /// pattern, so [`ViterbiState::decode_snapshot`] rebuilds a state whose
+    /// every future `advance`/`decode` is bitwise-identical to this one's.
+    pub fn encode_snapshot(&self, out: &mut Vec<u8>) {
+        snapshot::put_trajectory(
+            out,
+            &trmma_traj::types::Trajectory { points: self.points.clone() },
+        );
+        snapshot::put_cand_sets(out, &self.cand_sets);
+        for row in &self.score {
+            for &s in row {
+                snapshot::put_f64(out, s);
+            }
+        }
+        for row in &self.back {
+            for &b in row {
+                snapshot::put_usize(out, b);
+            }
+        }
+        snapshot::put_usize(out, self.watermark);
+    }
+
+    /// Rebuilds a lattice serialized by [`ViterbiState::encode_snapshot`].
+    /// The score/backpointer rows reuse the candidate-set lengths as their
+    /// dimensions, so structural inconsistency surfaces as
+    /// [`SnapshotError::Truncated`]/[`SnapshotError::Malformed`], never as
+    /// a panic or an out-of-bounds lattice.
+    pub fn decode_snapshot(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let points = snapshot::read_trajectory(r)?.points;
+        let cand_sets = snapshot::read_cand_sets(r)?;
+        if cand_sets.len() != points.len() {
+            return Err(SnapshotError::Malformed("candidate layers != points"));
+        }
+        let mut score = Vec::with_capacity(cand_sets.len());
+        for set in &cand_sets {
+            let mut row = Vec::with_capacity(set.len());
+            for _ in 0..set.len() {
+                row.push(r.f64()?);
+            }
+            score.push(row);
+        }
+        let mut back = Vec::with_capacity(cand_sets.len());
+        for set in &cand_sets {
+            let mut row = Vec::with_capacity(set.len());
+            for _ in 0..set.len() {
+                row.push(r.usize()?);
+            }
+            back.push(row);
+        }
+        let watermark = r.usize()?;
+        if watermark > points.len() {
+            return Err(SnapshotError::Malformed("watermark beyond stream length"));
+        }
+        Ok(Self { points, cand_sets, score, back, watermark })
     }
 
     /// The final decode: backtracks through the lattice (chain restarts

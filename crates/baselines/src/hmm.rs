@@ -27,6 +27,7 @@ use trmma_traj::api::{
     stitch_route, Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult,
 };
 use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::snapshot::{Reader, SnapshotError};
 use trmma_traj::types::{GpsPoint, MatchedPoint, Trajectory};
 use trmma_traj::ScratchMatcher;
 
@@ -251,6 +252,17 @@ impl OnlineMatcher for HmmMatcher {
     fn session_stable(&self, session: &HmmSession) -> bool {
         session.state.is_stable()
     }
+
+    fn snapshot_session(&self, session: &HmmSession, out: &mut Vec<u8>) {
+        session.state.encode_snapshot(out);
+    }
+
+    fn restore_session(&self, bytes: &[u8]) -> Result<HmmSession, SnapshotError> {
+        let mut r = Reader::new(bytes);
+        let state = ViterbiState::decode_snapshot(&mut r)?;
+        r.expect_end()?;
+        Ok(HmmSession { state })
+    }
 }
 
 /// FMM: the HMM above with a precomputed [`Ubodt`] route-distance table
@@ -339,6 +351,14 @@ impl OnlineMatcher for FmmMatcher {
 
     fn session_stable(&self, session: &HmmSession) -> bool {
         self.inner.session_stable(session)
+    }
+
+    fn snapshot_session(&self, session: &HmmSession, out: &mut Vec<u8>) {
+        self.inner.snapshot_session(session, out);
+    }
+
+    fn restore_session(&self, bytes: &[u8]) -> Result<HmmSession, SnapshotError> {
+        self.inner.restore_session(bytes)
     }
 }
 

@@ -19,6 +19,7 @@ use trmma_traj::types::Trajectory;
 use trmma_traj::Sample;
 
 use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::snapshot::SnapshotError;
 use trmma_traj::types::GpsPoint;
 
 use crate::hmm::{HmmConfig, HmmMatcher, HmmScratch, HmmSession};
@@ -171,6 +172,14 @@ impl OnlineMatcher for LhmmMatcher {
 
     fn session_stable(&self, session: &HmmSession) -> bool {
         self.inner.session_stable(session)
+    }
+
+    fn snapshot_session(&self, session: &HmmSession, out: &mut Vec<u8>) {
+        self.inner.snapshot_session(session, out);
+    }
+
+    fn restore_session(&self, bytes: &[u8]) -> Result<HmmSession, SnapshotError> {
+        self.inner.restore_session(bytes)
     }
 }
 

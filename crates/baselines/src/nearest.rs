@@ -9,6 +9,7 @@ use std::sync::Arc;
 use trmma_roadnet::{RoadNetwork, RoutePlanner};
 use trmma_traj::api::{stitch_route, CandidateFinder, MapMatcher, MatchResult, ScratchMatcher};
 use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::snapshot::{self, Reader, SnapshotError};
 use trmma_traj::types::{GpsPoint, MatchedPoint, Trajectory};
 
 /// Nearest-segment map matcher.
@@ -91,6 +92,24 @@ impl OnlineMatcher for NearestMatcher {
     fn session_watermark(&self, session: &NearestSession) -> usize {
         // Every match is final the moment it is pushed.
         session.matched.len()
+    }
+
+    fn snapshot_session(&self, session: &NearestSession, out: &mut Vec<u8>) {
+        snapshot::put_usize(out, session.matched.len());
+        for m in &session.matched {
+            snapshot::put_matched(out, m);
+        }
+    }
+
+    fn restore_session(&self, bytes: &[u8]) -> Result<NearestSession, SnapshotError> {
+        let mut r = Reader::new(bytes);
+        let n = r.seq_len()?;
+        let mut matched = Vec::with_capacity(n);
+        for _ in 0..n {
+            matched.push(r.matched()?);
+        }
+        r.expect_end()?;
+        Ok(NearestSession { matched })
     }
 }
 

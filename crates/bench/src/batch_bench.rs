@@ -50,6 +50,10 @@ pub struct InferenceRow {
     pub p50_ms: f64,
     /// 99th-percentile per-trajectory latency, milliseconds.
     pub p99_ms: f64,
+    /// 99.9th-percentile per-trajectory latency, milliseconds.
+    pub p999_ms: f64,
+    /// Worst single-trajectory latency observed, milliseconds.
+    pub max_ms: f64,
     /// Throughput relative to this task's sequential baseline.
     pub speedup: f64,
     /// Whether the run's output matched the sequential reference exactly.
@@ -79,6 +83,8 @@ impl InferenceRow {
             traj_per_s: tput,
             p50_ms: timing.latency_quantile(0.5) * 1e3,
             p99_ms: timing.latency_quantile(0.99) * 1e3,
+            p999_ms: timing.latency_quantile(0.999) * 1e3,
+            max_ms: timing.latency_quantile(1.0) * 1e3,
             speedup: if base > 0.0 { tput / base } else { 1.0 },
             identical,
             cache: None,
@@ -294,6 +300,8 @@ pub fn rows_to_json(rows: &[InferenceRow], batch_size: usize, dataset: &str) -> 
                             "traj_per_s": r.traj_per_s,
                             "p50_ms": r.p50_ms,
                             "p99_ms": r.p99_ms,
+                            "p999_ms": r.p999_ms,
+                            "max_ms": r.max_ms,
                             "speedup_vs_sequential": r.speedup,
                             "identical_to_sequential": r.identical,
                             "cache_hits": r.cache.map(|c| c.hits),
@@ -330,6 +338,8 @@ mod tests {
             assert!(r.identical, "output diverged in {} at {} threads", r.mode, r.threads);
             assert!(r.traj_per_s > 0.0);
             assert!(r.p50_ms <= r.p99_ms + 1e-9);
+            assert!(r.p99_ms <= r.p999_ms + 1e-9);
+            assert!(r.p999_ms <= r.max_ms + 1e-9);
         }
         assert!((rows[0].speedup - 1.0).abs() < 1e-9, "the baseline's own speedup is 1");
 

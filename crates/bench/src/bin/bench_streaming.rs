@@ -17,6 +17,14 @@
 //! on a single-core host (queue depth is a routing property, not a
 //! parallel-speedup property).
 //!
+//! A third sweep — always in full runs, opt-in via `--chaos` under
+//! `--smoke` — replays the uniform stream with **seeded faults injected**
+//! (worker panics, queue stalls, reply delays) and records the supervisor's
+//! recovery telemetry: restarts, sessions recovered, journal points
+//! replayed, mean recovery latency per crash. The binary asserts the
+//! crash-safety contract on every chaos row: zero sessions lost and
+//! finals bitwise-identical to the offline decode.
+//!
 //! Scale knobs: `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE`, plus
 //! `TRMMA_STREAM_SESSIONS` (target concurrent sessions, default 64). Pass
 //! `--smoke` for the CI profile: tiny dataset, threads {1, 2}, artifact
@@ -28,15 +36,16 @@ use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher};
 use trmma_bench::harness::{trained_mma, Bundle, ExpConfig};
 use trmma_bench::report::{write_bench_streaming, write_json, Table};
 use trmma_bench::stream_bench::{
-    bench_streaming, bench_streaming_routed, interleave, interleave_ids, skewed_session_ids,
-    stream_rows_to_json, StreamRow,
+    bench_chaos, bench_streaming, bench_streaming_routed, interleave, interleave_ids,
+    skewed_session_ids, stream_rows_to_json, ChaosRow, StreamRow,
 };
-use trmma_core::RouterPolicy;
+use trmma_core::{FaultPlan, RouterPolicy};
 use trmma_traj::dataset::DatasetConfig;
 use trmma_traj::types::Trajectory;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let chaos = std::env::args().any(|a| a == "--chaos") || !smoke;
     let cfg = ExpConfig::from_env();
     println!("== Streaming inference: interleaved live sessions ==\n");
 
@@ -127,6 +136,7 @@ fn main() {
         "sess/s",
         "p50(ms)",
         "p99(ms)",
+        "p999(ms)",
         "StableLag",
         "QDepthVar",
         "Migr",
@@ -143,6 +153,7 @@ fn main() {
             format!("{:.2}", r.sessions_per_s),
             format!("{:.3}", r.p50_ms),
             format!("{:.3}", r.p99_ms),
+            format!("{:.3}", r.p999_ms),
             format!("{:.2}", r.mean_stable_lag),
             format!("{:.1}", r.queue_depth_variance),
             r.migrations.to_string(),
@@ -173,7 +184,52 @@ fn main() {
         "load-aware router balanced worse than id % threads: {v_p2c} > {v_hash}"
     );
 
-    let doc = stream_rows_to_json(&rows, events.len(), &bundle.ds.name);
+    // Chaos sweep: the same uniform replay with seeded worker panics,
+    // queue stalls and reply delays injected. The artifact pins the
+    // crash-safety contract — zero lost sessions, bitwise-identical
+    // finals — alongside what recovery costs (supervisor latency per
+    // crash, journal points replayed).
+    let mut chaos_rows: Vec<ChaosRow> = Vec::new();
+    if chaos {
+        let chaos_threads = *threads.last().expect("non-empty thread list");
+        for (seed, per_mille, max_panics) in [(0xC4A05, 150, 4), (0xBAD5EED, 300, 8)] {
+            let plan = FaultPlan::panics(seed, per_mille, max_panics);
+            chaos_rows.push(bench_chaos(&hmm, &sessions, &events, chaos_threads, plan));
+            chaos_rows.push(bench_chaos(&mma, &sessions, &events, chaos_threads, plan));
+        }
+        let mut ctable = Table::new(&[
+            "Method",
+            "Threads",
+            "Seed",
+            "Restarts",
+            "Recovered",
+            "Replayed",
+            "Lost",
+            "Recovery(ms)",
+            "Identical",
+        ]);
+        for r in &chaos_rows {
+            ctable.row(vec![
+                r.method.clone(),
+                r.threads.to_string(),
+                format!("{:#x}", r.fault_seed),
+                r.worker_restarts.to_string(),
+                r.sessions_recovered.to_string(),
+                r.points_replayed.to_string(),
+                r.sessions_lost.to_string(),
+                format!("{:.3}", r.mean_recovery_ms),
+                r.identical.to_string(),
+            ]);
+        }
+        println!("\n== Chaos sweep: seeded worker panics mid-stream ==\n");
+        ctable.print();
+        for r in &chaos_rows {
+            assert_eq!(r.sessions_lost, 0, "chaos run lost sessions: {r:?}");
+            assert!(r.identical, "chaos run diverged from the offline decode: {r:?}");
+        }
+    }
+
+    let doc = stream_rows_to_json(&rows, &chaos_rows, events.len(), &bundle.ds.name);
     if smoke {
         println!("\n--smoke: repo-root BENCH_streaming.json left untouched");
     } else {

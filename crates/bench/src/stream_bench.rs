@@ -25,7 +25,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use trmma_core::{RouterPolicy, SessionId, StreamEngine, StreamEvent, StreamOptions};
+use trmma_core::{FaultPlan, RouterPolicy, SessionId, StreamEngine, StreamEvent, StreamOptions};
 use trmma_roadnet::shortest::CacheStats;
 use trmma_roadnet::TransitionProvider;
 use trmma_traj::online::OnlineMatcher;
@@ -59,6 +59,11 @@ pub struct StreamRow {
     pub p50_ms: f64,
     /// 99th-percentile per-point decode latency, milliseconds.
     pub p99_ms: f64,
+    /// 99.9th-percentile per-point decode latency, milliseconds — the tail
+    /// a live deployment's SLO actually binds on.
+    pub p999_ms: f64,
+    /// Worst single-point decode latency observed, milliseconds.
+    pub max_ms: f64,
     /// Mean stabilization lag: pushed points minus the stabilized-prefix
     /// watermark, averaged over all updates (how far the decoder's
     /// committed prefix trails the stream; 0 = every point final
@@ -227,6 +232,8 @@ pub fn bench_streaming_routed<M: OnlineMatcher + 'static>(
             sessions_per_s: if wall_s > 0.0 { stats.finalized() as f64 / wall_s } else { 0.0 },
             p50_ms: quantile(0.5),
             p99_ms: quantile(0.99),
+            p999_ms: quantile(0.999),
+            max_ms: quantile(1.0),
             mean_stable_lag: if stats.points > 0 { lag_sum / stats.points as f64 } else { 0.0 },
             queue_depth_variance: router.queue_depth_hwm_variance(),
             migrations: router.migrated(),
@@ -260,9 +267,159 @@ pub fn bench_streaming<M: OnlineMatcher + 'static>(
     )
 }
 
-/// Serialises streaming rows into the `BENCH_streaming.json` document.
+/// One measured chaos (fault-injection) run: the same replay as a
+/// [`StreamRow`], but with seeded worker panics, queue stalls and reply
+/// delays injected mid-stream. The row records what crash-safety costs
+/// and — the acceptance bar — that it loses nothing: `sessions_lost`
+/// must be 0 and `identical` true on every emitted row.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// The matcher measured.
+    pub method: String,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Fault-plan RNG seed (rows are reproducible per seed).
+    pub fault_seed: u64,
+    /// Concurrent sessions replayed.
+    pub sessions: usize,
+    /// Points the workers decoded, *including* journal replays —
+    /// at-least-once delivery makes this `>= streamed`.
+    pub points: u64,
+    /// Unique points streamed (the fault-free decode count).
+    pub streamed: u64,
+    /// Worker panics injected and recovered by the supervisor.
+    pub worker_restarts: u64,
+    /// Sessions rebuilt from checkpoint + journal after a panic.
+    pub sessions_recovered: u64,
+    /// Journaled points replayed to rebuild recovered sessions.
+    pub points_replayed: u64,
+    /// Sessions whose state could not be rebuilt — **expected 0**.
+    pub sessions_lost: u64,
+    /// Mean supervisor recovery latency per worker crash, milliseconds
+    /// (join + respawn + checkpoint restore + journal replay).
+    pub mean_recovery_ms: f64,
+    /// Wall-clock seconds for the whole faulted replay.
+    pub wall_s: f64,
+    /// Whether every finalized session still matched the offline decode
+    /// bitwise — **expected true**.
+    pub identical: bool,
+}
+
+/// Replays `events` through an engine with `plan`'s faults injected and
+/// measures the recovery telemetry. The stream uses identity session ids
+/// (as produced by [`interleave`]). Checkpoints every 16 points so a
+/// mid-stream panic exercises both restore and journal replay.
 #[must_use]
-pub fn stream_rows_to_json(rows: &[StreamRow], total_points: usize, dataset: &str) -> Value {
+pub fn bench_chaos<M: OnlineMatcher + 'static>(
+    matcher: &Arc<M>,
+    sessions: &[Trajectory],
+    events: &[(SessionId, GpsPoint)],
+    threads: usize,
+    plan: FaultPlan,
+) -> ChaosRow {
+    FaultPlan::silence_injected_panics();
+    let reference: Vec<MatchResult> = {
+        let mut out: Vec<MatchResult> = Vec::with_capacity(sessions.len());
+        for (i, t) in sessions.iter().enumerate() {
+            match sessions[..i].iter().position(|u| u == t) {
+                Some(j) => {
+                    let dup = out[j].clone();
+                    out.push(dup);
+                }
+                None => out.push(matcher.match_trajectory(t)),
+            }
+        }
+        out
+    };
+    let engine = StreamEngine::with_faults(
+        matcher.clone(),
+        StreamOptions::with_threads(threads).idle_timeout_s(0.0).checkpoint_every(16),
+        plan,
+    );
+    let started = Instant::now();
+    let mut finals: HashMap<SessionId, MatchResult> = HashMap::new();
+    let mut absorb = |es: Vec<StreamEvent>| {
+        for e in es {
+            if let StreamEvent::Finalized { session, result, .. } = e {
+                finals.insert(session, result);
+            }
+        }
+    };
+    for (i, &(sid, p)) in events.iter().enumerate() {
+        assert!(engine.push(sid, p), "push failed under chaos (restart budget exhausted?)");
+        if i % 512 == 511 {
+            absorb(engine.poll_events());
+        }
+    }
+    for sid in 0..sessions.len() {
+        engine.finish(sid as SessionId);
+    }
+    engine.quiesce(std::time::Duration::from_secs(120));
+    let router = engine.router_stats();
+    let (rest, stats) = engine.shutdown();
+    let wall_s = started.elapsed().as_secs_f64();
+    absorb(rest);
+    let identical = sessions
+        .iter()
+        .enumerate()
+        .all(|(i, t)| t.is_empty() || finals.get(&(i as SessionId)) == Some(&reference[i]));
+    ChaosRow {
+        method: matcher.name().to_string(),
+        threads,
+        fault_seed: plan.seed,
+        sessions: sessions.len(),
+        points: stats.points,
+        streamed: events.len() as u64,
+        worker_restarts: router.worker_restarts,
+        sessions_recovered: router.sessions_recovered,
+        points_replayed: router.points_replayed,
+        sessions_lost: router.sessions_lost,
+        mean_recovery_ms: if router.worker_restarts > 0 {
+            router.recovery_time_s * 1e3 / router.worker_restarts as f64
+        } else {
+            0.0
+        },
+        wall_s,
+        identical,
+    }
+}
+
+/// Serialises chaos rows into the `"chaos"` array of the
+/// `BENCH_streaming.json` document.
+#[must_use]
+pub fn chaos_rows_to_json(rows: &[ChaosRow]) -> Value {
+    Value::Array(
+        rows.iter()
+            .map(|r| {
+                crate::json!({
+                    "method": r.method,
+                    "threads": r.threads,
+                    "fault_seed": r.fault_seed,
+                    "sessions": r.sessions,
+                    "points_decoded": r.points,
+                    "points_streamed": r.streamed,
+                    "worker_restarts": r.worker_restarts,
+                    "sessions_recovered": r.sessions_recovered,
+                    "points_replayed": r.points_replayed,
+                    "sessions_lost": r.sessions_lost,
+                    "mean_recovery_ms": r.mean_recovery_ms,
+                    "wall_s": r.wall_s,
+                    "identical_to_offline": r.identical,
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Serialises streaming rows (and the chaos sweep, when run) into the
+/// `BENCH_streaming.json` document.
+#[must_use]
+pub fn stream_rows_to_json(
+    rows: &[StreamRow],
+    chaos: &[ChaosRow],
+    total_points: usize,
+    dataset: &str,
+) -> Value {
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     Value::Object(vec![
         ("dataset".to_string(), Value::String(dataset.to_string())),
@@ -284,6 +441,8 @@ pub fn stream_rows_to_json(rows: &[StreamRow], total_points: usize, dataset: &st
                             "sessions_per_s": r.sessions_per_s,
                             "p50_point_ms": r.p50_ms,
                             "p99_point_ms": r.p99_ms,
+                            "p999_point_ms": r.p999_ms,
+                            "max_point_ms": r.max_ms,
                             "mean_stable_lag_points": r.mean_stable_lag,
                             "queue_depth_variance": r.queue_depth_variance,
                             "migrations": r.migrations,
@@ -295,6 +454,7 @@ pub fn stream_rows_to_json(rows: &[StreamRow], total_points: usize, dataset: &st
                     .collect(),
             ),
         ),
+        ("chaos".to_string(), chaos_rows_to_json(chaos)),
     ])
 }
 
@@ -357,19 +517,47 @@ mod tests {
             assert!(r.points_per_s > 0.0);
             assert!(r.sessions_per_s > 0.0);
             assert!(r.p50_ms <= r.p99_ms + 1e-9);
+            assert!(r.p99_ms <= r.p999_ms + 1e-9);
+            assert!(r.p999_ms <= r.max_ms + 1e-9);
             assert!(r.mean_stable_lag >= 0.0);
             assert!(r.queue_depth_variance >= 0.0);
             assert_eq!(r.router, "power_of_two");
             assert_eq!(r.workload, "uniform");
             assert!(r.cache.is_some());
         }
-        let s = crate::json::to_string_pretty(&stream_rows_to_json(&rows, events.len(), "TINY"));
+        let s =
+            crate::json::to_string_pretty(&stream_rows_to_json(&rows, &[], events.len(), "TINY"));
         assert!(s.contains("\"identical_to_offline\": true"));
         assert!(s.contains("\"p99_point_ms\":"));
+        assert!(s.contains("\"p999_point_ms\":"));
+        assert!(s.contains("\"max_point_ms\":"));
+        assert!(s.contains("\"chaos\":"));
         assert!(s.contains("\"cache_hits\":"));
         assert!(s.contains("\"router\": \"power_of_two\""));
         assert!(s.contains("\"queue_depth_variance\":"));
         assert!(s.contains("\"migrations\":"));
+    }
+
+    #[test]
+    fn chaos_rows_lose_nothing() {
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let net = Arc::new(ds.net.clone());
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let hmm = Arc::new(HmmMatcher::new(net, planner, HmmConfig::default()));
+        let sessions: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 33).into_iter().take(4).map(|s| s.sparse).collect();
+        let events = interleave(&sessions, 21);
+        let row = bench_chaos(&hmm, &sessions, &events, 2, FaultPlan::panics(0xC4A05, 200, 3));
+        assert_eq!(row.sessions_lost, 0, "chaos run lost sessions: {row:?}");
+        assert!(row.identical, "chaos run diverged from offline: {row:?}");
+        assert!(row.worker_restarts >= 1, "fault plan injected no panics: {row:?}");
+        assert!(row.sessions_recovered >= 1);
+        assert!(row.points >= row.streamed, "at-least-once delivery: {row:?}");
+        assert!(row.mean_recovery_ms > 0.0);
+        let s = crate::json::to_string_pretty(&chaos_rows_to_json(&[row]));
+        assert!(s.contains("\"worker_restarts\":"));
+        assert!(s.contains("\"sessions_lost\": 0"));
+        assert!(s.contains("\"mean_recovery_ms\":"));
     }
 
     /// A decoder wrapper that sleeps per point, so worker queues actually
@@ -434,6 +622,14 @@ mod tests {
 
         fn session_watermark(&self, session: &HmmSession) -> usize {
             self.0.session_watermark(session)
+        }
+
+        fn snapshot_session(&self, session: &HmmSession, out: &mut Vec<u8>) {
+            self.0.snapshot_session(session, out);
+        }
+
+        fn restore_session(&self, bytes: &[u8]) -> Result<HmmSession, trmma_traj::SnapshotError> {
+            self.0.restore_session(bytes)
         }
     }
 

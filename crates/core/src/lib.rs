@@ -68,6 +68,7 @@
 pub mod batch;
 pub mod mma;
 pub mod pipeline;
+pub mod snapshot;
 pub mod stream;
 pub mod trmma;
 
@@ -77,8 +78,9 @@ pub use batch::{
 };
 pub use mma::{Mma, MmaConfig, MmaScratch, MmaSession};
 pub use pipeline::TrmmaPipeline;
+pub use snapshot::SessionSnapshot;
 pub use stream::{
-    FinalizeReason, RouterPolicy, RouterStats, SessionId, StreamEngine, StreamEvent, StreamOptions,
-    StreamStats, WorkerTelemetry,
+    FaultPlan, FinalizeReason, RecvEventError, RouterPolicy, RouterStats, SessionId, StreamEngine,
+    StreamEvent, StreamOptions, StreamStats, WorkerTelemetry,
 };
 pub use trmma::{Trmma, TrmmaConfig};

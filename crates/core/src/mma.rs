@@ -16,6 +16,7 @@ use trmma_traj::api::{
     ScratchMatcher,
 };
 use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::snapshot::{self, Reader, SnapshotError};
 use trmma_traj::types::{GpsPoint, MatchedPoint, Trajectory};
 use trmma_traj::Sample;
 
@@ -599,6 +600,22 @@ impl OnlineMatcher for Mma {
     fn session_watermark(&self, _session: &MmaSession) -> usize {
         // Global attention: nothing stabilizes before finalize (see above).
         0
+    }
+
+    fn snapshot_session(&self, session: &MmaSession, out: &mut Vec<u8>) {
+        snapshot::put_trajectory(out, &session.traj);
+        snapshot::put_cand_sets(out, &session.cand_sets);
+    }
+
+    fn restore_session(&self, bytes: &[u8]) -> Result<MmaSession, SnapshotError> {
+        let mut r = Reader::new(bytes);
+        let traj = snapshot::read_trajectory(&mut r)?;
+        let cand_sets = snapshot::read_cand_sets(&mut r)?;
+        if cand_sets.len() != traj.len() {
+            return Err(SnapshotError::Malformed("candidate layers != points"));
+        }
+        r.expect_end()?;
+        Ok(MmaSession { traj, cand_sets })
     }
 }
 

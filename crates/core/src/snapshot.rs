@@ -1,0 +1,218 @@
+//! Versioned, checksummed envelopes around serialized streaming sessions.
+//!
+//! [`crate::stream::StreamEngine`] survives worker panics and rolling
+//! restarts by freezing live [`OnlineMatcher`] sessions to bytes and
+//! thawing them later — possibly in another process. The matcher writes
+//! only its raw decoder payload ([`OnlineMatcher::snapshot_session`]);
+//! this module wraps that payload in the durable [`SessionSnapshot`]
+//! envelope that makes a checkpoint safe to store and hand around:
+//!
+//! ```text
+//! magic "TRMS" | version u16 | matcher name | session id u64 |
+//! seq u64 | last_t f64-bits | payload bytes | CRC-32 u32
+//! ```
+//!
+//! * the **magic + version** reject foreign or future formats up front;
+//! * the **matcher name** (from [`MapMatcher::name`]) rejects restoring a
+//!   snapshot into a different decoder, where the payload might even parse
+//!   but the continued decode would be silently wrong;
+//! * **seq / last_t** carry the engine-side per-session counters (events
+//!   emitted, last accepted timestamp) that live outside the matcher
+//!   payload but must survive a restore for event numbering and
+//!   late-point drops to continue exactly where they left off;
+//! * the trailing **CRC-32** (IEEE 802.3) detects torn or bit-rotted
+//!   checkpoints before any of the above is trusted.
+//!
+//! All scalar encoding (fixed-width little-endian, `f64` as exact bit
+//! patterns) comes from [`trmma_traj::snapshot`]; decoding never panics.
+//!
+//! [`OnlineMatcher`]: trmma_traj::online::OnlineMatcher
+//! [`OnlineMatcher::snapshot_session`]: trmma_traj::online::OnlineMatcher::snapshot_session
+//! [`MapMatcher::name`]: trmma_traj::api::MapMatcher::name
+
+use trmma_traj::snapshot::{self, Reader, SnapshotError};
+
+use crate::stream::SessionId;
+
+/// Envelope magic: "TRMS" (TRMma Session).
+pub const MAGIC: [u8; 4] = *b"TRMS";
+
+/// The envelope format version this build reads and writes.
+pub const VERSION: u16 = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) of `bytes` —
+/// the checksum trailing every [`SessionSnapshot`] envelope.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One checkpointed streaming session: the matcher's serialized decoder
+/// state plus the engine-side counters needed to resume the stream
+/// in place. Produced by `StreamEngine::drain_snapshots` and by the
+/// supervisor's checkpoint path; consumed by `StreamEngine::restore`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The session id the checkpoint belongs to.
+    pub session: SessionId,
+    /// [`MapMatcher::name`] of the matcher that wrote the payload.
+    ///
+    /// [`MapMatcher::name`]: trmma_traj::api::MapMatcher::name
+    pub matcher: String,
+    /// Events emitted so far (the next `StreamEvent::Update` seq).
+    pub seq: u64,
+    /// Timestamp of the last accepted point (`-inf` before any), carried
+    /// bit-exactly so late-point drops resume with the same cutoff.
+    pub last_t: f64,
+    /// The matcher's raw decoder payload
+    /// ([`trmma_traj::online::OnlineMatcher::snapshot_session`]).
+    pub payload: Vec<u8>,
+}
+
+impl SessionSnapshot {
+    /// Serializes the envelope (format above, CRC last).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 64);
+        out.extend_from_slice(&MAGIC);
+        snapshot::put_u16(&mut out, VERSION);
+        snapshot::put_bytes(&mut out, self.matcher.as_bytes());
+        snapshot::put_u64(&mut out, self.session);
+        snapshot::put_u64(&mut out, self.seq);
+        snapshot::put_f64(&mut out, self.last_t);
+        snapshot::put_bytes(&mut out, &self.payload);
+        let crc = crc32(&out);
+        snapshot::put_u32(&mut out, crc);
+        out
+    }
+
+    /// Parses and verifies an envelope: magic, version, checksum, and
+    /// structural integrity — the matcher payload itself is validated
+    /// later, by the restoring matcher's
+    /// [`trmma_traj::online::OnlineMatcher::restore_session`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let body_len = bytes.len().checked_sub(4).ok_or(SnapshotError::Truncated)?;
+        let mut r = Reader::new(bytes);
+        let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let matcher = String::from_utf8(r.bytes()?.to_vec())
+            .map_err(|_| SnapshotError::Malformed("matcher name not UTF-8"))?;
+        let session = r.u64()?;
+        let seq = r.u64()?;
+        let last_t = r.f64()?;
+        let payload = r.bytes()?.to_vec();
+        let stored_crc = r.u32()?;
+        r.expect_end()?;
+        if crc32(&bytes[..body_len]) != stored_crc {
+            return Err(SnapshotError::Checksum);
+        }
+        Ok(Self { session, matcher, seq, last_t, payload })
+    }
+
+    /// Fails with [`SnapshotError::WrongMatcher`] unless the snapshot was
+    /// written by a matcher named `expected`.
+    pub fn expect_matcher(&self, expected: &str) -> Result<(), SnapshotError> {
+        if self.matcher == expected {
+            Ok(())
+        } else {
+            Err(SnapshotError::WrongMatcher {
+                expected: expected.to_string(),
+                found: self.matcher.clone(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionSnapshot {
+        SessionSnapshot {
+            session: 42,
+            matcher: "HMM".to_string(),
+            seq: 17,
+            last_t: 123.456,
+            payload: vec![1, 2, 3, 250, 0, 9],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let snap = sample();
+        let bytes = snap.encode();
+        assert_eq!(SessionSnapshot::decode(&bytes).unwrap(), snap);
+        // -inf last_t (no point accepted yet) round-trips bit-exactly.
+        let fresh = SessionSnapshot { last_t: f64::NEG_INFINITY, ..sample() };
+        let decoded = SessionSnapshot::decode(&fresh.encode()).unwrap();
+        assert_eq!(decoded.last_t.to_bits(), f64::NEG_INFINITY.to_bits());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = sample().encode();
+        // Flip one payload bit: checksum must catch it.
+        for i in [6, bytes.len() / 2, bytes.len() - 5] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let err = SessionSnapshot::decode(&bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Checksum
+                        | SnapshotError::Malformed(_)
+                        | SnapshotError::Truncated
+                ),
+                "byte {i}: unexpected error {err:?}"
+            );
+        }
+        // Truncation at every prefix length: error, never panic.
+        for n in 0..bytes.len() {
+            assert!(SessionSnapshot::decode(&bytes[..n]).is_err(), "prefix {n} accepted");
+        }
+        assert_eq!(SessionSnapshot::decode(b"NOPE").unwrap_err(), SnapshotError::BadMagic);
+        assert_eq!(SessionSnapshot::decode(b"NO").unwrap_err(), SnapshotError::Truncated);
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert_eq!(SessionSnapshot::decode(&wrong_magic).unwrap_err(), SnapshotError::BadMagic);
+    }
+
+    #[test]
+    fn version_and_matcher_guards() {
+        let mut v2 = sample().encode();
+        v2[4] = 2; // bump version field
+        let tail = v2.len() - 4;
+        let crc = crc32(&v2[..tail]);
+        v2[tail..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(SessionSnapshot::decode(&v2).unwrap_err(), SnapshotError::BadVersion(2));
+
+        let snap = sample();
+        snap.expect_matcher("HMM").unwrap();
+        let err = snap.expect_matcher("MMA").unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::WrongMatcher { expected: "MMA".into(), found: "HMM".into() }
+        );
+    }
+}

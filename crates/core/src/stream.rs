@@ -84,9 +84,30 @@
 //!   any migration schedule, a session's finalized result is identical to
 //!   the offline `match_trajectory` on the same points — property-tested
 //!   in `tests/props_streaming.rs`.
+//!
+//! **Crash safety.** Worker loops run under `catch_unwind`; a panicking
+//! worker is respawned in place and every session it held is rebuilt from
+//! the engine-side *journal*: the router records each accepted command
+//! (with a per-session monotone index), workers periodically ship
+//! checkpoints of their decoder state back on the reply channel (every
+//! [`StreamOptions::checkpoint_every`] accepted points), and recovery
+//! restores the last checkpoint and replays the journaled tail — the
+//! decode being a pure function of the point sequence makes the recovered
+//! final result bitwise-identical to a fault-free run. Replayed points
+//! re-emit their `Update` events (at-least-once delivery on the event
+//! channel); `Finalized` results are deterministic either way. The same
+//! snapshot machinery powers rolling restarts:
+//! [`StreamEngine::drain_snapshots`] freezes every live session into a
+//! versioned, checksummed [`SessionSnapshot`] and
+//! [`StreamEngine::restore`] resumes them on a successor engine with zero
+//! drops. A seeded [`FaultPlan`] can inject worker panics, command stalls
+//! and reply delays for tests and the chaos benchmark; recovery counters
+//! (`worker_restarts`, `sessions_recovered`, `points_replayed`) surface
+//! in [`RouterStats`]. See DESIGN.md §5.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -94,7 +115,10 @@ use std::time::{Duration, Instant};
 
 use trmma_traj::api::MatchResult;
 use trmma_traj::online::{OnlineMatcher, OnlineUpdate};
+use trmma_traj::snapshot::SnapshotError;
 use trmma_traj::types::GpsPoint;
+
+use crate::snapshot::SessionSnapshot;
 
 /// Identifies one live trajectory (one device/trip) within the engine.
 pub type SessionId = u64;
@@ -187,6 +211,23 @@ pub struct StreamOptions {
     /// session per check off the hot worker. `0` disables automatic
     /// migration. Only meaningful under [`RouterPolicy::PowerOfTwo`].
     pub rebalance_threshold: usize,
+    /// Accepted points between per-session checkpoints: every this many
+    /// accepted pushes a worker ships a snapshot of the session's decoder
+    /// state back to the router, which trims the session's replay journal
+    /// to the commands after it. Smaller = less replay after a crash but
+    /// more serialization on the hot path; `0` disables checkpointing
+    /// (recovery then replays the whole trip from the journal).
+    pub checkpoint_every: usize,
+    /// Deadline for [`StreamEngine::push`]'s backpressure wait: if the
+    /// target worker's queue stays full this long, push gives up and
+    /// returns `false` instead of blocking indefinitely. Non-finite or
+    /// `0` means wait forever (the pre-supervision behaviour).
+    pub push_timeout_s: f64,
+    /// How many worker panics the supervisor absorbs per worker before
+    /// declaring that worker permanently failed (its sessions are
+    /// recovered onto surviving workers; with no survivor left the engine
+    /// reports [`RecvEventError::Disconnected`]).
+    pub max_worker_restarts: u32,
 }
 
 impl Default for StreamOptions {
@@ -197,6 +238,9 @@ impl Default for StreamOptions {
             queue_capacity: 1024,
             router: RouterPolicy::PowerOfTwo,
             rebalance_threshold: 16,
+            checkpoint_every: 64,
+            push_timeout_s: 30.0,
+            max_worker_restarts: 64,
         }
     }
 }
@@ -239,6 +283,29 @@ impl StreamOptions {
     #[must_use]
     pub fn rebalance_threshold(mut self, gap: usize) -> Self {
         self.rebalance_threshold = gap;
+        self
+    }
+
+    /// Sets the per-session checkpoint cadence (`0` disables
+    /// checkpointing; recovery then replays whole trips).
+    #[must_use]
+    pub fn checkpoint_every(mut self, accepted_points: usize) -> Self {
+        self.checkpoint_every = accepted_points;
+        self
+    }
+
+    /// Sets the backpressure deadline of [`StreamEngine::push`] (`0` or
+    /// non-finite waits forever).
+    #[must_use]
+    pub fn push_timeout_s(mut self, seconds: f64) -> Self {
+        self.push_timeout_s = seconds;
+        self
+    }
+
+    /// Sets the per-worker panic budget of the supervisor.
+    #[must_use]
+    pub fn max_worker_restarts(mut self, restarts: u32) -> Self {
+        self.max_worker_restarts = restarts;
         self
     }
 
@@ -352,6 +419,12 @@ pub struct WorkerTelemetry {
     pub migrated_in: u64,
     /// Sessions migrated off the worker.
     pub migrated_out: u64,
+    /// Points the worker rejected for running backwards in time within
+    /// their session (previously visible only in the shutdown-time
+    /// [`StreamStats`]).
+    pub late_dropped: u64,
+    /// Sessions the worker finalized by idle eviction.
+    pub idle_finalized: u64,
 }
 
 /// Snapshot of the router's per-worker load and migration counters.
@@ -359,7 +432,7 @@ pub struct WorkerTelemetry {
 /// Obtained live from [`StreamEngine::router_stats`]; all counters are
 /// monotone over the engine's lifetime except `queue_depth` and
 /// `live_sessions`, which are instantaneous.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouterStats {
     /// The placement policy the engine runs.
     pub policy: RouterPolicy,
@@ -376,6 +449,22 @@ pub struct RouterStats {
     /// finished or been idle-evicted) — these reclaim the stale placement
     /// instead of migrating.
     pub migrations_missed: u64,
+    /// Panicked workers the supervisor respawned in place.
+    pub worker_restarts: u64,
+    /// Sessions rebuilt after a worker panic (checkpoint restore + journal
+    /// replay) plus sessions resumed through [`StreamEngine::restore`].
+    pub sessions_recovered: u64,
+    /// Journaled points re-sent to rebuild recovered sessions (each
+    /// re-emits its `Update` — at-least-once delivery under faults).
+    pub points_replayed: u64,
+    /// Sessions whose state could not be recovered (every worker
+    /// permanently failed). Zero unless the panic budget is exhausted.
+    pub sessions_lost: u64,
+    /// Wall-clock seconds the supervisor spent recovering from worker
+    /// deaths: joining the corpse, respawning, restoring checkpoints and
+    /// replaying journal tails. Divided by [`Self::worker_restarts`] this
+    /// is the mean recovery latency per crash.
+    pub recovery_time_s: f64,
 }
 
 fn variance(xs: impl Iterator<Item = f64>) -> f64 {
@@ -407,6 +496,20 @@ impl RouterStats {
     pub fn migrated(&self) -> u64 {
         self.migrations_completed
     }
+
+    /// Points dropped as late across all workers (live counterpart of
+    /// [`StreamStats::late_dropped`]).
+    #[must_use]
+    pub fn late_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.late_dropped).sum()
+    }
+
+    /// Sessions finalized by idle eviction across all workers (live
+    /// counterpart of [`StreamStats::finalized_idle`]).
+    #[must_use]
+    pub fn idle_finalized(&self) -> u64 {
+        self.workers.iter().map(|w| w.idle_finalized).sum()
+    }
 }
 
 /// Per-worker load counters shared between the engine-side router (reads
@@ -421,6 +524,8 @@ struct WorkerLoad {
     placed: AtomicU64,
     migrated_in: AtomicU64,
     migrated_out: AtomicU64,
+    late_dropped: AtomicU64,
+    idle_finalized: AtomicU64,
 }
 
 impl WorkerLoad {
@@ -439,6 +544,150 @@ impl WorkerLoad {
             sessions_placed: self.placed.load(Ordering::Relaxed),
             migrated_in: self.migrated_in.load(Ordering::Relaxed),
             migrated_out: self.migrated_out.load(Ordering::Relaxed),
+            late_dropped: self.late_dropped.load(Ordering::Relaxed),
+            idle_finalized: self.idle_finalized.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Why the engine could not return an event within the deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvEventError {
+    /// The engine is alive but emitted nothing before the deadline — a
+    /// quiet stream, not a dead one.
+    Timeout,
+    /// Every worker has permanently failed (panic budget exhausted) and
+    /// the event buffer is drained: no event can ever arrive again.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvEventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "no stream event within the deadline"),
+            Self::Disconnected => write!(f, "stream engine has no live workers left"),
+        }
+    }
+}
+
+impl std::error::Error for RecvEventError {}
+
+/// Panic payload of injected faults, so test harnesses can tell a
+/// deliberately injected crash from a real matcher bug (see
+/// [`FaultPlan::silence_injected_panics`]).
+#[derive(Debug)]
+pub struct InjectedPanic;
+
+/// A seeded chaos schedule for tests and the `--chaos` benchmark sweep:
+/// with probability `*_per_mille`/1000 per worker command, inject a worker
+/// panic (the supervisor must recover every session), stall the command
+/// (queue backpressure under the push deadline), or delay a migration
+/// reply (exercising the bounded reply waits). All draws come from one
+/// seeded SplitMix64 stream, so a given plan replays the same fault count
+/// against the same workload shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG.
+    pub seed: u64,
+    /// Per-command worker panic probability, in 1/1000.
+    pub panic_per_mille: u32,
+    /// Hard cap on injected panics over the engine's lifetime (keeps the
+    /// run inside the supervisor's restart budget).
+    pub max_panics: u32,
+    /// Per-command stall probability, in 1/1000.
+    pub stall_per_mille: u32,
+    /// How long an injected stall sleeps.
+    pub stall: Duration,
+    /// Per-reply delay probability, in 1/1000.
+    pub reply_delay_per_mille: u32,
+    /// How long an injected reply delay sleeps.
+    pub reply_delay: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0x000C_4A05,
+            panic_per_mille: 0,
+            max_panics: u32::MAX,
+            stall_per_mille: 0,
+            stall: Duration::from_millis(2),
+            reply_delay_per_mille: 0,
+            reply_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that panics roughly once per `1000 / per_mille` commands,
+    /// capped at `max_panics` total.
+    #[must_use]
+    pub fn panics(seed: u64, per_mille: u32, max_panics: u32) -> Self {
+        Self { seed, panic_per_mille: per_mille, max_panics, ..Self::default() }
+    }
+
+    /// Installs a process-wide panic hook that swallows [`InjectedPanic`]
+    /// payloads (keeping test and benchmark output readable) while
+    /// delegating every real panic to the previous hook. Call once per
+    /// process before running a faulty engine.
+    pub fn silence_injected_panics() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    }
+}
+
+/// Shared mutable state of a [`FaultPlan`]: one seeded draw stream plus
+/// the remaining panic budget, shared by all workers across respawns.
+struct FaultState {
+    plan: FaultPlan,
+    rng: AtomicU64,
+    panics_left: AtomicU32,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan) -> Self {
+        Self { plan, rng: AtomicU64::new(plan.seed), panics_left: AtomicU32::new(plan.max_panics) }
+    }
+
+    /// One per-mille draw from the shared SplitMix64 stream.
+    fn draw(&self) -> u64 {
+        let mut s = self.rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % 1000
+    }
+
+    /// Runs the command-level faults: maybe stall, maybe panic. Called at
+    /// the *top* of command processing, so an injected panic loses the
+    /// command and everything behind it in the queue — exactly what the
+    /// journal replay must make whole.
+    fn on_command(&self) {
+        if self.plan.stall_per_mille > 0 && self.draw() < u64::from(self.plan.stall_per_mille) {
+            std::thread::sleep(self.plan.stall);
+        }
+        if self.plan.panic_per_mille > 0
+            && self.draw() < u64::from(self.plan.panic_per_mille)
+            && self
+                .panics_left
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+        {
+            std::panic::panic_any(InjectedPanic);
+        }
+    }
+
+    /// Maybe delays a reply-channel send.
+    fn on_reply(&self) {
+        if self.plan.reply_delay_per_mille > 0
+            && self.draw() < u64::from(self.plan.reply_delay_per_mille)
+        {
+            std::thread::sleep(self.plan.reply_delay);
         }
     }
 }
@@ -447,20 +696,29 @@ enum Cmd<S> {
     Push {
         session: SessionId,
         point: GpsPoint,
+        /// Journal index of this command (per-session, monotone across
+        /// trips) — echoed back in checkpoint/ended replies so the router
+        /// can trim the session's replay journal.
+        idx: u64,
     },
     Finish {
         session: SessionId,
+        idx: u64,
     },
-    /// Hand the session's decoder state back to the router (migration).
-    /// With `stable_only`, refuse unless the session is watermark-stable.
+    /// Hand the session's decoder state back to the router (migration or
+    /// snapshot drain). With `stable_only`, refuse unless the session is
+    /// watermark-stable.
     Detach {
         session: SessionId,
         stable_only: bool,
     },
-    /// Adopt a session detached from another worker.
+    /// Adopt a session detached from another worker (`restored: false`)
+    /// or rebuilt by crash recovery / [`StreamEngine::restore`]
+    /// (`restored: true` — not counted as a migration).
     Attach {
         session: SessionId,
         live: Box<Live<S>>,
+        restored: bool,
     },
 }
 
@@ -473,6 +731,14 @@ enum Reply<S> {
     DetachRefused { session: SessionId },
     /// Detach found no such session (it was evicted or finished first).
     DetachMiss { session: SessionId },
+    /// Periodic checkpoint: the session's serialized decoder state after
+    /// processing command `idx`. The router keeps the latest and trims
+    /// the session's journal to the commands after `idx`.
+    Checkpoint { session: SessionId, idx: u64, seq: usize, last_t: f64, payload: Vec<u8> },
+    /// The worker finalized a trip (explicit finish or idle eviction)
+    /// whose last processed command was `idx`: the router drops the
+    /// trip's checkpoint and journal prefix.
+    Ended { session: SessionId, idx: u64 },
 }
 
 struct Live<S> {
@@ -480,13 +746,82 @@ struct Live<S> {
     seq: usize,
     last_t: f64,
     last_seen: Instant,
+    /// Journal index of the last Push/Finish processed for this session
+    /// (echoed in checkpoint/ended replies).
+    last_idx: u64,
+    /// Accepted points since the last checkpoint.
+    since_ckpt: usize,
+}
+
+impl<S> Live<S> {
+    fn fresh(session: S) -> Self {
+        Self {
+            session,
+            seq: 0,
+            last_t: f64::NEG_INFINITY,
+            last_seen: Instant::now(),
+            last_idx: 0,
+            since_ckpt: 0,
+        }
+    }
 }
 
 /// A command buffered engine-side while its session is in transit between
-/// workers.
+/// workers. The journal index was assigned when the command was accepted
+/// (the command is already journaled — recovery replays the journal and
+/// discards the pending buffer).
 enum Pending {
+    Point(u64, GpsPoint),
+    Finish(u64),
+}
+
+/// One journaled command of a session.
+#[derive(Clone)]
+enum JCmd {
     Point(GpsPoint),
     Finish,
+}
+
+/// The engine-side crash-recovery record of one session id: the latest
+/// worker checkpoint plus every accepted command after it. Invariant:
+/// restoring `ckpt` (or a fresh session when `None`) and replaying `tail`
+/// in order reconstructs the worker-held state exactly — late-point drops
+/// and trip reopenings re-decide deterministically during replay.
+struct SessionLog {
+    /// Next journal index to assign (monotone per id, never reset).
+    next_idx: u64,
+    ckpt: Option<Ckpt>,
+    /// `(idx, command)` for every accepted command after the checkpoint.
+    tail: Vec<(u64, JCmd)>,
+}
+
+/// The payload + engine-side counters of one worker checkpoint.
+struct Ckpt {
+    /// Journal index of the last command folded into the payload.
+    idx: u64,
+    payload: Vec<u8>,
+    seq: usize,
+    last_t: f64,
+}
+
+impl SessionLog {
+    fn new() -> Self {
+        Self { next_idx: 0, ckpt: None, tail: Vec::new() }
+    }
+
+    /// Applies a checkpoint taken after command `ckpt.idx`.
+    fn on_checkpoint(&mut self, ckpt: Ckpt) {
+        self.tail.retain(|&(i, _)| i > ckpt.idx);
+        self.ckpt = Some(ckpt);
+    }
+
+    /// Applies a trip end whose last processed command was `idx`;
+    /// returns whether the log is now empty (safe to drop).
+    fn on_ended(&mut self, idx: u64) -> bool {
+        self.ckpt = None;
+        self.tail.retain(|&(i, _)| i > idx);
+        self.tail.is_empty()
+    }
 }
 
 /// Where a session currently lives, from the router's point of view.
@@ -515,9 +850,21 @@ enum Placement {
     InTransit { from: usize, to: usize, pending: Vec<Pending> },
 }
 
-/// Engine-side router state, behind the engine's mutex.
+/// Engine-side router state, behind the engine's mutex. The worker
+/// channels and join handles live here too (not on the engine) so the
+/// supervisor can swap them atomically with the routing state when it
+/// respawns a panicked worker.
 struct Router<S> {
+    txs: Vec<SyncSender<Cmd<S>>>,
+    /// `None` while a dead worker is being joined/respawned.
+    handles: Vec<Option<JoinHandle<(StreamStats, bool)>>>,
+    /// Workers that exhausted the restart budget and stay down.
+    failed: Vec<bool>,
+    /// Stats banked from joined (panicked) worker incarnations.
+    banked: StreamStats,
     place: HashMap<SessionId, Placement>,
+    /// Per-session crash-recovery journals (checkpoint + command tail).
+    logs: HashMap<SessionId, SessionLog>,
     replies: Receiver<Reply<S>>,
     /// SplitMix64 state for power-of-two-choices sampling (deterministic;
     /// placement affects only scheduling, never output).
@@ -527,6 +874,11 @@ struct Router<S> {
     migrations_completed: u64,
     migrations_refused: u64,
     migrations_missed: u64,
+    worker_restarts: u64,
+    sessions_recovered: u64,
+    points_replayed: u64,
+    sessions_lost: u64,
+    recovery_time_s: f64,
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -549,7 +901,7 @@ fn finalize_one<M: OnlineMatcher>(
     let _ = events.send(StreamEvent::Finalized { session: id, reason, points: live.seq, result });
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn worker_loop<M: OnlineMatcher>(
     matcher: &M,
     rx: &Receiver<Cmd<M::Session>>,
@@ -557,10 +909,12 @@ fn worker_loop<M: OnlineMatcher>(
     replies: &Sender<Reply<M::Session>>,
     load: &WorkerLoad,
     idle: Option<Duration>,
-) -> StreamStats {
+    checkpoint_every: usize,
+    faults: Option<&FaultState>,
+    stats: &mut StreamStats,
+) {
     let mut scratch = matcher.make_scratch();
     let mut live: HashMap<SessionId, Live<M::Session>> = HashMap::new();
-    let mut stats = StreamStats::default();
     // The tick bounds both how long a quiet worker sleeps between idle
     // sweeps and how often a busy one pays the O(live sessions) sweep.
     let tick = idle.map_or(Duration::from_millis(500), |d| {
@@ -570,21 +924,24 @@ fn worker_loop<M: OnlineMatcher>(
     loop {
         match rx.recv_timeout(tick) {
             Ok(cmd) => {
+                // Injected faults fire *before* any state change: a lost
+                // command is journaled-but-unapplied, which is exactly
+                // what the supervisor's replay reconstructs.
+                if let Some(f) = faults {
+                    f.on_command();
+                }
                 match cmd {
-                    Cmd::Push { session, point } => {
+                    Cmd::Push { session, point, idx } => {
                         let entry = live.entry(session).or_insert_with(|| {
                             stats.sessions_opened += 1;
                             load.live.fetch_add(1, Ordering::Relaxed);
-                            Live {
-                                session: matcher.begin_session(),
-                                seq: 0,
-                                last_t: f64::NEG_INFINITY,
-                                last_seen: Instant::now(),
-                            }
+                            Live::fresh(matcher.begin_session())
                         });
                         entry.last_seen = Instant::now();
+                        entry.last_idx = idx;
                         if point.t <= entry.last_t {
                             stats.late_dropped += 1;
+                            load.late_dropped.fetch_add(1, Ordering::Relaxed);
                         } else {
                             let t0 = Instant::now();
                             let update =
@@ -597,9 +954,25 @@ fn worker_loop<M: OnlineMatcher>(
                             load.points.fetch_add(1, Ordering::Relaxed);
                             let _ =
                                 events.send(StreamEvent::Update { session, seq, update, proc_s });
+                            entry.since_ckpt += 1;
+                            if entry.since_ckpt >= checkpoint_every {
+                                entry.since_ckpt = 0;
+                                let mut payload = Vec::new();
+                                matcher.snapshot_session(&entry.session, &mut payload);
+                                if let Some(f) = faults {
+                                    f.on_reply();
+                                }
+                                let _ = replies.send(Reply::Checkpoint {
+                                    session,
+                                    idx,
+                                    seq: entry.seq,
+                                    last_t: entry.last_t,
+                                    payload,
+                                });
+                            }
                         }
                     }
-                    Cmd::Finish { session } => {
+                    Cmd::Finish { session, idx } => {
                         if let Some(l) = live.remove(&session) {
                             load.live.fetch_sub(1, Ordering::Relaxed);
                             finalize_one(
@@ -612,24 +985,38 @@ fn worker_loop<M: OnlineMatcher>(
                             );
                             stats.finalized_explicit += 1;
                         }
+                        // Acknowledge even a no-op finish (trip already
+                        // evicted): the router trims its journal on this.
+                        if let Some(f) = faults {
+                            f.on_reply();
+                        }
+                        let _ = replies.send(Reply::Ended { session, idx });
                     }
-                    Cmd::Detach { session, stable_only } => match live.remove(&session) {
-                        None => {
-                            let _ = replies.send(Reply::DetachMiss { session });
+                    Cmd::Detach { session, stable_only } => {
+                        if let Some(f) = faults {
+                            f.on_reply();
                         }
-                        Some(l) if stable_only && !matcher.session_stable(&l.session) => {
-                            live.insert(session, l);
-                            let _ = replies.send(Reply::DetachRefused { session });
+                        match live.remove(&session) {
+                            None => {
+                                let _ = replies.send(Reply::DetachMiss { session });
+                            }
+                            Some(l) if stable_only && !matcher.session_stable(&l.session) => {
+                                live.insert(session, l);
+                                let _ = replies.send(Reply::DetachRefused { session });
+                            }
+                            Some(l) => {
+                                load.live.fetch_sub(1, Ordering::Relaxed);
+                                load.migrated_out.fetch_add(1, Ordering::Relaxed);
+                                let _ =
+                                    replies.send(Reply::Detached { session, live: Box::new(l) });
+                            }
                         }
-                        Some(l) => {
-                            load.live.fetch_sub(1, Ordering::Relaxed);
-                            load.migrated_out.fetch_add(1, Ordering::Relaxed);
-                            let _ = replies.send(Reply::Detached { session, live: Box::new(l) });
-                        }
-                    },
-                    Cmd::Attach { session, live: l } => {
+                    }
+                    Cmd::Attach { session, live: l, restored } => {
                         load.live.fetch_add(1, Ordering::Relaxed);
-                        load.migrated_in.fetch_add(1, Ordering::Relaxed);
+                        if !restored {
+                            load.migrated_in.fetch_add(1, Ordering::Relaxed);
+                        }
                         let mut l = *l;
                         l.last_seen = Instant::now();
                         live.insert(session, l);
@@ -655,12 +1042,15 @@ fn worker_loop<M: OnlineMatcher>(
                 for id in expired {
                     let l = live.remove(&id).expect("expired session is live");
                     load.live.fetch_sub(1, Ordering::Relaxed);
+                    load.idle_finalized.fetch_add(1, Ordering::Relaxed);
+                    let last_idx = l.last_idx;
                     finalize_one(matcher, &mut scratch, id, l, FinalizeReason::IdleTimeout, events);
                     stats.finalized_idle += 1;
-                    // The router is NOT told: its sticky placement keeps
-                    // routing this id here, so a later point (a new trip)
-                    // reopens on this worker instead of racing onto
-                    // another one.
+                    let _ = replies.send(Reply::Ended { session: id, idx: last_idx });
+                    // The router is NOT told to re-place: its sticky
+                    // placement keeps routing this id here, so a later
+                    // point (a new trip) reopens on this worker instead
+                    // of racing onto another one.
                 }
             }
         }
@@ -671,28 +1061,53 @@ fn worker_loop<M: OnlineMatcher>(
         finalize_one(matcher, &mut scratch, id, l, FinalizeReason::Shutdown, events);
         stats.finalized_shutdown += 1;
     }
-    stats
 }
 
 /// The multiplexer; see module docs for the architecture and guarantees.
 pub struct StreamEngine<M: OnlineMatcher + 'static> {
     matcher: Arc<M>,
-    txs: Vec<SyncSender<Cmd<M::Session>>>,
     events: Receiver<StreamEvent>,
-    handles: Vec<JoinHandle<StreamStats>>,
+    /// Kept so respawned workers can clone the event sender (and so the
+    /// event channel outlives a full worker wipe-out).
+    etx: Sender<StreamEvent>,
+    /// Same, for the reply channel.
+    rtx: Sender<Reply<M::Session>>,
     loads: Arc<Vec<WorkerLoad>>,
     router: Mutex<Router<M::Session>>,
     policy: RouterPolicy,
     rebalance_gap: usize,
     queue_cap: usize,
+    idle: Option<Duration>,
+    checkpoint_every: usize,
+    push_timeout: Option<Duration>,
+    max_restarts: u32,
+    faults: Option<Arc<FaultState>>,
 }
 
 impl<M: OnlineMatcher + 'static> StreamEngine<M> {
     /// Spawns the worker pool around a shared matcher.
     #[must_use]
     pub fn new(matcher: Arc<M>, opts: StreamOptions) -> Self {
+        Self::build(matcher, opts, None)
+    }
+
+    /// Like [`StreamEngine::new`], but with an active fault-injection
+    /// plan: workers panic/stall and replies lag per `plan`, and the
+    /// supervisor is expected to keep every session whole regardless.
+    /// Test and benchmark harness only — a production engine runs
+    /// fault-free.
+    #[must_use]
+    pub fn with_faults(matcher: Arc<M>, opts: StreamOptions, plan: FaultPlan) -> Self {
+        Self::build(matcher, opts, Some(Arc::new(FaultState::new(plan))))
+    }
+
+    fn build(matcher: Arc<M>, opts: StreamOptions, faults: Option<Arc<FaultState>>) -> Self {
         let threads = opts.effective_threads().max(1);
         let idle = opts.idle_timeout();
+        let checkpoint_every = opts.checkpoint_every.max(1);
+        let queue_cap = opts.queue_capacity.max(1);
+        let push_timeout = (opts.push_timeout_s > 0.0 && opts.push_timeout_s.is_finite())
+            .then(|| Duration::from_secs_f64(opts.push_timeout_s));
         let (etx, events) = channel();
         let (rtx, replies) = channel();
         let loads: Arc<Vec<WorkerLoad>> =
@@ -700,16 +1115,27 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
         let mut txs = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for w in 0..threads {
-            let (tx, rx) = sync_channel(opts.queue_capacity.max(1));
-            let m = matcher.clone();
-            let e = etx.clone();
-            let r = rtx.clone();
-            let ld = loads.clone();
-            handles.push(std::thread::spawn(move || worker_loop(&*m, &rx, &e, &r, &ld[w], idle)));
+            let (tx, handle) = Self::spawn_worker(
+                &matcher,
+                w,
+                queue_cap,
+                &etx,
+                &rtx,
+                &loads,
+                idle,
+                checkpoint_every,
+                faults.clone(),
+            );
             txs.push(tx);
+            handles.push(Some(handle));
         }
         let router = Mutex::new(Router {
+            txs,
+            handles,
+            failed: vec![false; threads],
+            banked: StreamStats::default(),
             place: HashMap::new(),
+            logs: HashMap::new(),
             replies,
             rng: 0x7272_6D6D_615F_7232, // arbitrary fixed seed: "trmma_r2"
             pushes: 0,
@@ -717,18 +1143,69 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
             migrations_completed: 0,
             migrations_refused: 0,
             migrations_missed: 0,
+            worker_restarts: 0,
+            sessions_recovered: 0,
+            points_replayed: 0,
+            sessions_lost: 0,
+            recovery_time_s: 0.0,
         });
         Self {
             matcher,
-            txs,
             events,
-            handles,
+            etx,
+            rtx,
             loads,
             router,
             policy: opts.router,
             rebalance_gap: opts.rebalance_threshold,
-            queue_cap: opts.queue_capacity.max(1),
+            queue_cap,
+            idle,
+            checkpoint_every,
+            push_timeout,
+            max_restarts: opts.max_worker_restarts,
+            faults,
         }
+    }
+
+    /// Spawns one worker thread at slot `w`: a fresh bounded command
+    /// channel plus a panic-trapping wrapper that returns the worker's
+    /// stats and whether it died by panic.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn spawn_worker(
+        matcher: &Arc<M>,
+        w: usize,
+        queue_cap: usize,
+        etx: &Sender<StreamEvent>,
+        rtx: &Sender<Reply<M::Session>>,
+        loads: &Arc<Vec<WorkerLoad>>,
+        idle: Option<Duration>,
+        checkpoint_every: usize,
+        faults: Option<Arc<FaultState>>,
+    ) -> (SyncSender<Cmd<M::Session>>, JoinHandle<(StreamStats, bool)>) {
+        let (tx, rx) = sync_channel(queue_cap);
+        let m = matcher.clone();
+        let e = etx.clone();
+        let r = rtx.clone();
+        let ld = loads.clone();
+        let handle = std::thread::spawn(move || {
+            let mut stats = StreamStats::default();
+            let panicked = catch_unwind(AssertUnwindSafe(|| {
+                worker_loop(
+                    &*m,
+                    &rx,
+                    &e,
+                    &r,
+                    &ld[w],
+                    idle,
+                    checkpoint_every,
+                    faults.as_deref(),
+                    &mut stats,
+                );
+            }))
+            .is_err();
+            (stats, panicked)
+        });
+        (tx, handle)
     }
 
     /// The shared model.
@@ -737,10 +1214,10 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
         &self.matcher
     }
 
-    /// Worker count.
+    /// Worker count (including permanently failed slots).
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.txs.len()
+        self.loads.len()
     }
 
     /// Sends a command to `worker`, accounting queue depth; blocks while
@@ -750,11 +1227,11 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
     /// instead, so only these bounded sends ever hold the router lock
     /// across a wait. Returns `false` if the worker is gone (it panicked
     /// — shutdown will surface that).
-    fn send_to(&self, worker: usize, cmd: Cmd<M::Session>) -> bool {
+    fn send_to(&self, router: &Router<M::Session>, worker: usize, cmd: Cmd<M::Session>) -> bool {
         let load = &self.loads[worker];
         let depth = load.depth.fetch_add(1, Ordering::Relaxed) + 1;
         load.depth_hwm.fetch_max(depth, Ordering::Relaxed);
-        if self.txs[worker].send(cmd).is_ok() {
+        if router.txs[worker].send(cmd).is_ok() {
             true
         } else {
             load.depth.fetch_sub(1, Ordering::Relaxed);
@@ -762,22 +1239,36 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
         }
     }
 
-    /// Picks the worker for a brand-new session under the engine's policy.
+    /// Picks the worker for a brand-new session under the engine's policy,
+    /// skipping permanently failed slots. Callers guarantee at least one
+    /// worker is alive.
     #[allow(clippy::cast_possible_truncation)]
     fn place_new(&self, router: &mut Router<M::Session>, session: SessionId) -> usize {
-        let n = self.txs.len();
+        let alive: Vec<usize> = (0..router.txs.len()).filter(|&w| !router.failed[w]).collect();
+        let n = alive.len();
+        debug_assert!(n > 0, "place_new requires a live worker");
         let w = match self.policy {
-            RouterPolicy::HashMod => (session % n as u64) as usize,
+            RouterPolicy::HashMod => {
+                // Preserve id % threads when the full pool is alive; fold
+                // onto the survivors otherwise.
+                let w0 = (session % router.txs.len() as u64) as usize;
+                if router.failed[w0] {
+                    alive[(session % n as u64) as usize]
+                } else {
+                    w0
+                }
+            }
             RouterPolicy::PowerOfTwo => {
                 if n == 1 {
-                    0
+                    alive[0]
                 } else {
                     // Two distinct uniform picks; keep the less loaded.
-                    let a = (splitmix64(&mut router.rng) % n as u64) as usize;
-                    let mut b = (splitmix64(&mut router.rng) % (n - 1) as u64) as usize;
-                    if b >= a {
-                        b += 1;
+                    let ai = (splitmix64(&mut router.rng) % n as u64) as usize;
+                    let mut bi = (splitmix64(&mut router.rng) % (n - 1) as u64) as usize;
+                    if bi >= ai {
+                        bi += 1;
                     }
+                    let (a, b) = (alive[ai], alive[bi]);
                     if self.loads[b].load() < self.loads[a].load() {
                         b
                     } else {
@@ -788,6 +1279,11 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
         };
         self.loads[w].placed.fetch_add(1, Ordering::Relaxed);
         w
+    }
+
+    /// The least-loaded worker that has not permanently failed.
+    fn pick_survivor(&self, router: &Router<M::Session>) -> Option<usize> {
+        (0..router.txs.len()).filter(|&w| !router.failed[w]).min_by_key(|&w| self.loads[w].load())
     }
 
     /// Forwards the commands buffered while a session was in transit and
@@ -806,39 +1302,80 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
             router.place.remove(&session);
             return;
         }
-        let finished = matches!(pending.last(), Some(Pending::Finish));
+        let finished = matches!(pending.last(), Some(Pending::Finish(_)));
         for cmd in pending {
             match cmd {
-                Pending::Point(point) => {
-                    self.send_to(worker, Cmd::Push { session, point });
+                Pending::Point(idx, point) => {
+                    self.send_to(router, worker, Cmd::Push { session, point, idx });
                 }
-                Pending::Finish => {
-                    self.send_to(worker, Cmd::Finish { session });
+                Pending::Finish(idx) => {
+                    self.send_to(router, worker, Cmd::Finish { session, idx });
                 }
             }
         }
         router.place.insert(session, Placement::On { worker, last_push: Instant::now(), finished });
     }
 
+    /// Takes `session` out of transit, or `None` if it is not in transit —
+    /// a reply referring to it is stale (e.g. crash recovery already
+    /// re-homed the id) and must be dropped without touching the placement.
+    fn take_transit(
+        router: &mut Router<M::Session>,
+        session: SessionId,
+    ) -> Option<(usize, usize, Vec<Pending>)> {
+        match router.place.get_mut(&session) {
+            Some(Placement::InTransit { from, to, pending }) => {
+                let out = (*from, *to, std::mem::take(pending));
+                router.place.remove(&session);
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
     /// Applies one worker reply to the routing table.
     fn apply_reply(&self, router: &mut Router<M::Session>, reply: Reply<M::Session>) {
         match reply {
+            Reply::Checkpoint { session, idx, seq, last_t, payload } => {
+                // A checkpoint for an untracked session means the trip
+                // already ended and its journal was dropped — ignore.
+                if let Some(log) = router.logs.get_mut(&session) {
+                    log.on_checkpoint(Ckpt { idx, payload, seq, last_t });
+                }
+            }
+            Reply::Ended { session, idx } => {
+                if let Some(log) = router.logs.get_mut(&session) {
+                    if log.on_ended(idx) {
+                        router.logs.remove(&session);
+                    }
+                }
+            }
             Reply::Detached { session, live } => {
-                let Some(Placement::InTransit { to, pending, .. }) = router.place.remove(&session)
-                else {
-                    // A detach the router no longer tracks (cannot happen
-                    // through the public API); drop the state rather than
-                    // strand it.
+                let Some((_, to, pending)) = Self::take_transit(router, session) else {
+                    // Stale: the state was already rebuilt elsewhere (crash
+                    // recovery) or the router never tracked the detach.
                     return;
                 };
                 router.migrations_completed += 1;
-                self.send_to(to, Cmd::Attach { session, live });
+                // If the target slot died permanently while the state was
+                // in flight, land on a survivor instead.
+                let to = if router.failed[to] {
+                    match self.pick_survivor(router) {
+                        Some(w) => w,
+                        None => {
+                            router.sessions_lost += 1;
+                            router.logs.remove(&session);
+                            return;
+                        }
+                    }
+                } else {
+                    to
+                };
+                self.send_to(router, to, Cmd::Attach { session, live, restored: false });
                 self.settle(router, session, to, pending, false);
             }
             Reply::DetachRefused { session } => {
-                let Some(Placement::InTransit { from, pending, .. }) =
-                    router.place.remove(&session)
-                else {
+                let Some((from, _, pending)) = Self::take_transit(router, session) else {
                     return;
                 };
                 router.migrations_refused += 1;
@@ -847,8 +1384,7 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
                 self.settle(router, session, from, pending, false);
             }
             Reply::DetachMiss { session } => {
-                let Some(Placement::InTransit { to, pending, .. }) = router.place.remove(&session)
-                else {
+                let Some((_, to, pending)) = Self::take_transit(router, session) else {
                     return;
                 };
                 router.migrations_missed += 1;
@@ -856,17 +1392,175 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
                 // arrived. With nothing buffered this reclaims the stale
                 // placement; buffered commands open a fresh trip on the
                 // target instead.
+                let to = if router.failed[to] {
+                    match self.pick_survivor(router) {
+                        Some(w) => w,
+                        None => {
+                            router.place.remove(&session);
+                            return;
+                        }
+                    }
+                } else {
+                    to
+                };
                 self.settle(router, session, to, pending, true);
             }
         }
     }
 
-    /// Drains worker replies without blocking.
+    /// Drains worker replies without blocking, then runs one supervision
+    /// pass (respawn + recovery of any worker that died since the last
+    /// call). Every engine entry point funnels through here, so a panicked
+    /// worker is healed by whichever call touches the engine next.
     fn drain_replies(&self, router: &mut Router<M::Session>) {
         loop {
             let Ok(reply) = router.replies.try_recv() else { break };
             self.apply_reply(router, reply);
         }
+        self.supervise(router);
+    }
+
+    /// Detects dead workers, banks their stats, respawns them in place
+    /// (within the restart budget — past it the slot is marked failed) and
+    /// rebuilds every session they held from its latest checkpoint plus
+    /// the journaled command tail, replayed in order with the original
+    /// journal indices. Replayed points re-emit their `Update` events:
+    /// delivery under faults is at-least-once, but the rebuilt decoder
+    /// state — and therefore every final match — is bitwise-identical to a
+    /// fault-free run.
+    fn supervise(&self, router: &mut Router<M::Session>) {
+        let dead: Vec<usize> = (0..router.handles.len())
+            .filter(|&w| router.handles[w].as_ref().is_some_and(JoinHandle::is_finished))
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        let recovery_started = Instant::now();
+        for &w in &dead {
+            let handle = router.handles[w].take().expect("dead worker has a handle");
+            let (stats, _panicked) = handle.join().unwrap_or((StreamStats::default(), true));
+            router.banked.merge(stats);
+        }
+        // Everything the dead workers sent happened-before the joins
+        // above: fold in their last checkpoints/acks before deciding what
+        // needs rebuilding.
+        loop {
+            let Ok(reply) = router.replies.try_recv() else { break };
+            self.apply_reply(router, reply);
+        }
+        for &w in &dead {
+            // The dead incarnation's queue and live set died with it.
+            self.loads[w].depth.store(0, Ordering::Relaxed);
+            self.loads[w].live.store(0, Ordering::Relaxed);
+            if router.worker_restarts < u64::from(self.max_restarts) {
+                router.worker_restarts += 1;
+                let (tx, handle) = Self::spawn_worker(
+                    &self.matcher,
+                    w,
+                    self.queue_cap,
+                    &self.etx,
+                    &self.rtx,
+                    &self.loads,
+                    self.idle,
+                    self.checkpoint_every,
+                    self.faults.clone(),
+                );
+                router.txs[w] = tx;
+                router.handles[w] = Some(handle);
+            } else {
+                router.failed[w] = true;
+            }
+        }
+        // Re-home every session the dead workers held. In-transit sessions
+        // whose *source* died lost their state (it was in the worker or in
+        // a dropped command): rebuild on the migration target and discard
+        // the pending buffer — every pending command is already journaled.
+        // (A dead *target* needs no action here: the detached state is
+        // still safe on the source or in the reply channel, and the attach
+        // lands on the respawned slot — or is redirected by `apply_reply`
+        // if the slot failed permanently.)
+        let victims: Vec<(SessionId, usize)> = router
+            .place
+            .iter()
+            .filter_map(|(&sid, p)| match p {
+                Placement::On { worker, .. } if dead.contains(worker) => Some((sid, *worker)),
+                Placement::InTransit { from, to, .. } if dead.contains(from) => Some((sid, *to)),
+                _ => None,
+            })
+            .collect();
+        for (sid, target) in victims {
+            let target =
+                if router.failed[target] { self.pick_survivor(router) } else { Some(target) };
+            let ok = target.is_some_and(|t| self.recover_session(router, sid, t));
+            if !ok {
+                router.sessions_lost += 1;
+                router.place.remove(&sid);
+                router.logs.remove(&sid);
+            }
+        }
+        router.recovery_time_s += recovery_started.elapsed().as_secs_f64();
+    }
+
+    /// Rebuilds one session onto `target`: restore its latest checkpoint
+    /// (or begin fresh if none), attach, then replay the journal tail with
+    /// the original indices. Returns `false` only if the checkpoint fails
+    /// to restore (the caller counts the session lost).
+    fn recover_session(
+        &self,
+        router: &mut Router<M::Session>,
+        sid: SessionId,
+        target: usize,
+    ) -> bool {
+        let Some(log) = router.logs.get(&sid) else {
+            // Nothing journaled: the trip had fully ended — the placement
+            // was only sticky routing state.
+            router.place.remove(&sid);
+            return true;
+        };
+        if log.ckpt.is_none() && log.tail.is_empty() {
+            router.place.remove(&sid);
+            router.logs.remove(&sid);
+            return true;
+        }
+        let live = match &log.ckpt {
+            Some(c) => match self.matcher.restore_session(&c.payload) {
+                Ok(s) => Live {
+                    session: s,
+                    seq: c.seq,
+                    last_t: c.last_t,
+                    last_seen: Instant::now(),
+                    last_idx: c.idx,
+                    since_ckpt: 0,
+                },
+                Err(_) => return false,
+            },
+            None => Live::fresh(self.matcher.begin_session()),
+        };
+        let tail = log.tail.clone();
+        self.send_to(
+            router,
+            target,
+            Cmd::Attach { session: sid, live: Box::new(live), restored: true },
+        );
+        let mut finished = false;
+        for (idx, cmd) in tail {
+            match cmd {
+                JCmd::Point(point) => {
+                    finished = false;
+                    router.points_replayed += 1;
+                    self.send_to(router, target, Cmd::Push { session: sid, point, idx });
+                }
+                JCmd::Finish => {
+                    finished = true;
+                    self.send_to(router, target, Cmd::Finish { session: sid, idx });
+                }
+            }
+        }
+        router.sessions_recovered += 1;
+        router
+            .place
+            .insert(sid, Placement::On { worker: target, last_push: Instant::now(), finished });
+        true
     }
 
     /// Starts moving `session` to worker `to`; `stable_only` lets the
@@ -878,14 +1572,14 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
         to: usize,
         stable_only: bool,
     ) -> bool {
-        if to >= self.txs.len() {
+        if to >= router.txs.len() || router.failed[to] {
             return false;
         }
         let from = match router.place.get(&session) {
             Some(&Placement::On { worker, .. }) if worker != to => worker,
             _ => return false,
         };
-        if !self.send_to(from, Cmd::Detach { session, stable_only }) {
+        if !self.send_to(router, from, Cmd::Detach { session, stable_only }) {
             return false;
         }
         router.migrations_requested += 1;
@@ -897,12 +1591,13 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
     /// configured gap ahead of the coolest, migrate its least-recently
     /// pushed session there (watermark-stable sessions only).
     fn maybe_rebalance(&self, router: &mut Router<M::Session>) {
-        if self.rebalance_gap == 0 || self.txs.len() < 2 {
+        if self.rebalance_gap == 0 || router.txs.len() < 2 {
             return;
         }
         let loads: Vec<usize> = self.loads.iter().map(WorkerLoad::load).collect();
-        let hot = (0..loads.len()).max_by_key(|&w| loads[w]).expect("non-empty pool");
-        let cool = (0..loads.len()).min_by_key(|&w| loads[w]).expect("non-empty pool");
+        let alive = || (0..loads.len()).filter(|&w| !router.failed[w]);
+        let Some(hot) = alive().max_by_key(|&w| loads[w]) else { return };
+        let Some(cool) = alive().min_by_key(|&w| loads[w]) else { return };
         if loads[hot] - loads[cool] <= self.rebalance_gap {
             return;
         }
@@ -923,8 +1618,11 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
     }
 
     /// Feeds the next point of `session` (opening it if unseen), blocking
-    /// while the session's home worker queue is full. Returns `false` if
-    /// the worker is gone (it panicked — shutdown will surface that).
+    /// (with exponential backoff, up to [`StreamOptions::push_timeout_s`])
+    /// while the session's home worker queue is full. A worker panic midway
+    /// is healed in place: the supervisor respawns it and this call
+    /// retries. Returns `false` only when the deadline expires or every
+    /// worker has permanently failed.
     pub fn push(&self, session: SessionId, point: GpsPoint) -> bool {
         // The routing decision needs the router lock, but the wait for a
         // full worker queue must not: a blocking send under the lock
@@ -932,10 +1630,16 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
         // one hot worker. So: decide and try_send under the lock; on a
         // full queue, release the lock, wait briefly, re-resolve — the
         // placement may legitimately have moved (migration) meanwhile.
+        let deadline = self.push_timeout.map(|d| Instant::now() + d);
+        let mut backoff = Duration::from_micros(20);
         loop {
             let mut router = self.router.lock().expect("router poisoned");
             self.drain_replies(&mut router);
-            let worker = match router.place.get_mut(&session) {
+            if router.failed.iter().all(|&f| f) {
+                return false;
+            }
+            let r = &mut *router;
+            let worker = match r.place.get_mut(&session) {
                 Some(Placement::InTransit { pending, .. }) => {
                     // The transit buffer honours the same bound as a
                     // worker queue: past it, push blocks (lock released)
@@ -943,11 +1647,23 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
                     // drain_replies drives that resolution.
                     if pending.len() >= self.queue_cap {
                         drop(router);
-                        std::thread::sleep(Duration::from_micros(20));
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            return false;
+                        }
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(5));
                         continue;
                     }
-                    pending.push(Pending::Point(point));
-                    self.after_push(&mut router);
+                    // Accepted into the transit buffer: journal now — on a
+                    // crash the journal is replayed and the buffer
+                    // discarded, so buffered commands must be a subset of
+                    // the journal from the moment they exist.
+                    let log = r.logs.entry(session).or_insert_with(SessionLog::new);
+                    let idx = log.next_idx;
+                    log.next_idx += 1;
+                    log.tail.push((idx, JCmd::Point(point)));
+                    pending.push(Pending::Point(idx, point));
+                    self.after_push(r);
                     return true;
                 }
                 Some(Placement::On { worker, last_push, finished }) => {
@@ -956,8 +1672,8 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
                     *worker
                 }
                 None => {
-                    let w = self.place_new(&mut router, session);
-                    router.place.insert(
+                    let w = self.place_new(r, session);
+                    r.place.insert(
                         session,
                         Placement::On { worker: w, last_push: Instant::now(), finished: false },
                     );
@@ -967,20 +1683,35 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
             let load = &self.loads[worker];
             let depth = load.depth.fetch_add(1, Ordering::Relaxed) + 1;
             load.depth_hwm.fetch_max(depth, Ordering::Relaxed);
-            match self.txs[worker].try_send(Cmd::Push { session, point }) {
+            // Peek the journal index; commit the entry only once the send
+            // is accepted (a retry must not journal the point twice).
+            let idx = r.logs.get(&session).map_or(0, |l| l.next_idx);
+            match r.txs[worker].try_send(Cmd::Push { session, point, idx }) {
                 Ok(()) => {
-                    self.after_push(&mut router);
+                    let log = r.logs.entry(session).or_insert_with(SessionLog::new);
+                    log.next_idx = idx + 1;
+                    log.tail.push((idx, JCmd::Point(point)));
+                    self.after_push(r);
                     return true;
                 }
                 Err(std::sync::mpsc::TrySendError::Full(_)) => {
                     load.depth.fetch_sub(1, Ordering::Relaxed);
                     drop(router);
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return false;
+                    }
                     // Backpressure: the worker is queue_capacity behind.
-                    std::thread::sleep(Duration::from_micros(20));
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(5));
                 }
                 Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
                     load.depth.fetch_sub(1, Ordering::Relaxed);
-                    return false;
+                    // The worker panicked between drain_replies and the
+                    // send: retry — the next drain supervises the respawn.
+                    drop(router);
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return false;
+                    }
                 }
             }
         }
@@ -1022,15 +1753,32 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
     pub fn finish(&self, session: SessionId) -> bool {
         let mut router = self.router.lock().expect("router poisoned");
         self.drain_replies(&mut router);
-        match router.place.get_mut(&session) {
+        let r = &mut *router;
+        match r.place.get_mut(&session) {
             Some(Placement::InTransit { pending, .. }) => {
-                pending.push(Pending::Finish);
+                let log = r.logs.entry(session).or_insert_with(SessionLog::new);
+                let idx = log.next_idx;
+                log.next_idx += 1;
+                log.tail.push((idx, JCmd::Finish));
+                pending.push(Pending::Finish(idx));
                 true
             }
             Some(Placement::On { worker, finished, .. }) => {
                 let w = *worker;
                 *finished = true;
-                self.send_to(w, Cmd::Finish { session })
+                // Journal-first: if the worker dies before (or while)
+                // taking this, recovery replays the journaled finish —
+                // there is no retry loop here to double-journal it.
+                let log = r.logs.entry(session).or_insert_with(SessionLog::new);
+                let idx = log.next_idx;
+                log.next_idx += 1;
+                log.tail.push((idx, JCmd::Finish));
+                if !self.send_to(r, w, Cmd::Finish { session, idx }) {
+                    // Worker just died: the next drain_replies replays the
+                    // journal (including this finish) onto its successor.
+                    self.supervise(r);
+                }
+                true
             }
             None => true,
         }
@@ -1068,6 +1816,11 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
             migrations_completed: router.migrations_completed,
             migrations_refused: router.migrations_refused,
             migrations_missed: router.migrations_missed,
+            worker_restarts: router.worker_restarts,
+            sessions_recovered: router.sessions_recovered,
+            points_replayed: router.points_replayed,
+            sessions_lost: router.sessions_lost,
+            recovery_time_s: router.recovery_time_s,
         }
     }
 
@@ -1084,24 +1837,36 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
     }
 
     /// Blocks up to `timeout` for one event. Periodically advances
-    /// in-flight migrations while waiting, so a consumer blocked here
-    /// cannot deadlock against a session whose commands are buffered in
-    /// transit (e.g. a `finish` issued right after a `migrate`).
-    pub fn recv_event_timeout(&self, timeout: Duration) -> Option<StreamEvent> {
+    /// in-flight migrations (and worker supervision) while waiting, so a
+    /// consumer blocked here cannot deadlock against a session whose
+    /// commands are buffered in transit (e.g. a `finish` issued right
+    /// after a `migrate`). The two empty outcomes are distinguishable:
+    /// [`RecvEventError::Timeout`] means a quiet stream that may yet emit;
+    /// [`RecvEventError::Disconnected`] means every worker permanently
+    /// failed and the buffer is drained, so no event can ever arrive.
+    pub fn recv_event_timeout(&self, timeout: Duration) -> Result<StreamEvent, RecvEventError> {
         let deadline = Instant::now() + timeout;
         loop {
-            {
+            let all_failed = {
                 let mut router = self.router.lock().expect("router poisoned");
                 self.drain_replies(&mut router);
-            }
+                router.failed.iter().all(|&f| f)
+            };
             let remaining = deadline.saturating_duration_since(Instant::now());
             let slice = remaining.min(Duration::from_millis(10));
             match self.events.recv_timeout(slice) {
-                Ok(e) => return Some(e),
-                Err(RecvTimeoutError::Disconnected) => return None,
+                Ok(e) => return Ok(e),
+                // The engine holds a sender clone, so a true disconnect
+                // cannot happen while it is alive; map it for completeness.
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvEventError::Disconnected),
                 Err(RecvTimeoutError::Timeout) => {
+                    if all_failed {
+                        // Buffer empty (the recv just timed out) and no
+                        // producer can ever exist again.
+                        return Err(RecvEventError::Disconnected);
+                    }
                     if remaining <= slice {
-                        return None;
+                        return Err(RecvEventError::Timeout);
                     }
                 }
             }
@@ -1133,33 +1898,193 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
         }
     }
 
-    /// Stops intake, finalizes every live session (reason
-    /// [`FinalizeReason::Shutdown`]), joins the workers and returns the
-    /// events not yet polled plus the aggregate counters.
-    ///
-    /// # Panics
-    /// Propagates a worker panic (a matcher implementation bug).
+    /// Checkpoints every live session into a portable
+    /// [`SessionSnapshot`] and removes it from the engine — the handoff
+    /// half of a rolling restart. A successor engine (same matcher)
+    /// resumes them all with [`StreamEngine::restore`] and the continued
+    /// decodes are bitwise-identical to never having stopped. In-flight
+    /// migrations are resolved first; sessions whose trip already ended
+    /// are skipped (there is nothing live to hand off). Worker panics
+    /// during the drain are supervised and the detach re-requested, so a
+    /// faulty engine still drains every recoverable session within
+    /// `timeout`.
     #[must_use]
-    pub fn shutdown(self) -> (Vec<StreamEvent>, StreamStats) {
-        // Resolve in-flight migrations first: a session detached but not
-        // yet re-attached lives only in the reply channel and would never
-        // be finalized.
+    pub fn drain_snapshots(&self, timeout: Duration) -> Vec<SessionSnapshot> {
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::new();
+        let mut router = self.router.lock().expect("router poisoned");
+        self.drain_replies(&mut router);
+        // Resolve in-flight migrations so every session sits On a worker.
+        while router.place.values().any(|p| matches!(p, Placement::InTransit { .. }))
+            && Instant::now() < deadline
         {
-            let mut router = self.router.lock().expect("router poisoned");
-            while router.place.values().any(|p| matches!(p, Placement::InTransit { .. })) {
-                match router.replies.recv_timeout(Duration::from_secs(10)) {
-                    Ok(reply) => self.apply_reply(&mut router, reply),
-                    // A worker died mid-migration; the join below panics
-                    // with the real cause.
-                    Err(_) => break,
+            match router.replies.recv_timeout(Duration::from_millis(20)) {
+                Ok(reply) => self.apply_reply(&mut router, reply),
+                Err(_) => self.drain_replies(&mut router),
+            }
+        }
+        // Ask every live session off its worker (unconditionally — this is
+        // a handoff, not a rebalance, so stability doesn't matter).
+        let mut draining: HashSet<SessionId> = HashSet::new();
+        let targets: Vec<(SessionId, usize)> = router
+            .place
+            .iter()
+            .filter_map(|(&sid, p)| match p {
+                Placement::On { worker, finished: false, .. } => Some((sid, *worker)),
+                _ => None,
+            })
+            .collect();
+        for (sid, w) in targets {
+            if self.send_to(&router, w, Cmd::Detach { session: sid, stable_only: false }) {
+                draining.insert(sid);
+            }
+        }
+        while !draining.is_empty() && Instant::now() < deadline {
+            match router.replies.recv_timeout(Duration::from_millis(20)) {
+                Ok(Reply::Detached { session, live }) if draining.contains(&session) => {
+                    draining.remove(&session);
+                    let mut payload = Vec::new();
+                    self.matcher.snapshot_session(&live.session, &mut payload);
+                    out.push(SessionSnapshot {
+                        session,
+                        matcher: self.matcher.name().to_string(),
+                        seq: live.seq as u64,
+                        last_t: live.last_t,
+                        payload,
+                    });
+                    router.place.remove(&session);
+                    router.logs.remove(&session);
+                }
+                Ok(Reply::DetachMiss { session }) if draining.contains(&session) => {
+                    // The trip ended (idle eviction) between the scan and
+                    // the detach: nothing live to hand off.
+                    draining.remove(&session);
+                    router.place.remove(&session);
+                    router.logs.remove(&session);
+                }
+                Ok(reply) => self.apply_reply(&mut router, reply),
+                Err(_) => {
+                    // Supervise: a worker may have died holding sessions we
+                    // are draining. Recovery re-homes them (placement goes
+                    // back to On), so re-request those detaches.
+                    self.drain_replies(&mut router);
+                    let again: Vec<(SessionId, usize)> = draining
+                        .iter()
+                        .filter_map(|&sid| match router.place.get(&sid) {
+                            Some(&Placement::On { worker, .. }) => Some((sid, worker)),
+                            Some(&Placement::InTransit { .. }) => None,
+                            None => None,
+                        })
+                        .collect();
+                    for (sid, w) in again {
+                        self.send_to(&router, w, Cmd::Detach { session: sid, stable_only: false });
+                    }
                 }
             }
         }
-        let Self { txs, events, handles, .. } = self;
+        out
+    }
+
+    /// Resumes sessions checkpointed by [`StreamEngine::drain_snapshots`]
+    /// (or by the supervisor's checkpoint path) on this engine: each
+    /// snapshot is validated against this engine's matcher, thawed, placed
+    /// like a new session, and seeded into the crash-recovery journal so a
+    /// worker panic before the first new checkpoint replays from the
+    /// restored state. Returns the number of sessions resumed.
+    ///
+    /// # Errors
+    /// [`SnapshotError::WrongMatcher`] if a snapshot was written by a
+    /// different matcher; any payload decode error from the matcher's
+    /// `restore_session`; [`SnapshotError::Malformed`] if the session id
+    /// is already live on this engine. Sessions restored before the
+    /// failing snapshot stay restored.
+    pub fn restore(&self, snaps: &[SessionSnapshot]) -> Result<usize, SnapshotError> {
+        let mut router = self.router.lock().expect("router poisoned");
+        self.drain_replies(&mut router);
+        let mut n = 0;
+        for snap in snaps {
+            snap.expect_matcher(self.matcher.name())?;
+            if router.place.contains_key(&snap.session) || router.logs.contains_key(&snap.session) {
+                return Err(SnapshotError::Malformed("session id already live on this engine"));
+            }
+            if router.failed.iter().all(|&f| f) {
+                return Err(SnapshotError::Malformed("engine has no live workers left"));
+            }
+            let session_state = self.matcher.restore_session(&snap.payload)?;
+            #[allow(clippy::cast_possible_truncation)]
+            let live = Live {
+                session: session_state,
+                seq: snap.seq as usize,
+                last_t: snap.last_t,
+                last_seen: Instant::now(),
+                last_idx: 0,
+                since_ckpt: 0,
+            };
+            let w = self.place_new(&mut router, snap.session);
+            let mut log = SessionLog::new();
+            log.ckpt = Some(Ckpt {
+                idx: 0,
+                payload: snap.payload.clone(),
+                seq: live.seq,
+                last_t: live.last_t,
+            });
+            router.logs.insert(snap.session, log);
+            self.send_to(
+                &router,
+                w,
+                Cmd::Attach { session: snap.session, live: Box::new(live), restored: true },
+            );
+            router.place.insert(
+                snap.session,
+                Placement::On { worker: w, last_push: Instant::now(), finished: false },
+            );
+            router.sessions_recovered += 1;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Stops intake, finalizes every live session (reason
+    /// [`FinalizeReason::Shutdown`]), joins the workers and returns the
+    /// events not yet polled plus the aggregate counters. A worker panic
+    /// during the wind-down is supervised like any other (its sessions are
+    /// recovered and flushed by the respawned worker), not propagated.
+    #[must_use]
+    pub fn shutdown(self) -> (Vec<StreamEvent>, StreamStats) {
+        // Settle the engine first, under a deadline: resolve in-flight
+        // migrations (a session detached but not yet re-attached lives
+        // only in the reply channel and would never be finalized), drain
+        // the queues of live workers, and supervise any late panic so its
+        // sessions are rebuilt before intake closes.
+        {
+            let mut router = self.router.lock().expect("router poisoned");
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                self.drain_replies(&mut router);
+                let busy = router.place.values().any(|p| matches!(p, Placement::InTransit { .. }))
+                    || self
+                        .loads
+                        .iter()
+                        .enumerate()
+                        .any(|(w, l)| !router.failed[w] && l.depth.load(Ordering::Relaxed) > 0);
+                if !busy || Instant::now() >= deadline {
+                    break;
+                }
+                if let Ok(reply) = router.replies.recv_timeout(Duration::from_millis(20)) {
+                    self.apply_reply(&mut router, reply);
+                }
+            }
+        }
+        let Self { router, events, .. } = self;
+        let Router { txs, handles, banked, .. } = router.into_inner().expect("router poisoned");
+        // Dropping the senders disconnects every worker, which flushes its
+        // remaining sessions and exits.
         drop(txs);
-        let mut stats = StreamStats::default();
-        for h in handles {
-            stats.merge(h.join().expect("stream worker panicked"));
+        let mut stats = banked;
+        for h in handles.into_iter().flatten() {
+            if let Ok((s, _panicked)) = h.join() {
+                stats.merge(s);
+            }
         }
         // Workers are joined, so every in-flight event is buffered by now.
         let events = events.try_iter().collect();
@@ -1298,6 +2223,11 @@ mod tests {
         assert_eq!(session, 7);
         assert_eq!(reason, FinalizeReason::IdleTimeout);
         assert_eq!(result, hmm.match_trajectory(t));
+        // The eviction is visible live in the router telemetry, not only
+        // in the shutdown-time stats.
+        let rs = engine.router_stats();
+        assert_eq!(rs.idle_finalized(), 1);
+        assert_eq!(rs.late_dropped(), 0);
         let (_, stats) = engine.shutdown();
         assert_eq!(stats.finalized_idle, 1);
         assert_eq!(stats.finalized(), 1);
@@ -1318,6 +2248,11 @@ mod tests {
             engine.push(1, p);
         }
         engine.finish(1);
+        assert!(engine.quiesce(Duration::from_secs(10)));
+        // Drops are counted per worker and surface live in router stats.
+        let rs = engine.router_stats();
+        assert_eq!(rs.late_dropped(), stale as u64);
+        assert_eq!(rs.idle_finalized(), 0);
         let (events, stats) = engine.shutdown();
         assert_eq!(stats.late_dropped, stale as u64);
         assert_eq!(stats.points, t.len() as u64);
@@ -1574,7 +2509,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut finalized = None;
         while finalized.is_none() && Instant::now() < deadline {
-            if let Some(StreamEvent::Finalized { session, result, .. }) =
+            if let Ok(StreamEvent::Finalized { session, result, .. }) =
                 engine.recv_event_timeout(Duration::from_millis(50))
             {
                 finalized = Some((session, result));
@@ -1661,5 +2596,182 @@ mod tests {
         assert_eq!(stats.sessions_opened, batch.len() as u64);
         let total: u64 = batch.iter().map(|t| t.len() as u64).sum();
         assert_eq!(stats.points, total);
+    }
+
+    #[test]
+    fn recv_event_timeout_distinguishes_quiet_from_dead() {
+        let (hmm, _) = world();
+        let engine = StreamEngine::new(hmm, StreamOptions::with_threads(2));
+        // Healthy engine, nothing pushed: a quiet stream, not a dead one.
+        assert_eq!(
+            engine.recv_event_timeout(Duration::from_millis(30)),
+            Err(RecvEventError::Timeout)
+        );
+        let _ = engine.shutdown();
+    }
+
+    /// The acceptance bar of the supervision feature: injected worker
+    /// panics mid-stream lose nothing — every session is rebuilt from its
+    /// checkpoint + journal and finalizes bitwise-identical to a
+    /// fault-free (offline) decode.
+    #[test]
+    fn injected_panics_recover_every_session_bitwise() {
+        FaultPlan::silence_injected_panics();
+        let (hmm, batch) = world();
+        let plan = FaultPlan::panics(0xBAD5EED, 250, 3);
+        let engine = StreamEngine::with_faults(
+            hmm.clone(),
+            StreamOptions::with_threads(2).idle_timeout_s(0.0).checkpoint_every(4),
+            plan,
+        );
+        let longest = batch.iter().map(Trajectory::len).max().unwrap();
+        for i in 0..longest {
+            for (sid, t) in batch.iter().enumerate() {
+                if let Some(&p) = t.points.get(i) {
+                    assert!(engine.push(sid as SessionId, p));
+                }
+            }
+        }
+        for sid in 0..batch.len() {
+            assert!(engine.finish(sid as SessionId));
+        }
+        assert!(engine.quiesce(Duration::from_secs(30)));
+        let rs = engine.router_stats();
+        assert!(rs.worker_restarts >= 1, "the fault plan must actually fire: {rs:?}");
+        assert_eq!(rs.sessions_lost, 0, "supervision must lose nothing: {rs:?}");
+        assert!(rs.sessions_recovered >= 1, "dead workers held live sessions: {rs:?}");
+        let (events, stats) = engine.shutdown();
+        // Replayed points decode (and emit) again, so `points` may exceed
+        // the input count — but never undershoot it.
+        let total: u64 = batch.iter().map(|t| t.len() as u64).sum();
+        assert!(stats.points >= total, "points lost: {} < {total}", stats.points);
+        let finals = collect_finalized(&events);
+        assert_eq!(finals.len(), batch.len(), "a session vanished: {rs:?}");
+        for (sid, t) in batch.iter().enumerate() {
+            let (reason, result) = &finals[&(sid as SessionId)];
+            assert_eq!(*reason, FinalizeReason::Explicit);
+            assert_eq!(
+                *result,
+                hmm.match_trajectory(t),
+                "session {sid} diverged after crash recovery"
+            );
+        }
+    }
+
+    /// Past the restart budget the engine degrades loudly, not silently:
+    /// pushes fail, the lost session is counted, and the event channel
+    /// reports `Disconnected` instead of an indistinguishable timeout.
+    #[test]
+    fn exhausted_restart_budget_reports_dead_engine() {
+        FaultPlan::silence_injected_panics();
+        let (hmm, batch) = world();
+        let plan = FaultPlan::panics(7, 1000, u32::MAX); // every command panics
+        let engine = StreamEngine::with_faults(
+            hmm,
+            StreamOptions::with_threads(1).idle_timeout_s(0.0).max_worker_restarts(0),
+            plan,
+        );
+        let t = &batch[0];
+        // Keep pushing until the supervisor notices the corpse and marks
+        // the only worker slot permanently failed.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut accepted = true;
+        while accepted && Instant::now() < deadline {
+            accepted = engine.push(5, t.points[0]);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!accepted, "push must fail once every worker is gone");
+        let rs = engine.router_stats();
+        assert_eq!(rs.worker_restarts, 0, "budget of zero allows no respawn");
+        assert_eq!(rs.sessions_lost, 1, "the lost session must be counted: {rs:?}");
+        assert_eq!(
+            engine.recv_event_timeout(Duration::from_millis(50)),
+            Err(RecvEventError::Disconnected)
+        );
+        let (_, stats) = engine.shutdown();
+        assert_eq!(stats.points, 0, "every command panicked before decoding");
+    }
+
+    /// Rolling-restart handoff: drain a live engine to snapshots, restore
+    /// them on a successor, continue the streams — the finals are
+    /// bitwise-identical to never having stopped.
+    #[test]
+    fn drain_snapshots_then_restore_resumes_identically() {
+        let (hmm, batch) = world();
+        let opts = || StreamOptions::with_threads(2).idle_timeout_s(0.0);
+        let first = StreamEngine::new(hmm.clone(), opts());
+        for (sid, t) in batch.iter().enumerate() {
+            for &p in &t.points[..t.len() / 2] {
+                assert!(first.push(sid as SessionId, p));
+            }
+        }
+        // One session mid-migration at drain time: the drain must resolve
+        // it rather than skip or split it.
+        first.migrate(0, 1);
+        let mut snaps = first.drain_snapshots(Duration::from_secs(10));
+        assert_eq!(snaps.len(), batch.len(), "every live session drains");
+        assert!(
+            first.drain_snapshots(Duration::from_secs(1)).is_empty(),
+            "drained sessions left the engine"
+        );
+        let (events, _) = first.shutdown();
+        assert!(
+            !events.iter().any(|e| matches!(e, StreamEvent::Finalized { .. })),
+            "drained sessions must not also finalize"
+        );
+        // The envelope survives a byte round-trip (what a process restart
+        // would persist and reload).
+        snaps = snaps
+            .iter()
+            .map(|s| SessionSnapshot::decode(&s.encode()).expect("envelope round-trips"))
+            .collect();
+        let second = StreamEngine::new(hmm.clone(), opts());
+        assert_eq!(second.restore(&snaps), Ok(batch.len()));
+        for (sid, t) in batch.iter().enumerate() {
+            for &p in &t.points[t.len() / 2..] {
+                assert!(second.push(sid as SessionId, p));
+            }
+            assert!(second.finish(sid as SessionId));
+        }
+        let (events, stats) = second.shutdown();
+        let finals = collect_finalized(&events);
+        assert_eq!(finals.len(), batch.len());
+        for (sid, t) in batch.iter().enumerate() {
+            let (reason, result) = &finals[&(sid as SessionId)];
+            assert_eq!(*reason, FinalizeReason::Explicit);
+            assert_eq!(
+                *result,
+                hmm.match_trajectory(t),
+                "session {sid} diverged across the engine handoff"
+            );
+        }
+        // Only the post-restore points were decoded here; the updates'
+        // seq numbers continued from the snapshot (no overlap, no gap).
+        let second_half: u64 = batch.iter().map(|t| (t.len() - t.len() / 2) as u64).sum();
+        assert_eq!(stats.points, second_half);
+    }
+
+    /// Restore guards: a snapshot from one matcher cannot thaw into
+    /// another, and a live session id cannot be overwritten.
+    #[test]
+    fn restore_rejects_wrong_matcher_and_live_ids() {
+        let (hmm, batch) = world();
+        let engine = StreamEngine::new(hmm.clone(), StreamOptions::with_threads(1));
+        for &p in &batch[0].points[..2] {
+            assert!(engine.push(4, p));
+        }
+        let snaps = engine.drain_snapshots(Duration::from_secs(10));
+        assert_eq!(snaps.len(), 1);
+        let wrong = SessionSnapshot { matcher: "Nearest".to_string(), ..snaps[0].clone() };
+        assert!(matches!(engine.restore(&[wrong]), Err(SnapshotError::WrongMatcher { .. })));
+        assert_eq!(engine.restore(&snaps), Ok(1));
+        assert!(engine.restore(&snaps).is_err(), "session 4 is live again");
+        assert!(engine.finish(4));
+        let (events, _) = engine.shutdown();
+        let finals = collect_finalized(&events);
+        assert_eq!(
+            finals[&4].1,
+            hmm.match_trajectory(&Trajectory { points: batch[0].points[..2].to_vec() })
+        );
     }
 }

@@ -44,6 +44,7 @@ pub mod gen;
 pub mod io;
 pub mod metrics;
 pub mod online;
+pub mod snapshot;
 pub mod types;
 
 pub use api::{
@@ -54,4 +55,5 @@ pub use dataset::{build_dataset, Dataset, DatasetConfig, Split};
 pub use gen::{sparsify, RawTrajectory, Sample, TrajConfig};
 pub use metrics::{matching_metrics, recovery_metrics, MatchingMetrics, RecoveryMetrics};
 pub use online::{OnlineMatcher, OnlineUpdate};
+pub use snapshot::SnapshotError;
 pub use types::{GpsPoint, MatchedPoint, MatchedTrajectory, Route, Trajectory};

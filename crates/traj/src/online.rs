@@ -36,6 +36,7 @@
 //! [`MapMatcher::match_trajectory`]: crate::api::MapMatcher::match_trajectory
 
 use crate::api::{MatchResult, ScratchMatcher};
+use crate::snapshot::SnapshotError;
 use crate::types::{GpsPoint, MatchedPoint};
 
 /// What one [`OnlineMatcher::push_point`] call tells the caller.
@@ -124,4 +125,27 @@ pub trait OnlineMatcher: ScratchMatcher {
     fn session_stable(&self, session: &Self::Session) -> bool {
         self.session_watermark(session) >= self.session_len(session)
     }
+
+    /// Serializes the session's complete decoder state into `out`, using
+    /// the wire primitives of [`crate::snapshot`]. Because sessions are
+    /// detachable (they borrow nothing from any scratch), the byte string
+    /// is the *whole* decode: restoring it on any worker of any process
+    /// running the same matcher configuration continues the stream
+    /// bitwise-identically — the contract crash recovery and rolling
+    /// restarts rest on, property-tested in `tests/props_snapshot.rs`.
+    ///
+    /// Implementations append raw payload bytes only; the engine wraps them
+    /// in a versioned, checksummed envelope (`trmma_core::snapshot`) that
+    /// also records which matcher produced them.
+    fn snapshot_session(&self, session: &Self::Session, out: &mut Vec<u8>);
+
+    /// Reconstructs a session from bytes written by
+    /// [`OnlineMatcher::snapshot_session`]. The restored session must be
+    /// indistinguishable from the original: same `session_len`, same
+    /// `session_watermark`, and every future `push_point`/`finalize`
+    /// bit-for-bit equal to what the original would have produced.
+    ///
+    /// Fails with [`SnapshotError`] (never panics) on truncated or
+    /// structurally invalid input.
+    fn restore_session(&self, bytes: &[u8]) -> Result<Self::Session, SnapshotError>;
 }

@@ -5,6 +5,11 @@
 //! points. The engine's load-aware router places each device by
 //! power-of-two-choices and reports per-worker telemetry.
 //!
+//! A second act replays the same trips with seeded worker panics injected
+//! mid-stream: the supervisor respawns the dead workers and rebuilds every
+//! session from its checkpoint + journal, so nothing is lost and the final
+//! routes are still bitwise-identical to the offline decode.
+//!
 //! ```sh
 //! cargo run --release --example streaming_demo
 //! ```
@@ -12,7 +17,7 @@
 use std::sync::Arc;
 
 use trmma::baselines::{HmmConfig, HmmMatcher};
-use trmma::core::{SessionId, StreamEngine, StreamEvent, StreamOptions};
+use trmma::core::{FaultPlan, SessionId, StreamEngine, StreamEvent, StreamOptions};
 use trmma::traj::dataset::{build_dataset, DatasetConfig, Split};
 use trmma::traj::types::Trajectory;
 use trmma::traj::MapMatcher;
@@ -98,5 +103,51 @@ fn main() {
     println!(
         "migrations: {} completed, {} refused (not watermark-stable) of {} requested",
         router.migrations_completed, router.migrations_refused, router.migrations_requested
+    );
+
+    // Act two: the same trips under injected worker panics. The supervisor
+    // respawns each dead worker and rebuilds its sessions from the latest
+    // checkpoint plus the journaled point tail — zero sessions lost,
+    // finals bitwise-identical to the fault-free decode above.
+    println!("\n== chaos replay: seeded worker panics mid-stream ==");
+    FaultPlan::silence_injected_panics();
+    let chaotic = StreamEngine::with_faults(
+        hmm.clone(),
+        StreamOptions::with_threads(2).idle_timeout_s(10.0).checkpoint_every(4),
+        FaultPlan::panics(0xC4A05, 200, 3),
+    );
+    for i in 0..longest {
+        for (device, trip) in trips.iter().enumerate() {
+            if let Some(&p) = trip.points.get(i) {
+                chaotic.push(device as SessionId, p);
+            }
+        }
+    }
+    for device in 0..trips.len() {
+        chaotic.finish(device as SessionId);
+    }
+    chaotic.quiesce(std::time::Duration::from_secs(10));
+    let recovery = chaotic.router_stats();
+    let (events, _) = chaotic.shutdown();
+    for e in &events {
+        if let StreamEvent::Finalized { session, result, .. } = e {
+            let offline = hmm.match_trajectory(&trips[*session as usize]);
+            println!(
+                "device {session}: recovered route identical to offline decode: {}",
+                *result == offline
+            );
+        }
+    }
+    println!(
+        "recovery: {} worker restarts, {} sessions recovered, {} journaled points replayed, {} sessions lost ({:.3} ms mean recovery per crash)",
+        recovery.worker_restarts,
+        recovery.sessions_recovered,
+        recovery.points_replayed,
+        recovery.sessions_lost,
+        if recovery.worker_restarts > 0 {
+            recovery.recovery_time_s * 1e3 / recovery.worker_restarts as f64
+        } else {
+            0.0
+        }
     );
 }

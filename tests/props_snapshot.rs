@@ -1,0 +1,304 @@
+//! Property tests for session snapshot/restore and crash recovery:
+//!
+//! * **Snapshot transparency** — for *every* `OnlineMatcher` in the
+//!   repository (Nearest, HMM, FMM, LHMM, MMA), freezing a session to
+//!   bytes at an arbitrary stream position and thawing it yields a session
+//!   whose remaining updates, watermarks and finalize are bitwise-identical
+//!   to the uninterrupted original (and to the offline decode);
+//! * **Envelope integrity** — the versioned/checksummed envelope
+//!   round-trips exactly, and any single corrupted byte or truncation is
+//!   rejected with an error, never a panic or a silent wrong decode;
+//! * **Engine handoff** — draining a live engine to snapshots at an
+//!   arbitrary cut point (including sessions snapshotted mid-migration)
+//!   and restoring onto a successor engine finalizes every session
+//!   bitwise-identical to the offline decode;
+//! * **Chaos zero-loss** — with seeded fault injection (worker panics,
+//!   stalls, reply delays) the supervisor rebuilds every session from its
+//!   checkpoint + journal: nothing is lost and every final match equals
+//!   the fault-free decode.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trmma::baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher, NearestMatcher};
+use trmma::core::{
+    FaultPlan, FinalizeReason, Mma, MmaConfig, SessionId, SessionSnapshot, StreamEngine,
+    StreamEvent, StreamOptions,
+};
+use trmma::roadnet::{generate_city, NetworkConfig, RoadNetwork, RoutePlanner};
+use trmma::traj::gen::{generate_trajectory, sparsify, TrajConfig};
+use trmma::traj::types::Trajectory;
+use trmma::traj::{MapMatcher, OnlineMatcher, Sample};
+
+/// Generates a city plus a handful of sparse samples from a seed pair.
+fn arbitrary_world(net_seed: u64, traj_seed: u64) -> (Arc<RoadNetwork>, Vec<Sample>) {
+    let side = 6 + (net_seed % 3) as usize; // 6x6 .. 8x8 grids
+    let net = Arc::new(generate_city(&NetworkConfig::with_size(side, side, net_seed)));
+    let cfg = TrajConfig { min_points: 8, ..TrajConfig::default() };
+    let mut rng = StdRng::seed_from_u64(traj_seed);
+    let mut samples = Vec::new();
+    for _ in 0..10 {
+        if samples.len() == 4 {
+            break;
+        }
+        if let Some(raw) = generate_trajectory(&net, &cfg, &mut rng) {
+            samples.push(sparsify(&raw, 0.3, &mut rng));
+        }
+    }
+    (net, samples)
+}
+
+/// Pushes `cut` points, freezes the session through the full byte
+/// envelope, thaws it, and runs the original and the restored session
+/// side by side over the remaining points: every update and the finalize
+/// must be bitwise-identical (and equal to the offline decode).
+fn assert_snapshot_transparent<M: OnlineMatcher>(matcher: &M, traj: &Trajectory, cut: usize) {
+    let offline = matcher.match_trajectory(traj);
+    let mut scratch = matcher.make_scratch();
+    let mut original = matcher.begin_session();
+    let mut last_t = f64::NEG_INFINITY;
+    for &p in &traj.points[..cut] {
+        matcher.push_point(&mut scratch, &mut original, p);
+        last_t = p.t;
+    }
+    let mut payload = Vec::new();
+    matcher.snapshot_session(&original, &mut payload);
+    let envelope = SessionSnapshot {
+        session: 42,
+        matcher: matcher.name().to_string(),
+        seq: cut as u64,
+        last_t,
+        payload,
+    };
+    let bytes = envelope.encode();
+    // Any single corrupted byte is caught (CRC-32 detects all bursts of
+    // up to 32 bits), and any truncation errors out instead of panicking.
+    let mid = bytes.len() / 2;
+    for i in [0, mid, bytes.len() - 1] {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x10;
+        assert!(
+            SessionSnapshot::decode(&bad).is_err(),
+            "{}: corrupt byte {i} accepted",
+            matcher.name()
+        );
+        assert!(
+            SessionSnapshot::decode(&bytes[..i]).is_err(),
+            "{}: truncation accepted",
+            matcher.name()
+        );
+    }
+    let decoded = SessionSnapshot::decode(&bytes).expect("envelope round-trips");
+    assert_eq!(decoded, envelope, "{}: envelope not bitwise-stable", matcher.name());
+    decoded.expect_matcher(matcher.name()).expect("matcher name preserved");
+    let mut restored =
+        matcher.restore_session(&decoded.payload).expect("snapshot payload restores");
+    assert_eq!(
+        matcher.session_len(&restored),
+        matcher.session_len(&original),
+        "{}: restored length differs at cut {cut}",
+        matcher.name()
+    );
+    assert_eq!(
+        matcher.session_watermark(&restored),
+        matcher.session_watermark(&original),
+        "{}: restored watermark differs at cut {cut}",
+        matcher.name()
+    );
+    for (i, &p) in traj.points[cut..].iter().enumerate() {
+        let a = matcher.push_point(&mut scratch, &mut original, p);
+        let b = matcher.push_point(&mut scratch, &mut restored, p);
+        assert_eq!(a, b, "{}: update {i} after restore diverged (cut {cut})", matcher.name());
+    }
+    let a = matcher.finalize(&mut scratch, original);
+    let b = matcher.finalize(&mut scratch, restored);
+    assert_eq!(a, b, "{}: finalize diverged after restore (cut {cut})", matcher.name());
+    assert_eq!(b, offline, "{}: restored session diverged from offline", matcher.name());
+}
+
+/// Streams a prefix of every session into one engine, drains it to
+/// snapshots (optionally with a forced migration in flight), restores on
+/// a successor engine, streams the rest, and asserts every final equals
+/// the offline decode of the full trajectory.
+fn assert_handoff_identical<M: OnlineMatcher + 'static>(
+    matcher: &Arc<M>,
+    batch: &[Trajectory],
+    threads: usize,
+    cut_seed: u64,
+    migrate_in_flight: bool,
+) {
+    let opts = || StreamOptions::with_threads(threads).idle_timeout_s(0.0).rebalance_threshold(0);
+    let first = StreamEngine::new(matcher.clone(), opts());
+    let mut rng = StdRng::seed_from_u64(cut_seed);
+    let mut cuts = Vec::with_capacity(batch.len());
+    for (sid, t) in batch.iter().enumerate() {
+        // Cut anywhere, including 0 (nothing streamed yet → nothing to
+        // drain for that session) and len (fully streamed, not finished).
+        let cut = rng.gen_range(0..t.len() + 1);
+        cuts.push(cut);
+        for &p in &t.points[..cut] {
+            assert!(first.push(sid as SessionId, p));
+        }
+    }
+    if migrate_in_flight && threads > 1 {
+        for sid in 0..batch.len() {
+            first.migrate(sid as SessionId, rng.gen_range(0..threads));
+        }
+    }
+    let snaps = first.drain_snapshots(Duration::from_secs(30));
+    let expected: usize = cuts.iter().filter(|&&c| c > 0).count();
+    assert_eq!(snaps.len(), expected, "one snapshot per session that saw points");
+    let _ = first.shutdown();
+    let second = StreamEngine::new(matcher.clone(), opts());
+    let restored = second.restore(&snaps).expect("snapshots restore onto the successor");
+    assert_eq!(restored, expected);
+    for (sid, t) in batch.iter().enumerate() {
+        for &p in &t.points[cuts[sid]..] {
+            assert!(second.push(sid as SessionId, p));
+        }
+        assert!(second.finish(sid as SessionId));
+    }
+    let (events, _) = second.shutdown();
+    let finals: HashMap<SessionId, _> = events
+        .iter()
+        .filter_map(|e| match e {
+            StreamEvent::Finalized { session, result, .. } => Some((*session, result.clone())),
+            StreamEvent::Update { .. } => None,
+        })
+        .collect();
+    for (sid, t) in batch.iter().enumerate() {
+        if t.is_empty() {
+            continue;
+        }
+        assert_eq!(
+            finals.get(&(sid as SessionId)),
+            Some(&matcher.match_trajectory(t)),
+            "{} session {sid} diverged across handoff (cut {})",
+            matcher.name(),
+            cuts[sid]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn snapshot_restore_is_transparent_for_every_matcher(
+        net_seed in 0u64..1_000,
+        traj_seed in 0u64..1_000,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (net, samples) = arbitrary_world(net_seed, traj_seed);
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let cfg = HmmConfig::default();
+        let nearest = NearestMatcher::new(net.clone(), planner.clone());
+        let hmm = HmmMatcher::new(net.clone(), planner.clone(), cfg.clone());
+        let fmm = FmmMatcher::new(net.clone(), planner.clone(), cfg.clone());
+        let lhmm = LhmmMatcher::fit(net.clone(), planner.clone(), cfg, &samples);
+        let mma = Mma::new(net.clone(), planner, None, MmaConfig::small());
+        for s in &samples {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+            #[allow(clippy::cast_sign_loss)]
+            let cut = ((s.sparse.len() as f64) * cut_frac) as usize;
+            assert_snapshot_transparent(&nearest, &s.sparse, cut);
+            assert_snapshot_transparent(&hmm, &s.sparse, cut);
+            assert_snapshot_transparent(&fmm, &s.sparse, cut);
+            assert_snapshot_transparent(&lhmm, &s.sparse, cut);
+            assert_snapshot_transparent(&mma, &s.sparse, cut);
+        }
+    }
+
+    #[test]
+    fn engine_handoff_preserves_offline_identity(
+        net_seed in 0u64..1_000,
+        traj_seed in 0u64..1_000,
+        threads in 1usize..4,
+        cut_seed in 0u64..1_000,
+        migrate in 0u8..2,
+    ) {
+        let (net, samples) = arbitrary_world(net_seed, traj_seed);
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let batch: Vec<Trajectory> = samples.iter().map(|s| s.sparse.clone()).collect();
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let hmm = Arc::new(HmmMatcher::new(net.clone(), planner.clone(), HmmConfig::default()));
+        let mma = Arc::new(Mma::new(net.clone(), planner, None, MmaConfig::small()));
+        assert_handoff_identical(&hmm, &batch, threads, cut_seed, migrate == 1);
+        assert_handoff_identical(&mma, &batch, threads, cut_seed, migrate == 1);
+    }
+
+    /// The acceptance bar of the supervision feature, as a property:
+    /// injected worker panics at seeded stream positions lose zero
+    /// sessions and change zero output bits.
+    #[test]
+    fn chaos_engine_loses_nothing_and_changes_nothing(
+        net_seed in 0u64..1_000,
+        traj_seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        threads in 1usize..4,
+    ) {
+        FaultPlan::silence_injected_panics();
+        let (net, samples) = arbitrary_world(net_seed, traj_seed);
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let batch: Vec<Trajectory> = samples.iter().map(|s| s.sparse.clone()).collect();
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let hmm = Arc::new(HmmMatcher::new(net.clone(), planner.clone(), HmmConfig::default()));
+        let plan = FaultPlan {
+            seed: fault_seed,
+            panic_per_mille: 120,
+            max_panics: 4,
+            stall_per_mille: 30,
+            stall: Duration::from_millis(1),
+            reply_delay_per_mille: 50,
+            reply_delay: Duration::from_millis(1),
+        };
+        let engine = StreamEngine::with_faults(
+            hmm.clone(),
+            StreamOptions::with_threads(threads).idle_timeout_s(0.0).checkpoint_every(4),
+            plan,
+        );
+        for (sid, t) in batch.iter().enumerate() {
+            for &p in &t.points {
+                prop_assert!(engine.push(sid as SessionId, p));
+            }
+        }
+        for sid in 0..batch.len() {
+            prop_assert!(engine.finish(sid as SessionId));
+        }
+        prop_assert!(engine.quiesce(Duration::from_secs(30)));
+        let rs = engine.router_stats();
+        prop_assert_eq!(rs.sessions_lost, 0, "supervision lost sessions: {:?}", rs);
+        let (events, _) = engine.shutdown();
+        let finals: HashMap<SessionId, _> = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Finalized { session, reason, result, .. } => {
+                    assert_eq!(*reason, FinalizeReason::Explicit);
+                    Some((*session, result.clone()))
+                }
+                StreamEvent::Update { .. } => None,
+            })
+            .collect();
+        for (sid, t) in batch.iter().enumerate() {
+            prop_assert_eq!(
+                finals.get(&(sid as SessionId)),
+                Some(&hmm.match_trajectory(t)),
+                "session {} diverged under chaos (restarts {})",
+                sid,
+                rs.worker_restarts
+            );
+        }
+    }
+}
