@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 use trmma_roadnet::shortest::{NetPos, SsspPool};
-use trmma_roadnet::{RoadNetwork, RoutePlanner, TransitionProvider};
+use trmma_roadnet::{DistTable, RoadNetwork, RoutePlanner, TransitionProvider};
 use trmma_traj::api::{
     stitch_route, Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult,
 };
@@ -134,9 +134,11 @@ impl HmmMatcher {
     ) -> f64 {
         let a = NetPos::new(from.seg, from.ratio);
         let b = NetPos::new(to.seg, to.ratio);
+        // Unreachable pairs and malformed segment ids (a typed error from
+        // the provider, never a panic) both score as impossible transitions.
         match self.provider.route_dist(&self.net, pool, a, b) {
-            Some(route) => -(route - straight_m).abs() / self.cfg.beta_m,
-            None => f64::NEG_INFINITY,
+            Ok(Some(route)) => -(route - straight_m).abs() / self.cfg.beta_m,
+            Ok(None) | Err(_) => f64::NEG_INFINITY,
         }
     }
 
@@ -284,6 +286,25 @@ impl FmmMatcher {
         let precompute_s = start.elapsed().as_secs_f64();
         let provider = TransitionProvider::with_table(ubodt.shared());
         Self { inner: HmmMatcher::with_provider(net, planner, cfg, provider, "FMM"), precompute_s }
+    }
+
+    /// Builds the matcher around an existing precomputed table — e.g. one
+    /// adopted zero-copy from a `trmma-artifacts` image — skipping the
+    /// Dijkstra sweeps entirely (`precompute_s` is 0: nothing was built).
+    /// The table's delta overrides `cfg.max_route_m` as the search bound,
+    /// exactly as [`FmmMatcher::new`] ties the two together.
+    #[must_use]
+    pub fn with_table(
+        net: Arc<RoadNetwork>,
+        planner: Arc<RoutePlanner>,
+        cfg: HmmConfig,
+        table: Arc<DistTable>,
+    ) -> Self {
+        let provider = TransitionProvider::with_table(table);
+        Self {
+            inner: HmmMatcher::with_provider(net, planner, cfg, provider, "FMM"),
+            precompute_s: 0.0,
+        }
     }
 
     /// Size of the precomputed table.

@@ -8,6 +8,16 @@
 //! (the committed perf trajectory) and an artifact copy under
 //! `target/experiments/`.
 //!
+//! Pass `--artifact PATH` to start from a `trmma-artifacts build` image
+//! instead of re-deriving everything: the network and node2vec embeddings
+//! are served from the image, the MMA/TRMMA weights are loaded instead of
+//! trained, and FMM adopts the image's distance table zero-copy. With or
+//! without the flag, the binary measures both cold-start paths to a
+//! query-ready distance table (in-process `DistTable::build` versus
+//! validating and serving the image) and records them under
+//! `"cold_start"` in the JSON document; full runs assert the artifact
+//! path is at least 10× faster and bitwise-identical.
+//!
 //! Scale knobs: the usual `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE`
 //! environment variables, plus `TRMMA_BENCH_REPEATS` (default 3 — each
 //! configuration keeps its best-throughput run). Pass `--smoke` for the CI
@@ -17,16 +27,32 @@
 use std::sync::Arc;
 
 use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher};
+use trmma_bench::artifacts::{
+    attach_cold_start, bench_cold_start, build_image, prepare_from_artifact,
+};
 use trmma_bench::batch_bench::{
     bench_baseline_matching, bench_matching, bench_recovery, default_thread_counts, rows_to_json,
     InferenceRow,
 };
 use trmma_bench::harness::{trained_mma, trained_trmma, Bundle, ExpConfig};
 use trmma_bench::report::{write_bench_inference, write_json, Table};
+use trmma_core::{Artifact, Mma, MmaConfig, Trmma};
 use trmma_traj::dataset::DatasetConfig;
+
+/// The decoded image and its raw bytes (kept for the cold-start replay),
+/// when `--artifact PATH` was given.
+fn load_artifact() -> Option<(Artifact, Vec<u8>)> {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args.iter().position(|a| a == "--artifact").and_then(|i| args.get(i + 1))?;
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("cannot read artifact {path}: {e}"));
+    let art =
+        Artifact::decode(bytes.clone()).unwrap_or_else(|e| panic!("invalid artifact {path}: {e}"));
+    Some((art, bytes))
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let artifact = load_artifact();
     let cfg = ExpConfig::from_env();
     let repeats: usize = if smoke {
         1
@@ -40,17 +66,63 @@ fn main() {
     } else {
         cfg.dataset_configs().into_iter().next().expect("at least one dataset selected")
     };
-    let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+    let bundle = match &artifact {
+        Some((art, _)) => prepare_from_artifact(&dcfg, 0.1, art)
+            .expect("artifact was built for a different dataset (TRMMA_* knobs must match)"),
+        None => Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0),
+    };
     let eps = bundle.ds.epsilon_s;
     let epochs = if smoke { 1 } else { cfg.epochs.min(3) };
-    let (mma, _) = trained_mma(&bundle, cfg.mma_config(), epochs);
-    let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), epochs);
+    let (mma, trmma) = match &artifact {
+        Some((art, _)) => {
+            let mcfg = MmaConfig { d0: bundle.node2vec.cols(), ..cfg.mma_config() };
+            let mut mma = Mma::new(
+                bundle.net.clone(),
+                bundle.planner.clone(),
+                Some(bundle.node2vec.clone()),
+                mcfg,
+            );
+            mma.load_weights(art.params_blob("mma").expect("artifact stores mma weights"))
+                .expect("mma weights fit the current profile");
+            let mut trmma = Trmma::new(bundle.net.clone(), cfg.trmma_config());
+            trmma
+                .load_weights(art.params_blob("trmma").expect("artifact stores trmma weights"))
+                .expect("trmma weights fit the current profile");
+            (mma, trmma)
+        }
+        None => {
+            let (mma, _) = trained_mma(&bundle, cfg.mma_config(), epochs);
+            let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), epochs);
+            (mma, trmma)
+        }
+    };
+
+    // Cold start: both paths to a query-ready distance table, bitwise
+    // identity enforced. Without `--artifact` the image is packed in
+    // memory from the prepared bundle — the timings measure the same
+    // validate-and-serve path either way.
+    let hmm_cfg = HmmConfig::default();
+    let image = match &artifact {
+        Some((_, bytes)) => bytes.clone(),
+        None => {
+            let weights = [("mma", mma.save_weights()), ("trmma", trmma.save_weights())];
+            build_image(&bundle, &weights, hmm_cfg.max_route_m)
+        }
+    };
+    let cold = bench_cold_start(&bundle.net, hmm_cfg.max_route_m, image);
+
     let mma = Arc::new(mma);
     let trmma = Arc::new(trmma);
-
-    let hmm_cfg = HmmConfig::default();
     let hmm = HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone());
-    let fmm = FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone());
+    let fmm = match &artifact {
+        Some((art, _)) => FmmMatcher::with_table(
+            bundle.net.clone(),
+            bundle.planner.clone(),
+            hmm_cfg.clone(),
+            Arc::new(art.dist_table().expect("artifact stores a dist table")),
+        ),
+        None => FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone()),
+    };
     let lhmm = LhmmMatcher::fit(bundle.net.clone(), bundle.planner.clone(), hmm_cfg, &bundle.train);
 
     // Benchmark over the test sparse trajectories, tiled up so the batch is
@@ -75,9 +147,10 @@ fn main() {
         t
     };
     println!(
-        "dataset {} | batch {} trajectories | threads {threads:?} | repeats {repeats}\n",
+        "dataset {} | batch {} trajectories | threads {threads:?} | repeats {repeats} | models {}\n",
         bundle.ds.name,
-        batch.len()
+        batch.len(),
+        if artifact.is_some() { "loaded from artifact" } else { "trained in-process" }
     );
 
     let mut rows = bench_matching(&mma, &batch, &threads, repeats);
@@ -114,6 +187,30 @@ fn main() {
     }
     table.print();
 
+    let mut ctable = Table::new(&["ColdStart", "ms", "Speedup", "Identical", "Records"]);
+    for r in &cold {
+        ctable.row(vec![
+            r.source.clone(),
+            format!("{:.3}", r.cold_start_ms),
+            format!("{:.1}x", r.speedup),
+            r.identical.to_string(),
+            r.table_records.to_string(),
+        ]);
+    }
+    println!("\n== Cold start: in-process build vs artifact load ==\n");
+    ctable.print();
+    for r in &cold {
+        assert!(r.identical, "cold-start path {} diverged from the built table", r.source);
+    }
+    if !smoke {
+        let load = cold.iter().find(|r| r.source == "artifact_load").expect("artifact row");
+        assert!(
+            load.speedup >= 10.0,
+            "artifact cold start only {:.1}x faster than DistTable::build",
+            load.speedup
+        );
+    }
+
     let diverged: Vec<&InferenceRow> = rows.iter().filter(|r| !r.identical).collect();
     assert!(diverged.is_empty(), "parallel output diverged from sequential: {diverged:?}");
     let best = |method: &str| -> f64 {
@@ -128,7 +225,8 @@ fn main() {
         best("LHMM")
     );
 
-    let doc = rows_to_json(&rows, batch.len(), &bundle.ds.name);
+    let mut doc = rows_to_json(&rows, batch.len(), &bundle.ds.name);
+    attach_cold_start(&mut doc, &cold);
     if smoke {
         println!("\n--smoke: repo-root BENCH_inference.json left untouched");
     } else {

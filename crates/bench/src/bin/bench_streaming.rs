@@ -25,6 +25,12 @@
 //! crash-safety contract on every chaos row: zero sessions lost and
 //! finals bitwise-identical to the offline decode.
 //!
+//! Pass `--artifact PATH` to start from a `trmma-artifacts build` image:
+//! network and embeddings served from the image, MMA weights loaded
+//! instead of trained, FMM adopting the image's distance table zero-copy.
+//! Both cold-start paths to a query-ready table are always measured and
+//! recorded under `"cold_start"` in the JSON document.
+//!
 //! Scale knobs: `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE`, plus
 //! `TRMMA_STREAM_SESSIONS` (target concurrent sessions, default 64). Pass
 //! `--smoke` for the CI profile: tiny dataset, threads {1, 2}, artifact
@@ -33,19 +39,34 @@
 use std::sync::Arc;
 
 use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher};
+use trmma_bench::artifacts::{
+    attach_cold_start, bench_cold_start, build_image, prepare_from_artifact,
+};
 use trmma_bench::harness::{trained_mma, Bundle, ExpConfig};
 use trmma_bench::report::{write_bench_streaming, write_json, Table};
 use trmma_bench::stream_bench::{
     bench_chaos, bench_streaming, bench_streaming_routed, interleave, interleave_ids,
     skewed_session_ids, stream_rows_to_json, ChaosRow, StreamRow,
 };
-use trmma_core::{FaultPlan, RouterPolicy};
+use trmma_core::{Artifact, FaultPlan, Mma, MmaConfig, RouterPolicy};
 use trmma_traj::dataset::DatasetConfig;
 use trmma_traj::types::Trajectory;
+
+/// The decoded image and its raw bytes (kept for the cold-start replay),
+/// when `--artifact PATH` was given.
+fn load_artifact() -> Option<(Artifact, Vec<u8>)> {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args.iter().position(|a| a == "--artifact").and_then(|i| args.get(i + 1))?;
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("cannot read artifact {path}: {e}"));
+    let art =
+        Artifact::decode(bytes.clone()).unwrap_or_else(|e| panic!("invalid artifact {path}: {e}"));
+    Some((art, bytes))
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let chaos = std::env::args().any(|a| a == "--chaos") || !smoke;
+    let artifact = load_artifact();
     let cfg = ExpConfig::from_env();
     println!("== Streaming inference: interleaved live sessions ==\n");
 
@@ -54,16 +75,50 @@ fn main() {
     } else {
         cfg.dataset_configs().into_iter().next().expect("at least one dataset selected")
     };
-    let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+    let bundle = match &artifact {
+        Some((art, _)) => prepare_from_artifact(&dcfg, 0.1, art)
+            .expect("artifact was built for a different dataset (TRMMA_* knobs must match)"),
+        None => Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0),
+    };
     let epochs = if smoke { 1 } else { cfg.epochs.min(3) };
-    let (mma, _) = trained_mma(&bundle, cfg.mma_config(), epochs);
-    let mma = Arc::new(mma);
+    let mma = match &artifact {
+        Some((art, _)) => {
+            let mcfg = MmaConfig { d0: bundle.node2vec.cols(), ..cfg.mma_config() };
+            let mut mma = Mma::new(
+                bundle.net.clone(),
+                bundle.planner.clone(),
+                Some(bundle.node2vec.clone()),
+                mcfg,
+            );
+            mma.load_weights(art.params_blob("mma").expect("artifact stores mma weights"))
+                .expect("mma weights fit the current profile");
+            mma
+        }
+        None => trained_mma(&bundle, cfg.mma_config(), epochs).0,
+    };
 
     let hmm_cfg = HmmConfig::default();
+    let image = match &artifact {
+        Some((_, bytes)) => bytes.clone(),
+        None => build_image(&bundle, &[("mma", mma.save_weights())], hmm_cfg.max_route_m),
+    };
+    let cold = bench_cold_start(&bundle.net, hmm_cfg.max_route_m, image);
+    for r in &cold {
+        assert!(r.identical, "cold-start path {} diverged from the built table", r.source);
+    }
+
+    let mma = Arc::new(mma);
     let hmm =
         Arc::new(HmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone()));
-    let fmm =
-        Arc::new(FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone()));
+    let fmm = Arc::new(match &artifact {
+        Some((art, _)) => FmmMatcher::with_table(
+            bundle.net.clone(),
+            bundle.planner.clone(),
+            hmm_cfg.clone(),
+            Arc::new(art.dist_table().expect("artifact stores a dist table")),
+        ),
+        None => FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone()),
+    });
     let lhmm = Arc::new(LhmmMatcher::fit(
         bundle.net.clone(),
         bundle.planner.clone(),
@@ -229,7 +284,21 @@ fn main() {
         }
     }
 
-    let doc = stream_rows_to_json(&rows, &chaos_rows, events.len(), &bundle.ds.name);
+    let mut ctable = Table::new(&["ColdStart", "ms", "Speedup", "Identical", "Records"]);
+    for r in &cold {
+        ctable.row(vec![
+            r.source.clone(),
+            format!("{:.3}", r.cold_start_ms),
+            format!("{:.1}x", r.speedup),
+            r.identical.to_string(),
+            r.table_records.to_string(),
+        ]);
+    }
+    println!("\n== Cold start: in-process build vs artifact load ==\n");
+    ctable.print();
+
+    let mut doc = stream_rows_to_json(&rows, &chaos_rows, events.len(), &bundle.ds.name);
+    attach_cold_start(&mut doc, &cold);
     if smoke {
         println!("\n--smoke: repo-root BENCH_streaming.json left untouched");
     } else {

@@ -1,0 +1,197 @@
+//! `trmma-artifacts` — build, inspect and verify the build-once binary
+//! artifact image (`trmma_core::artifact`).
+//!
+//! ```text
+//! trmma-artifacts build --out PATH [--smoke]   prepare + train, write image
+//! trmma-artifacts inspect PATH                 print the section table
+//! trmma-artifacts verify PATH                  validate + materialize all
+//! ```
+//!
+//! `build` prepares the dataset/model bundle exactly like the benchmark
+//! binaries do (same `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE` /
+//! `TRMMA_DATASETS` environment knobs; `--smoke` switches to the tiny CI
+//! dataset and one epoch) and packs the graph, the FMM distance table,
+//! the trained MMA/TRMMA weights and the node2vec embeddings. The other
+//! benchmark binaries then load the image with `--artifact PATH` instead
+//! of re-deriving everything at startup.
+//!
+//! `verify` exits non-zero unless the image validates (magic, version,
+//! total length, header CRC, every section CRC) *and* every section
+//! materializes: the graph reconstructs with matching segment count, the
+//! distance table serves from the slab, the embeddings parse, and every
+//! weight blob is reachable by name.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use trmma_baselines::HmmConfig;
+use trmma_bench::artifacts::build_image;
+use trmma_bench::harness::{trained_mma, trained_trmma, Bundle, ExpConfig};
+use trmma_bench::report::Table;
+use trmma_core::{Artifact, SectionKind};
+use trmma_traj::dataset::DatasetConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("build") => build(&args[1..]),
+        Some("inspect") => with_loaded(&args[1..], inspect),
+        Some("verify") => with_loaded(&args[1..], verify),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trmma-artifacts <command>\n\
+         \n\
+         commands:\n\
+         \x20 build --out PATH [--smoke]  prepare dataset + models, write the artifact image\n\
+         \x20 inspect PATH                print the validated section table\n\
+         \x20 verify PATH                 validate the image and materialize every section"
+    );
+    ExitCode::from(2)
+}
+
+fn build(args: &[String]) -> ExitCode {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let Some(out) = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)) else {
+        eprintln!("build: missing --out PATH");
+        return ExitCode::from(2);
+    };
+    let cfg = ExpConfig::from_env();
+    let dcfg = if smoke {
+        DatasetConfig::tiny()
+    } else {
+        match cfg.dataset_configs().into_iter().next() {
+            Some(d) => d,
+            None => {
+                eprintln!("build: TRMMA_DATASETS selected no dataset");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let epochs = if smoke { 1 } else { cfg.epochs.min(3) };
+    println!("preparing dataset {} (epochs {epochs})...", dcfg.name);
+    let bundle = Bundle::prepare(&dcfg, 0.1, cfg.mma_config().d0);
+    let (mma, _) = trained_mma(&bundle, cfg.mma_config(), epochs);
+    let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), epochs);
+    let weights = [("mma", mma.save_weights()), ("trmma", trmma.save_weights())];
+    let image = build_image(&bundle, &weights, HmmConfig::default().max_route_m);
+    let len = image.len();
+    if let Err(e) = std::fs::write(out, image) {
+        eprintln!("build: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out}: {len} bytes ({} nodes, {} segments, dataset {})",
+        bundle.net.num_nodes(),
+        bundle.net.num_segments(),
+        bundle.ds.name
+    );
+    ExitCode::SUCCESS
+}
+
+/// Reads and decodes the image at `args[0]`, then hands it to `f`.
+fn with_loaded(args: &[String], f: fn(&Artifact) -> ExitCode) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("missing artifact PATH");
+        return ExitCode::from(2);
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let total = bytes.len();
+    match Artifact::decode(bytes) {
+        Ok(art) => {
+            println!("{path}: {total} bytes, {} sections", art.sections().len());
+            f(&art)
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid artifact: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn inspect(art: &Artifact) -> ExitCode {
+    let mut table = Table::new(&["Kind", "Tag", "Offset", "Len", "CRC32"]);
+    for s in art.sections() {
+        let name = SectionKind::from_tag(s.kind).map_or("unknown", SectionKind::name);
+        table.row(vec![
+            name.to_string(),
+            s.kind.to_string(),
+            s.offset.to_string(),
+            s.len.to_string(),
+            format!("{:08x}", s.crc),
+        ]);
+    }
+    table.print();
+    match art.param_names() {
+        Ok(names) if !names.is_empty() => println!("weight blobs: {}", names.join(", ")),
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("params section unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn verify(art: &Artifact) -> ExitCode {
+    let net = match art.graph() {
+        Ok(net) => {
+            println!("graph: OK ({} nodes, {} segments)", net.num_nodes(), net.num_segments());
+            Arc::new(net)
+        }
+        Err(e) => {
+            eprintln!("graph: FAIL ({e})");
+            return ExitCode::FAILURE;
+        }
+    };
+    match art.dist_table() {
+        Ok(t) => println!("dist_table: OK ({} records, delta {})", t.len(), t.delta()),
+        Err(e) => {
+            eprintln!("dist_table: FAIL ({e})");
+            return ExitCode::FAILURE;
+        }
+    }
+    match art.embeddings() {
+        Ok(m) => {
+            if m.rows() != net.num_segments() {
+                eprintln!(
+                    "embeddings: FAIL ({} rows for {} segments)",
+                    m.rows(),
+                    net.num_segments()
+                );
+                return ExitCode::FAILURE;
+            }
+            println!("embeddings: OK ({}x{})", m.rows(), m.cols());
+        }
+        Err(e) => {
+            eprintln!("embeddings: FAIL ({e})");
+            return ExitCode::FAILURE;
+        }
+    }
+    match art.param_names() {
+        Ok(names) => {
+            for name in &names {
+                if let Err(e) = art.params_blob(name) {
+                    eprintln!("params {name:?}: FAIL ({e})");
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!("params: OK ({} blobs)", names.len());
+        }
+        Err(e) => {
+            eprintln!("params: FAIL ({e})");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("verify: OK");
+    ExitCode::SUCCESS
+}

@@ -32,6 +32,7 @@
 //! assert!(matches!(doc, Value::Object(_)));
 //! ```
 
+pub mod artifacts;
 pub mod batch_bench;
 pub mod harness;
 pub mod json;

@@ -65,6 +65,7 @@
 //! assert_eq!(finalized.as_ref(), Some(&mma.match_trajectory(&trip)));
 //! ```
 
+pub mod artifact;
 pub mod batch;
 pub mod mma;
 pub mod pipeline;
@@ -72,6 +73,7 @@ pub mod snapshot;
 pub mod stream;
 pub mod trmma;
 
+pub use artifact::{Artifact, ArtifactBuilder, ArtifactError, SectionKind};
 pub use batch::{
     par_match, par_match_pooled, par_recover, BatchMatcher, BatchOptions, BatchRecovery,
     BatchTiming,

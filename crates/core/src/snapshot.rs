@@ -40,17 +40,68 @@ pub const MAGIC: [u8; 4] = *b"TRMS";
 /// The envelope format version this build reads and writes.
 pub const VERSION: u16 = 1;
 
-/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) of `bytes` —
-/// the checksum trailing every [`SessionSnapshot`] envelope.
-#[must_use]
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
+/// Slice-by-16 lookup tables for [`crc32`], built at compile time.
+/// `CRC_TABLES[0]` is the classic byte-at-a-time table; table `k` advances
+/// a byte through `k` further zero bytes, so sixteen input bytes fold in
+/// one step.
+const CRC_TABLES: [[u32; 256]; 16] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 16] {
+    let mut t = [[0u32; 256]; 16];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            j += 1;
         }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 16 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// Folds one little-endian word through four [`CRC_TABLES`] lanes,
+/// `lane` being the table index of the word's most significant byte.
+#[inline]
+const fn fold(word: u32, lane: usize) -> u32 {
+    CRC_TABLES[lane + 3][(word & 0xFF) as usize]
+        ^ CRC_TABLES[lane + 2][((word >> 8) & 0xFF) as usize]
+        ^ CRC_TABLES[lane + 1][((word >> 16) & 0xFF) as usize]
+        ^ CRC_TABLES[lane][(word >> 24) as usize]
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) of `bytes` —
+/// the checksum trailing every [`SessionSnapshot`] envelope and guarding
+/// every [`crate::artifact`] section. Slice-by-16: artifact images run to
+/// megabytes and are checksummed on every load, so the bit-at-a-time
+/// loop (8 shift/xor steps per *bit*) would dominate the zero-parse
+/// cold-start path it exists to protect.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let word = |c: &[u8]| u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+    let mut crc = !0u32;
+    let mut chunks = bytes.chunks_exact(16);
+    for c in &mut chunks {
+        crc = fold(word(&c[0..4]) ^ crc, 12)
+            ^ fold(word(&c[4..8]), 8)
+            ^ fold(word(&c[8..12]), 4)
+            ^ fold(word(&c[12..16]), 0);
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }
@@ -79,19 +130,24 @@ pub struct SessionSnapshot {
 
 impl SessionSnapshot {
     /// Serializes the envelope (format above, CRC last).
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`SnapshotError::Oversize`] when the matcher name or payload is too
+    /// long for its `u32` length field — refused rather than truncated,
+    /// since a truncated length would decode as a *different* valid-looking
+    /// envelope.
+    pub fn encode(&self) -> Result<Vec<u8>, SnapshotError> {
         let mut out = Vec::with_capacity(self.payload.len() + 64);
         out.extend_from_slice(&MAGIC);
         snapshot::put_u16(&mut out, VERSION);
-        snapshot::put_bytes(&mut out, self.matcher.as_bytes());
+        snapshot::put_bytes(&mut out, self.matcher.as_bytes())?;
         snapshot::put_u64(&mut out, self.session);
         snapshot::put_u64(&mut out, self.seq);
         snapshot::put_f64(&mut out, self.last_t);
-        snapshot::put_bytes(&mut out, &self.payload);
+        snapshot::put_bytes(&mut out, &self.payload)?;
         let crc = crc32(&out);
         snapshot::put_u32(&mut out, crc);
-        out
+        Ok(out)
     }
 
     /// Parses and verifies an envelope: magic, version, checksum, and
@@ -159,19 +215,40 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_bitwise_reference_at_every_tail_length() {
+        let reference = |bytes: &[u8]| -> u32 {
+            let mut crc = !0u32;
+            for &b in bytes {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                }
+            }
+            !crc
+        };
+        // Lengths 0..=64 cover empty input, tails 1..=7 and full 8-byte
+        // lanes of the slice-by-8 fold.
+        let data: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(197) ^ 0x5A) as u8).collect();
+        for n in 0..=data.len() {
+            assert_eq!(crc32(&data[..n]), reference(&data[..n]), "length {n}");
+        }
+    }
+
+    #[test]
     fn envelope_round_trips() {
         let snap = sample();
-        let bytes = snap.encode();
+        let bytes = snap.encode().unwrap();
         assert_eq!(SessionSnapshot::decode(&bytes).unwrap(), snap);
         // -inf last_t (no point accepted yet) round-trips bit-exactly.
         let fresh = SessionSnapshot { last_t: f64::NEG_INFINITY, ..sample() };
-        let decoded = SessionSnapshot::decode(&fresh.encode()).unwrap();
+        let decoded = SessionSnapshot::decode(&fresh.encode().unwrap()).unwrap();
         assert_eq!(decoded.last_t.to_bits(), f64::NEG_INFINITY.to_bits());
     }
 
     #[test]
     fn corruption_is_detected() {
-        let bytes = sample().encode();
+        let bytes = sample().encode().unwrap();
         // Flip one payload bit: checksum must catch it.
         for i in [6, bytes.len() / 2, bytes.len() - 5] {
             let mut bad = bytes.clone();
@@ -200,7 +277,7 @@ mod tests {
 
     #[test]
     fn version_and_matcher_guards() {
-        let mut v2 = sample().encode();
+        let mut v2 = sample().encode().unwrap();
         v2[4] = 2; // bump version field
         let tail = v2.len() - 4;
         let crc = crc32(&v2[..tail]);

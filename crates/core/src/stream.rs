@@ -1063,6 +1063,26 @@ fn worker_loop<M: OnlineMatcher>(
     }
 }
 
+/// The next backpressure sleep of [`StreamEngine::push`] as of `now`:
+/// `backoff` clamped to the time remaining before `deadline`, or `None`
+/// when the deadline has already passed. The clamp is what pins the
+/// observable timeout to `push_timeout_s`: without it, a retry landing
+/// just before the deadline would re-sleep a full (up to 5 ms) backoff
+/// step and overshoot the configured bound.
+fn clamped_backoff(deadline: Option<Instant>, now: Instant, backoff: Duration) -> Option<Duration> {
+    match deadline {
+        None => Some(backoff),
+        Some(d) => {
+            let remaining = d.checked_duration_since(now)?;
+            if remaining.is_zero() {
+                None
+            } else {
+                Some(backoff.min(remaining))
+            }
+        }
+    }
+}
+
 /// The multiplexer; see module docs for the architecture and guarantees.
 pub struct StreamEngine<M: OnlineMatcher + 'static> {
     matcher: Arc<M>,
@@ -1647,10 +1667,10 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
                     // drain_replies drives that resolution.
                     if pending.len() >= self.queue_cap {
                         drop(router);
-                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                        let Some(sleep) = clamped_backoff(deadline, Instant::now(), backoff) else {
                             return false;
-                        }
-                        std::thread::sleep(backoff);
+                        };
+                        std::thread::sleep(sleep);
                         backoff = (backoff * 2).min(Duration::from_millis(5));
                         continue;
                     }
@@ -1697,11 +1717,11 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
                 Err(std::sync::mpsc::TrySendError::Full(_)) => {
                     load.depth.fetch_sub(1, Ordering::Relaxed);
                     drop(router);
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
-                        return false;
-                    }
                     // Backpressure: the worker is queue_capacity behind.
-                    std::thread::sleep(backoff);
+                    let Some(sleep) = clamped_backoff(deadline, Instant::now(), backoff) else {
+                        return false;
+                    };
+                    std::thread::sleep(sleep);
                     backoff = (backoff * 2).min(Duration::from_millis(5));
                 }
                 Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
@@ -2141,6 +2161,60 @@ mod tests {
             }
             std::thread::sleep(Duration::from_millis(2));
         }
+    }
+
+    #[test]
+    fn clamped_backoff_never_sleeps_past_the_deadline() {
+        let now = Instant::now();
+        let full = Duration::from_millis(5);
+        // No deadline: the raw backoff, always.
+        assert_eq!(clamped_backoff(None, now, full), Some(full));
+        // Plenty of time left: still the raw backoff.
+        assert_eq!(clamped_backoff(Some(now + Duration::from_secs(1)), now, full), Some(full));
+        // Less time left than one backoff step: the sleep shrinks to
+        // exactly the remainder — this is the overshoot fix.
+        let rem = Duration::from_micros(700);
+        assert_eq!(clamped_backoff(Some(now + rem), now, full), Some(rem));
+        // At or past the deadline: no sleep, give up immediately.
+        assert_eq!(clamped_backoff(Some(now), now, full), None);
+        assert_eq!(clamped_backoff(Some(now - Duration::from_millis(1)), now, full), None);
+    }
+
+    #[test]
+    fn push_timeout_is_not_overshot_by_backoff() {
+        // One worker, stalled on every command, a 1-point queue and a short
+        // push timeout: the pushes that hit the full queue must give up
+        // close to the deadline, not a full 5 ms backoff step (plus
+        // scheduler noise) after it. Generous margin: the clamp bounds the
+        // final sleep, not OS scheduling.
+        FaultPlan::silence_injected_panics();
+        let (hmm, batch) = world();
+        let plan = FaultPlan {
+            stall_per_mille: 1000,
+            stall: Duration::from_millis(50),
+            ..FaultPlan::default()
+        };
+        let opts = StreamOptions::with_threads(1)
+            .queue_capacity(1)
+            .push_timeout_s(0.02)
+            .idle_timeout_s(0.0);
+        let engine = StreamEngine::with_faults(hmm, opts, plan);
+        let points = &batch[0].points;
+        let mut timed_out = 0;
+        for &p in points.iter().take(6) {
+            let start = Instant::now();
+            let accepted = engine.push(0, p);
+            let waited = start.elapsed();
+            if !accepted {
+                timed_out += 1;
+                assert!(
+                    waited < Duration::from_millis(120),
+                    "push overshot its 20 ms deadline: waited {waited:?}"
+                );
+            }
+        }
+        assert!(timed_out > 0, "stalled worker never produced a timeout");
+        let _ = engine.shutdown();
     }
 
     #[test]
@@ -2723,7 +2797,10 @@ mod tests {
         // would persist and reload).
         snaps = snaps
             .iter()
-            .map(|s| SessionSnapshot::decode(&s.encode()).expect("envelope round-trips"))
+            .map(|s| {
+                SessionSnapshot::decode(&s.encode().expect("envelope encodes"))
+                    .expect("envelope round-trips")
+            })
             .collect();
         let second = StreamEngine::new(hmm.clone(), opts());
         assert_eq!(second.restore(&snaps), Ok(batch.len()));

@@ -104,17 +104,27 @@ pub fn restore(params: &[Param], saved: &[Matrix]) {
 }
 
 /// Serialises the parameter collection to a portable binary blob.
+///
+/// # Panics
+/// Panics if the parameter count or any shape dimension exceeds `u32::MAX`
+/// — the format's fixed-width fields cannot represent it, and silently
+/// truncating the cast would produce a blob that *loads* into a
+/// differently-shaped model. No real model comes within orders of
+/// magnitude of this.
 #[must_use]
 pub fn save_params(params: &[Param]) -> Vec<u8> {
+    let field = |n: usize, what: &str| -> u32 {
+        u32::try_from(n).unwrap_or_else(|_| panic!("{what} {n} exceeds the u32 field"))
+    };
     let total: usize = params.iter().map(Param::num_weights).sum();
     let mut buf = Vec::with_capacity(12 + params.len() * 8 + total * 8);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
-    buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&field(params.len(), "parameter count").to_le_bytes());
     for p in params {
         let v = p.value();
-        buf.extend_from_slice(&(v.rows() as u32).to_le_bytes());
-        buf.extend_from_slice(&(v.cols() as u32).to_le_bytes());
+        buf.extend_from_slice(&field(v.rows(), "row count").to_le_bytes());
+        buf.extend_from_slice(&field(v.cols(), "column count").to_le_bytes());
         for &x in v.data() {
             buf.extend_from_slice(&x.to_le_bytes());
         }

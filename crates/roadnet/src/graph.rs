@@ -151,9 +151,21 @@ impl RoadNetwork {
     }
 
     /// A segment by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; use [`RoadNetwork::try_segment`] for
+    /// ids from untrusted input.
     #[must_use]
     pub fn segment(&self, id: SegmentId) -> &Segment {
         &self.segments[id.idx()]
+    }
+
+    /// A segment by id, or `None` when the id is out of range — the
+    /// non-panicking lookup for ids that arrive from outside the network's
+    /// own indexes (wire input, snapshots, artifacts).
+    #[must_use]
+    pub fn try_segment(&self, id: SegmentId) -> Option<&Segment> {
+        self.segments.get(id.idx())
     }
 
     /// All segments in arena order.

@@ -54,4 +54,4 @@ pub mod transition;
 pub use gen::{generate_city, NetworkConfig};
 pub use graph::{NodeId, RoadClass, RoadNetwork, Segment, SegmentId};
 pub use planner::RoutePlanner;
-pub use transition::{DistTable, TransitionProvider};
+pub use transition::{DistImageError, DistTable, TransitionError, TransitionProvider};

@@ -22,18 +22,94 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::graph::{NodeId, RoadNetwork};
+use crate::graph::{NodeId, RoadNetwork, SegmentId};
 use crate::shortest::{CacheStats, DistCache, NetPos, SsspPool, Weight};
+
+/// Why a byte image could not be adopted as a [`DistTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistImageError {
+    /// The declared record range does not fit inside the slab.
+    OutOfBounds,
+    /// Record keys are not strictly increasing — binary search over the
+    /// image would silently answer wrong, so the image is rejected.
+    Unsorted,
+}
+
+impl std::fmt::Display for DistImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OutOfBounds => write!(f, "dist-table image exceeds its byte slab"),
+            Self::Unsorted => write!(f, "dist-table image records are not sorted"),
+        }
+    }
+}
+
+impl std::error::Error for DistImageError {}
+
+/// Why a transition query could not be answered at all (as opposed to the
+/// pair being unreachable, which is the `Ok(None)` answer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionError {
+    /// A query position names a segment the network does not have. Segment
+    /// ids that arrive from outside the network's own indexes (wire input,
+    /// restored snapshots, artifacts) must be range-checked, not unwound
+    /// through a worker thread.
+    SegmentOutOfRange {
+        /// The offending segment id.
+        seg: SegmentId,
+        /// The network's segment count at query time.
+        num_segments: usize,
+    },
+}
+
+impl std::fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SegmentOutOfRange { seg, num_segments } => {
+                write!(f, "segment id {} out of range (network has {num_segments})", seg.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// Bytes per packed `(src u32, dst u32, dist f64-bits)` record of a
+/// [`DistTable`] byte image (all little-endian).
+pub const DIST_RECORD_BYTES: usize = 16;
+
+/// How a [`DistTable`] stores its pairs.
+#[derive(Debug)]
+enum Repr {
+    /// Built in-process: a hash map, O(1) probes.
+    Map(HashMap<(u32, u32), f64>),
+    /// Adopted zero-copy from a byte image (`trmma-artifacts`): packed
+    /// 16-byte records sorted by `(src, dst)`, answered by binary search
+    /// directly over the shared slab — no per-pair parse or allocation.
+    Image {
+        slab: Arc<Vec<u8>>,
+        /// Byte offset of the first record within `slab`.
+        off: usize,
+        /// Number of records.
+        count: usize,
+    },
+}
 
 /// Bounded all-pairs shortest-distance table: for every node pair within
 /// length `delta`, the exact network distance. This is the construction
 /// routine shared by FMM's UBODT (`trmma-baselines::ubodt`) and anything
 /// else that wants precomputed transitions; building runs one bounded
 /// Dijkstra sweep per node through a single warm [`SsspPool`].
+///
+/// A table can also be **adopted zero-copy** from a precomputed byte image
+/// ([`DistTable::from_image`]): queries then binary-search the packed
+/// records in place, so a process fleet serving the same artifact shares
+/// one page-cached copy instead of each re-running the Dijkstra sweeps.
+/// Both representations answer queries bitwise-identically.
 #[derive(Debug)]
 pub struct DistTable {
     delta: f64,
-    table: HashMap<(u32, u32), f64>,
+    repr: Repr,
 }
 
 impl DistTable {
@@ -50,7 +126,59 @@ impl DistTable {
                 table.insert((src, dst.0), d);
             }
         }
-        Self { delta, table }
+        Self { delta, repr: Repr::Map(table) }
+    }
+
+    /// Adopts `count` packed records starting at byte `off` of `slab` as a
+    /// table with bound `delta`, without copying or parsing them. Records
+    /// are `DIST_RECORD_BYTES` wide (`src u32 | dst u32 | dist f64-bits`,
+    /// little-endian) and must be strictly sorted by `(src, dst)` — the
+    /// order [`DistTable::for_each_pair`] emits for an image and the
+    /// artifact writer produces.
+    ///
+    /// # Errors
+    /// [`DistImageError::OutOfBounds`] when the range escapes the slab,
+    /// [`DistImageError::Unsorted`] when keys are not strictly increasing
+    /// (a corrupt or hand-built image must not silently mis-answer).
+    pub fn from_image(
+        slab: Arc<Vec<u8>>,
+        off: usize,
+        count: usize,
+        delta: f64,
+    ) -> Result<Self, DistImageError> {
+        let bytes = count.checked_mul(DIST_RECORD_BYTES).ok_or(DistImageError::OutOfBounds)?;
+        let end = off.checked_add(bytes).ok_or(DistImageError::OutOfBounds)?;
+        if end > slab.len() {
+            return Err(DistImageError::OutOfBounds);
+        }
+        let table = Self { delta, repr: Repr::Image { slab, off, count } };
+        for i in 1..count {
+            if table.image_key(i - 1) >= table.image_key(i) {
+                return Err(DistImageError::Unsorted);
+            }
+        }
+        Ok(table)
+    }
+
+    /// The `(src, dst)` key of image record `i`, packed high/low for
+    /// lexicographic comparison.
+    fn image_key(&self, i: usize) -> u64 {
+        let Repr::Image { slab, off, .. } = &self.repr else {
+            unreachable!("image_key on a map-backed table")
+        };
+        let p = off + i * DIST_RECORD_BYTES;
+        let src = u32::from_le_bytes(slab[p..p + 4].try_into().expect("4 bytes"));
+        let dst = u32::from_le_bytes(slab[p + 4..p + 8].try_into().expect("4 bytes"));
+        (u64::from(src)) << 32 | u64::from(dst)
+    }
+
+    /// The distance bits of image record `i`.
+    fn image_dist(&self, i: usize) -> f64 {
+        let Repr::Image { slab, off, .. } = &self.repr else {
+            unreachable!("image_dist on a map-backed table")
+        };
+        let p = off + i * DIST_RECORD_BYTES + 8;
+        f64::from_bits(u64::from_le_bytes(slab[p..p + 8].try_into().expect("8 bytes")))
     }
 
     /// The distance bound the table was built with.
@@ -62,19 +190,58 @@ impl DistTable {
     /// Number of stored pairs.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.table.len()
+        match &self.repr {
+            Repr::Map(t) => t.len(),
+            Repr::Image { count, .. } => *count,
+        }
     }
 
     /// Whether the table is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.len() == 0
     }
 
     /// Shortest distance `src → dst` if within `delta`.
     #[must_use]
     pub fn query(&self, src: NodeId, dst: NodeId) -> Option<f64> {
-        self.table.get(&(src.0, dst.0)).copied()
+        match &self.repr {
+            Repr::Map(t) => t.get(&(src.0, dst.0)).copied(),
+            Repr::Image { count, .. } => {
+                let key = (u64::from(src.0)) << 32 | u64::from(dst.0);
+                let (mut lo, mut hi) = (0usize, *count);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    match self.image_key(mid).cmp(&key) {
+                        std::cmp::Ordering::Less => lo = mid + 1,
+                        std::cmp::Ordering::Greater => hi = mid,
+                        std::cmp::Ordering::Equal => return Some(self.image_dist(mid)),
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Visits every stored pair as `(src, dst, dist)`. Map-backed tables
+    /// visit in arbitrary (hash) order; image-backed tables visit in key
+    /// order. Used by the artifact writer and the loaded-vs-built identity
+    /// checks.
+    pub fn for_each_pair(&self, mut f: impl FnMut(u32, u32, f64)) {
+        match &self.repr {
+            Repr::Map(t) => {
+                for (&(s, d), &dist) in t {
+                    f(s, d, dist);
+                }
+            }
+            Repr::Image { count, .. } => {
+                for i in 0..*count {
+                    let key = self.image_key(i);
+                    #[allow(clippy::cast_possible_truncation)]
+                    f((key >> 32) as u32, key as u32, self.image_dist(i));
+                }
+            }
+        }
     }
 }
 
@@ -167,32 +334,40 @@ impl TransitionProvider {
     /// Directed route distance from `a` to `b` in metres: remaining length
     /// of `a`'s segment, plus the shortest node path, plus the offset into
     /// `b`'s segment; same-segment forward moves are measured directly.
-    /// `None` when the node path is unreachable within the bound.
+    /// `Ok(None)` when the node path is unreachable within the bound;
+    /// `Err` when a position names a segment outside the network — the
+    /// provider runs on worker threads, so bad ids must surface as values,
+    /// never as panics.
     ///
     /// Mutable search state lives entirely in `pool` — one per worker.
-    #[must_use]
+    ///
+    /// # Errors
+    /// [`TransitionError::SegmentOutOfRange`] when `a.seg` or `b.seg` is not
+    /// a segment of `net`.
     pub fn route_dist(
         &self,
         net: &RoadNetwork,
         pool: &mut SsspPool,
         a: NetPos,
         b: NetPos,
-    ) -> Option<f64> {
-        let sa = net.segment(a.seg);
-        let sb = net.segment(b.seg);
+    ) -> Result<Option<f64>, TransitionError> {
+        let out_of_range =
+            |seg| TransitionError::SegmentOutOfRange { seg, num_segments: net.num_segments() };
+        let sa = net.try_segment(a.seg).ok_or_else(|| out_of_range(a.seg))?;
+        let sb = net.try_segment(b.seg).ok_or_else(|| out_of_range(b.seg))?;
         if a.seg == b.seg && b.ratio >= a.ratio {
-            return Some((b.ratio - a.ratio) * sa.length);
+            return Ok(Some((b.ratio - a.ratio) * sa.length));
         }
         let mid = match &self.table {
             Some(t) => {
                 let got = t.query(sa.to, sb.from);
                 let counter = if got.is_some() { &self.table_hits } else { &self.table_misses };
                 counter.fetch_add(1, Ordering::Relaxed);
-                got?
+                got
             }
-            None => self.cache.node_dist_pooled(net, sa.to, sb.from, self.max_route_m, pool)?,
+            None => self.cache.node_dist_pooled(net, sa.to, sb.from, self.max_route_m, pool),
         };
-        Some((1.0 - a.ratio) * sa.length + mid + b.ratio * sb.length)
+        Ok(mid.map(|mid| (1.0 - a.ratio) * sa.length + mid + b.ratio * sb.length))
     }
 }
 
@@ -254,7 +429,7 @@ mod tests {
         for (s, r1, d, r2) in [(0u32, 0.3, 17u32, 0.6), (5, 0.9, 5, 0.1), (40, 0.0, 3, 0.99)] {
             let a = NetPos::new(SegmentId(s % m), r1);
             let b = NetPos::new(SegmentId(d % m), r2);
-            let got = provider.route_dist(&net, &mut pool, a, b);
+            let got = provider.route_dist(&net, &mut pool, a, b).unwrap();
             let want = matched_dist_directed(&net, a, b, 5_000.0, None);
             match (got, want) {
                 (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{a:?}->{b:?}"),
@@ -277,8 +452,8 @@ mod tests {
         for (s, d) in [(0u32, 9u32), (12, 44), (7, 7), (31, 2)] {
             let a = NetPos::new(SegmentId(s % m), 0.25);
             let b = NetPos::new(SegmentId(d % m), 0.75);
-            let x = dij.route_dist(&net, &mut pool, a, b);
-            let y = tab.route_dist(&net, &mut pool, a, b);
+            let x = dij.route_dist(&net, &mut pool, a, b).unwrap();
+            let y = tab.route_dist(&net, &mut pool, a, b).unwrap();
             match (x, y) {
                 (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
                 (None, None) => {}
@@ -296,17 +471,17 @@ mod tests {
         let tab = TransitionProvider::with_table(Arc::new(DistTable::build(&net, 150.0)));
         let near = (NetPos::new(SegmentId(0), 0.5), NetPos::new(SegmentId(1), 0.5));
         let far = (NetPos::new(SegmentId(0), 0.5), NetPos::new(SegmentId(3), 0.5));
-        assert!(tab.route_dist(&net, &mut pool, near.0, near.1).is_some());
-        assert!(tab.route_dist(&net, &mut pool, far.0, far.1).is_none());
+        assert!(tab.route_dist(&net, &mut pool, near.0, near.1).unwrap().is_some());
+        assert!(tab.route_dist(&net, &mut pool, far.0, far.1).unwrap().is_none());
         assert_eq!(tab.stats(), CacheStats { hits: 1, misses: 1 });
         // Clones share the counters (one oracle, many handles).
         let clone = tab.clone();
-        assert!(clone.route_dist(&net, &mut pool, near.0, near.1).is_some());
+        assert!(clone.route_dist(&net, &mut pool, near.0, near.1).unwrap().is_some());
         assert_eq!(tab.stats(), CacheStats { hits: 2, misses: 1 });
         // Dijkstra-backed: stats delegate to the shared DistCache.
         let dij = TransitionProvider::dijkstra(5_000.0);
-        assert!(dij.route_dist(&net, &mut pool, near.0, near.1).is_some());
-        assert!(dij.route_dist(&net, &mut pool, near.0, near.1).is_some());
+        assert!(dij.route_dist(&net, &mut pool, near.0, near.1).unwrap().is_some());
+        assert!(dij.route_dist(&net, &mut pool, near.0, near.1).unwrap().is_some());
         assert_eq!(dij.stats(), dij.cache().stats());
         assert_eq!(dij.stats(), CacheStats { hits: 1, misses: 1 });
     }
@@ -319,9 +494,115 @@ mod tests {
         let seg = SegmentId(0);
         let d = provider
             .route_dist(&net, &mut pool, NetPos::new(seg, 0.2), NetPos::new(seg, 0.7))
+            .unwrap()
             .unwrap();
         assert!((d - 50.0).abs() < 1e-9);
         // Direct answers never touch the cache.
         assert_eq!(provider.cache().stats().total(), 0);
+    }
+
+    #[test]
+    fn provider_rejects_out_of_range_segment_instead_of_panicking() {
+        // Regression: a segment id from outside the network's own indexes
+        // (wire input, snapshot, artifact) used to panic the worker via a
+        // direct index; it must surface as a typed error on both endpoints.
+        let net = chain5();
+        let provider = TransitionProvider::dijkstra(1e9);
+        let mut pool = SsspPool::new();
+        let bogus = SegmentId(net.num_segments() as u32 + 7);
+        let ok = NetPos::new(SegmentId(0), 0.5);
+        for (a, b) in [(NetPos::new(bogus, 0.5), ok), (ok, NetPos::new(bogus, 0.5))] {
+            assert_eq!(
+                provider.route_dist(&net, &mut pool, a, b),
+                Err(TransitionError::SegmentOutOfRange {
+                    seg: bogus,
+                    num_segments: net.num_segments()
+                })
+            );
+        }
+        // And the error formats without panicking.
+        let msg = provider.route_dist(&net, &mut pool, NetPos::new(bogus, 0.5), ok).unwrap_err();
+        assert!(msg.to_string().contains("out of range"));
+    }
+
+    /// Packs a table's pairs into the image record layout, sorted.
+    fn pack_image(table: &DistTable) -> Vec<u8> {
+        let mut pairs = Vec::new();
+        table.for_each_pair(|s, d, dist| pairs.push((s, d, dist)));
+        pairs.sort_by_key(|&(s, d, _)| (u64::from(s)) << 32 | u64::from(d));
+        let mut out = Vec::with_capacity(pairs.len() * DIST_RECORD_BYTES);
+        for (s, d, dist) in pairs {
+            out.extend_from_slice(&s.to_le_bytes());
+            out.extend_from_slice(&d.to_le_bytes());
+            out.extend_from_slice(&dist.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn image_backed_table_answers_identically_to_built() {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, 33));
+        let built = DistTable::build(&net, 700.0);
+        let image = pack_image(&built);
+        let loaded = DistTable::from_image(Arc::new(image), 0, built.len(), built.delta()).unwrap();
+        assert_eq!(loaded.len(), built.len());
+        assert_eq!(loaded.delta(), built.delta());
+        for src in 0..net.num_nodes() as u32 {
+            for dst in 0..net.num_nodes() as u32 {
+                let (b, l) =
+                    (built.query(NodeId(src), NodeId(dst)), loaded.query(NodeId(src), NodeId(dst)));
+                assert_eq!(b.map(f64::to_bits), l.map(f64::to_bits), "{src}->{dst}");
+            }
+        }
+        // for_each_pair over the image visits key order and round-trips.
+        let mut last = None;
+        let mut n = 0usize;
+        loaded.for_each_pair(|s, d, dist| {
+            let key = (u64::from(s)) << 32 | u64::from(d);
+            assert!(last.is_none_or(|l| l < key), "key order");
+            last = Some(key);
+            assert_eq!(built.query(NodeId(s), NodeId(d)).map(f64::to_bits), Some(dist.to_bits()));
+            n += 1;
+        });
+        assert_eq!(n, built.len());
+    }
+
+    #[test]
+    fn image_rejects_unsorted_and_out_of_bounds() {
+        let net = chain5();
+        let built = DistTable::build(&net, 250.0);
+        let image = pack_image(&built);
+        let n = built.len();
+        // Swapping two records breaks strict ordering.
+        let mut bad = image.clone();
+        bad.copy_within(0..DIST_RECORD_BYTES, DIST_RECORD_BYTES);
+        assert_eq!(
+            DistTable::from_image(Arc::new(bad), 0, n, 250.0).unwrap_err(),
+            DistImageError::Unsorted
+        );
+        // A duplicated key (non-strict) is also rejected.
+        let mut dup = image.clone();
+        let (first, rest) = dup.split_at_mut(DIST_RECORD_BYTES);
+        rest[..DIST_RECORD_BYTES].copy_from_slice(first);
+        assert_eq!(
+            DistTable::from_image(Arc::new(dup), 0, n, 250.0).unwrap_err(),
+            DistImageError::Unsorted
+        );
+        // Count overrunning the slab is rejected, as is a bad offset.
+        let slab = Arc::new(image);
+        assert_eq!(
+            DistTable::from_image(Arc::clone(&slab), 0, n + 1, 250.0).unwrap_err(),
+            DistImageError::OutOfBounds
+        );
+        assert_eq!(
+            DistTable::from_image(Arc::clone(&slab), 8, n, 250.0).unwrap_err(),
+            DistImageError::OutOfBounds
+        );
+        assert_eq!(
+            DistTable::from_image(Arc::clone(&slab), usize::MAX, 1, 250.0).unwrap_err(),
+            DistImageError::OutOfBounds
+        );
+        // The pristine image still loads.
+        assert!(DistTable::from_image(slab, 0, n, 250.0).is_ok());
     }
 }

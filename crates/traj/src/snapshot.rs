@@ -51,6 +51,13 @@ pub enum SnapshotError {
     },
     /// Structurally invalid payload (inconsistent lengths, trailing bytes).
     Malformed(&'static str),
+    /// A section is too large for its fixed-width length field. Raised by
+    /// the *writer*: a length that does not fit `u32` must fail the encode
+    /// rather than be truncated into a wrong-but-plausible prefix length.
+    Oversize {
+        /// The actual byte length that did not fit.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -64,6 +71,9 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "snapshot is for matcher {found:?}, not {expected:?}")
             }
             Self::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            Self::Oversize { len } => {
+                write!(f, "snapshot section of {len} bytes exceeds the u32 length field")
+            }
         }
     }
 }
@@ -100,10 +110,25 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
+/// Checks that `len` fits the codec's `u32` length fields.
+///
+/// # Errors
+/// [`SnapshotError::Oversize`] when it does not — the writer must refuse
+/// rather than truncate the length into a wrong-but-plausible value.
+pub fn check_u32_len(len: usize) -> Result<u32, SnapshotError> {
+    u32::try_from(len).map_err(|_| SnapshotError::Oversize { len })
+}
+
 /// Appends a length-prefixed byte string (`u32` length).
-pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    put_u32(out, u32::try_from(bytes.len()).expect("snapshot section over 4 GiB"));
+///
+/// # Errors
+/// [`SnapshotError::Oversize`] when `bytes` is longer than `u32::MAX` —
+/// nothing is appended in that case, so a failed encode leaves `out`
+/// unchanged rather than half-written.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) -> Result<(), SnapshotError> {
+    put_u32(out, check_u32_len(bytes.len())?);
     out.extend_from_slice(bytes);
+    Ok(())
 }
 
 /// Appends a GPS point (position bits + timestamp bits).
@@ -352,6 +377,28 @@ mod tests {
     }
 
     #[test]
+    fn length_fields_error_at_the_u32_boundary_instead_of_truncating() {
+        // The check itself is exact at the boundary…
+        assert_eq!(check_u32_len(0), Ok(0));
+        assert_eq!(check_u32_len(u32::MAX as usize), Ok(u32::MAX));
+        #[cfg(target_pointer_width = "64")]
+        {
+            let over = u32::MAX as usize + 1;
+            assert_eq!(check_u32_len(over), Err(SnapshotError::Oversize { len: over }));
+            assert!(check_u32_len(over).unwrap_err().to_string().contains("4294967296"));
+        }
+        // …and put_bytes routes every length through it before writing
+        // anything (a failed encode leaves the buffer untouched by
+        // construction: the length check precedes the first append).
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"ok").unwrap();
+        assert_eq!(buf.len(), 4 + 2);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"ok");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
     fn errors_display() {
         let e = SnapshotError::WrongMatcher { expected: "HMM".into(), found: "MMA".into() };
         assert!(e.to_string().contains("MMA"));
@@ -360,5 +407,6 @@ mod tests {
         assert!(!SnapshotError::BadMagic.to_string().is_empty());
         assert!(!SnapshotError::Truncated.to_string().is_empty());
         assert!(!SnapshotError::Malformed("x").to_string().is_empty());
+        assert!(SnapshotError::Oversize { len: 5 }.to_string().contains('5'));
     }
 }

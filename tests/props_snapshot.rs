@@ -75,7 +75,7 @@ fn assert_snapshot_transparent<M: OnlineMatcher>(matcher: &M, traj: &Trajectory,
         last_t,
         payload,
     };
-    let bytes = envelope.encode();
+    let bytes = envelope.encode().expect("envelope encodes");
     // Any single corrupted byte is caught (CRC-32 detects all bursts of
     // up to 32 bits), and any truncation errors out instead of panicking.
     let mid = bytes.len() / 2;
