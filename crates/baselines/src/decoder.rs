@@ -38,6 +38,111 @@ pub(crate) fn argmax(xs: &[f64]) -> usize {
     best
 }
 
+/// Rows a [`LatticeArena`] keeps per pool before letting recycled rows
+/// drop. Bounds arena memory to the longest trajectory a scratch has seen,
+/// capped; beyond this, recycling degrades gracefully to plain allocation.
+const ARENA_ROWS_MAX: usize = 4096;
+
+/// Recycled row storage for Viterbi lattices.
+///
+/// A lattice grows one candidate row, one score row and one backpointer row
+/// per GPS point, and drops them all when the trajectory is decoded. The
+/// arena closes that loop: a finished state is [`LatticeArena::recycle`]d
+/// back into per-type row pools, and the next trajectory's
+/// [`ViterbiState::advance_in`] calls take rows (with their capacity) from
+/// the pools instead of the allocator. In steady state — any batch or
+/// stream past its first trajectory — the per-point advance path performs
+/// zero heap allocation. Purely a storage strategy: taken rows are cleared
+/// and refilled by exactly the code that previously filled fresh `Vec`s, so
+/// decoded output is bitwise-unchanged (`tests/props_tail.rs`).
+#[derive(Debug, Default)]
+pub struct LatticeArena {
+    cand_rows: Vec<Vec<Candidate>>,
+    f64_rows: Vec<Vec<f64>>,
+    usize_rows: Vec<Vec<usize>>,
+    reused: u64,
+}
+
+impl LatticeArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows served from recycled storage instead of the allocator so far.
+    #[must_use]
+    pub fn allocs_avoided(&self) -> u64 {
+        self.reused
+    }
+
+    /// An empty candidate row, recycled when available.
+    pub fn take_cand_row(&mut self) -> Vec<Candidate> {
+        match self.cand_rows.pop() {
+            Some(mut row) => {
+                row.clear();
+                self.reused += 1;
+                row
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn take_f64_row(&mut self) -> Vec<f64> {
+        match self.f64_rows.pop() {
+            Some(mut row) => {
+                row.clear();
+                self.reused += 1;
+                row
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn take_usize_row(&mut self) -> Vec<usize> {
+        match self.usize_rows.pop() {
+            Some(mut row) => {
+                row.clear();
+                self.reused += 1;
+                row
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn give_cand_row(&mut self, row: Vec<Candidate>) {
+        if self.cand_rows.len() < ARENA_ROWS_MAX {
+            self.cand_rows.push(row);
+        }
+    }
+
+    fn give_f64_row(&mut self, row: Vec<f64>) {
+        if self.f64_rows.len() < ARENA_ROWS_MAX {
+            self.f64_rows.push(row);
+        }
+    }
+
+    /// Returns every row of a finished lattice to the pools. Call when a
+    /// trajectory is decoded (offline) or a session finalized (online); the
+    /// next state built from this arena then advances allocation-free.
+    pub fn recycle(&mut self, state: ViterbiState) {
+        let ViterbiState { cand_sets, score, back, .. } = state;
+        for row in cand_sets {
+            self.give_cand_row(row);
+        }
+        for row in score {
+            if self.f64_rows.len() < ARENA_ROWS_MAX {
+                self.f64_rows.push(row);
+            }
+        }
+        for row in back {
+            if self.usize_rows.len() < ARENA_ROWS_MAX {
+                self.usize_rows.push(row);
+            }
+        }
+    }
+}
+
 /// Resumable Viterbi decoder state: pushed points, per-layer candidate sets,
 /// the beam of survivor scores and the backpointer lattice. See module docs.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +156,10 @@ pub struct ViterbiState {
     /// `usize::MAX` at layer 0 and chain restarts (HMM breaks).
     back: Vec<Vec<usize>>,
     watermark: usize,
+    /// Reusable buffers of [`ViterbiState::refresh_watermark`]; never
+    /// semantically meaningful between calls, never serialized.
+    wm_alive: Vec<usize>,
+    wm_parents: Vec<usize>,
 }
 
 impl ViterbiState {
@@ -100,20 +209,69 @@ impl ViterbiState {
         p: GpsPoint,
         cands: Vec<Candidate>,
         emission: impl Fn(&Candidate) -> f64,
+        transition: impl FnMut(&Candidate, &Candidate, f64) -> f64,
+    ) {
+        // A throwaway arena: three empty pools, no heap behind them. Rows
+        // fall through to plain allocation — the historical behaviour.
+        self.advance_in(&mut LatticeArena::new(), p, cands, emission, transition);
+    }
+
+    /// [`ViterbiState::advance`] drawing its new lattice rows from `arena`
+    /// instead of the allocator. Scores, backpointers and decoded output
+    /// are bitwise-identical either way — recycled rows are cleared and
+    /// refilled by the same update — so callers opt in purely for the
+    /// steady-state zero-allocation property (see [`LatticeArena`]).
+    pub fn advance_in(
+        &mut self,
+        arena: &mut LatticeArena,
+        p: GpsPoint,
+        cands: Vec<Candidate>,
+        emission: impl Fn(&Candidate) -> f64,
+        transition: impl FnMut(&Candidate, &Candidate, f64) -> f64,
+    ) {
+        let mut em = arena.take_f64_row();
+        em.extend(cands.iter().map(&emission));
+        self.advance_scored_in(arena, p, cands, &em, transition);
+        arena.give_f64_row(em);
+    }
+
+    /// The per-step update with emissions already computed: `emissions[j]`
+    /// scores `cands[j]` against `p`. This is the innermost form — the
+    /// HMM matchers batch their emission scoring through a vectorized
+    /// kernel and feed the row in here; [`ViterbiState::advance`] /
+    /// [`ViterbiState::advance_in`] evaluate a closure per candidate and
+    /// delegate. Emissions are a pure per-candidate function either way, so
+    /// all three entry points produce bitwise-identical lattices.
+    ///
+    /// # Panics
+    /// Panics if `emissions.len() != cands.len()`.
+    pub fn advance_scored_in(
+        &mut self,
+        arena: &mut LatticeArena,
+        p: GpsPoint,
+        cands: Vec<Candidate>,
+        emissions: &[f64],
         mut transition: impl FnMut(&Candidate, &Candidate, f64) -> f64,
     ) {
+        assert_eq!(emissions.len(), cands.len(), "one emission per candidate");
         if self.points.is_empty() {
-            self.score.push(cands.iter().map(&emission).collect());
-            self.back.push(vec![usize::MAX; cands.len()]);
+            let mut s0 = arena.take_f64_row();
+            s0.extend_from_slice(emissions);
+            let mut b0 = arena.take_usize_row();
+            b0.resize(cands.len(), usize::MAX);
+            self.score.push(s0);
+            self.back.push(b0);
         } else {
             let i = self.points.len();
             let straight = p.pos.dist(self.points[i - 1].pos);
             let prev_cands = &self.cand_sets[i - 1];
             let prev_score = &self.score[i - 1];
-            let mut s_i = vec![f64::NEG_INFINITY; cands.len()];
-            let mut b_i = vec![usize::MAX; cands.len()];
+            let mut s_i = arena.take_f64_row();
+            s_i.resize(cands.len(), f64::NEG_INFINITY);
+            let mut b_i = arena.take_usize_row();
+            b_i.resize(cands.len(), usize::MAX);
             for (j, cj) in cands.iter().enumerate() {
-                let em = emission(cj);
+                let em = emissions[j];
                 for (k, ck) in prev_cands.iter().enumerate() {
                     if prev_score[k] == f64::NEG_INFINITY {
                         continue;
@@ -131,8 +289,10 @@ impl ViterbiState {
             }
             // HMM break: no feasible transition — restart the chain here.
             if s_i.iter().all(|&s| s == f64::NEG_INFINITY) {
-                s_i = cands.iter().map(&emission).collect();
-                b_i = vec![usize::MAX; cands.len()];
+                s_i.clear();
+                s_i.extend_from_slice(emissions);
+                b_i.clear();
+                b_i.resize(cands.len(), usize::MAX);
             }
             self.score.push(s_i);
             self.back.push(b_i);
@@ -162,34 +322,39 @@ impl ViterbiState {
     /// previous call. `O(depth × beam)` in the worst case, but the walk
     /// stops at the previous watermark.
     pub fn refresh_watermark(&mut self) -> usize {
-        let Some(mut layer) = self.points.len().checked_sub(1) else {
-            return self.watermark;
+        // Split borrows: the walk reads `score`/`back` while refilling the
+        // two reusable index buffers (no per-call allocation on this path —
+        // it runs once per streamed point).
+        let Self { points, score, back, watermark, wm_alive, wm_parents, .. } = self;
+        let Some(mut layer) = points.len().checked_sub(1) else {
+            return *watermark;
         };
-        let mut alive: Vec<usize> = (0..self.score[layer].len())
-            .filter(|&j| self.score[layer][j] != f64::NEG_INFINITY)
-            .collect();
+        wm_alive.clear();
+        wm_alive.extend((0..score[layer].len()).filter(|&j| score[layer][j] != f64::NEG_INFINITY));
         loop {
-            if alive.len() == 1 {
+            if wm_alive.len() == 1 {
                 // One candidate pins this layer; below it the backpointers
                 // (and break-time argmaxes over frozen scores) are fixed.
-                self.watermark = self.watermark.max(layer + 1);
-                return self.watermark;
+                *watermark = (*watermark).max(layer + 1);
+                return *watermark;
             }
-            if alive.is_empty() || layer == 0 || layer <= self.watermark {
+            if wm_alive.is_empty() || layer == 0 || layer <= *watermark {
                 // No survivors to converge, or no room to beat the current
                 // watermark: collapsing at `layer - 1` would only re-derive
                 // a prefix already stabilized.
-                return self.watermark;
+                return *watermark;
             }
-            if self.back[layer][alive[0]] == usize::MAX {
+            if back[layer][wm_alive[0]] == usize::MAX {
                 // Chain restart: the backtrack below this layer starts from
                 // argmax over layer − 1's (now frozen) scores.
-                alive = vec![argmax(&self.score[layer - 1])];
+                wm_alive.clear();
+                wm_alive.push(argmax(&score[layer - 1]));
             } else {
-                let mut parents: Vec<usize> = alive.iter().map(|&j| self.back[layer][j]).collect();
-                parents.sort_unstable();
-                parents.dedup();
-                alive = parents;
+                wm_parents.clear();
+                wm_parents.extend(wm_alive.iter().map(|&j| back[layer][j]));
+                wm_parents.sort_unstable();
+                wm_parents.dedup();
+                std::mem::swap(wm_alive, wm_parents);
             }
             layer -= 1;
         }
@@ -249,7 +414,7 @@ impl ViterbiState {
         if watermark > points.len() {
             return Err(SnapshotError::Malformed("watermark beyond stream length"));
         }
-        Ok(Self { points, cand_sets, score, back, watermark })
+        Ok(Self { points, cand_sets, score, back, watermark, ..Self::default() })
     }
 
     /// The final decode: backtracks through the lattice (chain restarts

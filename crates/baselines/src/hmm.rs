@@ -31,7 +31,7 @@ use trmma_traj::snapshot::{Reader, SnapshotError};
 use trmma_traj::types::{GpsPoint, MatchedPoint, Trajectory};
 use trmma_traj::ScratchMatcher;
 
-use crate::decoder::ViterbiState;
+use crate::decoder::{LatticeArena, ViterbiState};
 use crate::ubodt::Ubodt;
 
 /// Tunables of the HMM matchers.
@@ -55,12 +55,22 @@ impl Default for HmmConfig {
 }
 
 /// Per-worker mutable state of the HMM matchers: warm Dijkstra buffers for
-/// transition lookups plus the candidate-search heaps. One scratch serves
-/// every trajectory a batch worker claims.
+/// transition lookups, the candidate-search heaps, the lattice-row arena
+/// and the emission-kernel staging buffers. One scratch serves every
+/// trajectory a batch worker claims; past the first trajectory the
+/// per-point advance path allocates nothing.
 #[derive(Debug, Default)]
 pub struct HmmScratch {
     pool: SsspPool,
     cand: CandidateScratch,
+    arena: LatticeArena,
+    /// Gathered `dist_m` column, input of the vectorized emission kernel.
+    dists: Vec<f64>,
+    /// The kernel's output row, borrowed by the scored advance.
+    em: Vec<f64>,
+    /// Points whose staging rows (`dists`/`em`) fit in retained capacity —
+    /// two allocations avoided each versus the fresh-per-call path.
+    staged: u64,
 }
 
 impl HmmScratch {
@@ -68,6 +78,14 @@ impl HmmScratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Heap allocations this scratch has absorbed so far: lattice-arena
+    /// rows served from recycled storage, plus staging rows reused from
+    /// retained capacity (two per staged point).
+    #[must_use]
+    pub fn allocs_avoided(&self) -> u64 {
+        self.arena.allocs_avoided() + 2 * self.staged
     }
 }
 
@@ -120,11 +138,6 @@ impl HmmMatcher {
         &self.provider
     }
 
-    fn emission_log(&self, c: &Candidate) -> f64 {
-        let z = c.dist_m / self.cfg.sigma_z_m;
-        -0.5 * z * z
-    }
-
     fn transition_log(
         &self,
         pool: &mut SsspPool,
@@ -143,20 +156,27 @@ impl HmmMatcher {
     }
 
     /// Advances a resumable decoder by one GPS point: candidate search on
-    /// the scratch's kNN buffers, then the transition/emission update of
-    /// [`ViterbiState::advance`] with route distances on the scratch's
-    /// Dijkstra pool. The one step function shared by the offline decode
-    /// (which replays a whole trajectory through it) and the online path.
+    /// the scratch's kNN buffers, emissions through the chunked Gaussian
+    /// kernel, then the transition update of
+    /// [`ViterbiState::advance_scored_in`] with route distances on the
+    /// scratch's Dijkstra pool and lattice rows from the scratch's arena.
+    /// The one step function shared by the offline decode (which replays a
+    /// whole trajectory through it) and the online path. Every piece is
+    /// bitwise-identical to the naive closure-per-candidate,
+    /// fresh-`Vec`-per-row formulation (`tests/props_tail.rs`).
     fn advance(&self, scratch: &mut HmmScratch, state: &mut ViterbiState, p: GpsPoint) {
-        let mut cands = Vec::with_capacity(self.cfg.k_candidates);
-        self.finder.candidates_into(p.pos, &mut scratch.cand, &mut cands);
-        let pool = &mut scratch.pool;
-        state.advance(
-            p,
-            cands,
-            |c| self.emission_log(c),
-            |from, to, straight| self.transition_log(pool, from, to, straight),
-        );
+        let HmmScratch { pool, cand, arena, dists, em, staged } = scratch;
+        let mut cands = arena.take_cand_row();
+        self.finder.candidates_into(p.pos, cand, &mut cands);
+        if dists.capacity() >= cands.len() && em.capacity() >= cands.len() {
+            *staged += 1;
+        }
+        dists.clear();
+        dists.extend(cands.iter().map(|c| c.dist_m));
+        trmma_nn::kernels::gaussian_log_emission_into(dists, self.cfg.sigma_z_m, em);
+        state.advance_scored_in(arena, p, cands, em, |from, to, straight| {
+            self.transition_log(pool, from, to, straight)
+        });
     }
 
     fn stitch(&self, matched: Vec<MatchedPoint>) -> MatchResult {
@@ -209,13 +229,19 @@ impl ScratchMatcher for HmmMatcher {
         HmmScratch::new()
     }
 
+    fn scratch_stats(scratch: &HmmScratch) -> trmma_traj::ScratchStats {
+        trmma_traj::ScratchStats { allocs_avoided: scratch.allocs_avoided() }
+    }
+
     fn match_trajectory_with(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> MatchResult {
         // Offline is online replayed: push every point, then decode.
         let mut state = ViterbiState::new();
         for &p in &traj.points {
             self.advance(scratch, &mut state, p);
         }
-        self.stitch(state.decode())
+        let matched = state.decode();
+        scratch.arena.recycle(state);
+        self.stitch(matched)
     }
 }
 
@@ -239,8 +265,10 @@ impl OnlineMatcher for HmmMatcher {
         }
     }
 
-    fn finalize(&self, _scratch: &mut HmmScratch, session: HmmSession) -> MatchResult {
-        self.stitch(session.state.decode())
+    fn finalize(&self, scratch: &mut HmmScratch, session: HmmSession) -> MatchResult {
+        let matched = session.state.decode();
+        scratch.arena.recycle(session.state);
+        self.stitch(matched)
     }
 
     fn session_len(&self, session: &HmmSession) -> usize {
@@ -335,6 +363,10 @@ impl ScratchMatcher for FmmMatcher {
 
     fn make_scratch(&self) -> HmmScratch {
         HmmScratch::new()
+    }
+
+    fn scratch_stats(scratch: &HmmScratch) -> trmma_traj::ScratchStats {
+        trmma_traj::ScratchStats { allocs_avoided: scratch.allocs_avoided() }
     }
 
     fn match_trajectory_with(&self, scratch: &mut HmmScratch, traj: &Trajectory) -> MatchResult {

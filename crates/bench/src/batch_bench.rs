@@ -29,6 +29,11 @@ pub(crate) fn cache_delta(before: CacheStats, after: CacheStats) -> CacheStats {
     CacheStats {
         hits: after.hits.saturating_sub(before.hits),
         misses: after.misses.saturating_sub(before.misses),
+        warm_hits: after.warm_hits.saturating_sub(before.warm_hits),
+        nodes_expanded: after.nodes_expanded.saturating_sub(before.nodes_expanded),
+        heap_pushes: after.heap_pushes.saturating_sub(before.heap_pushes),
+        allocs_avoided: after.allocs_avoided.saturating_sub(before.allocs_avoided),
+        evictions: after.evictions.saturating_sub(before.evictions),
     }
 }
 
@@ -58,6 +63,10 @@ pub struct InferenceRow {
     pub speedup: f64,
     /// Whether the run's output matched the sequential reference exactly.
     pub identical: bool,
+    /// Heap allocations absorbed by per-worker scratch arenas during this
+    /// row's best run (from [`BatchTiming::allocs_avoided`]); 0 for the
+    /// sequential baseline, which allocates fresh per call.
+    pub allocs_avoided: u64,
     /// Transition-oracle cache counters accumulated during this row's runs
     /// (all repeats), when the method has a [`TransitionProvider`]. `None`
     /// for methods without a route-distance oracle (MMA's learned scoring).
@@ -87,6 +96,7 @@ impl InferenceRow {
             max_ms: timing.latency_quantile(1.0) * 1e3,
             speedup: if base > 0.0 { tput / base } else { 1.0 },
             identical,
+            allocs_avoided: timing.allocs_avoided,
             cache: None,
         }
     }
@@ -107,7 +117,10 @@ fn timed_loop<R>(n: usize, mut f: impl FnMut(usize) -> R) -> (Vec<R>, BatchTimin
         results.push(f(i));
         per_item_s.push(t0.elapsed().as_secs_f64());
     }
-    (results, BatchTiming { per_item_s, wall_s: started.elapsed().as_secs_f64() })
+    (
+        results,
+        BatchTiming { per_item_s, wall_s: started.elapsed().as_secs_f64(), allocs_avoided: 0 },
+    )
 }
 
 /// Thread counts to sweep: 1, then powers of two up to the hardware.
@@ -192,7 +205,7 @@ pub fn bench_baseline_matching<M: ScratchMatcher + Sync>(
     provider: Option<&TransitionProvider>,
 ) -> Vec<InferenceRow> {
     let method = matcher.name();
-    let snap = || provider.map_or(CacheStats { hits: 0, misses: 0 }, TransitionProvider::stats);
+    let snap = || provider.map_or_else(CacheStats::default, TransitionProvider::stats);
     let before = snap();
     let (reference, seq_timing) =
         best_of(repeats, || timed_loop(batch.len(), |i| matcher.match_trajectory(&batch[i])));
@@ -304,8 +317,14 @@ pub fn rows_to_json(rows: &[InferenceRow], batch_size: usize, dataset: &str) -> 
                             "max_ms": r.max_ms,
                             "speedup_vs_sequential": r.speedup,
                             "identical_to_sequential": r.identical,
+                            "allocs_avoided": r.allocs_avoided,
                             "cache_hits": r.cache.map(|c| c.hits),
                             "cache_misses": r.cache.map(|c| c.misses),
+                            "cache_warm_hits": r.cache.map(|c| c.warm_hits),
+                            "cache_nodes_expanded": r.cache.map(|c| c.nodes_expanded),
+                            "cache_heap_pushes": r.cache.map(|c| c.heap_pushes),
+                            "cache_allocs_avoided": r.cache.map(|c| c.allocs_avoided),
+                            "cache_evictions": r.cache.map(|c| c.evictions),
                         })
                     })
                     .collect(),
@@ -376,9 +395,16 @@ mod tests {
         // The first (sequential) row pays the cold misses; later rows reuse
         // the shared cache, so their miss count cannot exceed the first's.
         assert!(rows[0].cache.unwrap().misses >= rows[1].cache.unwrap().misses);
+        // Pooled rows run through per-worker scratch, so the lattice arena
+        // must have absorbed allocations; the sequential row cannot.
+        assert_eq!(rows[0].allocs_avoided, 0);
+        assert!(rows[1].allocs_avoided > 0, "pooled HMM rows must reuse arena buffers");
         let s = crate::json::to_string_pretty(&rows_to_json(&rows, batch.len(), "TINY"));
         assert!(s.contains("\"cache_hits\":"));
         assert!(s.contains("\"cache_misses\":"));
+        assert!(s.contains("\"cache_warm_hits\":"));
+        assert!(s.contains("\"cache_nodes_expanded\":"));
+        assert!(s.contains("\"allocs_avoided\":"));
     }
 
     #[test]

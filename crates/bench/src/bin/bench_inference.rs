@@ -22,7 +22,10 @@
 //! environment variables, plus `TRMMA_BENCH_REPEATS` (default 3 — each
 //! configuration keeps its best-throughput run). Pass `--smoke` for the CI
 //! profile: tiny dataset, one repeat, threads {1, 2}, artifact copy only
-//! (the committed repo-root file is left untouched).
+//! (the committed repo-root file is left untouched). Pass
+//! `--assert-tail-ratio R` to fail the run if any engine row's p99/p50
+//! per-trajectory latency ratio exceeds `R` — the CI guard that keeps the
+//! warm-start/arena tail-latency work from regressing.
 
 use std::sync::Arc;
 
@@ -48,6 +51,14 @@ fn load_artifact() -> Option<(Artifact, Vec<u8>)> {
     let art =
         Artifact::decode(bytes.clone()).unwrap_or_else(|e| panic!("invalid artifact {path}: {e}"));
     Some((art, bytes))
+}
+
+/// The `--assert-tail-ratio R` bound, when given.
+fn tail_ratio_bound() -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--assert-tail-ratio")?;
+    let v = args.get(i + 1).expect("--assert-tail-ratio needs a value");
+    Some(v.parse().unwrap_or_else(|e| panic!("--assert-tail-ratio {v}: {e}")))
 }
 
 fn main() {
@@ -213,6 +224,36 @@ fn main() {
 
     let diverged: Vec<&InferenceRow> = rows.iter().filter(|r| !r.identical).collect();
     assert!(diverged.is_empty(), "parallel output diverged from sequential: {diverged:?}");
+
+    // Tail health: the worst p99/p50 ratio across the engine rows, and the
+    // optional CI bound on it.
+    let worst_tail = rows
+        .iter()
+        .filter(|r| r.mode == "batch_engine" && r.p50_ms > 0.0)
+        .map(|r| (r.p99_ms / r.p50_ms, r))
+        .fold(None::<(f64, &InferenceRow)>, |acc, cur| match acc {
+            Some(a) if a.0 >= cur.0 => Some(a),
+            _ => Some(cur),
+        });
+    if let Some((ratio, r)) = worst_tail {
+        println!(
+            "\nworst engine tail: p99/p50 = {ratio:.2} ({} {} at {} threads)",
+            r.task, r.method, r.threads
+        );
+        if let Some(bound) = tail_ratio_bound() {
+            assert!(
+                ratio <= bound,
+                "tail regression: {} {} at {} threads has p99/p50 = {ratio:.2} > {bound} \
+                 (p50 {:.3}ms, p99 {:.3}ms)",
+                r.task,
+                r.method,
+                r.threads,
+                r.p50_ms,
+                r.p99_ms
+            );
+            println!("tail bound OK: {ratio:.2} <= {bound}");
+        }
+    }
     let best = |method: &str| -> f64 {
         rows.iter().filter(|r| r.method == method).map(|r| r.speedup).fold(0.0, f64::max)
     };

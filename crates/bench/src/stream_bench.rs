@@ -74,6 +74,9 @@ pub struct StreamRow {
     pub queue_depth_variance: f64,
     /// Sessions the router migrated between workers during the run.
     pub migrations: u64,
+    /// Heap allocations absorbed by the workers' scratch arenas on the
+    /// per-point path (summed over workers from `RouterStats`).
+    pub allocs_avoided: u64,
     /// Whether every finalized session matched the offline decode exactly.
     pub identical: bool,
     /// Transition-oracle counters accumulated during the run, when the
@@ -159,7 +162,7 @@ pub fn bench_streaming_routed<M: OnlineMatcher + 'static>(
             None => reference.push(matcher.match_trajectory(t)),
         }
     }
-    let snap = || provider.map_or(CacheStats { hits: 0, misses: 0 }, TransitionProvider::stats);
+    let snap = || provider.map_or_else(CacheStats::default, TransitionProvider::stats);
     let mut rows = Vec::new();
     for &threads in thread_counts {
         let before = snap();
@@ -237,6 +240,7 @@ pub fn bench_streaming_routed<M: OnlineMatcher + 'static>(
             mean_stable_lag: if stats.points > 0 { lag_sum / stats.points as f64 } else { 0.0 },
             queue_depth_variance: router.queue_depth_hwm_variance(),
             migrations: router.migrated(),
+            allocs_avoided: router.allocs_avoided(),
             identical,
             cache: provider.map(|_| cache_delta(before, snap())),
         });
@@ -447,8 +451,14 @@ pub fn stream_rows_to_json(
                             "queue_depth_variance": r.queue_depth_variance,
                             "migrations": r.migrations,
                             "identical_to_offline": r.identical,
+                            "allocs_avoided": r.allocs_avoided,
                             "cache_hits": r.cache.map(|c| c.hits),
                             "cache_misses": r.cache.map(|c| c.misses),
+                            "cache_warm_hits": r.cache.map(|c| c.warm_hits),
+                            "cache_nodes_expanded": r.cache.map(|c| c.nodes_expanded),
+                            "cache_heap_pushes": r.cache.map(|c| c.heap_pushes),
+                            "cache_allocs_avoided": r.cache.map(|c| c.allocs_avoided),
+                            "cache_evictions": r.cache.map(|c| c.evictions),
                         })
                     })
                     .collect(),
@@ -524,6 +534,7 @@ mod tests {
             assert_eq!(r.router, "power_of_two");
             assert_eq!(r.workload, "uniform");
             assert!(r.cache.is_some());
+            assert!(r.allocs_avoided > 0, "workers must report arena reuse via RouterStats");
         }
         let s =
             crate::json::to_string_pretty(&stream_rows_to_json(&rows, &[], events.len(), "TINY"));
@@ -533,6 +544,8 @@ mod tests {
         assert!(s.contains("\"max_point_ms\":"));
         assert!(s.contains("\"chaos\":"));
         assert!(s.contains("\"cache_hits\":"));
+        assert!(s.contains("\"cache_warm_hits\":"));
+        assert!(s.contains("\"allocs_avoided\":"));
         assert!(s.contains("\"router\": \"power_of_two\""));
         assert!(s.contains("\"queue_depth_variance\":"));
         assert!(s.contains("\"migrations\":"));

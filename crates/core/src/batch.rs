@@ -72,6 +72,10 @@ pub struct BatchTiming {
     pub per_item_s: Vec<f64>,
     /// Wall-clock seconds for the whole batch (fan-out to join).
     pub wall_s: f64,
+    /// Heap allocations absorbed by the per-worker scratch arenas over the
+    /// batch (summed across workers; see
+    /// [`trmma_traj::api::ScratchStats`]). Zero for scratch-less paths.
+    pub allocs_avoided: u64,
 }
 
 impl BatchTiming {
@@ -115,13 +119,44 @@ where
     FS: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
 {
+    parallel_map_finish(items, threads, make_state, f, |_| 0).0
+}
+
+/// [`parallel_map`] that additionally folds each worker's retiring scratch
+/// through `finish` and sums the results — how per-worker counters (arena
+/// reuse and the like) surface without any cross-thread traffic on the hot
+/// path.
+pub(crate) fn parallel_map_finish<T, R, S, FS, F, FF>(
+    items: &[T],
+    threads: usize,
+    make_state: FS,
+    f: F,
+    finish: FF,
+) -> (Vec<R>, u64)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+    FF: Fn(&S) -> u64 + Sync,
+{
     let n = items.len();
     if threads <= 1 || n <= 1 {
         let mut state = make_state();
-        return items.iter().map(|item| f(&mut state, item)).collect();
+        let out = items.iter().map(|item| f(&mut state, item)).collect();
+        return (out, finish(&state));
     }
+    // When workers outnumber cores, a worker that never blocks loses the
+    // core *mid-item* for a full scheduler timeslice — several
+    // milliseconds charged to whichever unlucky trajectory it was on, the
+    // dominant p99 spike of oversubscribed runs. Yielding between items
+    // moves those preemptions to item boundaries, where they cost no
+    // measured latency. With threads <= cores the yield is a no-op.
+    let oversubscribed =
+        threads > std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let next = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let buckets: Vec<(Vec<(usize, R)>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -133,27 +168,34 @@ where
                             break;
                         }
                         local.push((i, f(&mut state, &items[i])));
+                        if oversubscribed {
+                            std::thread::yield_now();
+                        }
                     }
-                    local
+                    (local, finish(&state))
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
     });
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for bucket in buckets {
+    let mut stat = 0u64;
+    for (bucket, s) in buckets {
+        stat += s;
         for (i, r) in bucket {
             out[i] = Some(r);
         }
     }
-    out.into_iter().map(|r| r.expect("every index is claimed exactly once")).collect()
+    let out = out.into_iter().map(|r| r.expect("every index is claimed exactly once")).collect();
+    (out, stat)
 }
 
-fn timed_map<T, R, S, FS, F>(
+fn timed_map<T, R, S, FS, F, FF>(
     items: &[T],
     threads: usize,
     make_state: FS,
     f: F,
+    finish: FF,
 ) -> (Vec<R>, BatchTiming)
 where
     T: Sync,
@@ -161,13 +203,20 @@ where
     S: Send,
     FS: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
+    FF: Fn(&S) -> u64 + Sync,
 {
     let started = std::time::Instant::now();
-    let pairs = parallel_map(items, threads, make_state, |state, item| {
-        let t0 = std::time::Instant::now();
-        let r = f(state, item);
-        (r, t0.elapsed().as_secs_f64())
-    });
+    let (pairs, allocs_avoided) = parallel_map_finish(
+        items,
+        threads,
+        make_state,
+        |state, item| {
+            let t0 = std::time::Instant::now();
+            let r = f(state, item);
+            (r, t0.elapsed().as_secs_f64())
+        },
+        finish,
+    );
     let wall_s = started.elapsed().as_secs_f64();
     let mut results = Vec::with_capacity(pairs.len());
     let mut per_item_s = Vec::with_capacity(pairs.len());
@@ -175,7 +224,7 @@ where
         results.push(r);
         per_item_s.push(dt);
     }
-    (results, BatchTiming { per_item_s, wall_s })
+    (results, BatchTiming { per_item_s, wall_s, allocs_avoided })
 }
 
 /// Parallel batched map matching with a shared [`Mma`]; see module docs.
@@ -213,9 +262,13 @@ impl BatchMatcher {
     #[must_use]
     pub fn match_batch_timed(&self, batch: &[Trajectory]) -> (Vec<MatchResult>, BatchTiming) {
         let threads = self.opts.effective_threads(batch.len());
-        timed_map(batch, threads, MmaScratch::new, |scratch, traj| {
-            self.mma.match_trajectory_with(scratch, traj)
-        })
+        timed_map(
+            batch,
+            threads,
+            MmaScratch::new,
+            |scratch, traj| self.mma.match_trajectory_with(scratch, traj),
+            MmaScratch::allocs_avoided,
+        )
     }
 }
 
@@ -303,9 +356,13 @@ impl BatchRecovery {
         epsilon_s: f64,
     ) -> (Vec<MatchedTrajectory>, BatchTiming) {
         let threads = self.opts.effective_threads(batch.len());
-        timed_map(batch, threads, RecoveryScratch::new, |scratch, traj| {
-            self.recover_one(scratch, traj, epsilon_s)
-        })
+        timed_map(
+            batch,
+            threads,
+            RecoveryScratch::new,
+            |scratch, traj| self.recover_one(scratch, traj, epsilon_s),
+            |scratch| scratch.mma.allocs_avoided(),
+        )
     }
 }
 
@@ -330,6 +387,7 @@ pub fn par_match_pooled<M: ScratchMatcher + Sync>(
         threads,
         || matcher.make_scratch(),
         |scratch, traj| matcher.match_trajectory_with(scratch, traj),
+        |scratch| M::scratch_stats(scratch).allocs_avoided,
     )
 }
 
@@ -344,7 +402,7 @@ pub fn par_match(
     opts: BatchOptions,
 ) -> (Vec<MatchResult>, BatchTiming) {
     let threads = opts.effective_threads(batch.len());
-    timed_map(batch, threads, || (), |(), traj| matcher.match_trajectory(traj))
+    timed_map(batch, threads, || (), |(), traj| matcher.match_trajectory(traj), |()| 0)
 }
 
 /// Fans any [`TrajectoryRecovery`] out over a batch. Output order matches
@@ -357,7 +415,7 @@ pub fn par_recover(
     opts: BatchOptions,
 ) -> (Vec<MatchedTrajectory>, BatchTiming) {
     let threads = opts.effective_threads(batch.len());
-    timed_map(batch, threads, || (), |(), traj| method.recover(traj, epsilon_s))
+    timed_map(batch, threads, || (), |(), traj| method.recover(traj, epsilon_s), |()| 0)
 }
 
 #[cfg(test)]

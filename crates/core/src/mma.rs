@@ -20,13 +20,18 @@ use trmma_traj::snapshot::{self, Reader, SnapshotError};
 use trmma_traj::types::{GpsPoint, MatchedPoint, Trajectory};
 use trmma_traj::Sample;
 
-/// Reusable per-worker inference state for [`Mma`]: the autograd tape and
-/// the candidate-search buffers. One instance serves any number of
-/// trajectories; the batch engine keeps one per worker thread.
+/// Reusable per-worker inference state for [`Mma`]: the autograd tape, the
+/// candidate-search buffers, per-trajectory candidate-set rows and the
+/// per-point staging buffers of the forward pass. One instance serves any
+/// number of trajectories; the batch engine keeps one per worker thread.
 #[derive(Default)]
 pub struct MmaScratch {
     graph: Graph,
     cand: CandidateScratch,
+    /// Scratch-owned candidate rows for the offline decode, cleared and
+    /// refilled per trajectory with their capacity kept.
+    cand_sets: Vec<Vec<Candidate>>,
+    bufs: MmaBufs,
 }
 
 impl MmaScratch {
@@ -35,6 +40,27 @@ impl MmaScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Heap allocations the scratch's reusable rows and staging buffers
+    /// have absorbed so far.
+    #[must_use]
+    pub fn allocs_avoided(&self) -> u64 {
+        self.bufs.reused
+    }
+}
+
+/// Per-point staging buffers of [`Mma::forward_cached`]: the candidate-id
+/// row, the flat direction-feature row and the all-zero repeat-gather index
+/// row are rebuilt in place per point instead of allocated. (Tape-node
+/// storage itself is deliberately *not* pooled — a matrix pool here was
+/// measured slower than the allocator, DESIGN.md §3.)
+#[derive(Default)]
+struct MmaBufs {
+    ids: Vec<usize>,
+    rep0: Vec<usize>,
+    /// Rebuilds that found the capacity already in place — the scratch's
+    /// share of the avoided-allocation counters.
+    reused: u64,
 }
 
 /// Hyper-parameters of MMA (§VI-A lists the paper's settings; defaults
@@ -243,7 +269,7 @@ impl Mma {
             self.finder.candidates_into(p.pos, cand, &mut cands);
             cand_sets.push(cands);
         }
-        let logits = self.forward_cached(g, &cand_sets, traj);
+        let logits = self.forward_cached(g, &mut MmaBufs::default(), &cand_sets, traj);
         cand_sets.into_iter().zip(logits).collect()
     }
 
@@ -255,6 +281,7 @@ impl Mma {
     fn forward_cached(
         &self,
         g: &mut Graph,
+        bufs: &mut MmaBufs,
         cand_sets: &[Vec<Candidate>],
         traj: &Trajectory,
     ) -> Vec<NodeId> {
@@ -270,9 +297,15 @@ impl Mma {
         let mut out = Vec::with_capacity(traj.points.len());
         for (i, cands) in cand_sets.iter().enumerate() {
             let kc = cands.len();
-            // Eq. 1–2: candidate embeddings.
-            let ids: Vec<usize> = cands.iter().map(|c| c.seg.idx()).collect();
-            let e_c = self.w_c.embed(g, &ids); // kc × d0
+            // Eq. 1–2: candidate embeddings. The id row is staged in the
+            // scratch buffer — same slice content as a freshly collected
+            // Vec, no allocation in steady state.
+            if bufs.ids.capacity() >= kc {
+                bufs.reused += 1;
+            }
+            bufs.ids.clear();
+            bufs.ids.extend(cands.iter().map(|c| c.seg.idx()));
+            let e_c = self.w_c.embed(g, &bufs.ids); // kc × d0
             let mut dir_flat = Vec::with_capacity(cands.len() * 5);
             for c in cands {
                 dir_flat.extend_from_slice(&self.candidate_features(traj, i, c));
@@ -284,7 +317,15 @@ impl Mma {
             // Eq. 7–8: candidate-context attention into the point embedding.
             let z2_i = g.slice_rows(z2, i, 1); // 1 × d2
             let p_i = if self.cfg.use_candidate_context {
-                let z2_rep = g.gather_rows(z2_i, &vec![0; kc]); // kc × d2
+                // The repeat-gather index row is all zeros by definition;
+                // the staged buffer only ever grows and is never written
+                // with anything else.
+                if bufs.rep0.len() < kc {
+                    bufs.rep0.resize(kc, 0);
+                } else {
+                    bufs.reused += 1;
+                }
+                let z2_rep = g.gather_rows(z2_i, &bufs.rep0[..kc]); // kc × d2
                 let cat = g.concat_cols(&[z2_rep, c_emb]);
                 let scores = self.attn_mlp.forward(g, cat); // kc × 1
                 let scores_row = g.transpose(scores); // 1 × kc
@@ -456,13 +497,19 @@ impl Mma {
         scratch: &mut MmaScratch,
         traj: &Trajectory,
     ) -> Vec<MatchedPoint> {
-        let mut cand_sets = Vec::with_capacity(traj.len());
-        for p in &traj.points {
-            let mut cands = Vec::with_capacity(self.cfg.kc);
-            self.finder.candidates_into(p.pos, &mut scratch.cand, &mut cands);
-            cand_sets.push(cands);
+        let MmaScratch { graph, cand, cand_sets, bufs } = scratch;
+        // Refill the scratch-owned candidate rows in place: rows (and the
+        // outer spine) keep their capacity from the previous trajectory, so
+        // in steady state the whole search stage allocates nothing.
+        bufs.reused += cand_sets.len().min(traj.len()) as u64;
+        cand_sets.truncate(traj.len());
+        while cand_sets.len() < traj.len() {
+            cand_sets.push(Vec::with_capacity(self.cfg.kc));
         }
-        self.match_points_cached(scratch, &cand_sets, traj)
+        for (p, row) in traj.points.iter().zip(cand_sets.iter_mut()) {
+            self.finder.candidates_into(p.pos, cand, row);
+        }
+        self.decode_cached(graph, bufs, cand_sets, traj)
     }
 
     /// [`MapMatcher::match_trajectory`] through caller-owned scratch state.
@@ -487,20 +534,28 @@ impl Mma {
         cand_sets: &[Vec<Candidate>],
         traj: &Trajectory,
     ) -> Vec<MatchedPoint> {
-        scratch.graph.reset();
-        let g = &mut scratch.graph;
-        self.forward_cached(g, cand_sets, traj)
+        let MmaScratch { graph, bufs, .. } = scratch;
+        self.decode_cached(graph, bufs, cand_sets, traj)
+    }
+
+    /// The decode core under both cached entry points, on disjoint borrows
+    /// of the scratch so callers can pass scratch-owned candidate rows.
+    /// Each logit column is a contiguous `kc × 1` buffer; the kernel argmax
+    /// replays the strict-`>` first-max scan the loop here used to do.
+    fn decode_cached(
+        &self,
+        graph: &mut Graph,
+        bufs: &mut MmaBufs,
+        cand_sets: &[Vec<Candidate>],
+        traj: &Trajectory,
+    ) -> Vec<MatchedPoint> {
+        graph.reset();
+        self.forward_cached(graph, bufs, cand_sets, traj)
             .into_iter()
             .zip(cand_sets)
             .zip(&traj.points)
             .map(|((logits, cands), p)| {
-                let col = g.value(logits);
-                let mut best = 0usize;
-                for k in 1..cands.len() {
-                    if col.get(k, 0) > col.get(best, 0) {
-                        best = k;
-                    }
-                }
+                let best = trmma_nn::kernels::argmax(graph.value(logits).data());
                 MatchedPoint::new(cands[best].seg, cands[best].ratio, p.t)
             })
             .collect()
@@ -529,6 +584,10 @@ impl ScratchMatcher for Mma {
 
     fn make_scratch(&self) -> MmaScratch {
         MmaScratch::new()
+    }
+
+    fn scratch_stats(scratch: &MmaScratch) -> trmma_traj::ScratchStats {
+        trmma_traj::ScratchStats { allocs_avoided: scratch.allocs_avoided() }
     }
 
     fn match_trajectory_with(&self, scratch: &mut MmaScratch, traj: &Trajectory) -> MatchResult {

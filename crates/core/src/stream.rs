@@ -425,6 +425,10 @@ pub struct WorkerTelemetry {
     pub late_dropped: u64,
     /// Sessions the worker finalized by idle eviction.
     pub idle_finalized: u64,
+    /// Heap allocations the worker's scratch arenas absorbed on the
+    /// per-point hot path (served from recycled buffers instead of the
+    /// allocator) — see `trmma_traj::ScratchStats`.
+    pub allocs_avoided: u64,
 }
 
 /// Snapshot of the router's per-worker load and migration counters.
@@ -510,6 +514,13 @@ impl RouterStats {
     pub fn idle_finalized(&self) -> u64 {
         self.workers.iter().map(|w| w.idle_finalized).sum()
     }
+
+    /// Heap allocations absorbed by per-worker scratch arenas across all
+    /// workers (sum of [`WorkerTelemetry::allocs_avoided`]).
+    #[must_use]
+    pub fn allocs_avoided(&self) -> u64 {
+        self.workers.iter().map(|w| w.allocs_avoided).sum()
+    }
 }
 
 /// Per-worker load counters shared between the engine-side router (reads
@@ -526,6 +537,7 @@ struct WorkerLoad {
     migrated_out: AtomicU64,
     late_dropped: AtomicU64,
     idle_finalized: AtomicU64,
+    allocs_avoided: AtomicU64,
 }
 
 impl WorkerLoad {
@@ -546,6 +558,7 @@ impl WorkerLoad {
             migrated_out: self.migrated_out.load(Ordering::Relaxed),
             late_dropped: self.late_dropped.load(Ordering::Relaxed),
             idle_finalized: self.idle_finalized.load(Ordering::Relaxed),
+            allocs_avoided: self.allocs_avoided.load(Ordering::Relaxed),
         }
     }
 }
@@ -1026,6 +1039,11 @@ fn worker_loop<M: OnlineMatcher>(
                 // sees the command in `depth` or its session in `live`,
                 // never a spurious zero load in between.
                 load.depth.fetch_sub(1, Ordering::Relaxed);
+                // Publish the scratch's monotone counter as a plain store:
+                // a respawned worker starts a fresh scratch, and the
+                // telemetry should report the live scratch's view.
+                load.allocs_avoided
+                    .store(M::scratch_stats(&scratch).allocs_avoided, Ordering::Relaxed);
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,

@@ -178,14 +178,11 @@ impl Graph {
     /// between copying the whole segment table per point and copying
     /// `kc` rows.
     pub fn embed_param(&mut self, p: &Param, ids: &[usize]) -> NodeId {
-        let mut buf = Vec::with_capacity(ids.len() * p.shape().1);
+        let mut buf = Vec::new();
         let value = {
             let inner = p.read();
             let src = &inner.value;
-            for &ix in ids {
-                assert!(ix < src.rows(), "embed index out of range");
-                buf.extend_from_slice(src.row(ix));
-            }
+            crate::kernels::gather_rows_into(src.data(), src.rows(), src.cols(), ids, &mut buf);
             Matrix::from_vec(ids.len(), src.cols(), buf)
         };
         let id = self.push(value, Op::Leaf, true);
@@ -430,12 +427,9 @@ impl Graph {
     /// Row gather: output row `i` = `a`'s row `indices[i]` (embedding
     /// lookup; duplicates allowed).
     pub fn gather_rows(&mut self, a: NodeId, indices: &[usize]) -> NodeId {
-        let mut buf = Vec::with_capacity(indices.len() * self.nodes[a.0].value.cols());
+        let mut buf = Vec::new();
         let src = &self.nodes[a.0].value;
-        for &ix in indices {
-            assert!(ix < src.rows(), "gather index out of range");
-            buf.extend_from_slice(src.row(ix));
-        }
+        crate::kernels::gather_rows_into(src.data(), src.rows(), src.cols(), indices, &mut buf);
         let v = Matrix::from_vec(indices.len(), src.cols(), buf);
         let ng = self.needs(a);
         self.push(v, Op::GatherRows(a, indices.to_vec()), ng)

@@ -1,0 +1,159 @@
+//! Flat-slice compute kernels for the inference hot path.
+//!
+//! Everything here operates on plain `&[f64]` buffers with the bounds
+//! checks hoisted out of the inner loops (length asserts up front, then
+//! exact-size iterators the optimizer can vectorize). Each kernel is a
+//! drop-in replacement for a scalar loop elsewhere in the workspace and is
+//! **bitwise-identical** to it: either the elements are independent (so
+//! chunking cannot reassociate anything), or the kernel replays the exact
+//! accumulation order of the loop it replaces. `tests/props_tail.rs` pins
+//! the equivalences down property-style.
+
+/// Gathers `ids`-selected rows of a row-major `rows × cols` table into
+/// `out` (cleared first). Replaces the per-row `extend_from_slice` loops in
+/// [`crate::Graph::embed_param`] / [`crate::Graph::gather_rows`]: indices
+/// are validated in one pass up front, then each row is a straight memcpy.
+///
+/// # Panics
+/// Panics if `src.len() != rows * cols` or any id is out of range.
+pub fn gather_rows_into(src: &[f64], rows: usize, cols: usize, ids: &[usize], out: &mut Vec<f64>) {
+    assert_eq!(src.len(), rows * cols, "src is not rows × cols");
+    assert!(ids.iter().all(|&ix| ix < rows), "gather index out of range");
+    out.clear();
+    out.reserve(ids.len() * cols);
+    for &ix in ids {
+        out.extend_from_slice(&src[ix * cols..(ix + 1) * cols]);
+    }
+}
+
+/// Writes the log Gaussian emission `-0.5 · (d / sigma)²` of every distance
+/// into `out` (cleared first), unrolled four lanes wide. Elements are
+/// independent, so the chunking changes nothing about the result — each
+/// output is exactly the scalar expression the HMM emission closure
+/// computes.
+pub fn gaussian_log_emission_into(dist_m: &[f64], sigma: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(dist_m.len());
+    let mut chunks = dist_m.chunks_exact(4);
+    for c in &mut chunks {
+        let z0 = c[0] / sigma;
+        let z1 = c[1] / sigma;
+        let z2 = c[2] / sigma;
+        let z3 = c[3] / sigma;
+        out.extend_from_slice(&[-0.5 * z0 * z0, -0.5 * z1 * z1, -0.5 * z2 * z2, -0.5 * z3 * z3]);
+    }
+    for &d in chunks.remainder() {
+        let z = d / sigma;
+        out.push(-0.5 * z * z);
+    }
+}
+
+/// Matrix–vector product `out[i] += row_i(lhs) · x` over a row-major
+/// `out.len() × x.len()` left-hand side, skipping zero coefficients.
+///
+/// This is [`crate::Matrix::matmul_into`]'s inner loop specialised to a
+/// single output column: same zero-skip, same add order per output element,
+/// with the accumulator held in a register instead of re-reading `out[i]`
+/// per term — bitwise-identical by construction, measurably faster on the
+/// `kc × d2 · d2 × 1` logit products that dominate MMA scoring.
+///
+/// # Panics
+/// Panics if `lhs.len() != out.len() * x.len()`.
+pub fn matvec_skip_zero(lhs: &[f64], x: &[f64], out: &mut [f64]) {
+    assert_eq!(lhs.len(), out.len() * x.len(), "matvec shape mismatch");
+    for (o, row) in out.iter_mut().zip(lhs.chunks_exact(x.len())) {
+        let mut acc = *o;
+        for (&a, &b) in row.iter().zip(x.iter()) {
+            if a == 0.0 {
+                continue;
+            }
+            acc += a * b;
+        }
+        *o = acc;
+    }
+}
+
+/// Index of the maximum element, first occurrence winning ties via strict
+/// `>` — the tie-breaking every decoder in this workspace relies on.
+/// Returns 0 for an empty slice.
+#[must_use]
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_rows_matches_manual_copy() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = vec![99.0]; // cleared by the kernel
+        gather_rows_into(&src, 3, 2, &[2, 0, 2], &mut out);
+        assert_eq!(out, vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather index out of range")]
+    fn gather_rows_validates_ids() {
+        let mut out = Vec::new();
+        gather_rows_into(&[1.0, 2.0], 2, 1, &[2], &mut out);
+    }
+
+    #[test]
+    fn gaussian_emission_matches_scalar_for_all_lengths() {
+        let sigma = 4.07;
+        for n in 0..13 {
+            let dists: Vec<f64> = (0..n).map(|i| i as f64 * 1.37 - 3.0).collect();
+            let mut out = Vec::new();
+            gaussian_log_emission_into(&dists, sigma, &mut out);
+            let want: Vec<f64> = dists
+                .iter()
+                .map(|&d| {
+                    let z = d / sigma;
+                    -0.5 * z * z
+                })
+                .collect();
+            assert_eq!(
+                out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_matches_naive_accumulation() {
+        let lhs = [1.0, 0.0, -2.5, 0.3, 7.0, 0.0];
+        let x = [0.1, 0.2, 0.3];
+        let mut out = [0.0, 0.0];
+        matvec_skip_zero(&lhs, &x, &mut out);
+        // Naive replay of matmul_into's order.
+        let mut want = [0.0, 0.0];
+        for i in 0..2 {
+            for k in 0..3 {
+                let a = lhs[i * 3 + k];
+                if a == 0.0 {
+                    continue;
+                }
+                want[i] += a * x[k];
+            }
+        }
+        assert_eq!(out[0].to_bits(), want[0].to_bits());
+        assert_eq!(out[1].to_bits(), want[1].to_bits());
+    }
+
+    #[test]
+    fn argmax_first_max_wins() {
+        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax(&[1.0]), 0);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), 0);
+    }
+}

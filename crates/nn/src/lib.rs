@@ -43,6 +43,7 @@
 //! ```
 
 pub mod graph;
+pub mod kernels;
 pub mod layers;
 pub mod matrix;
 pub mod optim;

@@ -163,6 +163,14 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into output shape");
+        if rhs.cols == 1 {
+            // Matrix–vector products (every per-candidate logit column in
+            // MMA) go through the register-accumulating kernel; it replays
+            // this loop's exact zero-skip add order, so results are
+            // bitwise-identical.
+            crate::kernels::matvec_skip_zero(&self.data, &rhs.data, &mut out.data);
+            return;
+        }
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];

@@ -88,7 +88,13 @@ pub struct RoadNetwork {
     in_segs: Vec<Vec<SegmentId>>,
     /// For each segment, the opposite-direction twin if the road is two-way.
     reverse_twin: Vec<Option<SegmentId>>,
+    /// Process-unique identity token; see [`RoadNetwork::uid`].
+    uid: u64,
 }
+
+/// Source of [`RoadNetwork::uid`] tokens. Starts at 1 so 0 can mean "no
+/// network" in caches keyed by uid.
+static NEXT_NET_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl RoadNetwork {
     /// Builds a network from node positions and `(from, to, class)` edges.
@@ -129,7 +135,20 @@ impl RoadNetwork {
             .collect();
         let reverse_twin = segments.iter().map(|s| index.get(&(s.to, s.from)).copied()).collect();
 
-        Self { node_pos, segments, out_segs, in_segs, reverse_twin }
+        let uid = NEXT_NET_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Self { node_pos, segments, out_segs, in_segs, reverse_twin, uid }
+    }
+
+    /// A process-unique token identifying this network's contents.
+    ///
+    /// Every [`RoadNetwork::new`] call mints a fresh token; clones share
+    /// their original's token, which is sound because a network is immutable
+    /// after construction — equal tokens imply equal graphs. Warm search
+    /// state ([`SsspPool`](crate::shortest::SsspPool)) is keyed on it so
+    /// state from one network can never answer queries about another.
+    #[must_use]
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Number of intersections `m = |V|`.

@@ -325,6 +325,7 @@ impl TransitionProvider {
             CacheStats {
                 hits: self.table_hits.load(Ordering::Relaxed),
                 misses: self.table_misses.load(Ordering::Relaxed),
+                ..CacheStats::default()
             }
         } else {
             self.cache.stats()
@@ -473,17 +474,18 @@ mod tests {
         let far = (NetPos::new(SegmentId(0), 0.5), NetPos::new(SegmentId(3), 0.5));
         assert!(tab.route_dist(&net, &mut pool, near.0, near.1).unwrap().is_some());
         assert!(tab.route_dist(&net, &mut pool, far.0, far.1).unwrap().is_none());
-        assert_eq!(tab.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(tab.stats(), CacheStats { hits: 1, misses: 1, ..CacheStats::default() });
         // Clones share the counters (one oracle, many handles).
         let clone = tab.clone();
         assert!(clone.route_dist(&net, &mut pool, near.0, near.1).unwrap().is_some());
-        assert_eq!(tab.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(tab.stats(), CacheStats { hits: 2, misses: 1, ..CacheStats::default() });
         // Dijkstra-backed: stats delegate to the shared DistCache.
         let dij = TransitionProvider::dijkstra(5_000.0);
         assert!(dij.route_dist(&net, &mut pool, near.0, near.1).unwrap().is_some());
         assert!(dij.route_dist(&net, &mut pool, near.0, near.1).unwrap().is_some());
         assert_eq!(dij.stats(), dij.cache().stats());
-        assert_eq!(dij.stats(), CacheStats { hits: 1, misses: 1 });
+        let stats = dij.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

@@ -71,6 +71,22 @@ pub trait ScratchMatcher: MapMatcher {
 
     /// Like [`MapMatcher::match_trajectory`], reusing `scratch`'s buffers.
     fn match_trajectory_with(&self, scratch: &mut Self::Scratch, traj: &Trajectory) -> MatchResult;
+
+    /// Work-attribution counters accumulated in `scratch` — what the
+    /// engines fold into their timing / router reports. The default is
+    /// all-zero for matchers whose scratch tracks nothing.
+    fn scratch_stats(_scratch: &Self::Scratch) -> ScratchStats {
+        ScratchStats::default()
+    }
+}
+
+/// Allocation-attribution counters of a per-worker scratch (see
+/// [`ScratchMatcher::scratch_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Heap allocations the scratch's arenas absorbed: buffers served from
+    /// recycled storage on the per-point hot path instead of the allocator.
+    pub allocs_avoided: u64,
 }
 
 /// A trajectory-recovery method (Definition 7).

@@ -49,7 +49,7 @@ pub mod types;
 
 pub use api::{
     stitch_route, Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult,
-    ScratchMatcher, TrajectoryRecovery,
+    ScratchMatcher, ScratchStats, TrajectoryRecovery,
 };
 pub use dataset::{build_dataset, Dataset, DatasetConfig, Split};
 pub use gen::{sparsify, RawTrajectory, Sample, TrajConfig};

@@ -1,0 +1,244 @@
+//! Property tests for the tail-latency machinery: every fast path on the
+//! hot inference loop must be *bitwise-identical* to the slow path it
+//! replaces.
+//!
+//! * warm-start / budgeted SSSP: `node_dist_warm` after an arbitrary query
+//!   history, under an arbitrary work budget, with prefetches interleaved,
+//!   equals the cold allocating Dijkstra on every query;
+//! * bounded `DistCache`: a capacity-capped cache answers every lookup
+//!   identically to the uncapped cache and the cold search, while never
+//!   holding more than `cap` pairs;
+//! * arena-backed Viterbi: `advance_scored_in` through a dirty recycled
+//!   [`LatticeArena`] decodes identically to the fresh-allocation
+//!   `advance` path;
+//! * vectorized kernels: the chunked emission kernel, the zero-skipping
+//!   matvec and `argmax` reproduce their scalar references bit for bit.
+
+use proptest::prelude::*;
+
+use trmma::baselines::decoder::{LatticeArena, ViterbiState};
+use trmma::geom::Vec2;
+use trmma::nn::kernels::{argmax, gather_rows_into, gaussian_log_emission_into, matvec_skip_zero};
+use trmma::roadnet::shortest::{node_dist, DistCache, SsspPool, Weight};
+use trmma::roadnet::{generate_city, NetworkConfig, NodeId, SegmentId};
+use trmma::traj::types::GpsPoint;
+use trmma::traj::Candidate;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A pool with retained warm frontiers, an arbitrary per-query budget
+    /// and interleaved speculative prefetches answers every query exactly
+    /// like the cold allocating Dijkstra — the core warm-start identity.
+    #[test]
+    fn warm_budgeted_sssp_identical_to_cold(
+        net_seed in 0u64..1_000,
+        queries in prop::collection::vec((0u32..10_000, 0u32..10_000), 1usize..25),
+        budget_pick in 0usize..5,
+        bound in 150.0f64..4_000.0,
+        prefetch_extra in 0u64..96,
+    ) {
+        // Pin the interesting budget regimes: disabled, single-step, tiny,
+        // moderate, and effectively unbounded.
+        let budget = [0u64, 1, 7, 63, 50_000][budget_pick];
+        let net = generate_city(&NetworkConfig::with_size(6, 6, net_seed));
+        let m = net.num_nodes() as u32;
+        let mut pool = SsspPool::new();
+        pool.set_warm_budget(budget);
+        for (i, &(s, d)) in queries.iter().enumerate() {
+            let (src, dst) = (NodeId(s % m), NodeId(d % m));
+            let warm = pool.node_dist_warm(&net, src, dst, Weight::Length, bound);
+            let cold = node_dist(&net, src, dst, Weight::Length, bound);
+            prop_assert_eq!(
+                warm.map(f64::to_bits), cold.map(f64::to_bits),
+                "warm query {} diverged (budget {}): {:?} vs {:?}", i, budget, warm, cold
+            );
+            // Speculative growth between queries must never change answers.
+            if i % 3 == 0 {
+                pool.prefetch(&net, src, Weight::Length, bound, prefetch_extra);
+            }
+        }
+    }
+
+    /// A capacity-capped cache under eviction pressure stays bounded and
+    /// answers bitwise like both an uncapped cache and the cold search.
+    #[test]
+    fn bounded_cache_identical_and_bounded(
+        net_seed in 0u64..1_000,
+        queries in prop::collection::vec((0u32..10_000, 0u32..10_000), 1usize..40),
+        cap in 1usize..12,
+        bound in 150.0f64..4_000.0,
+    ) {
+        let net = generate_city(&NetworkConfig::with_size(6, 6, net_seed));
+        let m = net.num_nodes() as u32;
+        let capped = DistCache::with_capacity(cap);
+        let unbounded = DistCache::new();
+        for &(s, d) in &queries {
+            let (src, dst) = (NodeId(s % m), NodeId(d % m));
+            let a = capped.node_dist(&net, src, dst, bound);
+            let b = unbounded.node_dist(&net, src, dst, bound);
+            let cold = node_dist(&net, src, dst, Weight::Length, bound);
+            prop_assert_eq!(a.map(f64::to_bits), cold.map(f64::to_bits));
+            prop_assert_eq!(b.map(f64::to_bits), cold.map(f64::to_bits));
+            prop_assert!(capped.len() <= cap, "cache grew past its cap: {} > {}", capped.len(), cap);
+        }
+        let stats = capped.stats();
+        prop_assert_eq!(stats.total(), queries.len() as u64, "every lookup counted once");
+    }
+
+    /// The arena-backed scored advance (recycled rows, precomputed
+    /// emissions) decodes identically to the historical fresh-allocation
+    /// `advance` path, even when the arena is dirty from a previous
+    /// decoded-and-recycled lattice.
+    #[test]
+    fn arena_viterbi_identical_to_fresh(
+        layers in prop::collection::vec(
+            prop::collection::vec((0u32..50, 0.0f64..80.0, 0.0f64..1.0), 1usize..6),
+            1usize..8,
+        ),
+        warmup_layers in 0usize..4,
+        sigma in 1.0f64..30.0,
+    ) {
+        let point = |i: usize| GpsPoint { pos: Vec2::new(i as f64 * 35.0, (i % 3) as f64 * 20.0), t: i as f64 };
+        let cand_row = |layer: &[(u32, f64, f64)]| -> Vec<Candidate> {
+            layer.iter().map(|&(seg, dist_m, ratio)| Candidate { seg: SegmentId(seg), dist_m, ratio }).collect()
+        };
+        // Deterministic scores shared by both paths.
+        let emission = |c: &Candidate| -> f64 { let z = c.dist_m / sigma; -0.5 * z * z };
+        let transition = |from: &Candidate, to: &Candidate, straight: f64| -> f64 {
+            -((from.seg.0 as f64 - to.seg.0 as f64).abs() + (straight - 10.0).abs() * 0.01)
+        };
+
+        // Fresh path: closure emissions, throwaway arenas.
+        let mut fresh = ViterbiState::new();
+        for (i, layer) in layers.iter().enumerate() {
+            fresh.advance(point(i), cand_row(layer), emission, transition);
+        }
+
+        // Arena path: dirty the arena with a decoded-and-recycled warmup
+        // lattice first, then feed kernel-style precomputed emission rows.
+        let mut arena = LatticeArena::new();
+        let mut warmup = ViterbiState::new();
+        for i in 0..warmup_layers {
+            let layer = &layers[i % layers.len()];
+            warmup.advance_in(&mut arena, point(i), cand_row(layer), emission, transition);
+        }
+        let _ = warmup.decode();
+        arena.recycle(warmup);
+
+        let mut pooled = ViterbiState::new();
+        for (i, layer) in layers.iter().enumerate() {
+            let cands = cand_row(layer);
+            let em: Vec<f64> = cands.iter().map(emission).collect();
+            pooled.advance_scored_in(&mut arena, point(i), cands, &em, transition);
+        }
+
+        prop_assert_eq!(fresh.decode(), pooled.decode(), "arena path changed the decode");
+        prop_assert_eq!(fresh.len(), pooled.len());
+        if warmup_layers > 0 {
+            prop_assert!(arena.allocs_avoided() > 0, "dirty arena served nothing from its pools");
+        }
+    }
+
+    /// The chunked Gaussian log-emission kernel is bit-identical to its
+    /// scalar definition for every length (covering all remainder shapes).
+    #[test]
+    fn emission_kernel_bitwise_matches_scalar(
+        dists in prop::collection::vec(0.0f64..500.0, 0usize..33),
+        sigma in 0.5f64..50.0,
+    ) {
+        let mut out = Vec::new();
+        gaussian_log_emission_into(&dists, sigma, &mut out);
+        prop_assert_eq!(out.len(), dists.len());
+        for (i, (&d, &got)) in dists.iter().zip(&out).enumerate() {
+            let z = d / sigma;
+            let want = -0.5 * z * z;
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "lane {} diverged", i);
+        }
+    }
+
+    /// The zero-skipping matvec reproduces the generic inner-product loop
+    /// bit for bit (same op order, same skip rule), and `argmax` picks the
+    /// first strict maximum like the scalar scan it replaced.
+    #[test]
+    fn matvec_and_argmax_bitwise_match_reference(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed_cells in prop::collection::vec(-4.0f64..4.0, 64),
+        zero_mask in prop::collection::vec(0u32..2, 64),
+        xs in prop::collection::vec(-3.0f64..3.0, 1usize..12),
+    ) {
+        let lhs: Vec<f64> = (0..rows * cols)
+            .map(|i| if zero_mask[i % zero_mask.len()] == 1 { 0.0 } else { seed_cells[i % seed_cells.len()] })
+            .collect();
+        let x: Vec<f64> = (0..cols).map(|j| seed_cells[(j * 7 + 3) % seed_cells.len()]).collect();
+        let mut got = vec![0.0f64; rows];
+        matvec_skip_zero(&lhs, &x, &mut got);
+        for i in 0..rows {
+            // The kernel's contract: accumulate onto the existing output,
+            // skipping exact-zero lhs entries, in column order.
+            let mut want = 0.0f64;
+            for (a, b) in lhs[i * cols..(i + 1) * cols].iter().zip(&x) {
+                if *a == 0.0 {
+                    continue;
+                }
+                want += a * b;
+            }
+            prop_assert_eq!(got[i].to_bits(), want.to_bits(), "row {} diverged", i);
+        }
+
+        let mut best = 0usize;
+        for (j, &v) in xs.iter().enumerate() {
+            if v > xs[best] {
+                best = j;
+            }
+        }
+        prop_assert_eq!(argmax(&xs), best);
+    }
+
+    /// Row gathering through the kernel equals per-row slicing for every
+    /// (rows, cols, ids) shape, including repeated and out-of-order ids.
+    #[test]
+    fn gather_kernel_matches_slicing(
+        rows in 1usize..7,
+        cols in 0usize..6,
+        cells in prop::collection::vec(-9.0f64..9.0, 42),
+        ids in prop::collection::vec(0usize..7, 0usize..9),
+    ) {
+        let src: Vec<f64> = (0..rows * cols).map(|i| cells[i % cells.len()]).collect();
+        let ids: Vec<usize> = ids.into_iter().map(|i| i % rows).collect();
+        let mut out = Vec::new();
+        gather_rows_into(&src, rows, cols, &ids, &mut out);
+        let mut want = Vec::new();
+        for &ix in &ids {
+            want.extend_from_slice(&src[ix * cols..(ix + 1) * cols]);
+        }
+        let got_bits: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got_bits, want_bits);
+    }
+}
+
+/// Budget exhaustion mid-resume must leave the paused frontier valid: the
+/// fallback cold answer and every later warm answer still match the cold
+/// reference. (Deterministic companion to the proptests above, pinning the
+/// tiny-budget edge across a far → near → far query pattern.)
+#[test]
+fn budget_exhaustion_falls_back_without_corruption() {
+    let net = generate_city(&NetworkConfig::with_size(8, 8, 7));
+    let m = net.num_nodes() as u32;
+    let mut pool = SsspPool::new();
+    pool.set_warm_budget(2);
+    let src = NodeId(0);
+    let bound = 5_000.0;
+    for dst in [m - 1, 1, m / 2, m - 2, 2, m / 3] {
+        let dst = NodeId(dst);
+        let warm = pool.node_dist_warm(&net, src, dst, Weight::Length, bound);
+        let cold = node_dist(&net, src, dst, Weight::Length, bound);
+        assert_eq!(
+            warm.map(f64::to_bits),
+            cold.map(f64::to_bits),
+            "budget-2 warm query to {dst:?} diverged"
+        );
+    }
+}
