@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 use trmma_roadnet::shortest::{NetPos, SsspPool};
-use trmma_roadnet::{DistTable, RoadNetwork, RoutePlanner, TransitionProvider};
+use trmma_roadnet::{DistTable, RoadNetwork, RoutePlanner, ShardedNetwork, TransitionProvider};
 use trmma_traj::api::{
     stitch_route, Candidate, CandidateFinder, CandidateScratch, MapMatcher, MatchResult,
 };
@@ -129,6 +129,35 @@ impl HmmMatcher {
         name: &'static str,
     ) -> Self {
         let finder = CandidateFinder::new(&net, cfg.k_candidates);
+        Self { net, planner, finder, cfg, provider, name }
+    }
+
+    /// Builds the matcher on a sharded network: candidate search merges the
+    /// per-shard R-trees and route distances decompose into intra-shard
+    /// table hops plus the boundary overlay — no Dijkstra at decode time.
+    /// `sharded.delta()` takes the place of `cfg.max_route_m` as the route
+    /// bound; decodes are bitwise-identical to the monolithic matcher when
+    /// the two bounds agree (`tests/props_shard.rs`).
+    #[must_use]
+    pub fn sharded(
+        sharded: Arc<ShardedNetwork>,
+        planner: Arc<RoutePlanner>,
+        cfg: HmmConfig,
+    ) -> Self {
+        Self::sharded_named(sharded, planner, cfg, "HMM")
+    }
+
+    /// [`HmmMatcher::sharded`] with a custom display name (used by the
+    /// learned-HMM wrapper and FMM).
+    pub(crate) fn sharded_named(
+        sharded: Arc<ShardedNetwork>,
+        planner: Arc<RoutePlanner>,
+        cfg: HmmConfig,
+        name: &'static str,
+    ) -> Self {
+        let net = Arc::clone(sharded.net());
+        let finder = CandidateFinder::sharded(Arc::clone(&sharded), cfg.k_candidates);
+        let provider = TransitionProvider::with_sharded(sharded);
         Self { net, planner, finder, cfg, provider, name }
     }
 
@@ -335,10 +364,30 @@ impl FmmMatcher {
         }
     }
 
-    /// Size of the precomputed table.
+    /// Builds the matcher on a sharded network: the per-shard intra tables
+    /// plus the boundary overlay *are* the precomputed route-distance
+    /// store, standing in for the whole-graph UBODT (`precompute_s` is 0 —
+    /// the shard build already paid for the sweeps).
+    #[must_use]
+    pub fn sharded(
+        sharded: Arc<ShardedNetwork>,
+        planner: Arc<RoutePlanner>,
+        cfg: HmmConfig,
+    ) -> Self {
+        Self { inner: HmmMatcher::sharded_named(sharded, planner, cfg, "FMM"), precompute_s: 0.0 }
+    }
+
+    /// Size of the precomputed distance store: the UBODT's pair count, or
+    /// for a sharded matcher the total pairs across every intra-shard table
+    /// plus the overlay.
     #[must_use]
     pub fn table_len(&self) -> usize {
-        self.inner.provider.table().map_or(0, |t| t.len())
+        if let Some(t) = self.inner.provider.table() {
+            return t.len();
+        }
+        self.inner.provider.sharded().map_or(0, |sh| {
+            sh.overlay().len() + sh.shards().iter().map(|s| s.intra().len()).sum::<usize>()
+        })
     }
 
     /// The route-distance oracle (shared, read-only, table-backed).

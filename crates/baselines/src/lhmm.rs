@@ -101,6 +101,27 @@ impl LhmmMatcher {
         Self { inner: HmmMatcher::with_name(net, planner, cfg, "LHMM"), params, report }
     }
 
+    /// Like [`LhmmMatcher::fit`], but decoding on a sharded network. The
+    /// parameter fit runs on the whole graph — training happens where the
+    /// ground truth lives, and the fitted σ̂/β̂ are therefore identical to
+    /// the monolithic matcher's — only the decode-time candidate search and
+    /// transition lookups go through the shards.
+    #[must_use]
+    pub fn fit_sharded(
+        sharded: Arc<trmma_roadnet::ShardedNetwork>,
+        planner: Arc<RoutePlanner>,
+        base: HmmConfig,
+        train: &[Sample],
+    ) -> Self {
+        let started = std::time::Instant::now();
+        let params = fit_params(sharded.net(), train, base.max_route_m);
+        let cfg = HmmConfig { sigma_z_m: params.sigma_z_m, beta_m: params.beta_m, ..base };
+        let mut report = TrainReport::default();
+        report.epoch_times_s.push(started.elapsed().as_secs_f64());
+        report.epoch_losses.push(0.0);
+        Self { inner: HmmMatcher::sharded_named(sharded, planner, cfg, "LHMM"), params, report }
+    }
+
     /// The fitted parameters.
     #[must_use]
     pub fn params(&self) -> FittedParams {

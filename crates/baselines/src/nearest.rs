@@ -26,6 +26,20 @@ impl NearestMatcher {
         let finder = CandidateFinder::new(&net, 1);
         Self { net, planner, finder }
     }
+
+    /// Builds the matcher on a sharded network, searching the per-shard
+    /// R-trees instead of one whole-network tree. Matches are identical to
+    /// [`NearestMatcher::new`] — the finder's canonical ranking is a pure
+    /// function of the segment set.
+    #[must_use]
+    pub fn sharded(
+        sharded: Arc<trmma_roadnet::ShardedNetwork>,
+        planner: Arc<RoutePlanner>,
+    ) -> Self {
+        let net = Arc::clone(sharded.net());
+        let finder = CandidateFinder::sharded(sharded, 1);
+        Self { net, planner, finder }
+    }
 }
 
 impl NearestMatcher {

@@ -16,18 +16,43 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use trmma_core::{Artifact, ArtifactBuilder, ArtifactError};
-use trmma_roadnet::{DistTable, NodeId, RoadNetwork, RoutePlanner};
+use trmma_roadnet::{
+    DistTable, GridCut, NodeId, RoadNetwork, RoutePlanner, ShardPlan, ShardedNetwork,
+};
 use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
 
 use crate::harness::Bundle;
 use crate::json::Value;
 
+/// The grid-cut seed every harness entry point uses when sharding a
+/// network, so `trmma-artifacts build --shards N` and a benchmark binary's
+/// in-process `--shards N` produce the same [`ShardPlan`] (and therefore
+/// interchangeable shard payloads).
+pub const SHARD_CUT_SEED: u64 = 17;
+
+/// Partitions `net` into `n` grid tiles with the harness-wide cut seed and
+/// builds the sharded network at `delta` (the route-distance bound the
+/// HMM-family transitions run under).
+#[must_use]
+pub fn build_sharded(net: &Arc<RoadNetwork>, n: usize, delta: f64) -> ShardedNetwork {
+    let plan = ShardPlan::new(net, &GridCut::square(n, SHARD_CUT_SEED));
+    ShardedNetwork::build(Arc::clone(net), plan, delta)
+}
+
 /// Packs a prepared bundle into an artifact image: graph, distance table
 /// (built at `delta`, FMM's UBODT bound), the given named weight blobs
 /// (`Mma::save_weights` / `Trmma::save_weights` output) and the bundle's
-/// node2vec embeddings.
+/// node2vec embeddings. With `shards: Some(n)` the image also carries a
+/// `shards` section — the grid-cut plan, every per-shard intra table and
+/// the boundary overlay — so a serving process can stand up a
+/// [`ShardedNetwork`] zero-copy via `Artifact::sharded_network`.
 #[must_use]
-pub fn build_image(bundle: &Bundle, weights: &[(&str, Vec<u8>)], delta: f64) -> Vec<u8> {
+pub fn build_image(
+    bundle: &Bundle,
+    weights: &[(&str, Vec<u8>)],
+    delta: f64,
+    shards: Option<usize>,
+) -> Vec<u8> {
     let table = DistTable::build(&bundle.net, delta);
     let mut b = ArtifactBuilder::new();
     b.graph(&bundle.net);
@@ -36,6 +61,9 @@ pub fn build_image(bundle: &Bundle, weights: &[(&str, Vec<u8>)], delta: f64) -> 
         b.params(name, blob);
     }
     b.embeddings(&bundle.node2vec);
+    if let Some(n) = shards {
+        b.shards(&build_sharded(&bundle.net, n, delta));
+    }
     b.finish()
 }
 
@@ -187,7 +215,7 @@ mod tests {
     #[test]
     fn image_round_trips_through_prepare() {
         let bundle = tiny_bundle();
-        let image = build_image(&bundle, &[("mma", b"blob".to_vec())], 400.0);
+        let image = build_image(&bundle, &[("mma", b"blob".to_vec())], 400.0, None);
         let art = Artifact::decode(image).unwrap();
         assert_eq!(art.sections().len(), 4);
         assert!(art.sections().iter().any(|s| s.kind == SectionKind::Params as u16));
@@ -201,9 +229,32 @@ mod tests {
     }
 
     #[test]
+    fn sharded_image_serves_an_equivalent_network() {
+        let bundle = tiny_bundle();
+        let image = build_image(&bundle, &[], 400.0, Some(4));
+        let art = Artifact::decode(image).unwrap();
+        assert!(art.sections().iter().any(|s| s.kind == SectionKind::Shards as u16));
+
+        let built = build_sharded(&bundle.net, 4, 400.0);
+        let served = art.sharded_network(bundle.net.clone()).unwrap();
+        assert_eq!(served.num_shards(), built.num_shards());
+        assert_eq!(served.plan().assignment(), built.plan().assignment());
+        for i in 0..bundle.net.num_nodes().min(24) {
+            for j in 0..bundle.net.num_nodes().min(24) {
+                let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+                assert_eq!(
+                    served.node_dist(a, b).map(f64::to_bits),
+                    built.node_dist(a, b).map(f64::to_bits),
+                    "served shard distance diverged for {a:?}→{b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn mismatched_network_is_rejected() {
         let bundle = tiny_bundle();
-        let image = build_image(&bundle, &[], 400.0);
+        let image = build_image(&bundle, &[], 400.0, None);
         let art = Artifact::decode(image).unwrap();
         // A different dataset generates a different network.
         let mut other = DatasetConfig::tiny();
@@ -217,7 +268,7 @@ mod tests {
     #[test]
     fn cold_start_rows_are_identical_and_positive() {
         let bundle = tiny_bundle();
-        let image = build_image(&bundle, &[], 400.0);
+        let image = build_image(&bundle, &[], 400.0, None);
         let rows = bench_cold_start(&bundle.net, 400.0, image);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].source, "dist_table_build");

@@ -71,6 +71,18 @@ pub struct InferenceRow {
     /// (all repeats), when the method has a [`TransitionProvider`]. `None`
     /// for methods without a route-distance oracle (MMA's learned scoring).
     pub cache: Option<CacheStats>,
+    /// Deployment variant measured: `"monolithic"` (one whole-network
+    /// R-tree / distance table) or `"sharded"` (grid-cut tiles stitched by
+    /// a boundary overlay). Set by [`tag_variant`]; rows from runs without
+    /// a `--shards` sweep keep the `"monolithic"` default.
+    pub variant: String,
+    /// Resident bytes of the variant's candidate-search and route-distance
+    /// structures (whole R-tree + UBODT table, or the sum over shard
+    /// R-trees/intra tables plus the overlay). `None` until tagged.
+    pub resident_bytes: Option<usize>,
+    /// Per-shard resident-bytes accounting in shard-id order; `None` for
+    /// monolithic rows.
+    pub shard_resident_bytes: Option<Vec<usize>>,
 }
 
 impl InferenceRow {
@@ -98,6 +110,9 @@ impl InferenceRow {
             identical,
             allocs_avoided: timing.allocs_avoided,
             cache: None,
+            variant: "monolithic".to_string(),
+            resident_bytes: None,
+            shard_resident_bytes: None,
         }
     }
 
@@ -105,6 +120,24 @@ impl InferenceRow {
         self.cache = cache;
         self
     }
+}
+
+/// Tags measured rows with their deployment variant and memory accounting.
+/// Applied by the benchmark binaries after the sweep, so the sharded and
+/// monolithic runs share the row-producing functions above unchanged.
+#[must_use]
+pub fn tag_variant(
+    mut rows: Vec<InferenceRow>,
+    variant: &str,
+    resident_bytes: usize,
+    shard_resident_bytes: Option<Vec<usize>>,
+) -> Vec<InferenceRow> {
+    for r in &mut rows {
+        r.variant = variant.to_string();
+        r.resident_bytes = Some(resident_bytes);
+        r.shard_resident_bytes.clone_from(&shard_resident_bytes);
+    }
+    rows
 }
 
 /// Times a sequential per-item loop into a [`BatchTiming`].
@@ -325,6 +358,9 @@ pub fn rows_to_json(rows: &[InferenceRow], batch_size: usize, dataset: &str) -> 
                             "cache_heap_pushes": r.cache.map(|c| c.heap_pushes),
                             "cache_allocs_avoided": r.cache.map(|c| c.allocs_avoided),
                             "cache_evictions": r.cache.map(|c| c.evictions),
+                            "variant": r.variant,
+                            "resident_bytes": r.resident_bytes,
+                            "shard_resident_bytes": r.shard_resident_bytes,
                         })
                     })
                     .collect(),
@@ -405,6 +441,31 @@ mod tests {
         assert!(s.contains("\"cache_warm_hits\":"));
         assert!(s.contains("\"cache_nodes_expanded\":"));
         assert!(s.contains("\"allocs_avoided\":"));
+    }
+
+    #[test]
+    fn variant_tagging_lands_in_rows_and_json() {
+        let timing =
+            BatchTiming { per_item_s: vec![0.001, 0.002], wall_s: 0.003, allocs_avoided: 0 };
+        let row =
+            InferenceRow::from_timing("matching", "HMM", "batch_engine", 2, &timing, 1.0, true);
+        assert_eq!(row.variant, "monolithic");
+        assert_eq!(row.resident_bytes, None);
+
+        let mono = tag_variant(vec![row.clone()], "monolithic", 4096, None);
+        assert_eq!(mono[0].resident_bytes, Some(4096));
+        assert!(mono[0].shard_resident_bytes.is_none());
+
+        let sharded = tag_variant(vec![row], "sharded", 3000, Some(vec![1000, 2000]));
+        assert_eq!(sharded[0].variant, "sharded");
+        assert_eq!(sharded[0].shard_resident_bytes.as_deref(), Some(&[1000, 2000][..]));
+
+        let rows: Vec<InferenceRow> = mono.into_iter().chain(sharded).collect();
+        let s = crate::json::to_string_pretty(&rows_to_json(&rows, 2, "TINY"));
+        assert!(s.contains("\"variant\": \"monolithic\""));
+        assert!(s.contains("\"variant\": \"sharded\""));
+        assert!(s.contains("\"resident_bytes\": 4096"));
+        assert!(s.contains("\"shard_resident_bytes\": ["));
     }
 
     #[test]

@@ -21,25 +21,37 @@
 //! Scale knobs: the usual `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE`
 //! environment variables, plus `TRMMA_BENCH_REPEATS` (default 3 — each
 //! configuration keeps its best-throughput run). Pass `--smoke` for the CI
-//! profile: tiny dataset, one repeat, threads {1, 2}, artifact copy only
-//! (the committed repo-root file is left untouched). Pass
+//! profile: tiny dataset, two repeats (best kept), threads {1, 2}, artifact
+//! copy only (the committed repo-root file is left untouched). Pass
 //! `--assert-tail-ratio R` to fail the run if any engine row's p99/p50
 //! per-trajectory latency ratio exceeds `R` — the CI guard that keeps the
 //! warm-start/arena tail-latency work from regressing.
+//!
+//! Pass `--shards N` to additionally sweep every matcher on a grid-cut
+//! [`trmma_roadnet::ShardedNetwork`] (per-shard R-trees, intra-shard
+//! distance tables, boundary overlay): the same rows are measured again
+//! with `"variant": "sharded"`, each carrying total and per-shard
+//! resident-bytes accounting next to the monolithic rows' whole-R-tree +
+//! UBODT footprint, so throughput and memory can be compared directly in
+//! the committed document. When `--artifact` is also given and the image
+//! packs a `shards` section, the sharded network is served zero-copy from
+//! the image instead of rebuilt.
 
 use std::sync::Arc;
 
 use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher};
 use trmma_bench::artifacts::{
-    attach_cold_start, bench_cold_start, build_image, prepare_from_artifact,
+    attach_cold_start, bench_cold_start, build_image, build_sharded, prepare_from_artifact,
 };
 use trmma_bench::batch_bench::{
     bench_baseline_matching, bench_matching, bench_recovery, default_thread_counts, rows_to_json,
-    InferenceRow,
+    tag_variant, InferenceRow,
 };
 use trmma_bench::harness::{trained_mma, trained_trmma, Bundle, ExpConfig};
 use trmma_bench::report::{write_bench_inference, write_json, Table};
 use trmma_core::{Artifact, Mma, MmaConfig, Trmma};
+use trmma_roadnet::transition::DIST_RECORD_BYTES;
+use trmma_roadnet::{monolithic_resident_bytes, ShardedNetwork};
 use trmma_traj::dataset::DatasetConfig;
 
 /// The decoded image and its raw bytes (kept for the cold-start replay),
@@ -61,12 +73,26 @@ fn tail_ratio_bound() -> Option<f64> {
     Some(v.parse().unwrap_or_else(|e| panic!("--assert-tail-ratio {v}: {e}")))
 }
 
+/// The `--shards N` tile count, when given.
+fn shards_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--shards")?;
+    let v = args.get(i + 1).expect("--shards needs a value");
+    let n: usize = v.parse().unwrap_or_else(|e| panic!("--shards {v}: {e}"));
+    assert!(n > 0, "--shards must be at least 1");
+    Some(n)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let artifact = load_artifact();
+    let shards_n = shards_arg();
     let cfg = ExpConfig::from_env();
+    // Smoke keeps 2 repeats (not 1): best-of-2 discards a run that caught
+    // a scheduler stall, which otherwise lands straight in p99 of a
+    // 24-trajectory batch and trips the CI tail bound spuriously.
     let repeats: usize = if smoke {
-        1
+        2
     } else {
         std::env::var("TRMMA_BENCH_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
     };
@@ -117,7 +143,7 @@ fn main() {
         Some((_, bytes)) => bytes.clone(),
         None => {
             let weights = [("mma", mma.save_weights()), ("trmma", trmma.save_weights())];
-            build_image(&bundle, &weights, hmm_cfg.max_route_m)
+            build_image(&bundle, &weights, hmm_cfg.max_route_m, None)
         }
     };
     let cold = bench_cold_start(&bundle.net, hmm_cfg.max_route_m, image);
@@ -134,7 +160,12 @@ fn main() {
         ),
         None => FmmMatcher::new(bundle.net.clone(), bundle.planner.clone(), hmm_cfg.clone()),
     };
-    let lhmm = LhmmMatcher::fit(bundle.net.clone(), bundle.planner.clone(), hmm_cfg, &bundle.train);
+    let lhmm = LhmmMatcher::fit(
+        bundle.net.clone(),
+        bundle.planner.clone(),
+        hmm_cfg.clone(),
+        &bundle.train,
+    );
 
     // Benchmark over the test sparse trajectories, tiled up so the batch is
     // large enough to keep every worker busy.
@@ -164,22 +195,107 @@ fn main() {
         if artifact.is_some() { "loaded from artifact" } else { "trained in-process" }
     );
 
+    // The monolithic deployment's footprint: one whole-network R-tree plus
+    // FMM's UBODT table (HMM/LHMM grow a dynamic cache instead; the table
+    // is the bound every variant's transition oracle answers under).
+    let mono_resident =
+        monolithic_resident_bytes(&bundle.net, None) + fmm.table_len() * DIST_RECORD_BYTES;
     let mut rows = bench_matching(&mma, &batch, &threads, repeats);
     rows.extend(bench_recovery(&mma, &trmma, &batch, eps, &threads, repeats));
     rows.extend(bench_baseline_matching(&hmm, &batch, &threads, repeats, Some(hmm.provider())));
     rows.extend(bench_baseline_matching(&fmm, &batch, &threads, repeats, Some(fmm.provider())));
     rows.extend(bench_baseline_matching(&lhmm, &batch, &threads, repeats, Some(lhmm.provider())));
+    let mut rows = tag_variant(rows, "monolithic", mono_resident, None);
+
+    // The sharded sweep: the same matchers, decoding through per-shard
+    // R-trees and intra tables stitched by the boundary overlay. Served
+    // from the artifact's `shards` section when it has one, else built
+    // in-process with the harness-wide grid cut.
+    if let Some(n) = shards_n {
+        let sharded: Arc<ShardedNetwork> = match &artifact {
+            Some((art, _)) if art.shards_meta().is_ok() => {
+                let sh = art
+                    .sharded_network(bundle.net.clone())
+                    .expect("artifact shards section materializes");
+                assert_eq!(
+                    sh.num_shards(),
+                    n,
+                    "--shards {n} but the artifact packs a different tile count"
+                );
+                println!("sharded network served from the artifact image ({n} shards)");
+                Arc::new(sh)
+            }
+            _ => Arc::new(build_sharded(&bundle.net, n, hmm_cfg.max_route_m)),
+        };
+        let shard_resident: Vec<usize> =
+            sharded.shard_stats().iter().map(|s| s.resident_bytes).collect();
+        let total_resident = sharded.resident_bytes();
+        println!(
+            "sharded: {n} tiles | resident {:.2} MB across shards (+overlay) vs {:.2} MB monolithic\n",
+            total_resident as f64 / 1e6,
+            mono_resident as f64 / 1e6
+        );
+
+        let mcfg = MmaConfig { d0: bundle.node2vec.cols(), ..cfg.mma_config() };
+        let mut mma_sh = Mma::sharded(
+            Arc::clone(&sharded),
+            bundle.planner.clone(),
+            Some(bundle.node2vec.clone()),
+            mcfg,
+        );
+        mma_sh
+            .load_weights(&mma.save_weights())
+            .expect("the monolithic model's weights fit the sharded instance");
+        let mma_sh = Arc::new(mma_sh);
+        let hmm_sh =
+            HmmMatcher::sharded(Arc::clone(&sharded), bundle.planner.clone(), hmm_cfg.clone());
+        let fmm_sh =
+            FmmMatcher::sharded(Arc::clone(&sharded), bundle.planner.clone(), hmm_cfg.clone());
+        let lhmm_sh = LhmmMatcher::fit_sharded(
+            Arc::clone(&sharded),
+            bundle.planner.clone(),
+            hmm_cfg.clone(),
+            &bundle.train,
+        );
+
+        let mut srows = bench_matching(&mma_sh, &batch, &threads, repeats);
+        srows.extend(bench_recovery(&mma_sh, &trmma, &batch, eps, &threads, repeats));
+        srows.extend(bench_baseline_matching(
+            &hmm_sh,
+            &batch,
+            &threads,
+            repeats,
+            Some(hmm_sh.provider()),
+        ));
+        srows.extend(bench_baseline_matching(
+            &fmm_sh,
+            &batch,
+            &threads,
+            repeats,
+            Some(fmm_sh.provider()),
+        ));
+        srows.extend(bench_baseline_matching(
+            &lhmm_sh,
+            &batch,
+            &threads,
+            repeats,
+            Some(lhmm_sh.provider()),
+        ));
+        rows.extend(tag_variant(srows, "sharded", total_resident, Some(shard_resident)));
+    }
 
     let mut table = Table::new(&[
         "Task",
         "Method",
         "Mode",
+        "Variant",
         "Threads",
         "traj/s",
         "p50(ms)",
         "p99(ms)",
         "Speedup",
         "Identical",
+        "Res(MB)",
         "Cache h/m",
     ]);
     for r in &rows {
@@ -187,12 +303,14 @@ fn main() {
             r.task.clone(),
             r.method.clone(),
             r.mode.clone(),
+            r.variant.clone(),
             r.threads.to_string(),
             format!("{:.1}", r.traj_per_s),
             format!("{:.3}", r.p50_ms),
             format!("{:.3}", r.p99_ms),
             format!("{:.2}x", r.speedup),
             r.identical.to_string(),
+            r.resident_bytes.map_or_else(|| "-".to_string(), |b| format!("{:.2}", b as f64 / 1e6)),
             r.cache.map_or_else(|| "-".to_string(), |c| format!("{}/{}", c.hits, c.misses)),
         ]);
     }
@@ -237,16 +355,17 @@ fn main() {
         });
     if let Some((ratio, r)) = worst_tail {
         println!(
-            "\nworst engine tail: p99/p50 = {ratio:.2} ({} {} at {} threads)",
-            r.task, r.method, r.threads
+            "\nworst engine tail: p99/p50 = {ratio:.2} ({} {} {} at {} threads)",
+            r.task, r.method, r.variant, r.threads
         );
         if let Some(bound) = tail_ratio_bound() {
             assert!(
                 ratio <= bound,
-                "tail regression: {} {} at {} threads has p99/p50 = {ratio:.2} > {bound} \
+                "tail regression: {} {} {} at {} threads has p99/p50 = {ratio:.2} > {bound} \
                  (p50 {:.3}ms, p99 {:.3}ms)",
                 r.task,
                 r.method,
+                r.variant,
                 r.threads,
                 r.p50_ms,
                 r.p99_ms
@@ -265,6 +384,26 @@ fn main() {
         best("FMM"),
         best("LHMM")
     );
+    if shards_n.is_some() {
+        // Per-method sequential throughput of the two variants side by
+        // side: what sharding costs (or saves) before the engine's
+        // parallelism enters the picture.
+        let seq = |variant: &str, method: &str| -> f64 {
+            rows.iter()
+                .filter(|r| {
+                    r.variant == variant && r.method == method && r.mode == "sequential_api"
+                })
+                .map(|r| r.traj_per_s)
+                .fold(0.0, f64::max)
+        };
+        println!("\nsharded vs monolithic sequential throughput (traj/s):");
+        for method in ["MMA", "MMA+TRMMA", "HMM", "FMM", "LHMM"] {
+            let (m, s) = (seq("monolithic", method), seq("sharded", method));
+            if m > 0.0 && s > 0.0 {
+                println!("  {method:10} {m:10.1} -> {s:10.1}  ({:.2}x)", s / m);
+            }
+        }
+    }
 
     let mut doc = rows_to_json(&rows, batch.len(), &bundle.ds.name);
     attach_cold_start(&mut doc, &cold);

@@ -35,20 +35,28 @@
 //! `TRMMA_STREAM_SESSIONS` (target concurrent sessions, default 64). Pass
 //! `--smoke` for the CI profile: tiny dataset, threads {1, 2}, artifact
 //! copy only (the committed repo-root file is left untouched).
+//!
+//! Pass `--shards N` to replay the uniform sweep a second time with every
+//! matcher decoding through a grid-cut `trmma_roadnet::ShardedNetwork`
+//! (per-shard R-trees and intra tables stitched by a boundary overlay);
+//! the extra rows carry `"variant": "sharded"` and resident-bytes
+//! accounting next to the monolithic rows'.
 
 use std::sync::Arc;
 
 use trmma_baselines::{FmmMatcher, HmmConfig, HmmMatcher, LhmmMatcher};
 use trmma_bench::artifacts::{
-    attach_cold_start, bench_cold_start, build_image, prepare_from_artifact,
+    attach_cold_start, bench_cold_start, build_image, build_sharded, prepare_from_artifact,
 };
 use trmma_bench::harness::{trained_mma, Bundle, ExpConfig};
 use trmma_bench::report::{write_bench_streaming, write_json, Table};
 use trmma_bench::stream_bench::{
     bench_chaos, bench_streaming, bench_streaming_routed, interleave, interleave_ids,
-    skewed_session_ids, stream_rows_to_json, ChaosRow, StreamRow,
+    skewed_session_ids, stream_rows_to_json, tag_stream_variant, ChaosRow, StreamRow,
 };
 use trmma_core::{Artifact, FaultPlan, Mma, MmaConfig, RouterPolicy};
+use trmma_roadnet::transition::DIST_RECORD_BYTES;
+use trmma_roadnet::{monolithic_resident_bytes, ShardedNetwork};
 use trmma_traj::dataset::DatasetConfig;
 use trmma_traj::types::Trajectory;
 
@@ -63,10 +71,21 @@ fn load_artifact() -> Option<(Artifact, Vec<u8>)> {
     Some((art, bytes))
 }
 
+/// The `--shards N` tile count, when given.
+fn shards_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--shards")?;
+    let v = args.get(i + 1).expect("--shards needs a value");
+    let n: usize = v.parse().unwrap_or_else(|e| panic!("--shards {v}: {e}"));
+    assert!(n > 0, "--shards must be at least 1");
+    Some(n)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let chaos = std::env::args().any(|a| a == "--chaos") || !smoke;
     let artifact = load_artifact();
+    let shards_n = shards_arg();
     let cfg = ExpConfig::from_env();
     println!("== Streaming inference: interleaved live sessions ==\n");
 
@@ -100,7 +119,7 @@ fn main() {
     let hmm_cfg = HmmConfig::default();
     let image = match &artifact {
         Some((_, bytes)) => bytes.clone(),
-        None => build_image(&bundle, &[("mma", mma.save_weights())], hmm_cfg.max_route_m),
+        None => build_image(&bundle, &[("mma", mma.save_weights())], hmm_cfg.max_route_m, None),
     };
     let cold = bench_cold_start(&bundle.net, hmm_cfg.max_route_m, image);
     for r in &cold {
@@ -122,7 +141,7 @@ fn main() {
     let lhmm = Arc::new(LhmmMatcher::fit(
         bundle.net.clone(),
         bundle.planner.clone(),
-        hmm_cfg,
+        hmm_cfg.clone(),
         &bundle.train,
     ));
 
@@ -157,11 +176,78 @@ fn main() {
         events.len()
     );
 
-    let mut rows: Vec<StreamRow> = Vec::new();
-    rows.extend(bench_streaming(&mma, &sessions, &events, &threads, None));
-    rows.extend(bench_streaming(&hmm, &sessions, &events, &threads, Some(hmm.provider())));
-    rows.extend(bench_streaming(&fmm, &sessions, &events, &threads, Some(fmm.provider())));
-    rows.extend(bench_streaming(&lhmm, &sessions, &events, &threads, Some(lhmm.provider())));
+    let mono_resident =
+        monolithic_resident_bytes(&bundle.net, None) + fmm.table_len() * DIST_RECORD_BYTES;
+    let mut uniform: Vec<StreamRow> = Vec::new();
+    uniform.extend(bench_streaming(&mma, &sessions, &events, &threads, None));
+    uniform.extend(bench_streaming(&hmm, &sessions, &events, &threads, Some(hmm.provider())));
+    uniform.extend(bench_streaming(&fmm, &sessions, &events, &threads, Some(fmm.provider())));
+    uniform.extend(bench_streaming(&lhmm, &sessions, &events, &threads, Some(lhmm.provider())));
+    let mut rows = tag_stream_variant(uniform, "monolithic", mono_resident);
+
+    // Sharded sweep: the same uniform replay with every matcher decoding
+    // through the grid-cut sharded network.
+    if let Some(n) = shards_n {
+        let sharded: Arc<ShardedNetwork> =
+            Arc::new(build_sharded(&bundle.net, n, hmm_cfg.max_route_m));
+        let total_resident = sharded.resident_bytes();
+        println!(
+            "sharded: {n} tiles | resident {:.2} MB vs {:.2} MB monolithic\n",
+            total_resident as f64 / 1e6,
+            mono_resident as f64 / 1e6
+        );
+        let mcfg = MmaConfig { d0: bundle.node2vec.cols(), ..cfg.mma_config() };
+        let mut mma_sh = Mma::sharded(
+            Arc::clone(&sharded),
+            bundle.planner.clone(),
+            Some(bundle.node2vec.clone()),
+            mcfg,
+        );
+        mma_sh
+            .load_weights(&mma.save_weights())
+            .expect("the monolithic model's weights fit the sharded instance");
+        let mma_sh = Arc::new(mma_sh);
+        let hmm_sh = Arc::new(HmmMatcher::sharded(
+            Arc::clone(&sharded),
+            bundle.planner.clone(),
+            hmm_cfg.clone(),
+        ));
+        let fmm_sh = Arc::new(FmmMatcher::sharded(
+            Arc::clone(&sharded),
+            bundle.planner.clone(),
+            hmm_cfg.clone(),
+        ));
+        let lhmm_sh = Arc::new(LhmmMatcher::fit_sharded(
+            Arc::clone(&sharded),
+            bundle.planner.clone(),
+            hmm_cfg.clone(),
+            &bundle.train,
+        ));
+        let mut srows: Vec<StreamRow> = Vec::new();
+        srows.extend(bench_streaming(&mma_sh, &sessions, &events, &threads, None));
+        srows.extend(bench_streaming(
+            &hmm_sh,
+            &sessions,
+            &events,
+            &threads,
+            Some(hmm_sh.provider()),
+        ));
+        srows.extend(bench_streaming(
+            &fmm_sh,
+            &sessions,
+            &events,
+            &threads,
+            Some(fmm_sh.provider()),
+        ));
+        srows.extend(bench_streaming(
+            &lhmm_sh,
+            &sessions,
+            &events,
+            &threads,
+            Some(lhmm_sh.provider()),
+        ));
+        rows.extend(tag_stream_variant(srows, "sharded", total_resident));
+    }
 
     // Skewed-arrival sweep: every id collides modulo the worker count, the
     // adversary of the legacy hash router. Same corpus, same interleaving
@@ -170,15 +256,19 @@ fn main() {
     let skew_ids = skewed_session_ids(sessions.len(), skew_threads);
     let skew_events = interleave_ids(&sessions, &skew_ids, 0x5EED);
     for policy in [RouterPolicy::HashMod, RouterPolicy::PowerOfTwo] {
-        rows.extend(bench_streaming_routed(
-            &hmm,
-            &sessions,
-            &skew_ids,
-            &skew_events,
-            &[skew_threads],
-            policy,
-            "skewed",
-            Some(hmm.provider()),
+        rows.extend(tag_stream_variant(
+            bench_streaming_routed(
+                &hmm,
+                &sessions,
+                &skew_ids,
+                &skew_events,
+                &[skew_threads],
+                policy,
+                "skewed",
+                Some(hmm.provider()),
+            ),
+            "monolithic",
+            mono_resident,
         ));
     }
 
@@ -187,6 +277,7 @@ fn main() {
         "Threads",
         "Router",
         "Workload",
+        "Variant",
         "pts/s",
         "sess/s",
         "p50(ms)",
@@ -204,6 +295,7 @@ fn main() {
             r.threads.to_string(),
             r.router.clone(),
             r.workload.clone(),
+            r.variant.clone(),
             format!("{:.1}", r.points_per_s),
             format!("{:.2}", r.sessions_per_s),
             format!("{:.3}", r.p50_ms),

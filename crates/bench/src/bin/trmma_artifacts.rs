@@ -2,7 +2,8 @@
 //! artifact image (`trmma_core::artifact`).
 //!
 //! ```text
-//! trmma-artifacts build --out PATH [--smoke]   prepare + train, write image
+//! trmma-artifacts build --out PATH [--smoke] [--shards N]
+//!                                              prepare + train, write image
 //! trmma-artifacts inspect PATH                 print the section table
 //! trmma-artifacts verify PATH                  validate + materialize all
 //! ```
@@ -11,9 +12,13 @@
 //! binaries do (same `TRMMA_SCALE` / `TRMMA_EPOCHS` / `TRMMA_PROFILE` /
 //! `TRMMA_DATASETS` environment knobs; `--smoke` switches to the tiny CI
 //! dataset and one epoch) and packs the graph, the FMM distance table,
-//! the trained MMA/TRMMA weights and the node2vec embeddings. The other
-//! benchmark binaries then load the image with `--artifact PATH` instead
-//! of re-deriving everything at startup.
+//! the trained MMA/TRMMA weights and the node2vec embeddings. With
+//! `--shards N` the image additionally carries a `shards` section: the
+//! grid-cut plan, one intra-shard distance table per tile and the
+//! boundary overlay, each range CRC-guarded so a serving process can
+//! verify shards lazily and stand the sharded network up zero-copy. The
+//! other benchmark binaries then load the image with `--artifact PATH`
+//! instead of re-deriving everything at startup.
 //!
 //! `verify` exits non-zero unless the image validates (magic, version,
 //! total length, header CRC, every section CRC) *and* every section
@@ -28,7 +33,7 @@ use trmma_baselines::HmmConfig;
 use trmma_bench::artifacts::build_image;
 use trmma_bench::harness::{trained_mma, trained_trmma, Bundle, ExpConfig};
 use trmma_bench::report::Table;
-use trmma_core::{Artifact, SectionKind};
+use trmma_core::{Artifact, ArtifactError, SectionKind};
 use trmma_traj::dataset::DatasetConfig;
 
 fn main() -> ExitCode {
@@ -46,7 +51,8 @@ fn usage() -> ExitCode {
         "usage: trmma-artifacts <command>\n\
          \n\
          commands:\n\
-         \x20 build --out PATH [--smoke]  prepare dataset + models, write the artifact image\n\
+         \x20 build --out PATH [--smoke] [--shards N]\n\
+         \x20                             prepare dataset + models, write the artifact image\n\
          \x20 inspect PATH                print the validated section table\n\
          \x20 verify PATH                 validate the image and materialize every section"
     );
@@ -58,6 +64,16 @@ fn build(args: &[String]) -> ExitCode {
     let Some(out) = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)) else {
         eprintln!("build: missing --out PATH");
         return ExitCode::from(2);
+    };
+    let shards: Option<usize> = match args.iter().position(|a| a == "--shards") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("build: --shards needs a positive tile count");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
     let cfg = ExpConfig::from_env();
     let dcfg = if smoke {
@@ -77,17 +93,18 @@ fn build(args: &[String]) -> ExitCode {
     let (mma, _) = trained_mma(&bundle, cfg.mma_config(), epochs);
     let (trmma, _) = trained_trmma(&bundle, cfg.trmma_config(), epochs);
     let weights = [("mma", mma.save_weights()), ("trmma", trmma.save_weights())];
-    let image = build_image(&bundle, &weights, HmmConfig::default().max_route_m);
+    let image = build_image(&bundle, &weights, HmmConfig::default().max_route_m, shards);
     let len = image.len();
     if let Err(e) = std::fs::write(out, image) {
         eprintln!("build: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
     println!(
-        "wrote {out}: {len} bytes ({} nodes, {} segments, dataset {})",
+        "wrote {out}: {len} bytes ({} nodes, {} segments, dataset {}{})",
         bundle.net.num_nodes(),
         bundle.net.num_segments(),
-        bundle.ds.name
+        bundle.ds.name,
+        shards.map_or_else(String::new, |n| format!(", {n} shards"))
     );
     ExitCode::SUCCESS
 }
@@ -136,6 +153,21 @@ fn inspect(art: &Artifact) -> ExitCode {
         Ok(_) => {}
         Err(e) => {
             eprintln!("params section unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match art.shards_meta() {
+        Ok(meta) => println!(
+            "shards: {} tiles over {} nodes, {} intra records + {} overlay (delta {})",
+            meta.num_shards(),
+            meta.shard_of.len(),
+            meta.shard_counts.iter().sum::<usize>(),
+            meta.overlay_count,
+            meta.delta
+        ),
+        Err(ArtifactError::MissingSection(_)) => {}
+        Err(e) => {
+            eprintln!("shards section unreadable: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -189,6 +221,39 @@ fn verify(art: &Artifact) -> ExitCode {
         }
         Err(e) => {
             eprintln!("params: FAIL ({e})");
+            return ExitCode::FAILURE;
+        }
+    }
+    match art.shards_meta() {
+        Ok(meta) => {
+            // The shards section checks per range: every intra table and
+            // the overlay must serve (each range CRC-verified lazily), and
+            // the whole sharded network must stand up against the graph.
+            for shard in 0..u32::try_from(meta.num_shards()).expect("shard count fits u32") {
+                if let Err(e) = art.shard_intra_table(shard) {
+                    eprintln!("shards[{shard}]: FAIL ({e})");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Err(e) = art.shards_overlay() {
+                eprintln!("shards overlay: FAIL ({e})");
+                return ExitCode::FAILURE;
+            }
+            match art.sharded_network(Arc::clone(&net)) {
+                Ok(sh) => println!(
+                    "shards: OK ({} tiles, {} overlay records)",
+                    sh.num_shards(),
+                    sh.overlay().len()
+                ),
+                Err(e) => {
+                    eprintln!("shards network: FAIL ({e})");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Err(ArtifactError::MissingSection(_)) => {}
+        Err(e) => {
+            eprintln!("shards: FAIL ({e})");
             return ExitCode::FAILURE;
         }
     }

@@ -82,6 +82,28 @@ pub struct StreamRow {
     /// Transition-oracle counters accumulated during the run, when the
     /// method has a [`TransitionProvider`].
     pub cache: Option<CacheStats>,
+    /// Deployment variant measured: `"monolithic"` or `"sharded"` (set by
+    /// [`tag_stream_variant`] when the binary runs a `--shards` sweep).
+    pub variant: String,
+    /// Resident bytes of the variant's candidate-search / route-distance
+    /// structures; `None` until tagged.
+    pub resident_bytes: Option<usize>,
+}
+
+/// Tags measured streaming rows with their deployment variant and memory
+/// accounting, mirroring `batch_bench::tag_variant` for the streaming
+/// document.
+#[must_use]
+pub fn tag_stream_variant(
+    mut rows: Vec<StreamRow>,
+    variant: &str,
+    resident_bytes: usize,
+) -> Vec<StreamRow> {
+    for r in &mut rows {
+        r.variant = variant.to_string();
+        r.resident_bytes = Some(resident_bytes);
+    }
+    rows
 }
 
 /// Session ids that all collide modulo `threads` — the skewed-arrival
@@ -243,6 +265,8 @@ pub fn bench_streaming_routed<M: OnlineMatcher + 'static>(
             allocs_avoided: router.allocs_avoided(),
             identical,
             cache: provider.map(|_| cache_delta(before, snap())),
+            variant: "monolithic".to_string(),
+            resident_bytes: None,
         });
     }
     rows
@@ -459,6 +483,8 @@ pub fn stream_rows_to_json(
                             "cache_heap_pushes": r.cache.map(|c| c.heap_pushes),
                             "cache_allocs_avoided": r.cache.map(|c| c.allocs_avoided),
                             "cache_evictions": r.cache.map(|c| c.evictions),
+                            "variant": r.variant,
+                            "resident_bytes": r.resident_bytes,
                         })
                     })
                     .collect(),

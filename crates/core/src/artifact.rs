@@ -48,6 +48,17 @@
 //!   (which carries its own magic/version/shape validation).
 //! * **Embeddings** — `rows u64 | cols u64 | f64-bits*` (one node2vec
 //!   vector per road segment, rows = `num_segments`).
+//! * **Shards** — `delta f64-bits | node_count u64 | shard_of u32* |
+//!   num_shards u64 | { record_count u64 | crc u32 }* per shard |
+//!   overlay record_count u64 | overlay crc u32 | meta_crc u32` followed
+//!   by each shard's packed 16-byte distance records and then the
+//!   overlay's. Unlike the other kinds, shard payloads are **lazily
+//!   CRC-verified per shard**: `meta_crc` guards the plan and the record
+//!   directory, and each record range carries its own CRC, so serving
+//!   shard 3 checksums shard 3's bytes only — a flipped byte in shard 5
+//!   fails `shard_intra_table(5)` and nothing else. (The section-table
+//!   CRC still covers the whole payload, so `trmma-artifacts verify`
+//!   catches any flip.)
 //!
 //! [`crc32`]: crate::snapshot::crc32
 
@@ -55,7 +66,9 @@ use std::sync::Arc;
 
 use trmma_nn::Matrix;
 use trmma_roadnet::transition::DIST_RECORD_BYTES;
-use trmma_roadnet::{DistImageError, DistTable, NodeId, RoadClass, RoadNetwork};
+use trmma_roadnet::{
+    DistImageError, DistTable, NodeId, RoadClass, RoadNetwork, ShardPlan, ShardedNetwork,
+};
 use trmma_traj::snapshot::{self, Reader, SnapshotError};
 
 use crate::snapshot::crc32;
@@ -86,6 +99,11 @@ pub enum SectionKind {
     Params = 3,
     /// The node2vec embedding table (one row per segment).
     Embeddings = 4,
+    /// A sharded network: the shard plan, one packed intra-shard distance
+    /// table per shard, and the boundary overlay table — each shard's
+    /// records carry their **own** CRC so a process serving one shard
+    /// verifies only that shard's bytes ([`Artifact::shard_intra_table`]).
+    Shards = 5,
 }
 
 impl SectionKind {
@@ -97,6 +115,7 @@ impl SectionKind {
             2 => Some(Self::DistTable),
             3 => Some(Self::Params),
             4 => Some(Self::Embeddings),
+            5 => Some(Self::Shards),
             _ => None,
         }
     }
@@ -109,6 +128,7 @@ impl SectionKind {
             Self::DistTable => "dist_table",
             Self::Params => "params",
             Self::Embeddings => "embeddings",
+            Self::Shards => "shards",
         }
     }
 }
@@ -141,6 +161,14 @@ pub enum ArtifactError {
         /// The duplicated kind tag.
         kind: u16,
     },
+    /// One shard's record range of the shards section fails its own
+    /// checksum — only that shard's accessor is refused.
+    ShardChecksum {
+        /// The failing shard.
+        shard: u32,
+    },
+    /// The overlay table of the shards section fails its checksum.
+    OverlayChecksum,
     /// A requested section is not present in this artifact.
     MissingSection(SectionKind),
     /// A named weight blob is not present in the params section.
@@ -165,6 +193,10 @@ impl std::fmt::Display for ArtifactError {
             Self::DuplicateSection { kind } => {
                 write!(f, "duplicate section kind {kind}")
             }
+            Self::ShardChecksum { shard } => {
+                write!(f, "checksum mismatch in shard {shard} payload")
+            }
+            Self::OverlayChecksum => write!(f, "checksum mismatch in shards overlay table"),
             Self::MissingSection(kind) => {
                 write!(f, "artifact has no {} section", kind.name())
             }
@@ -265,6 +297,45 @@ impl ArtifactBuilder {
         self
     }
 
+    /// Packs a sharded network: the shard plan, every intra-shard table
+    /// and the boundary overlay, with a per-shard CRC over each record
+    /// range so loaders can verify shards independently
+    /// ([`Artifact::shard_intra_table`]).
+    pub fn shards(&mut self, sharded: &ShardedNetwork) -> &mut Self {
+        fn pack_records(table: &DistTable, out: &mut Vec<u8>) -> (usize, u32) {
+            let mut pairs = Vec::with_capacity(table.len());
+            table.for_each_pair(|s, d, dist| pairs.push((s, d, dist)));
+            pairs.sort_unstable_by_key(|&(s, d, _)| (u64::from(s)) << 32 | u64::from(d));
+            let start = out.len();
+            for (s, d, dist) in &pairs {
+                snapshot::put_u32(out, *s);
+                snapshot::put_u32(out, *d);
+                snapshot::put_f64(out, *dist);
+            }
+            (pairs.len(), crc32(&out[start..]))
+        }
+        let mut records = Vec::new();
+        let directory: Vec<(usize, u32)> =
+            sharded.shards().iter().map(|s| pack_records(s.intra(), &mut records)).collect();
+        let overlay = pack_records(sharded.overlay(), &mut records);
+        let mut out = Vec::new();
+        snapshot::put_f64(&mut out, sharded.delta());
+        snapshot::put_usize(&mut out, sharded.plan().assignment().len());
+        for &s in sharded.plan().assignment() {
+            snapshot::put_u32(&mut out, s);
+        }
+        snapshot::put_usize(&mut out, sharded.num_shards());
+        for (count, crc) in directory.iter().chain(std::iter::once(&overlay)) {
+            snapshot::put_usize(&mut out, *count);
+            snapshot::put_u32(&mut out, *crc);
+        }
+        let meta_crc = crc32(&out);
+        snapshot::put_u32(&mut out, meta_crc);
+        out.extend_from_slice(&records);
+        self.sections.push((SectionKind::Shards, out));
+        self
+    }
+
     /// Adds a named trained-weight blob (the output of
     /// [`trmma_nn::serialize::save_params`], e.g. via `Mma::save_weights`).
     /// All blobs land in one params section when the builder finishes.
@@ -327,6 +398,35 @@ impl ArtifactBuilder {
         }
         debug_assert_eq!(out.len(), total);
         out
+    }
+}
+
+/// Verified metadata of a shards section ([`Artifact::shards_meta`]): the
+/// shard plan plus the record directory used to locate and individually
+/// verify each shard's packed distance records.
+#[derive(Debug, Clone)]
+pub struct ShardsMeta {
+    /// The distance bound every stored table was built with.
+    pub delta: f64,
+    /// Per-node shard assignment, indexed by node id.
+    pub shard_of: Vec<u32>,
+    /// Distance records per shard, in shard order.
+    pub shard_counts: Vec<usize>,
+    /// Distance records of the boundary overlay.
+    pub overlay_count: usize,
+    /// Byte offset of the first record within the image.
+    rec_base: usize,
+    /// Per-shard CRCs over each shard's record range.
+    shard_crcs: Vec<u32>,
+    /// CRC over the overlay's record range.
+    overlay_crc: u32,
+}
+
+impl ShardsMeta {
+    /// Number of shards in the stored plan.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shard_counts.len()
     }
 }
 
@@ -557,6 +657,147 @@ impl Artifact {
         Ok(Matrix::from_vec(rows, cols, data))
     }
 
+    /// The verified metadata of the shards section: the shard plan and the
+    /// record directory. Only the metadata bytes are checksummed here
+    /// (`meta_crc`); record ranges are verified per shard when served.
+    ///
+    /// # Errors
+    /// [`ArtifactError::MissingSection`] when the artifact has no shards
+    /// section; [`ArtifactError::SectionChecksum`] on corrupt metadata.
+    pub fn shards_meta(&self) -> Result<ShardsMeta, ArtifactError> {
+        let s = *self
+            .sections
+            .iter()
+            .find(|s| s.kind == SectionKind::Shards as u16)
+            .ok_or(ArtifactError::MissingSection(SectionKind::Shards))?;
+        let payload = &self.slab[s.offset..s.offset + s.len];
+        let mut r = Reader::new(payload);
+        let delta = r.f64()?;
+        let node_count = r.usize()?;
+        if node_count.checked_mul(4).is_none_or(|b| b > r.remaining()) {
+            return Err(ArtifactError::Truncated);
+        }
+        let mut shard_of = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            shard_of.push(r.u32()?);
+        }
+        let num_shards = r.usize()?;
+        if num_shards == 0 {
+            return Err(ArtifactError::Malformed("shards section declares zero shards"));
+        }
+        if num_shards.checked_mul(12).is_none_or(|b| b > r.remaining()) {
+            return Err(ArtifactError::Truncated);
+        }
+        let mut shard_counts = Vec::with_capacity(num_shards);
+        let mut shard_crcs = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            shard_counts.push(r.usize()?);
+            shard_crcs.push(r.u32()?);
+        }
+        let overlay_count = r.usize()?;
+        let overlay_crc = r.u32()?;
+        // meta_crc covers every metadata byte before it — including the
+        // per-range CRCs, so a flipped directory entry is caught here, not
+        // misattributed to a shard.
+        let meta_len = payload.len() - r.remaining();
+        let stored = r.u32()?;
+        if crc32(&payload[..meta_len]) != stored {
+            return Err(ArtifactError::SectionChecksum { kind: SectionKind::Shards as u16 });
+        }
+        if shard_of.iter().any(|&x| x as usize >= num_shards) {
+            return Err(ArtifactError::Malformed("shard label out of range"));
+        }
+        let total: usize = shard_counts
+            .iter()
+            .chain(std::iter::once(&overlay_count))
+            .try_fold(0usize, |acc, &c| {
+                c.checked_mul(DIST_RECORD_BYTES).and_then(|b| acc.checked_add(b))
+            })
+            .ok_or(ArtifactError::Truncated)?;
+        if total != r.remaining() {
+            return Err(ArtifactError::Malformed("shards record ranges mismatch"));
+        }
+        Ok(ShardsMeta {
+            delta,
+            shard_of,
+            shard_counts,
+            overlay_count,
+            rec_base: s.offset + meta_len + 4,
+            shard_crcs,
+            overlay_crc,
+        })
+    }
+
+    /// One shard's intra-shard distance table, served **zero-copy** after
+    /// verifying only that shard's record range against its own CRC — the
+    /// lazily-verified load path: a process serving shard `s` never pays to
+    /// checksum (or even touch) the other shards' bytes.
+    ///
+    /// # Errors
+    /// [`ArtifactError::ShardChecksum`] when that shard's bytes are
+    /// corrupt; [`ArtifactError::Malformed`] on an out-of-range index.
+    pub fn shard_intra_table(&self, shard: u32) -> Result<DistTable, ArtifactError> {
+        let meta = self.shards_meta()?;
+        self.shard_table_at(&meta, shard)
+    }
+
+    fn shard_table_at(&self, meta: &ShardsMeta, shard: u32) -> Result<DistTable, ArtifactError> {
+        let idx = shard as usize;
+        if idx >= meta.shard_counts.len() {
+            return Err(ArtifactError::Malformed("shard index out of range"));
+        }
+        let off =
+            meta.rec_base + meta.shard_counts[..idx].iter().sum::<usize>() * DIST_RECORD_BYTES;
+        let count = meta.shard_counts[idx];
+        if crc32(&self.slab[off..off + count * DIST_RECORD_BYTES]) != meta.shard_crcs[idx] {
+            return Err(ArtifactError::ShardChecksum { shard });
+        }
+        Ok(DistTable::from_image(Arc::clone(&self.slab), off, count, meta.delta)?)
+    }
+
+    /// The boundary-overlay table of the shards section, zero-copy, after
+    /// verifying only the overlay's record range.
+    ///
+    /// # Errors
+    /// [`ArtifactError::OverlayChecksum`] when the overlay bytes are
+    /// corrupt.
+    pub fn shards_overlay(&self) -> Result<DistTable, ArtifactError> {
+        let meta = self.shards_meta()?;
+        self.overlay_at(&meta)
+    }
+
+    fn overlay_at(&self, meta: &ShardsMeta) -> Result<DistTable, ArtifactError> {
+        let off = meta.rec_base + meta.shard_counts.iter().sum::<usize>() * DIST_RECORD_BYTES;
+        let count = meta.overlay_count;
+        if crc32(&self.slab[off..off + count * DIST_RECORD_BYTES]) != meta.overlay_crc {
+            return Err(ArtifactError::OverlayChecksum);
+        }
+        Ok(DistTable::from_image(Arc::clone(&self.slab), off, count, meta.delta)?)
+    }
+
+    /// Reassembles the full [`ShardedNetwork`] over `net` from the shards
+    /// section: the plan from the stored assignment, every intra table and
+    /// the overlay adopted zero-copy (verifying each range once), borders
+    /// and per-shard R-trees derived from `net` + plan. Answers are
+    /// bitwise-identical to the sharded network the image was built from.
+    ///
+    /// # Errors
+    /// Any shards-section error above, or [`ArtifactError::Malformed`]
+    /// when the stored plan does not fit `net`.
+    pub fn sharded_network(&self, net: Arc<RoadNetwork>) -> Result<ShardedNetwork, ArtifactError> {
+        let meta = self.shards_meta()?;
+        if meta.shard_of.len() != net.num_nodes() {
+            return Err(ArtifactError::Malformed("shards plan is for another graph"));
+        }
+        let intra = (0..meta.shard_counts.len())
+            .map(|s| self.shard_table_at(&meta, s as u32))
+            .collect::<Result<Vec<_>, _>>()?;
+        let overlay = self.overlay_at(&meta)?;
+        let num_shards = meta.shard_counts.len();
+        let plan = ShardPlan::from_assignment(num_shards, meta.shard_of, net.num_nodes());
+        Ok(ShardedNetwork::from_parts(net, plan, meta.delta, intra, overlay))
+    }
+
     /// The names of the stored weight blobs, in build order (empty when the
     /// artifact has no params section).
     ///
@@ -645,10 +886,15 @@ fn class_from_tag(tag: u8) -> Result<RoadClass, ArtifactError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trmma_roadnet::{generate_city, NetworkConfig};
+    use trmma_roadnet::{generate_city, GridCut, NetworkConfig};
 
     fn net() -> RoadNetwork {
         generate_city(&NetworkConfig::with_size(5, 5, 77))
+    }
+
+    fn sharded(net: &RoadNetwork) -> ShardedNetwork {
+        let plan = ShardPlan::new(net, &GridCut { tiles_x: 2, tiles_y: 2, seed: 1 });
+        ShardedNetwork::build(Arc::new(net.clone()), plan, 600.0)
     }
 
     fn full_artifact(net: &RoadNetwork) -> Vec<u8> {
@@ -662,6 +908,7 @@ mod tests {
         b.graph(net);
         b.dist_table(&table);
         b.embeddings(&emb);
+        b.shards(&sharded(net));
         b.params("mma", b"\x00fake-blob-bytes\xff");
         b.params("trmma", &[]);
         b.finish()
@@ -673,7 +920,7 @@ mod tests {
         let table = DistTable::build(&net, 600.0);
         let image = full_artifact(&net);
         let art = Artifact::decode(image).unwrap();
-        assert_eq!(art.sections().len(), 4);
+        assert_eq!(art.sections().len(), 5);
 
         // Graph: bit-identical reconstruction.
         let g = art.graph().unwrap();
@@ -729,6 +976,11 @@ mod tests {
         art.graph()?;
         art.dist_table()?;
         art.embeddings()?;
+        let meta = art.shards_meta()?;
+        for s in 0..meta.num_shards() as u32 {
+            art.shard_intra_table(s)?;
+        }
+        art.shards_overlay()?;
         for name in art.param_names()? {
             art.params_blob(&name)?;
         }
@@ -766,6 +1018,95 @@ mod tests {
         );
         assert!(art.graph().is_ok());
         assert!(art.embeddings().is_ok());
+    }
+
+    #[test]
+    fn shards_section_round_trips_bitwise() {
+        let net = net();
+        let built = sharded(&net);
+        let art = Artifact::decode(full_artifact(&net)).unwrap();
+        let meta = art.shards_meta().unwrap();
+        assert_eq!(meta.num_shards(), built.num_shards());
+        assert_eq!(meta.shard_of, built.plan().assignment());
+        assert_eq!(meta.delta.to_bits(), built.delta().to_bits());
+        for (s, shard) in built.shards().iter().enumerate() {
+            let loaded = art.shard_intra_table(s as u32).unwrap();
+            assert_eq!(loaded.len(), shard.intra().len());
+        }
+        assert_eq!(art.shards_overlay().unwrap().len(), built.overlay().len());
+        // The reassembled network answers bitwise-identically to the one
+        // the image was built from, for every node pair.
+        let re = art.sharded_network(Arc::new(net.clone())).unwrap();
+        for s in 0..net.num_nodes() as u32 {
+            for d in 0..net.num_nodes() as u32 {
+                assert_eq!(
+                    built.node_dist(NodeId(s), NodeId(d)).map(f64::to_bits),
+                    re.node_dist(NodeId(s), NodeId(d)).map(f64::to_bits),
+                    "{s}->{d}"
+                );
+            }
+        }
+        // A plan for a different graph is refused, not panicked on.
+        let other = generate_city(&NetworkConfig::with_size(4, 4, 3));
+        assert!(matches!(
+            art.sharded_network(Arc::new(other)).unwrap_err(),
+            ArtifactError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn shard_payload_flip_fails_only_that_shard() {
+        let net = net();
+        let image = full_artifact(&net);
+        let art = Artifact::decode(image.clone()).unwrap();
+        let meta = art.shards_meta().unwrap();
+        let victim = 1u32;
+        assert!(meta.shard_counts[victim as usize] > 0, "fixture shard must own records");
+
+        // Seeded flip inside the victim shard's record range.
+        let mut bad = image.clone();
+        let off = meta.rec_base + meta.shard_counts[0] * DIST_RECORD_BYTES + 3;
+        bad[off] ^= 0x40;
+        let art = Artifact::decode(bad).unwrap();
+        assert_eq!(
+            art.shard_intra_table(victim).unwrap_err(),
+            ArtifactError::ShardChecksum { shard: victim }
+        );
+        // Every *other* shard, the overlay, and the unrelated sections
+        // still serve — per-shard verification isolates the damage.
+        for s in (0..meta.num_shards() as u32).filter(|&s| s != victim) {
+            assert!(art.shard_intra_table(s).is_ok(), "shard {s} should survive");
+        }
+        assert!(art.shards_overlay().is_ok());
+        assert!(art.dist_table().is_ok());
+        // ...but assembling the full network needs every shard, so it fails.
+        assert_eq!(
+            art.sharded_network(Arc::new(net.clone())).unwrap_err(),
+            ArtifactError::ShardChecksum { shard: victim }
+        );
+
+        // A flip in the overlay range is the overlay's error alone.
+        let mut bad = image.clone();
+        let over_off =
+            meta.rec_base + meta.shard_counts.iter().sum::<usize>() * DIST_RECORD_BYTES + 5;
+        bad[over_off] ^= 0x40;
+        let art = Artifact::decode(bad).unwrap();
+        assert_eq!(art.shards_overlay().unwrap_err(), ArtifactError::OverlayChecksum);
+        for s in 0..meta.num_shards() as u32 {
+            assert!(art.shard_intra_table(s).is_ok());
+        }
+
+        // A flip in the metadata fails the whole shards section up front.
+        let info = *art.sections().iter().find(|s| s.kind == SectionKind::Shards as u16).unwrap();
+        let mut bad = image.clone();
+        // Flip a shard_of label (byte 16 onward: after delta + node_count),
+        // which keeps the parse shape intact so the CRC is what catches it.
+        bad[info.offset + 17] ^= 0x01;
+        let art = Artifact::decode(bad).unwrap();
+        assert_eq!(
+            art.shards_meta().unwrap_err(),
+            ArtifactError::SectionChecksum { kind: SectionKind::Shards as u16 }
+        );
     }
 
     #[test]
@@ -823,6 +1164,8 @@ mod tests {
             ArtifactError::LengthMismatch { declared: 10, actual: 9 },
             ArtifactError::HeaderChecksum,
             ArtifactError::SectionChecksum { kind: 2 },
+            ArtifactError::ShardChecksum { shard: 3 },
+            ArtifactError::OverlayChecksum,
             ArtifactError::DuplicateSection { kind: 1 },
             ArtifactError::MissingSection(SectionKind::Params),
             ArtifactError::MissingParams("x".to_string()),
@@ -831,7 +1174,9 @@ mod tests {
             assert!(!e.to_string().is_empty());
         }
         assert_eq!(SectionKind::from_tag(4), Some(SectionKind::Embeddings));
-        assert_eq!(SectionKind::from_tag(5), None);
+        assert_eq!(SectionKind::from_tag(5), Some(SectionKind::Shards));
+        assert_eq!(SectionKind::from_tag(6), None);
         assert_eq!(SectionKind::DistTable.name(), "dist_table");
+        assert_eq!(SectionKind::Shards.name(), "shards");
     }
 }

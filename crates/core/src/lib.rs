@@ -73,7 +73,7 @@ pub mod snapshot;
 pub mod stream;
 pub mod trmma;
 
-pub use artifact::{Artifact, ArtifactBuilder, ArtifactError, SectionKind};
+pub use artifact::{Artifact, ArtifactBuilder, ArtifactError, SectionKind, ShardsMeta};
 pub use batch::{
     par_match, par_match_pooled, par_recover, BatchMatcher, BatchOptions, BatchRecovery,
     BatchTiming,

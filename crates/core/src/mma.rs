@@ -191,6 +191,26 @@ impl Mma {
         Self { net, planner, finder, bbox, cfg, w_c, cand_mlp, point_fc, encoder, attn_mlp, params }
     }
 
+    /// Builds MMA on a sharded network: weights are initialised exactly as
+    /// [`Mma::new`] over the underlying whole network (the RNG draws are
+    /// untouched by the finder swap, so all layers are bitwise-identical),
+    /// while candidate search merges the per-shard R-trees. Route stitching
+    /// stays on the global planner.
+    ///
+    /// # Panics
+    /// Panics if `node2vec` has the wrong shape.
+    #[must_use]
+    pub fn sharded(
+        sharded: Arc<trmma_roadnet::ShardedNetwork>,
+        planner: Arc<RoutePlanner>,
+        node2vec: Option<Matrix>,
+        cfg: MmaConfig,
+    ) -> Self {
+        let mut mma = Self::new(Arc::clone(sharded.net()), planner, node2vec, cfg);
+        mma.finder = CandidateFinder::sharded(sharded, mma.cfg.kc);
+        mma
+    }
+
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &MmaConfig {

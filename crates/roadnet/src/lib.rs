@@ -20,6 +20,10 @@
 //!   from a precomputed [`DistTable`] (FMM's UBODT) or a shared
 //!   [`shortest::DistCache`] read-through, with all mutable Dijkstra state
 //!   in per-worker [`shortest::SsspPool`]s;
+//! * [`shard`] — grid-tiled partitions of a network ([`ShardedNetwork`])
+//!   with per-shard R-trees, pools and distance tables, stitching
+//!   cross-shard transitions through a boundary-node overlay so decoders
+//!   scale past one-process-owns-the-whole-graph;
 //! * [`gen`] — a synthetic city generator standing in for the paper's
 //!   OpenStreetMap extracts (see DESIGN.md §1 for the substitution
 //!   rationale);
@@ -48,10 +52,15 @@ pub mod gen;
 pub mod graph;
 pub mod io;
 pub mod planner;
+pub mod shard;
 pub mod shortest;
 pub mod transition;
 
 pub use gen::{generate_city, NetworkConfig};
 pub use graph::{NodeId, RoadClass, RoadNetwork, Segment, SegmentId};
 pub use planner::RoutePlanner;
+pub use shard::{
+    monolithic_resident_bytes, CutStrategy, GridCut, HashCut, Shard, ShardPlan, ShardStats,
+    ShardedNetwork,
+};
 pub use transition::{DistImageError, DistTable, TransitionError, TransitionProvider};

@@ -755,6 +755,60 @@ impl SsspPool {
         out.extend(self.dist.iter().map(|(&n, &d)| (NodeId(n), d)));
         out.sort_by_key(|e| e.0);
     }
+
+    /// Bounded sweep from `src` restricted to the subgraph induced by the
+    /// nodes where `allow` holds: edges into disallowed nodes are never
+    /// relaxed, so the result is exactly [`SsspPool::bounded_sssp_into`]
+    /// run on that induced subgraph. `src` is always reported (distance 0)
+    /// even if `allow(src)` is false. The shard builder uses this to
+    /// compute intra-shard distance tables without materializing per-shard
+    /// subgraph copies.
+    pub fn bounded_sssp_filtered_into(
+        &mut self,
+        net: &RoadNetwork,
+        src: NodeId,
+        weight: Weight,
+        delta: f64,
+        allow: impl Fn(NodeId) -> bool,
+        out: &mut Vec<(NodeId, f64)>,
+    ) {
+        self.clear();
+        self.dist.insert(src.0, 0.0);
+        self.heap.push(QueueItem { dist: 0.0, node: src.0 });
+        self.work.heap_pushes += 1;
+        while let Some(QueueItem { dist: d, node }) = self.heap.pop() {
+            if d > *self.dist.get(&node).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            self.work.nodes_expanded += 1;
+            for &seg in net.out_segments(NodeId(node)) {
+                let nd = d + weight.of(net, seg);
+                if nd > delta {
+                    continue;
+                }
+                let to = net.segment(seg).to.0;
+                if !allow(NodeId(to)) {
+                    continue;
+                }
+                if nd < *self.dist.get(&to).unwrap_or(&f64::INFINITY) {
+                    self.dist.insert(to, nd);
+                    self.heap.push(QueueItem { dist: nd, node: to });
+                    self.work.heap_pushes += 1;
+                }
+            }
+        }
+        out.clear();
+        out.extend(self.dist.iter().map(|(&n, &d)| (NodeId(n), d)));
+        out.sort_by_key(|e| e.0);
+    }
+
+    /// Whether the pool currently retains a warm frontier for `src`.
+    /// [`DistCache`] eviction consults this to avoid discarding pairs whose
+    /// source still has live settled state.
+    #[must_use]
+    pub fn has_warm_frontier(&self, src: NodeId) -> bool {
+        self.warm.contains_key(&src.0)
+    }
 }
 
 /// A position on the network: segment plus position ratio (Definition 5,
@@ -850,8 +904,10 @@ const PREFETCH_EXPANSIONS: u64 = 64;
 /// sweeping from scratch, and hits touch nothing but the read lock.
 ///
 /// The memo is bounded: once [`DistCache::capacity`] pairs are resident,
-/// recording a miss evicts an arbitrary old pair first. Distances are a
-/// pure function of the network, so an evicted pair simply recomputes to
+/// recording a miss evicts a resident pair first — preferring one whose
+/// source has no live warm frontier in the miss's [`SsspPool`], so the
+/// settled state the prefetcher paid for keeps earning hits. Distances are
+/// a pure function of the network, so an evicted pair simply recomputes to
 /// the identical value on its next miss — eviction affects cost, never
 /// answers.
 #[derive(Debug)]
@@ -953,8 +1009,7 @@ impl DistCache {
         }
         let mut pool = self.pool.lock().expect("sssp pool poisoned");
         let d = self.miss_via(net, src, dst, max_cost, &mut pool);
-        drop(pool);
-        self.record_miss(src, dst, d);
+        self.record_miss(src, dst, d, &pool);
         d
     }
 
@@ -988,7 +1043,7 @@ impl DistCache {
             return if d.is_finite() { Some(d) } else { None };
         }
         let d = self.miss_via(net, src, dst, max_cost, pool);
-        self.record_miss(src, dst, d);
+        self.record_miss(src, dst, d, pool);
         d
     }
 
@@ -1021,14 +1076,29 @@ impl DistCache {
         d
     }
 
-    fn record_miss(&self, src: NodeId, dst: NodeId, d: Option<f64>) {
+    /// Probes per eviction when searching for a victim whose source has no
+    /// live warm frontier. Bounded so a cache full of warm-source pairs
+    /// degrades to arbitrary eviction instead of an O(cap) scan per miss.
+    const EVICTION_PROBES: usize = 64;
+
+    fn record_miss(&self, src: NodeId, dst: NodeId, d: Option<f64>, pool: &SsspPool) {
         self.misses.fetch_add(1, AtomicOrdering::Relaxed);
         let mut map = self.map.write().expect("dist cache poisoned");
         if !map.contains_key(&(src.0, dst.0)) && map.len() >= self.cap {
-            // Evict an arbitrary resident pair. Any victim is sound: a
-            // re-miss recomputes the identical value (distances are a pure
-            // function of the network), so the policy only shapes cost.
-            if let Some(&victim) = map.keys().next() {
+            // Any victim is sound: a re-miss recomputes the identical value
+            // (distances are a pure function of the network), so the policy
+            // only shapes cost. Prefer a victim whose source has no live
+            // warm frontier in the missing pool — evicting a warm-source
+            // pair discards exactly the lookup its retained frontier (which
+            // the prefetcher may just have paid to grow) would answer for
+            // free on the re-miss.
+            let victim = map
+                .keys()
+                .take(Self::EVICTION_PROBES)
+                .find(|&&(s, _)| !pool.has_warm_frontier(NodeId(s)))
+                .or_else(|| map.keys().next())
+                .copied();
+            if let Some(victim) = victim {
                 map.remove(&victim);
                 self.evictions.fetch_add(1, AtomicOrdering::Relaxed);
             }
@@ -1346,6 +1416,83 @@ mod tests {
             // Changing only the bound also invalidates (bounds shape sweeps).
             let tight = pool.node_dist_warm(&a, NodeId(0), NodeId(2), Weight::Length, 150.0);
             assert_eq!(tight, None);
+        }
+    }
+
+    #[test]
+    fn eviction_skips_entries_with_live_warm_frontiers() {
+        // Regression for the arbitrary-victim eviction: a cap-triggered
+        // eviction storm must not discard pairs whose source still has a
+        // retained (possibly prefetch-grown) frontier in the pool.
+        let net = crate::gen::generate_city(&crate::gen::NetworkConfig::with_size(8, 8, 77));
+        let m = net.num_nodes() as u32;
+        assert!(m > 40, "test network too small for the warm-LRU aging loop");
+        let cache = DistCache::with_capacity(2);
+        let mut pool = SsspPool::new();
+        let (s, x) = (NodeId(0), NodeId(1));
+        let (a, b) = (NodeId(2), NodeId(3));
+        let inf = f64::INFINITY;
+        // Resident pair 1: source S, whose miss leaves a warm frontier;
+        // exhaust it so every later S lookup is a pure warm hit.
+        let _ = cache.node_dist_pooled(&net, s, a, inf, &mut pool);
+        pool.prefetch(&net, s, Weight::Length, inf, 1_000_000);
+        // Resident pair 2: source X. The cache is now at capacity.
+        let _ = cache.node_dist_pooled(&net, x, b, inf, &mut pool);
+        // Age X out of the bounded warm LRU with filler sources, then
+        // re-touch S so it is the one resident source with a live frontier.
+        let (mut filler, mut aged) = (3u32, 0);
+        while aged < 33 {
+            filler += 1;
+            let f = NodeId(filler % m);
+            let _ = pool.node_dist_warm(&net, f, s, Weight::Length, inf);
+            aged += 1;
+        }
+        pool.prefetch(&net, s, Weight::Length, inf, 1_000_000);
+        assert!(pool.has_warm_frontier(s));
+        assert!(!pool.has_warm_frontier(x), "X should have aged out of the warm LRU");
+        // The storm: a miss on the full cache must evict — and must pick
+        // X's pair, never S's, because S's frontier is live.
+        let before = cache.stats();
+        let _ = cache.node_dist_pooled(&net, NodeId(4), NodeId(5), inf, &mut pool);
+        let evicted = cache.stats();
+        assert_eq!(evicted.evictions, before.evictions + 1);
+        // S's pair survived: the re-query is a map hit, not a new miss.
+        let _ = cache.node_dist_pooled(&net, s, a, inf, &mut pool);
+        let after = cache.stats();
+        assert_eq!(after.hits, evicted.hits + 1, "warm-source pair was evicted");
+        assert_eq!(after.misses, evicted.misses);
+        // And S's frontier still answers fresh S lookups without a sweep:
+        // warm_hits must not regress across the eviction storm.
+        let _ = cache.node_dist_pooled(&net, s, NodeId(6), inf, &mut pool);
+        assert!(
+            cache.stats().warm_hits > after.warm_hits,
+            "warm_hits regressed after the eviction storm"
+        );
+    }
+
+    #[test]
+    fn filtered_sssp_equals_sweep_on_induced_subgraph() {
+        let net = crate::gen::generate_city(&crate::gen::NetworkConfig::with_size(7, 7, 5));
+        let m = net.num_nodes() as u32;
+        let allow = |n: NodeId| n.0 % 3 != 1;
+        let mut pool = SsspPool::new();
+        let mut got = Vec::new();
+        pool.bounded_sssp_filtered_into(&net, NodeId(0), Weight::Length, 900.0, allow, &mut got);
+        // Reference: the plain sweep on a network with the disallowed
+        // nodes' incident edges removed.
+        let pos: Vec<_> = (0..m).map(|i| net.node_pos(NodeId(i))).collect();
+        let edges: Vec<_> = net
+            .segments()
+            .iter()
+            .filter(|sg| allow(sg.from) && allow(sg.to))
+            .map(|sg| (sg.from, sg.to, sg.class))
+            .collect();
+        let sub = RoadNetwork::new(pos, edges);
+        let want = bounded_sssp(&sub, NodeId(0), Weight::Length, 900.0);
+        assert_eq!(got.len(), want.len());
+        for ((gn, gd), (wn, wd)) in got.iter().zip(&want) {
+            assert_eq!(gn, wn);
+            assert_eq!(gd.to_bits(), wd.to_bits());
         }
     }
 

@@ -7,7 +7,10 @@
 //!
 //! 1. a **precomputed bounded all-pairs table** ([`DistTable`] — FMM's
 //!    UBODT), when one is attached: a hash lookup, no search at all;
-//! 2. otherwise a **shared [`DistCache`] read-through**: hits are hash
+//! 2. a **sharded network** ([`crate::shard::ShardedNetwork`]), when one
+//!    is attached: the distance decomposes into intra-shard table hops
+//!    plus a boundary-overlay lookup — still pure lookups, no search;
+//! 3. otherwise a **shared [`DistCache`] read-through**: hits are hash
 //!    lookups, misses run an early-exit Dijkstra on the *caller's*
 //!    [`SsspPool`], so batch workers search concurrently on warm buffers
 //!    while publishing results to every other worker.
@@ -127,6 +130,31 @@ impl DistTable {
             }
         }
         Self { delta, repr: Repr::Map(table) }
+    }
+
+    /// Wraps an already-computed pair map as a table with bound `delta`.
+    /// The shard builder uses this for per-shard intra tables and the
+    /// border overlay, whose sweeps run through shard-owned pools rather
+    /// than the all-nodes loop of [`DistTable::build`].
+    #[must_use]
+    pub fn from_pairs(pairs: HashMap<(u32, u32), f64>, delta: f64) -> Self {
+        Self { delta, repr: Repr::Map(pairs) }
+    }
+
+    /// Approximate resident bytes of the table's pair storage. Map-backed
+    /// tables estimate the hash table's footprint (key + value + control
+    /// overhead per bucket at observed load factors); image-backed tables
+    /// count exactly their packed record range — the slab is shared, so
+    /// that range is the table's marginal cost. Feeds the per-shard
+    /// resident-bytes accounting in the bench rows.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        match &self.repr {
+            // (u32, u32) key + f64 value = 16 bytes, plus ~75% overhead for
+            // hashbrown's control bytes and empty buckets.
+            Repr::Map(t) => t.len() * 28,
+            Repr::Image { count, .. } => count * DIST_RECORD_BYTES,
+        }
     }
 
     /// Adopts `count` packed records starting at byte `off` of `slab` as a
@@ -251,6 +279,10 @@ impl DistTable {
 pub struct TransitionProvider {
     cache: Arc<DistCache>,
     table: Option<Arc<DistTable>>,
+    /// Sharded backend: node distances decompose into intra-shard tables
+    /// plus the boundary overlay (see [`crate::shard::ShardedNetwork`]).
+    /// Pure table lookups, like `table`, and counted by the same probes.
+    sharded: Option<Arc<crate::shard::ShardedNetwork>>,
     /// Table-probe counters (hits = pair in table, misses = beyond delta),
     /// shared across clones like the cache's own counters. Unused without a
     /// table — Dijkstra-backed providers count inside [`DistCache`].
@@ -273,6 +305,7 @@ impl TransitionProvider {
         Self {
             cache,
             table: None,
+            sharded: None,
             table_hits: Arc::new(AtomicU64::new(0)),
             table_misses: Arc::new(AtomicU64::new(0)),
             max_route_m,
@@ -288,6 +321,25 @@ impl TransitionProvider {
         Self {
             cache: Arc::new(DistCache::new()),
             table: Some(table),
+            sharded: None,
+            table_hits: Arc::new(AtomicU64::new(0)),
+            table_misses: Arc::new(AtomicU64::new(0)),
+            max_route_m,
+        }
+    }
+
+    /// A shard-backed provider: mid-route distances decompose into
+    /// intra-shard table hops plus the boundary overlay
+    /// ([`crate::shard::ShardedNetwork::node_dist`]) — pure lookups over
+    /// the per-shard tables, no search at query time, same `Some`-iff-
+    /// within-delta contract as a whole-graph [`DistTable`].
+    #[must_use]
+    pub fn with_sharded(sharded: Arc<crate::shard::ShardedNetwork>) -> Self {
+        let max_route_m = sharded.delta();
+        Self {
+            cache: Arc::new(DistCache::new()),
+            table: None,
+            sharded: Some(sharded),
             table_hits: Arc::new(AtomicU64::new(0)),
             table_misses: Arc::new(AtomicU64::new(0)),
             max_route_m,
@@ -298,6 +350,12 @@ impl TransitionProvider {
     #[must_use]
     pub fn table(&self) -> Option<&Arc<DistTable>> {
         self.table.as_ref()
+    }
+
+    /// The attached sharded network, if any.
+    #[must_use]
+    pub fn sharded(&self) -> Option<&Arc<crate::shard::ShardedNetwork>> {
+        self.sharded.as_ref()
     }
 
     /// The shared read-through cache (unused while a table is attached).
@@ -321,7 +379,7 @@ impl TransitionProvider {
     /// Same-segment forward moves are answered directly and never counted.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        if self.table.is_some() {
+        if self.table.is_some() || self.sharded.is_some() {
             CacheStats {
                 hits: self.table_hits.load(Ordering::Relaxed),
                 misses: self.table_misses.load(Ordering::Relaxed),
@@ -359,14 +417,22 @@ impl TransitionProvider {
         if a.seg == b.seg && b.ratio >= a.ratio {
             return Ok(Some((b.ratio - a.ratio) * sa.length));
         }
-        let mid = match &self.table {
-            Some(t) => {
+        let mid = match (&self.table, &self.sharded) {
+            (Some(t), _) => {
                 let got = t.query(sa.to, sb.from);
                 let counter = if got.is_some() { &self.table_hits } else { &self.table_misses };
                 counter.fetch_add(1, Ordering::Relaxed);
                 got
             }
-            None => self.cache.node_dist_pooled(net, sa.to, sb.from, self.max_route_m, pool),
+            (None, Some(sh)) => {
+                let got = sh.node_dist(sa.to, sb.from);
+                let counter = if got.is_some() { &self.table_hits } else { &self.table_misses };
+                counter.fetch_add(1, Ordering::Relaxed);
+                got
+            }
+            (None, None) => {
+                self.cache.node_dist_pooled(net, sa.to, sb.from, self.max_route_m, pool)
+            }
         };
         Ok(mid.map(|mid| (1.0 - a.ratio) * sa.length + mid + b.ratio * sb.length))
     }

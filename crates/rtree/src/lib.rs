@@ -378,6 +378,85 @@ impl<T: SpatialObject> RTree<T> {
         }
     }
 
+    /// Like [`RTree::knn_into`], but **ties-inclusive**: every item whose
+    /// distance equals the k-th smallest is emitted, so `out` may hold more
+    /// than `k` neighbours.
+    ///
+    /// `knn_into` stops at exactly `k` items, which makes the identity of
+    /// the last emitted item depend on heap pop order — and therefore on
+    /// the tree's packing — whenever several items tie at the k-th
+    /// distance. Callers that need a *canonical* top-k (the candidate
+    /// finder sorts by `(dist, id)` and truncates) use this variant: the
+    /// full tie group is always present, so the truncation is
+    /// deterministic regardless of tree structure. The pruning bounds are
+    /// already strict (`>`), so ties survive every prune; only the
+    /// emit-side early exit changes.
+    pub fn knn_with_ties_into(
+        &self,
+        q: Vec2,
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        let Some(root) = self.root else { return };
+        let heap = &mut scratch.heap;
+        let kth = &mut scratch.kth;
+        heap.clear();
+        kth.clear();
+        heap.push(HeapEntry {
+            dist_sq: self.nodes[root as usize].bbox.min_dist_sq(q),
+            target: HeapRef::Node(root),
+        });
+        let bound = |kth: &BinaryHeap<OrdF64>| -> f64 {
+            if kth.len() == k {
+                kth.peek().map_or(f64::INFINITY, |b| b.0)
+            } else {
+                f64::INFINITY
+            }
+        };
+        while let Some(entry) = heap.pop() {
+            if entry.dist_sq > bound(kth) {
+                break; // strictly farther than the k-th best: no tie left
+            }
+            match entry.target {
+                HeapRef::Item(i) => {
+                    // No early exit at `out.len() == k`: items tied with
+                    // the k-th distance keep surfacing until the strict
+                    // break above fires.
+                    out.push(Neighbor { item: i, dist: entry.dist_sq.sqrt() });
+                }
+                HeapRef::Node(nid) => match &self.nodes[nid as usize].kind {
+                    NodeKind::Leaf(items) => {
+                        for &i in items {
+                            let d = self.items[i as usize].dist_sq(q);
+                            if d > bound(kth) {
+                                continue;
+                            }
+                            if kth.len() == k {
+                                kth.pop();
+                            }
+                            kth.push(OrdF64(d));
+                            heap.push(HeapEntry { dist_sq: d, target: HeapRef::Item(i) });
+                        }
+                    }
+                    NodeKind::Inner(children) => {
+                        for &c in children {
+                            let d = self.nodes[c as usize].bbox.min_dist_sq(q);
+                            if d > bound(kth) {
+                                continue;
+                            }
+                            heap.push(HeapEntry { dist_sq: d, target: HeapRef::Node(c) });
+                        }
+                    }
+                },
+            }
+        }
+    }
+
     /// The single nearest item to `q`, if the tree is non-empty.
     #[must_use]
     pub fn nearest(&self, q: Vec2) -> Option<Neighbor> {
@@ -575,6 +654,40 @@ mod tests {
             let dg = pts[g.item as usize].dist(q);
             let dw = pts[*w as usize].dist(q);
             assert!((dg - dw).abs() < 1e-9, "tied-distance pruning broke exactness");
+        }
+    }
+
+    #[test]
+    fn knn_with_ties_emits_every_member_of_the_tie_group() {
+        // 4 distinct positions, each duplicated 9 times: any k that cuts
+        // through a tie group must still return the whole group.
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                pts.push(Vec2::new(f64::from(i % 2) * 10.0, f64::from(j % 2) * 10.0));
+            }
+        }
+        let tree = RTree::bulk_load_with_capacity(pts.clone(), 4);
+        let q = Vec2::new(1.0, 1.0);
+        let mut scratch = KnnScratch::new();
+        let mut out = Vec::new();
+        for k in [1usize, 5, 36, 37, 100] {
+            tree.knn_with_ties_into(q, k, &mut scratch, &mut out);
+            assert!(out.len() >= k.min(pts.len()), "k={k} returned {}", out.len());
+            for w in out.windows(2) {
+                assert!(w[0].dist <= w[1].dist + 1e-12);
+            }
+            let kth = out[k.min(out.len()) - 1].dist;
+            // Every item at distance <= kth is present (ties inclusive).
+            let expect = pts.iter().filter(|p| p.dist(q) <= kth + 1e-12).count();
+            assert_eq!(out.len(), expect, "k={k} missed tied items");
+        }
+        // Plain knn_into agrees on the distance sequence of its k items.
+        let mut plain = Vec::new();
+        tree.knn_into(q, 40, &mut scratch, &mut plain);
+        tree.knn_with_ties_into(q, 40, &mut scratch, &mut out);
+        for (a, b) in plain.iter().zip(&out) {
+            assert!((a.dist - b.dist).abs() < 1e-12);
         }
     }
 

@@ -8,8 +8,10 @@
 //! these traits, which is what makes the paper's method-by-method tables
 //! mechanical to regenerate.
 
+use std::sync::Arc;
+
 use trmma_geom::Vec2;
-use trmma_roadnet::{RoadNetwork, RoutePlanner, SegmentId};
+use trmma_roadnet::{RoadNetwork, RoutePlanner, SegmentId, ShardedNetwork};
 use trmma_rtree::{IndexedSegment, KnnScratch, Neighbor, RTree};
 
 use crate::types::{MatchedPoint, MatchedTrajectory, Route, Trajectory};
@@ -129,10 +131,34 @@ impl CandidateScratch {
     }
 }
 
-/// Top-`kc` nearest-segment query over an STR R-tree (Definition 8).
+/// Where a [`CandidateFinder`] searches: one R-tree over the whole
+/// network, or the per-shard trees of a [`ShardedNetwork`].
+#[derive(Debug)]
+enum FinderBackend {
+    /// A single tree over every segment of the network.
+    Whole(RTree<IndexedSegment>),
+    /// One tree per shard; per-shard ties-inclusive top-`kc` results are
+    /// merged and canonically re-ranked, which yields exactly the whole-
+    /// network candidate set (any segment outside its shard's with-ties
+    /// top-`kc` has `kc` strictly closer segments in that shard alone, so
+    /// it cannot be in the global top-`kc` either).
+    Sharded(Arc<ShardedNetwork>),
+}
+
+/// Top-`kc` nearest-segment query over STR R-trees (Definition 8).
+///
+/// Candidates are ranked **canonically** by `(distance, segment id)`:
+/// nearest-first, exact distance ties broken by the smaller global segment
+/// id. Ties are real on grid-like networks — every two-way road is a
+/// segment pair with identical geometry — and the R-tree's own emission
+/// order for tied items depends on tree structure, so the finder fetches
+/// the full tie group ([`RTree::knn_with_ties_into`]) and re-ranks. This
+/// makes the candidate set a pure function of the network contents,
+/// independent of tree build order — and therefore identical between a
+/// whole-network tree and merged per-shard trees.
 #[derive(Debug)]
 pub struct CandidateFinder {
-    tree: RTree<IndexedSegment>,
+    backend: FinderBackend,
     kc: usize,
 }
 
@@ -141,7 +167,15 @@ impl CandidateFinder {
     /// fixes `kc = 10` after the Fig. 2 analysis).
     #[must_use]
     pub fn new(net: &RoadNetwork, kc: usize) -> Self {
-        Self { tree: net.build_rtree(), kc }
+        Self { backend: FinderBackend::Whole(net.build_rtree()), kc }
+    }
+
+    /// Builds the finder over the per-shard trees of `sharded` — no new
+    /// trees are built, and results are identical to [`CandidateFinder::new`]
+    /// on the underlying whole network.
+    #[must_use]
+    pub fn sharded(sharded: Arc<ShardedNetwork>, kc: usize) -> Self {
+        Self { backend: FinderBackend::Sharded(sharded), kc }
     }
 
     /// Candidate-set size.
@@ -159,8 +193,29 @@ impl CandidateFinder {
         out
     }
 
-    /// The top-`kc` nearest segments to `p`, closest first, written into
-    /// `out` (cleared first) through caller-owned scratch buffers.
+    /// Appends `tree`'s ties-inclusive top-`k` around `p` to `out`.
+    fn gather(
+        tree: &RTree<IndexedSegment>,
+        p: Vec2,
+        k: usize,
+        scratch: &mut CandidateScratch,
+        out: &mut Vec<Candidate>,
+    ) {
+        tree.knn_with_ties_into(p, k, &mut scratch.knn, &mut scratch.neighbors);
+        out.extend(scratch.neighbors.iter().map(|n| {
+            let seg = tree.item(n.item);
+            Candidate { seg: SegmentId(seg.id), dist_m: n.dist, ratio: seg.line.project_ratio(p) }
+        }));
+    }
+
+    /// Canonical rank: nearest first, ties by global segment id.
+    fn rank(out: &mut Vec<Candidate>, k: usize) {
+        out.sort_unstable_by(|a, b| a.dist_m.total_cmp(&b.dist_m).then(a.seg.cmp(&b.seg)));
+        out.truncate(k);
+    }
+
+    /// The top-`kc` nearest segments to `p` in canonical order, written
+    /// into `out` (cleared first) through caller-owned scratch buffers.
     ///
     /// The allocation-free path of the batched inference engine: one
     /// [`CandidateScratch`] per worker serves every GPS point of every
@@ -171,21 +226,34 @@ impl CandidateFinder {
         scratch: &mut CandidateScratch,
         out: &mut Vec<Candidate>,
     ) {
-        self.tree.knn_into(p, self.kc, &mut scratch.knn, &mut scratch.neighbors);
         out.clear();
-        out.extend(scratch.neighbors.iter().map(|n| {
-            let seg = self.tree.item(n.item);
-            Candidate { seg: SegmentId(seg.id), dist_m: n.dist, ratio: seg.line.project_ratio(p) }
-        }));
+        match &self.backend {
+            FinderBackend::Whole(tree) => Self::gather(tree, p, self.kc, scratch, out),
+            FinderBackend::Sharded(sh) => {
+                for shard in sh.shards() {
+                    Self::gather(shard.tree(), p, self.kc, scratch, out);
+                }
+            }
+        }
+        Self::rank(out, self.kc);
     }
 
-    /// The single nearest segment to `p`.
+    /// The single nearest segment to `p` (canonical: exact-distance ties go
+    /// to the smaller segment id), or `None` on an empty network.
     #[must_use]
     pub fn nearest(&self, p: Vec2) -> Option<Candidate> {
-        self.tree.nearest(p).map(|n| {
-            let seg = self.tree.item(n.item);
-            Candidate { seg: SegmentId(seg.id), dist_m: n.dist, ratio: seg.line.project_ratio(p) }
-        })
+        let mut scratch = CandidateScratch::new();
+        let mut out = Vec::with_capacity(2);
+        match &self.backend {
+            FinderBackend::Whole(tree) => Self::gather(tree, p, 1, &mut scratch, &mut out),
+            FinderBackend::Sharded(sh) => {
+                for shard in sh.shards() {
+                    Self::gather(shard.tree(), p, 1, &mut scratch, &mut out);
+                }
+            }
+        }
+        Self::rank(&mut out, 1);
+        out.first().copied()
     }
 }
 
@@ -218,6 +286,39 @@ mod tests {
         let nearest = finder.nearest(p).unwrap();
         let cands = finder.candidates(p);
         assert!((nearest.dist_m - cands[0].dist_m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_finder_matches_whole_network_finder() {
+        use trmma_roadnet::{GridCut, HashCut, ShardPlan};
+        let net = Arc::new(generate_city(&NetworkConfig::with_size(7, 7, 23)));
+        let whole = CandidateFinder::new(&net, 10);
+        for cut in [
+            ShardPlan::new(&net, &GridCut { tiles_x: 2, tiles_y: 2, seed: 3 }),
+            ShardPlan::new(&net, &HashCut { num_shards: 6, seed: 8 }),
+        ] {
+            let sh = Arc::new(ShardedNetwork::build(Arc::clone(&net), cut, 400.0));
+            let finder = CandidateFinder::sharded(Arc::clone(&sh), 10);
+            let bbox = net.bbox();
+            for i in 0..40u32 {
+                // Probe a grid of points, including ones near tile borders.
+                let fx = f64::from(i % 8) / 7.0;
+                let fy = f64::from(i / 8) / 4.0;
+                let p = Vec2::new(
+                    bbox.min.x + fx * (bbox.max.x - bbox.min.x),
+                    bbox.min.y + fy * (bbox.max.y - bbox.min.y),
+                );
+                let a = whole.candidates(p);
+                let b = finder.candidates(p);
+                assert_eq!(a.len(), b.len(), "point {i}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.seg, y.seg, "point {i}");
+                    assert_eq!(x.dist_m.to_bits(), y.dist_m.to_bits(), "point {i}");
+                    assert_eq!(x.ratio.to_bits(), y.ratio.to_bits(), "point {i}");
+                }
+                assert_eq!(whole.nearest(p), finder.nearest(p), "point {i}");
+            }
+        }
     }
 
     #[test]
