@@ -25,6 +25,15 @@
 //! crash-safety contract on every chaos row: zero sessions lost and
 //! finals bitwise-identical to the offline decode.
 //!
+//! A fourth sweep — always in full runs, opt-in via `--remote` under
+//! `--smoke` — replays the uniform corpus through a **loopback TCP
+//! socket**: a `trmma_core::serve::Server` fronting the engine, with the
+//! client pushing under a bounded inflight window. The `"remote"` rows
+//! record ack round-trip latency quantiles (wire codec + admission +
+//! decode + reply), and `--assert-tail-ratio R` gates ack p99/p50 on
+//! every remote row (best-of-2 against host timer jitter). Finals must
+//! stay bitwise-identical to the offline decode.
+//!
 //! Pass `--artifact PATH` to start from a `trmma-artifacts build` image:
 //! network and embeddings served from the image, MMA weights loaded
 //! instead of trained, FMM adopting the image's distance table zero-copy.
@@ -49,10 +58,12 @@ use trmma_bench::artifacts::{
     attach_cold_start, bench_cold_start, build_image, build_sharded, prepare_from_artifact,
 };
 use trmma_bench::harness::{trained_mma, Bundle, ExpConfig};
+use trmma_bench::remote_bench::{attach_remote, bench_remote, RemoteRow};
 use trmma_bench::report::{write_bench_streaming, write_json, Table};
 use trmma_bench::stream_bench::{
     bench_chaos, bench_streaming, bench_streaming_routed, interleave, interleave_ids,
-    skewed_session_ids, stream_rows_to_json, tag_stream_variant, ChaosRow, StreamRow,
+    skewed_session_ids, stream_rows_to_json, tag_stream_variant, uniform_session_ids, ChaosRow,
+    StreamRow,
 };
 use trmma_core::{Artifact, FaultPlan, Mma, MmaConfig, RouterPolicy};
 use trmma_roadnet::transition::DIST_RECORD_BYTES;
@@ -81,9 +92,18 @@ fn shards_arg() -> Option<usize> {
     Some(n)
 }
 
+/// The `--assert-tail-ratio R` bound on remote-row ack p99/p50, when given.
+fn tail_bound() -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--assert-tail-ratio")?;
+    let v = args.get(i + 1).expect("--assert-tail-ratio needs a value");
+    Some(v.parse().unwrap_or_else(|e| panic!("--assert-tail-ratio {v}: {e}")))
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let chaos = std::env::args().any(|a| a == "--chaos") || !smoke;
+    let remote = std::env::args().any(|a| a == "--remote") || !smoke;
     let artifact = load_artifact();
     let shards_n = shards_arg();
     let cfg = ExpConfig::from_env();
@@ -376,6 +396,85 @@ fn main() {
         }
     }
 
+    // Remote sweep: the same uniform corpus replayed through a loopback
+    // TCP socket — `trmma_core::serve::Server` in front of the engine —
+    // measuring ack round-trip latency end to end (wire codec + admission
+    // + decode + reply). Finals must stay bitwise-identical to offline;
+    // `--assert-tail-ratio R` additionally gates ack p99/p50 per row.
+    let mut remote_rows: Vec<RemoteRow> = Vec::new();
+    if remote {
+        let window = 16;
+        let ids = uniform_session_ids(sessions.len());
+        let tail = tail_bound();
+        let run_remote = |m: &dyn Fn() -> RemoteRow| -> RemoteRow {
+            // The tail gate binds on a single loopback scheduling hiccup;
+            // best-of-2 keeps the CI signal about the protocol, not the
+            // host's timer jitter (same policy as the inference smoke).
+            let first = m();
+            if tail.is_none() {
+                return first;
+            }
+            let second = m();
+            let ratio = |r: &RemoteRow| if r.p50_ms > 0.0 { r.p99_ms / r.p50_ms } else { 0.0 };
+            if ratio(&second) < ratio(&first) {
+                second
+            } else {
+                first
+            }
+        };
+        remote_rows.push(run_remote(&|| bench_remote(&mma, &sessions, &ids, &events, window)));
+        remote_rows.push(run_remote(&|| bench_remote(&hmm, &sessions, &ids, &events, window)));
+        remote_rows.push(run_remote(&|| bench_remote(&fmm, &sessions, &ids, &events, window)));
+        remote_rows.push(run_remote(&|| bench_remote(&lhmm, &sessions, &ids, &events, window)));
+        let mut rtable = Table::new(&[
+            "Method",
+            "Sessions",
+            "Window",
+            "acked/s",
+            "ack p50(ms)",
+            "ack p99(ms)",
+            "ack p999(ms)",
+            "Busy",
+            "Identical",
+        ]);
+        for r in &remote_rows {
+            rtable.row(vec![
+                r.method.clone(),
+                r.sessions.to_string(),
+                r.window.to_string(),
+                format!("{:.1}", r.points_per_s),
+                format!("{:.3}", r.p50_ms),
+                format!("{:.3}", r.p99_ms),
+                format!("{:.3}", r.p999_ms),
+                r.busy.to_string(),
+                r.identical.to_string(),
+            ]);
+        }
+        println!("\n== Remote ingest: loopback TCP through trmma-serve ==\n");
+        rtable.print();
+        for r in &remote_rows {
+            assert!(r.identical, "socket replay diverged from the offline decode: {r:?}");
+            assert_eq!(
+                r.points as usize,
+                events.len(),
+                "every streamed point must be acked: {r:?}"
+            );
+        }
+        if let Some(bound) = tail {
+            for r in &remote_rows {
+                if r.p50_ms > 0.0 {
+                    let ratio = r.p99_ms / r.p50_ms;
+                    assert!(
+                        ratio <= bound,
+                        "remote ack tail ratio p99/p50 = {ratio:.2} exceeds {bound} for {}",
+                        r.method
+                    );
+                }
+            }
+            println!("\nremote ack tail ratio gate: p99/p50 <= {bound} held for all rows");
+        }
+    }
+
     let mut ctable = Table::new(&["ColdStart", "ms", "Speedup", "Identical", "Records"]);
     for r in &cold {
         ctable.row(vec![
@@ -391,6 +490,9 @@ fn main() {
 
     let mut doc = stream_rows_to_json(&rows, &chaos_rows, events.len(), &bundle.ds.name);
     attach_cold_start(&mut doc, &cold);
+    if remote {
+        attach_remote(&mut doc, &remote_rows);
+    }
     if smoke {
         println!("\n--smoke: repo-root BENCH_streaming.json left untouched");
     } else {

@@ -36,6 +36,7 @@ pub mod artifacts;
 pub mod batch_bench;
 pub mod harness;
 pub mod json;
+pub mod remote_bench;
 pub mod report;
 pub mod stream_bench;
 

@@ -1,0 +1,278 @@
+//! Remote-ingest benchmark: replay the interleaved session corpus through
+//! a real loopback TCP socket — `trmma_core::serve::Server` in front of the
+//! `StreamEngine` — instead of calling `engine.push` in-process.
+//!
+//! What changes versus `stream_bench` is the measured quantity: the rows
+//! here report **ack round-trip latency** (client `Push` frame → server
+//! `Ack` frame, under a bounded inflight window), which is what a device
+//! streaming over the wire actually observes — wire codec + admission +
+//! engine decode + reply serialization, not just the worker-side decode.
+//! Every run keeps the same acceptance bar as the in-process replay: each
+//! session's `Final` result must be bitwise-identical to the offline
+//! `match_trajectory` of the same points, and the row carries the
+//! `identical` flag the binary asserts on.
+//!
+//! Produces the `"remote"` rows of `BENCH_streaming.json`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use trmma_core::{BusyCode, Reply, ServeClient, ServeConfig, Server, SessionId, StreamOptions};
+use trmma_traj::online::OnlineMatcher;
+use trmma_traj::types::{GpsPoint, Trajectory};
+use trmma_traj::MatchResult;
+
+use crate::json::Value;
+
+/// One measured remote (socket) streaming configuration.
+#[derive(Debug, Clone)]
+pub struct RemoteRow {
+    /// The matcher measured.
+    pub method: String,
+    /// Concurrent sessions replayed over the connection.
+    pub sessions: usize,
+    /// Client-side inflight window (unacked pushes) during the replay.
+    pub window: usize,
+    /// Points acked by the server.
+    pub points: u64,
+    /// Acked points per second over the replay's wall clock.
+    pub points_per_s: f64,
+    /// Median ack round-trip latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile ack round-trip latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile ack round-trip latency, milliseconds.
+    pub p999_ms: f64,
+    /// Worst ack round trip observed, milliseconds.
+    pub max_ms: f64,
+    /// Typed `Busy` replies absorbed during the replay — expected 0 under
+    /// the bench's permissive admission config.
+    pub busy: u64,
+    /// Bytes the server read off sockets during the run.
+    pub bytes_in: u64,
+    /// Bytes the server wrote to sockets during the run.
+    pub bytes_out: u64,
+    /// Request frames the server accepted.
+    pub frames_in: u64,
+    /// Whether every `Final` result matched the offline decode exactly.
+    pub identical: bool,
+}
+
+/// Resolves one inbound reply against the send-time ledger: an `Ack` pops
+/// the oldest outstanding push of its session and records the round trip;
+/// a `Busy` discards the corresponding send (`PushTimeout` resolves the
+/// oldest in-window push, admission codes the newest).
+fn absorb_reply(
+    reply: &Reply,
+    sent: &mut HashMap<u64, VecDeque<Instant>>,
+    rtts: &mut Vec<f64>,
+    busy: &mut u64,
+) {
+    match reply {
+        Reply::Ack { session, .. } => {
+            let t0 = sent
+                .get_mut(session)
+                .and_then(VecDeque::pop_front)
+                .expect("server acked a point that was never sent");
+            rtts.push(t0.elapsed().as_secs_f64());
+        }
+        Reply::Busy { session, code } => {
+            let pending = sent.get_mut(session).expect("busy for an unknown session");
+            if *code == BusyCode::PushTimeout {
+                pending.pop_front();
+            } else {
+                pending.pop_back();
+            }
+            *busy += 1;
+        }
+        r => panic!("unexpected reply during replay: {r:?}"),
+    }
+}
+
+/// Replays `events` through a loopback `Server` and measures ack round-trip
+/// latency under a bounded inflight window. `ids[i]` must be the stream id
+/// of `sessions[i]` (as produced by `stream_bench::interleave_ids`).
+///
+/// # Panics
+/// On any socket/protocol failure, or if the server refuses a frame — the
+/// bench runs against its own permissively-configured server, so a typed
+/// refusal is a harness bug, not a measurement.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn bench_remote<M: OnlineMatcher + 'static>(
+    matcher: &Arc<M>,
+    sessions: &[Trajectory],
+    ids: &[SessionId],
+    events: &[(SessionId, GpsPoint)],
+    window: usize,
+) -> RemoteRow {
+    assert_eq!(sessions.len(), ids.len(), "one id per session");
+    let window = window.max(1);
+    // Offline reference, decoding each unique trajectory once (the corpus
+    // tiles trajectories up to the session target).
+    let mut reference: Vec<MatchResult> = Vec::with_capacity(sessions.len());
+    for (i, t) in sessions.iter().enumerate() {
+        match sessions[..i].iter().position(|u| u == t) {
+            Some(j) => {
+                let dup = reference[j].clone();
+                reference.push(dup);
+            }
+            None => reference.push(matcher.match_trajectory(t)),
+        }
+    }
+    // Permissive admission: the bench measures latency, not throttling, so
+    // the server-side window must exceed the client's and rate limiting
+    // stays off (the `ServeConfig` default).
+    let cfg = ServeConfig::default()
+        .stream(StreamOptions::with_threads(2).idle_timeout_s(0.0))
+        .inflight_window(window * 2)
+        .max_sessions_per_tenant(sessions.len().max(1));
+    let server = Server::start(matcher.clone(), cfg).expect("loopback server starts");
+    let mut client = ServeClient::connect(server.local_addr(), 7).expect("loopback connect");
+    for (i, t) in sessions.iter().enumerate() {
+        if !t.is_empty() {
+            client.open(ids[i]).expect("open session");
+        }
+    }
+
+    let mut sent: HashMap<u64, VecDeque<Instant>> = HashMap::new();
+    let mut rtts: Vec<f64> = Vec::with_capacity(events.len());
+    let mut busy = 0u64;
+    let mut inflight = 0usize;
+    let started = Instant::now();
+    for &(sid, p) in events {
+        while inflight >= window {
+            let reply = client.recv_reply().expect("reply mid-replay");
+            absorb_reply(&reply, &mut sent, &mut rtts, &mut busy);
+            inflight -= 1;
+        }
+        client.push(sid, p).expect("push frame");
+        sent.entry(sid).or_default().push_back(Instant::now());
+        inflight += 1;
+    }
+    while inflight > 0 {
+        let reply = client.recv_reply().expect("reply during drain");
+        absorb_reply(&reply, &mut sent, &mut rtts, &mut busy);
+        inflight -= 1;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut finals: HashMap<SessionId, MatchResult> = HashMap::new();
+    for (i, t) in sessions.iter().enumerate() {
+        if t.is_empty() {
+            continue;
+        }
+        let (points, result) = client.finalize(ids[i]).expect("finalize session");
+        assert_eq!(points as usize, t.len(), "server acked a different point count");
+        finals.insert(ids[i], result);
+    }
+    let identical = sessions
+        .iter()
+        .enumerate()
+        .all(|(i, t)| t.is_empty() || finals.get(&ids[i]) == Some(&reference[i]));
+    let stats = client.stats().expect("serve stats");
+    server.stop();
+
+    rtts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let quantile = |q: f64| -> f64 {
+        if rtts.is_empty() {
+            return 0.0;
+        }
+        let ix = ((rtts.len() - 1) as f64 * q).round() as usize;
+        rtts[ix] * 1e3
+    };
+    RemoteRow {
+        method: matcher.name().to_string(),
+        sessions: sessions.len(),
+        window,
+        points: rtts.len() as u64,
+        points_per_s: if wall_s > 0.0 { rtts.len() as f64 / wall_s } else { 0.0 },
+        p50_ms: quantile(0.5),
+        p99_ms: quantile(0.99),
+        p999_ms: quantile(0.999),
+        max_ms: quantile(1.0),
+        busy,
+        bytes_in: stats.bytes_in,
+        bytes_out: stats.bytes_out,
+        frames_in: stats.frames_in,
+        identical,
+    }
+}
+
+/// Serialises remote rows into the `"remote"` array of the
+/// `BENCH_streaming.json` document.
+#[must_use]
+pub fn remote_rows_to_json(rows: &[RemoteRow]) -> Value {
+    Value::Array(
+        rows.iter()
+            .map(|r| {
+                crate::json!({
+                    "method": r.method,
+                    "transport": "loopback_tcp",
+                    "sessions": r.sessions,
+                    "window": r.window,
+                    "points_acked": r.points,
+                    "points_per_s": r.points_per_s,
+                    "ack_p50_ms": r.p50_ms,
+                    "ack_p99_ms": r.p99_ms,
+                    "ack_p999_ms": r.p999_ms,
+                    "ack_max_ms": r.max_ms,
+                    "busy_replies": r.busy,
+                    "bytes_in": r.bytes_in,
+                    "bytes_out": r.bytes_out,
+                    "frames_in": r.frames_in,
+                    "identical_to_offline": r.identical,
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Attaches the `"remote"` rows to the streaming JSON document.
+pub fn attach_remote(doc: &mut Value, rows: &[RemoteRow]) {
+    if let Value::Object(fields) = doc {
+        fields.push(("remote".to_string(), remote_rows_to_json(rows)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream_bench::{interleave, uniform_session_ids};
+    use trmma_baselines::{HmmConfig, HmmMatcher};
+    use trmma_roadnet::RoutePlanner;
+    use trmma_traj::dataset::{build_dataset, DatasetConfig, Split};
+    use trmma_traj::MapMatcher;
+
+    #[test]
+    fn remote_rows_validate_against_offline() {
+        let ds = build_dataset(&DatasetConfig::tiny());
+        let net = Arc::new(ds.net.clone());
+        let planner = Arc::new(RoutePlanner::untrained(&net));
+        let hmm = Arc::new(HmmMatcher::new(net, planner, HmmConfig::default()));
+        let sessions: Vec<Trajectory> =
+            ds.samples(Split::Test, 0.2, 34).into_iter().take(3).map(|s| s.sparse).collect();
+        let ids = uniform_session_ids(sessions.len());
+        let events = interleave(&sessions, 11);
+        let row = bench_remote(&hmm, &sessions, &ids, &events, 8);
+        assert!(row.identical, "socket replay diverged from offline: {row:?}");
+        assert_eq!(row.points as usize, events.len(), "every pushed point must be acked");
+        assert_eq!(row.busy, 0, "permissive config must not throttle: {row:?}");
+        assert!(row.points_per_s > 0.0);
+        assert!(row.p50_ms <= row.p99_ms + 1e-9);
+        assert!(row.p99_ms <= row.p999_ms + 1e-9);
+        assert!(row.p999_ms <= row.max_ms + 1e-9);
+        assert!(row.bytes_in > 0 && row.bytes_out > 0);
+        assert!(row.frames_in as usize > events.len(), "opens + pushes + finalizes");
+        assert_eq!(row.method, hmm.name());
+
+        let mut doc = Value::Object(vec![]);
+        attach_remote(&mut doc, &[row]);
+        let s = crate::json::to_string_pretty(&doc);
+        assert!(s.contains("\"remote\""));
+        assert!(s.contains("\"transport\": \"loopback_tcp\""));
+        assert!(s.contains("\"ack_p99_ms\":"));
+        assert!(s.contains("\"identical_to_offline\": true"));
+    }
+}

@@ -69,6 +69,7 @@ pub mod artifact;
 pub mod batch;
 pub mod mma;
 pub mod pipeline;
+pub mod serve;
 pub mod snapshot;
 pub mod stream;
 pub mod trmma;
@@ -80,6 +81,10 @@ pub use batch::{
 };
 pub use mma::{Mma, MmaConfig, MmaScratch, MmaSession};
 pub use pipeline::TrmmaPipeline;
+pub use serve::{
+    BusyCode, ClientError, Frame, FrameKind, RefuseCode, Reply, ServeClient, ServeConfig,
+    ServeStats, Server, TenantLoad,
+};
 pub use snapshot::SessionSnapshot;
 pub use stream::{
     FaultPlan, FinalizeReason, RecvEventError, RouterPolicy, RouterStats, SessionId, StreamEngine,

@@ -1527,6 +1527,20 @@ impl<M: OnlineMatcher + 'static> StreamEngine<M> {
             })
             .collect();
         for (sid, target) in victims {
+            // A placement with nothing journaled is sticky routing state
+            // for a trip that already ended cleanly (its `Finalized` event
+            // was delivered before `Ended` trimmed the journal). Reclaim
+            // it here — before the survivor check — so a total worker
+            // failure never double-counts a finished trip as lost.
+            let stale = match router.logs.get(&sid) {
+                None => true,
+                Some(log) => log.ckpt.is_none() && log.tail.is_empty(),
+            };
+            if stale {
+                router.place.remove(&sid);
+                router.logs.remove(&sid);
+                continue;
+            }
             let target =
                 if router.failed[target] { self.pick_survivor(router) } else { Some(target) };
             let ok = target.is_some_and(|t| self.recover_session(router, sid, t));
@@ -2782,6 +2796,65 @@ mod tests {
         );
         let (_, stats) = engine.shutdown();
         assert_eq!(stats.points, 0, "every command panicked before decoding");
+    }
+
+    /// Regression for the Disconnected handling gap: a consumer that only
+    /// calls `recv_event_timeout` (no pushes, no stats — the shape of an
+    /// ingest front-end's event pump) must, after every worker has
+    /// permanently failed, still observe every `Finalized` the engine
+    /// produced before dying and then get `Disconnected` — never a hang,
+    /// and never a finish that is neither delivered nor counted lost.
+    #[test]
+    fn events_only_consumer_observes_every_finish_after_total_worker_failure() {
+        FaultPlan::silence_injected_panics();
+        let (hmm, batch) = world();
+        let plan = FaultPlan::panics(0x5EED_F00D, 120, 1);
+        let engine = StreamEngine::with_faults(
+            hmm,
+            StreamOptions::with_threads(1)
+                .idle_timeout_s(0.0)
+                .max_worker_restarts(0)
+                .push_timeout_s(0.2),
+            plan,
+        );
+        // Finish each trip right after its points: early trips finalize
+        // before the injected death, later ones die with the worker.
+        let mut engaged = 0u64; // sessions the engine accepted points for
+        for (sid, t) in batch.iter().enumerate() {
+            let mut accepted = 0usize;
+            for &p in &t.points {
+                if !engine.push(sid as SessionId, p) {
+                    break;
+                }
+                accepted += 1;
+            }
+            if accepted > 0 {
+                engaged += 1;
+                engine.finish(sid as SessionId);
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut finalized = 0u64;
+        loop {
+            assert!(
+                Instant::now() < deadline,
+                "events-only consumer hung after total worker failure"
+            );
+            match engine.recv_event_timeout(Duration::from_millis(50)) {
+                Ok(StreamEvent::Finalized { .. }) => finalized += 1,
+                Ok(StreamEvent::Update { .. }) | Err(RecvEventError::Timeout) => {}
+                Err(RecvEventError::Disconnected) => break,
+            }
+        }
+        let rs = engine.router_stats();
+        assert!(rs.sessions_lost >= 1, "the injected death must cost something: {rs:?}");
+        assert_eq!(
+            finalized + rs.sessions_lost,
+            engaged,
+            "every finish must be delivered or loudly counted lost: {rs:?}"
+        );
+        assert!(finalized >= 1, "trips finished before the crash must still be delivered");
+        let _ = engine.shutdown();
     }
 
     /// Rolling-restart handoff: drain a live engine to snapshots, restore

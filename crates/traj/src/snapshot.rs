@@ -27,8 +27,8 @@
 use trmma_geom::Vec2;
 use trmma_roadnet::SegmentId;
 
-use crate::api::Candidate;
-use crate::types::{GpsPoint, MatchedPoint, Trajectory};
+use crate::api::{Candidate, MatchResult};
+use crate::types::{GpsPoint, MatchedPoint, Route, Trajectory};
 
 /// Why a snapshot could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -307,6 +307,46 @@ pub fn read_cand_sets(r: &mut Reader<'_>) -> Result<Vec<Vec<Candidate>>, Snapsho
     Ok(sets)
 }
 
+/// Encodes a route (segment count + segment ids).
+pub fn put_route(out: &mut Vec<u8>, route: &Route) {
+    put_usize(out, route.segs.len());
+    for &s in &route.segs {
+        put_u32(out, s.0);
+    }
+}
+
+/// Decodes a route written by [`put_route`].
+pub fn read_route(r: &mut Reader<'_>) -> Result<Route, SnapshotError> {
+    let n = r.seq_len()?;
+    let mut segs = Vec::with_capacity(n);
+    for _ in 0..n {
+        segs.push(SegmentId(r.u32()?));
+    }
+    Ok(Route { segs })
+}
+
+/// Encodes a full match result (matched points + stitched route). This is
+/// the payload of a `Final` reply on the ingest wire: the bytes must round
+/// trip bitwise so a remote client can compare against an offline decode.
+pub fn put_match_result(out: &mut Vec<u8>, res: &MatchResult) {
+    put_usize(out, res.matched.len());
+    for m in &res.matched {
+        put_matched(out, m);
+    }
+    put_route(out, &res.route);
+}
+
+/// Decodes a match result written by [`put_match_result`].
+pub fn read_match_result(r: &mut Reader<'_>) -> Result<MatchResult, SnapshotError> {
+    let n = r.seq_len()?;
+    let mut matched = Vec::with_capacity(n);
+    for _ in 0..n {
+        matched.push(r.matched()?);
+    }
+    let route = read_route(r)?;
+    Ok(MatchResult { matched, route })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +414,28 @@ mod tests {
         assert_eq!(r.matched().unwrap(), m);
         r.expect_end().unwrap();
         assert_eq!(Reader::new(&buf).expect_end(), Err(SnapshotError::Malformed("trailing bytes")));
+    }
+
+    #[test]
+    fn match_results_round_trip_bitwise() {
+        let res = MatchResult {
+            matched: vec![
+                MatchedPoint { seg: SegmentId(3), ratio: 0.0, t: -0.0 },
+                MatchedPoint { seg: SegmentId(u32::MAX), ratio: 1.0, t: 1e12 },
+            ],
+            route: Route::new(vec![SegmentId(3), SegmentId(4), SegmentId(u32::MAX)]),
+        };
+        let mut buf = Vec::new();
+        put_match_result(&mut buf, &res);
+        let mut r = Reader::new(&buf);
+        let back = read_match_result(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back, res);
+        assert_eq!(back.matched[0].t.to_bits(), (-0.0f64).to_bits());
+        // Truncation anywhere inside is an error, never a panic.
+        for cut in 0..buf.len() {
+            assert!(read_match_result(&mut Reader::new(&buf[..cut])).is_err());
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Network ingest end to end: an in-process `trmma_core::serve::Server`
+//! (the same server `trmma-serve` binds) speaks the length-prefixed "TRMP"
+//! protocol over real loopback TCP sockets, and a `ServeClient` streams
+//! three devices' GPS points into it under a bounded inflight window. Each
+//! point is acked with its provisional match and stabilized-prefix
+//! watermark; `Finalize` returns the full route — bitwise-identical to the
+//! offline decode of the same points.
+//!
+//! A second act performs a **rolling restart**: mid-stream, a `Snapshot`
+//! frame drains every live session off server A as versioned snapshot
+//! bytes, server A stops, and `Restore` frames rehydrate the sessions into
+//! a fresh server B where the trips continue — zero sessions lost, finals
+//! still identical to the uninterrupted decode.
+//!
+//! ```sh
+//! cargo run --release --example ingest_client
+//! ```
+
+use std::sync::Arc;
+
+use trmma::baselines::{HmmConfig, HmmMatcher};
+use trmma::core::{Reply, ServeClient, ServeConfig, Server, StreamOptions};
+use trmma::traj::dataset::{build_dataset, DatasetConfig, Split};
+use trmma::traj::types::Trajectory;
+use trmma::traj::MapMatcher;
+
+fn main() {
+    let ds = build_dataset(&DatasetConfig::tiny());
+    let net = Arc::new(ds.net.clone());
+    let planner = Arc::new(trmma::roadnet::RoutePlanner::untrained(&net));
+    let hmm = Arc::new(HmmMatcher::new(net, planner, HmmConfig::default()));
+
+    let trips: Vec<Trajectory> =
+        ds.samples(Split::Test, 0.2, 5).into_iter().take(3).map(|s| s.sparse).collect();
+
+    // Act one: stream every trip over a real socket and finalize.
+    let cfg = ServeConfig::default().stream(StreamOptions::with_threads(2).idle_timeout_s(0.0));
+    let server = Server::start(hmm.clone(), cfg.clone()).expect("bind loopback");
+    println!("server A listening on {}", server.local_addr());
+    let tenant = 42;
+    let mut client = ServeClient::connect(server.local_addr(), tenant).expect("connect");
+    for device in 0..trips.len() as u64 {
+        client.open(device).expect("open session");
+    }
+    println!("\nacks (device 0):");
+    for (device, trip) in trips.iter().enumerate() {
+        for &p in &trip.points {
+            let reply = client.push_wait(device as u64, p).expect("acked push");
+            if device == 0 {
+                if let Reply::Ack { seq, stable_prefix, provisional, .. } = reply {
+                    let seg = provisional.map_or_else(|| "-".to_string(), |m| m.seg.0.to_string());
+                    println!(
+                        "seq {seq:>3} | provisional seg {seg:>5} | stable prefix {stable_prefix}"
+                    );
+                }
+            }
+        }
+    }
+    println!("\nfinalized trips:");
+    for (device, trip) in trips.iter().enumerate() {
+        let (points, result) = client.finalize(device as u64).expect("finalize");
+        let offline = hmm.match_trajectory(trip);
+        println!(
+            "device {device}: {points} points, route of {} segments; identical to offline: {}",
+            result.route.len(),
+            result == offline
+        );
+    }
+    let stats = client.stats().expect("stats");
+    println!(
+        "\nserver A stats: {} points acked over {} sessions | {} frames in, {} out | {} bytes in, {} out",
+        stats.points_accepted,
+        stats.sessions_finalized,
+        stats.frames_in,
+        stats.frames_out,
+        stats.bytes_in,
+        stats.bytes_out
+    );
+    server.stop();
+
+    // Act two: rolling restart. Stream half of each trip into server A,
+    // drain A's live sessions as snapshot bytes, stop A, restore into a
+    // fresh server B, stream the rest there and finalize.
+    println!("\n== rolling restart: Snapshot -> stop A -> Restore into B ==");
+    let a = Server::start(hmm.clone(), cfg.clone()).expect("bind server A");
+    let mut ca = ServeClient::connect(a.local_addr(), tenant).expect("connect A");
+    for (device, trip) in trips.iter().enumerate() {
+        ca.open(device as u64).expect("open on A");
+        let half = trip.len() / 2;
+        for &p in &trip.points[..half] {
+            ca.push_wait(device as u64, p).expect("push first half");
+        }
+    }
+    let snaps = ca.snapshot_all().expect("drain server A");
+    println!("drained {} session snapshots off A", snaps.len());
+    a.stop();
+
+    let b = Server::start(hmm.clone(), cfg).expect("bind server B");
+    let mut cb = ServeClient::connect(b.local_addr(), tenant).expect("connect B");
+    for (owner, snap) in &snaps {
+        cb.restore(*owner, snap).expect("restore into B");
+    }
+    for (device, trip) in trips.iter().enumerate() {
+        let half = trip.len() / 2;
+        for &p in &trip.points[half..] {
+            cb.push_wait(device as u64, p).expect("push second half");
+        }
+        let (points, result) = cb.finalize(device as u64).expect("finalize on B");
+        let offline = hmm.match_trajectory(trip);
+        println!(
+            "device {device}: {points} points across both servers; identical to uninterrupted decode: {}",
+            result == offline
+        );
+    }
+    let stats = cb.stats().expect("stats B");
+    println!(
+        "server B stats: {} sessions restored, {} finalized — zero dropped across the restart",
+        stats.sessions_restored, stats.sessions_finalized
+    );
+    b.stop();
+}

@@ -1,0 +1,318 @@
+//! Integration tests for the ingest service's operational story:
+//!
+//! * **Rolling restart** — sessions stream into server A mid-trip, a
+//!   `Snapshot` frame drains every live session, A is stopped, `Restore`
+//!   frames rehydrate them into a fresh server B where the trips finish —
+//!   zero sessions lost, finals bitwise-identical to the uninterrupted
+//!   offline decode, with `FaultPlan` stalls injected on both sides of the
+//!   handover (the PR 6 chaos machinery);
+//! * **Adversarial input** — oversized length prefixes, unknown frame
+//!   kinds, wrong versions, wrong-tenant session touches and a slow-loris
+//!   client each get a *typed* refusal and never stall other tenants,
+//!   asserted via the `ServeStats` fairness counters.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use trmma::baselines::{HmmConfig, HmmMatcher};
+use trmma::core::serve::{HEADER_LEN, MAGIC, VERSION};
+use trmma::core::{
+    BusyCode, ClientError, FaultPlan, Frame, FrameKind, RefuseCode, Reply, ServeClient,
+    ServeConfig, Server, StreamOptions,
+};
+use trmma::roadnet::RoutePlanner;
+use trmma::traj::dataset::{build_dataset, DatasetConfig, Split};
+use trmma::traj::types::Trajectory;
+use trmma::traj::MapMatcher;
+
+fn world() -> (Arc<HmmMatcher>, Vec<Trajectory>) {
+    let ds = build_dataset(&DatasetConfig::tiny());
+    let net = Arc::new(ds.net.clone());
+    let planner = Arc::new(RoutePlanner::untrained(&net));
+    let hmm = Arc::new(HmmMatcher::new(net, planner, HmmConfig::default()));
+    let trips: Vec<Trajectory> =
+        ds.samples(Split::Test, 0.2, 40).into_iter().take(4).map(|s| s.sparse).collect();
+    (hmm, trips)
+}
+
+fn base_cfg() -> ServeConfig {
+    ServeConfig::default().stream(StreamOptions::with_threads(2).idle_timeout_s(0.0))
+}
+
+#[test]
+fn rolling_restart_loses_no_sessions_and_finals_match_offline() {
+    let (hmm, trips) = world();
+    // Stalls on both servers: the drain and the restore replay must hold
+    // under worker-side chaos, not just on a quiet engine.
+    let stalls = FaultPlan {
+        seed: 0xB0_0CE5,
+        stall_per_mille: 250,
+        stall: Duration::from_millis(2),
+        ..FaultPlan::default()
+    };
+    let tenant = 3;
+    let a = Server::start(hmm.clone(), base_cfg().faults(stalls)).expect("server A");
+    let mut ca = ServeClient::connect(a.local_addr(), tenant).expect("connect A");
+    for (i, t) in trips.iter().enumerate() {
+        ca.open(i as u64).expect("open on A");
+        let half = t.len() / 2;
+        let acked = ca.stream_points(i as u64, &t.points[..half], 4).expect("stream first half");
+        assert_eq!(acked as usize, half);
+    }
+    let snaps = ca.snapshot_all().expect("drain A");
+    assert_eq!(snaps.len(), trips.len(), "every mid-stream session must drain");
+    assert!(snaps.iter().all(|(owner, _)| *owner == tenant));
+    let stats_a = a.stats();
+    assert_eq!(stats_a.snapshots_out, trips.len() as u64);
+    assert_eq!(stats_a.sessions_finalized, 0, "a drain is not a finalize");
+    a.stop(); // "kill" server A
+
+    let b = Server::start(hmm.clone(), base_cfg().faults(stalls)).expect("server B");
+    let mut cb = ServeClient::connect(b.local_addr(), tenant).expect("connect B");
+    for (owner, snap) in &snaps {
+        cb.restore(*owner, snap).expect("restore into B");
+    }
+    for (i, t) in trips.iter().enumerate() {
+        let half = t.len() / 2;
+        let acked = cb.stream_points(i as u64, &t.points[half..], 4).expect("stream second half");
+        assert_eq!(acked as usize, t.len() - half);
+        let (points, result) = cb.finalize(i as u64).expect("finalize on B");
+        assert_eq!(points as usize, t.len(), "point count must span both servers");
+        assert_eq!(
+            result,
+            hmm.match_trajectory(t),
+            "restarted session {i} diverged from the uninterrupted decode"
+        );
+    }
+    let stats_b = b.stats();
+    assert_eq!(stats_b.sessions_restored, trips.len() as u64, "zero sessions lost");
+    assert_eq!(stats_b.sessions_finalized, trips.len() as u64);
+    b.stop();
+}
+
+#[test]
+fn oversized_length_prefix_gets_typed_refusal_without_stalling_others() {
+    let (hmm, trips) = world();
+    let server = Server::start(hmm.clone(), base_cfg().max_payload(1 << 16)).expect("server");
+
+    // A hand-built header claiming a 256 MB payload: the server must refuse
+    // on the prefix alone (never attempting to read or allocate the body)
+    // and close the connection.
+    let mut evil = ServeClient::connect(server.local_addr(), 66).expect("connect");
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.push(FrameKind::Push as u8);
+    header.extend_from_slice(&66u64.to_le_bytes());
+    header.extend_from_slice(&1u64.to_le_bytes());
+    header.extend_from_slice(&(256u32 << 20).to_le_bytes());
+    evil.send_bytes(&header).expect("send oversized prefix");
+    match evil.recv_reply().expect("typed refusal") {
+        Reply::Refused { code, detail, .. } => {
+            assert_eq!(code, RefuseCode::Oversize);
+            assert_eq!(detail, 256 << 20);
+        }
+        r => panic!("expected Oversize refusal, got {r:?}"),
+    }
+
+    // Another tenant streams through unaffected, on a fresh connection.
+    let mut client = ServeClient::connect(server.local_addr(), 7).expect("connect");
+    client.open(10).expect("open");
+    client.stream_points(10, &trips[0].points, 4).expect("stream");
+    let (_, result) = client.finalize(10).expect("finalize");
+    assert_eq!(result, hmm.match_trajectory(&trips[0]));
+
+    let stats = server.stats();
+    assert_eq!(stats.oversize_rejected, 1);
+    assert_eq!(stats.points_accepted, trips[0].len() as u64, "victim tenant lost nothing");
+    server.stop();
+}
+
+#[test]
+fn unknown_kind_and_bad_version_get_typed_refusals_and_conversation_continues() {
+    let (hmm, trips) = world();
+    let server = Server::start(hmm.clone(), base_cfg()).expect("server");
+    let mut client = ServeClient::connect(server.local_addr(), 5).expect("connect");
+
+    // Unknown frame kind: refused with the kind byte as detail.
+    client
+        .send_frame(&Frame { version: VERSION, kind: 77, tenant: 5, session: 1, payload: vec![] })
+        .expect("send unknown kind");
+    match client.recv_reply().expect("reply") {
+        Reply::Refused { code, detail, .. } => {
+            assert_eq!(code, RefuseCode::UnknownKind);
+            assert_eq!(detail, 77);
+        }
+        r => panic!("expected UnknownKind refusal, got {r:?}"),
+    }
+
+    // Reply kinds are not requests: sending one is equally refused.
+    client
+        .send_frame(&Frame {
+            version: VERSION,
+            kind: FrameKind::Ack as u8,
+            tenant: 5,
+            session: 1,
+            payload: vec![],
+        })
+        .expect("send reply kind");
+    match client.recv_reply().expect("reply") {
+        Reply::Refused { code, .. } => assert_eq!(code, RefuseCode::UnknownKind),
+        r => panic!("expected UnknownKind refusal, got {r:?}"),
+    }
+
+    // Wrong protocol version: refused with the version as detail.
+    client
+        .send_frame(&Frame {
+            version: 9,
+            kind: FrameKind::Open as u8,
+            tenant: 5,
+            session: 1,
+            payload: vec![],
+        })
+        .expect("send bad version");
+    match client.recv_reply().expect("reply") {
+        Reply::Refused { code, detail, .. } => {
+            assert_eq!(code, RefuseCode::BadVersion);
+            assert_eq!(detail, 9);
+        }
+        r => panic!("expected BadVersion refusal, got {r:?}"),
+    }
+
+    // Dispatch-level refusals do not poison the connection: the same
+    // socket still speaks the protocol.
+    client.open(1).expect("open after refusals");
+    client.stream_points(1, &trips[0].points, 4).expect("stream");
+    let (_, result) = client.finalize(1).expect("finalize");
+    assert_eq!(result, hmm.match_trajectory(&trips[0]));
+
+    let stats = server.stats();
+    assert_eq!(stats.unknown_kind, 2);
+    assert_eq!(stats.bad_version, 1);
+    server.stop();
+}
+
+#[test]
+fn wrong_tenant_touch_is_refused_and_owner_is_unaffected() {
+    let (hmm, trips) = world();
+    let server = Server::start(hmm.clone(), base_cfg()).expect("server");
+    let mut owner = ServeClient::connect(server.local_addr(), 1).expect("owner connect");
+    let mut thief = ServeClient::connect(server.local_addr(), 2).expect("thief connect");
+
+    owner.open(100).expect("owner opens");
+    let half = trips[0].len() / 2;
+    owner.stream_points(100, &trips[0].points[..half], 4).expect("owner streams");
+
+    // A different tenant touching the session gets WrongTenant, for both
+    // push and finalize — the probe leaks nothing and mutates nothing.
+    match thief.push_wait(100, trips[0].points[half]) {
+        Err(ClientError::Refused { code, .. }) => assert_eq!(code, RefuseCode::WrongTenant),
+        r => panic!("expected WrongTenant on push, got {r:?}"),
+    }
+    match thief.finalize(100) {
+        Err(ClientError::Refused { code, .. }) => assert_eq!(code, RefuseCode::WrongTenant),
+        r => panic!("expected WrongTenant on finalize, got {r:?}"),
+    }
+
+    // The owner's stream continues bit-exact.
+    owner.stream_points(100, &trips[0].points[half..], 4).expect("owner continues");
+    let (points, result) = owner.finalize(100).expect("owner finalizes");
+    assert_eq!(points as usize, trips[0].len());
+    assert_eq!(result, hmm.match_trajectory(&trips[0]));
+
+    let stats = server.stats();
+    assert_eq!(stats.wrong_tenant, 2);
+    let thief_load = stats.tenant(2).expect("thief tenant is accounted");
+    assert_eq!(thief_load.refused, 2);
+    assert_eq!(thief_load.points, 0, "no stolen point was admitted");
+    assert_eq!(thief_load.live_sessions, 0);
+    server.stop();
+}
+
+#[test]
+fn slow_loris_is_reaped_and_never_stalls_other_tenants() {
+    let (hmm, trips) = world();
+    // Aggressive header deadline so the test turns around quickly.
+    let server = Server::start(hmm.clone(), base_cfg().read_timeout_s(0.3)).expect("server");
+
+    // The loris: half a header, then silence.
+    let mut loris = TcpStream::connect(server.local_addr()).expect("loris connect");
+    loris.write_all(&MAGIC).expect("partial header");
+    loris.write_all(&[0x01]).expect("one more byte");
+
+    // Meanwhile a well-behaved tenant streams a whole trip to completion —
+    // the loris holds no lock and no worker.
+    let mut client = ServeClient::connect(server.local_addr(), 4).expect("connect");
+    client.open(8).expect("open");
+    client.stream_points(8, &trips[1].points, 4).expect("stream");
+    let (_, result) = client.finalize(8).expect("finalize");
+    assert_eq!(result, hmm.match_trajectory(&trips[1]));
+
+    // The server reaps the stalled connection at the read deadline: the
+    // loris sees EOF, and the fairness counter records the kill.
+    loris.set_read_timeout(Some(Duration::from_secs(5))).expect("read timeout");
+    let mut buf = [0u8; 1];
+    let n = loris.read(&mut buf).expect("loris socket closes cleanly");
+    assert_eq!(n, 0, "server must close the slow-loris connection");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = server.stats();
+        if stats.slow_loris_closed >= 1 {
+            assert_eq!(stats.slow_loris_closed, 1);
+            assert_eq!(stats.points_accepted, trips[1].len() as u64);
+            break;
+        }
+        assert!(Instant::now() < deadline, "slow_loris_closed never counted: {stats:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.stop();
+}
+
+#[test]
+fn busy_window_is_typed_backpressure_not_silent_drop() {
+    let (hmm, trips) = world();
+    // A server-side inflight window of 1: the second unacked push must be
+    // answered with a typed Busy(Window), and after draining the ack the
+    // stream resumes exactly where it left off.
+    let server = Server::start(hmm.clone(), base_cfg().inflight_window(1)).expect("server");
+    let mut client = ServeClient::connect(server.local_addr(), 11).expect("connect");
+    client.open(1).expect("open");
+    let t = &trips[2];
+    assert!(t.len() >= 3, "tiny corpus trip long enough to overfill a 1-window");
+    client.push(1, t.points[0]).expect("first push");
+    client.push(1, t.points[1]).expect("second push");
+    let mut saw_busy = false;
+    let mut acked = 0usize;
+    while acked < 2 {
+        match client.recv_reply().expect("reply") {
+            Reply::Ack { .. } => acked += 1,
+            Reply::Busy { code, .. } => {
+                assert_eq!(code, BusyCode::Window);
+                saw_busy = true;
+                // Retry the refused point once its predecessor is acked.
+                while acked < 1 {
+                    match client.recv_reply().expect("reply") {
+                        Reply::Ack { .. } => acked += 1,
+                        r => panic!("expected ack before retry, got {r:?}"),
+                    }
+                }
+                client.push(1, t.points[1]).expect("retry");
+            }
+            r => panic!("unexpected reply: {r:?}"),
+        }
+    }
+    // The window refusal is typed and non-destructive: the rest of the
+    // trip (strictly in order) still decodes bit-exact.
+    for &p in &t.points[2..] {
+        client.push_wait(1, p).expect("in-window push");
+    }
+    let (points, result) = client.finalize(1).expect("finalize");
+    assert_eq!(points as usize, t.len());
+    assert_eq!(result, hmm.match_trajectory(t));
+    if saw_busy {
+        assert!(server.stats().busy >= 1, "busy counter must record the refusal");
+    }
+    server.stop();
+}
