@@ -43,6 +43,19 @@
 //!   reconnect; session state lives in the engine until finalized,
 //!   drained, or idle-evicted.
 //!
+//! # Trust model
+//!
+//! Tenant ids are client-asserted — there is no authentication layer, so
+//! tenant isolation (session caps, rate limits, fairness rows) is
+//! *cooperative*: it protects well-behaved tenants from each other's
+//! load, not from an adversary who spoofs another tenant's id. What the
+//! server does guarantee against hostile input is bounded resource use:
+//! frames touching foreign sessions get a typed [`RefuseCode::WrongTenant`]
+//! without minting registry state for the probed id, oversized length
+//! prefixes are refused from the header alone, and stalled connections
+//! are reaped. Deploy behind an authenticating proxy when tenants are
+//! not mutually trusted.
+//!
 //! [`ServeStats`] counts what happened — accepted/refused frames,
 //! per-tenant throttle events, bytes in/out, restore counts — in the same
 //! style as [`RouterStats`](crate::RouterStats).
@@ -778,7 +791,14 @@ impl TenantState {
 }
 
 enum PendingKind {
-    Point(GpsPoint),
+    Point {
+        p: GpsPoint,
+        /// The session's `last_t` watermark before this point was
+        /// admitted. If the engine push times out, the watermark rolls
+        /// back to this so retrying the identical point can succeed —
+        /// a retryable `Busy` must never turn into a final `LatePoint`.
+        prev_t: f64,
+    },
     Finish,
 }
 
@@ -1270,10 +1290,14 @@ fn handle_push<M: OnlineMatcher + 'static>(
     };
     if entry.tenant != tenant {
         bump(&shared.counters.wrong_tenant);
-        // Account the refusal against the *probing* tenant even if it has
-        // never opened anything — abuse must show up in its fairness row.
-        let burst = shared.cfg.burst;
-        reg.tenants.entry(tenant).or_insert_with(|| TenantState::new(burst)).refused += 1;
+        // Account the refusal against the probing tenant's fairness row
+        // only if that tenant already exists: tenant ids are
+        // client-asserted, so minting registry state for arbitrary probed
+        // ids would let one connection grow the tenant map (and the
+        // ServeStats payload) without bound.
+        if let Some(t) = reg.tenants.get_mut(&tenant) {
+            t.refused += 1;
+        }
         drop(reg);
         refuse(shared, tx, tenant, session, RefuseCode::WrongTenant, 0);
         return;
@@ -1303,6 +1327,7 @@ fn handle_push<M: OnlineMatcher + 'static>(
         return;
     }
     let engine_sid = entry.engine_sid;
+    let prev_t = entry.last_t;
     let rate = shared.cfg.rate_points_per_s;
     let (burst, queue_cap) = (shared.cfg.burst, shared.cfg.tenant_queue);
     let t = reg.tenants.entry(tenant).or_insert_with(|| TenantState::new(burst));
@@ -1330,7 +1355,7 @@ fn handle_push<M: OnlineMatcher + 'static>(
         engine_sid,
         client_sid: session,
         tenant,
-        kind: PendingKind::Point(point),
+        kind: PendingKind::Point { p: point, prev_t },
         reply: tx.clone(),
         window: window.clone(),
     });
@@ -1352,10 +1377,14 @@ fn handle_finalize<M: OnlineMatcher + 'static>(
     };
     if entry.tenant != tenant {
         bump(&shared.counters.wrong_tenant);
-        // Account the refusal against the *probing* tenant even if it has
-        // never opened anything — abuse must show up in its fairness row.
-        let burst = shared.cfg.burst;
-        reg.tenants.entry(tenant).or_insert_with(|| TenantState::new(burst)).refused += 1;
+        // Account the refusal against the probing tenant's fairness row
+        // only if that tenant already exists: tenant ids are
+        // client-asserted, so minting registry state for arbitrary probed
+        // ids would let one connection grow the tenant map (and the
+        // ServeStats payload) without bound.
+        if let Some(t) = reg.tenants.get_mut(&tenant) {
+            t.refused += 1;
+        }
         drop(reg);
         refuse(shared, tx, tenant, session, RefuseCode::WrongTenant, 0);
         return;
@@ -1473,7 +1502,7 @@ fn deliver<M: OnlineMatcher + 'static>(
     item: Pending,
 ) {
     match item.kind {
-        PendingKind::Point(p) => {
+        PendingKind::Point { p, prev_t } => {
             // Blocks up to the engine's push_timeout_s; the deadline (or a
             // dead engine) surfaces as a typed Busy, never a silent drop.
             if engine.push(item.engine_sid, p) {
@@ -1488,6 +1517,11 @@ fn deliver<M: OnlineMatcher + 'static>(
                 reg.acks.entry(item.engine_sid).or_default().push_back(waiter);
             } else {
                 item.window.fetch_sub(1, Ordering::AcqRel);
+                // The engine never saw the point, so the admission
+                // watermark must not keep its timestamp: otherwise
+                // retrying after this *retryable* Busy would be refused
+                // as a final LatePoint and the point would be lost.
+                unadmit(shared, &item, p.t, prev_t);
                 busy(shared, &item.reply, item.tenant, item.client_sid, BusyCode::PushTimeout);
             }
         }
@@ -1496,6 +1530,29 @@ fn deliver<M: OnlineMatcher + 'static>(
                 FinWaiter { client_sid: item.client_sid, tenant: item.tenant, reply: item.reply };
             shared.reg.lock().expect("registry poisoned").fins.insert(item.engine_sid, waiter);
             engine.finish(item.engine_sid);
+        }
+    }
+}
+
+/// Rolls the session's `last_t` admission watermark back past a point the
+/// engine refused at its push deadline. Delivery is FIFO per tenant, so
+/// if a later point of the same session is still queued, the watermark it
+/// restores on failure is lowered instead (the session entry keeps the
+/// latest *admitted* timestamp for ordering checks); otherwise the entry
+/// itself rolls back so the client can retry the identical point.
+fn unadmit<M: OnlineMatcher + 'static>(shared: &Shared<M>, item: &Pending, t: f64, prev_t: f64) {
+    let mut reg = shared.reg.lock().expect("registry poisoned");
+    if let Some(ts) = reg.tenants.get_mut(&item.tenant) {
+        if let Some(next) = ts.queue.iter_mut().find(|q| q.engine_sid == item.engine_sid) {
+            if let PendingKind::Point { prev_t: next_prev, .. } = &mut next.kind {
+                *next_prev = prev_t;
+            }
+            return;
+        }
+    }
+    if let Some(entry) = reg.sessions.get_mut(&item.client_sid) {
+        if entry.engine_sid == item.engine_sid && entry.last_t == t {
+            entry.last_t = prev_t;
         }
     }
 }
@@ -1532,6 +1589,22 @@ fn handle_event<M: OnlineMatcher + 'static>(shared: &Shared<M>, ev: &StreamEvent
                 send_reply(&w.reply, final_frame(w.tenant, w.client_sid, *points as u64, result));
             }
         }
+    }
+}
+
+/// Retires ack waiters whose `Update` events will never arrive (the
+/// snapshot settle hit `drain_timeout_s`): each waiter's inflight-window
+/// slot is released — mirroring the PushTimeout cleanup in [`deliver`] —
+/// and answered with a typed Busy, so the connection's window cannot leak
+/// into a permanent `Busy(Window)` wall.
+fn flush_ack_waiters<M: OnlineMatcher + 'static>(
+    shared: &Shared<M>,
+    waiters: VecDeque<PendingAck>,
+) {
+    for w in waiters {
+        w.window.fetch_sub(1, Ordering::AcqRel);
+        bump(&shared.counters.busy);
+        send_reply(&w.reply, busy_frame(w.tenant, w.client_sid, BusyCode::PushTimeout));
     }
 }
 
@@ -1579,7 +1652,9 @@ fn handle_snapshot<M: OnlineMatcher + 'static>(
         for mut snap in snaps {
             let Some(client) = reg.by_engine.remove(&snap.session) else { continue };
             let Some(entry) = reg.sessions.remove(&client) else { continue };
-            reg.acks.remove(&snap.session);
+            if let Some(waiters) = reg.acks.remove(&snap.session) {
+                flush_ack_waiters(shared, waiters);
+            }
             if let Some(t) = reg.tenants.get_mut(&entry.tenant) {
                 t.live_sessions = t.live_sessions.saturating_sub(1);
             }
@@ -1602,7 +1677,9 @@ fn handle_snapshot<M: OnlineMatcher + 'static>(
         for client in zero {
             let entry = reg.sessions.remove(&client).expect("just listed");
             reg.by_engine.remove(&entry.engine_sid);
-            reg.acks.remove(&entry.engine_sid);
+            if let Some(waiters) = reg.acks.remove(&entry.engine_sid) {
+                flush_ack_waiters(shared, waiters);
+            }
             if let Some(t) = reg.tenants.get_mut(&entry.tenant) {
                 t.live_sessions = t.live_sessions.saturating_sub(1);
             }
@@ -1621,7 +1698,19 @@ fn handle_snapshot<M: OnlineMatcher + 'static>(
                 send_reply(reply, Frame::new(FrameKind::SnapshotData, entry.tenant, client, bytes));
             }
         }
-        reg.fins.clear();
+        // Anything still waiting (sessions the engine did not hand back,
+        // finalizes whose events never arrived) is retired with a typed
+        // reply — window slots released, never a silent hang.
+        let leftover: Vec<VecDeque<PendingAck>> =
+            std::mem::take(&mut reg.acks).into_values().collect();
+        for waiters in leftover {
+            flush_ack_waiters(shared, waiters);
+        }
+        let fins: Vec<FinWaiter> = std::mem::take(&mut reg.fins).into_values().collect();
+        for w in fins {
+            bump(&shared.counters.refused);
+            send_reply(&w.reply, refused_frame(w.tenant, w.client_sid, RefuseCode::Draining, 0));
+        }
         reg.draining = false;
     }
     let mut payload = Vec::with_capacity(8);
@@ -1656,9 +1745,16 @@ fn handle_restore<M: OnlineMatcher + 'static>(
         t.live_sessions += 1;
         let sid = reg.next_sid;
         reg.next_sid += 1;
+        // Reserve the client id before releasing the lock: a concurrent
+        // Open for the same id must see AlreadyOpen, not race the engine
+        // restore below and clobber this entry. `closing: true` makes the
+        // placeholder refuse pushes until the restore lands.
+        reg.sessions.insert(
+            client_sid,
+            SessionEntry { tenant, engine_sid: sid, last_t: snap.last_t, closing: true },
+        );
         sid
     };
-    let last_t = snap.last_t;
     let had_points = snap.seq > 0;
     let mut snap = snap;
     snap.session = engine_sid;
@@ -1666,19 +1762,18 @@ fn handle_restore<M: OnlineMatcher + 'static>(
     // to the engine — like Open, the engine first sees it on its first
     // push. Everything else rehydrates through the engine.
     let restored = if had_points { engine.restore(&[snap]).is_ok() } else { true };
-    if !restored {
-        let mut reg = shared.reg.lock().expect("registry poisoned");
-        if let Some(t) = reg.tenants.get_mut(&tenant) {
-            t.live_sessions = t.live_sessions.saturating_sub(1);
-        }
-        drop(reg);
-        refuse(shared, reply, tenant, client_sid, RefuseCode::RestoreFailed, 0);
-        return;
-    }
     {
         let mut reg = shared.reg.lock().expect("registry poisoned");
-        reg.sessions
-            .insert(client_sid, SessionEntry { tenant, engine_sid, last_t, closing: false });
+        if !restored {
+            reg.sessions.remove(&client_sid);
+            if let Some(t) = reg.tenants.get_mut(&tenant) {
+                t.live_sessions = t.live_sessions.saturating_sub(1);
+            }
+            drop(reg);
+            refuse(shared, reply, tenant, client_sid, RefuseCode::RestoreFailed, 0);
+            return;
+        }
+        reg.sessions.get_mut(&client_sid).expect("reserved above").closing = false;
         reg.by_engine.insert(engine_sid, client_sid);
         reg.acks.insert(engine_sid, VecDeque::new());
     }
@@ -1740,6 +1835,7 @@ pub struct ServeClient {
     stream: TcpStream,
     tenant: u64,
     inbox: VecDeque<Reply>,
+    max_payload: usize,
 }
 
 impl ServeClient {
@@ -1750,7 +1846,18 @@ impl ServeClient {
     pub fn connect<A: ToSocketAddrs>(addr: A, tenant: u64) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, tenant, inbox: VecDeque::new() })
+        Ok(Self { stream, tenant, inbox: VecDeque::new(), max_payload: 1 << 20 })
+    }
+
+    /// Caps the reply payload length this client will read (default 1 MiB,
+    /// matching the server's request-side default). A reply declaring a
+    /// larger payload fails with a typed [`SnapshotError::Oversize`]
+    /// instead of allocating whatever length the peer announced. Raise it
+    /// when expecting outsized `Final` results or session snapshots.
+    #[must_use]
+    pub fn max_payload(mut self, n: usize) -> Self {
+        self.max_payload = n;
+        self
     }
 
     /// The tenant this connection speaks for.
@@ -1795,6 +1902,11 @@ impl ServeClient {
             return Err(ClientError::Wire(SnapshotError::BadMagic));
         }
         let payload_len = u32::from_le_bytes(header[23..27].try_into().expect("4 bytes")) as usize;
+        if payload_len > self.max_payload {
+            // Mirror the server's edge check: refuse on the declared
+            // length alone, before allocating or reading the body.
+            return Err(ClientError::Wire(SnapshotError::Oversize { len: payload_len }));
+        }
         let mut buf = vec![0u8; HEADER_LEN + payload_len + 4];
         buf[..HEADER_LEN].copy_from_slice(&header);
         self.stream.read_exact(&mut buf[HEADER_LEN..])?;

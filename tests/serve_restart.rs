@@ -216,6 +216,22 @@ fn wrong_tenant_touch_is_refused_and_owner_is_unaffected() {
         r => panic!("expected WrongTenant on finalize, got {r:?}"),
     }
 
+    // Tenant ids are client-asserted: a probe from a tenant that never
+    // opened anything must not mint registry state, or one connection
+    // could grow the tenant map (and the ServeStats payload) without
+    // bound by scanning ids.
+    let stats = server.stats();
+    assert_eq!(stats.wrong_tenant, 2);
+    assert!(stats.tenant(2).is_none(), "probing must not create tenant state");
+
+    // Once the thief is a real tenant (it opened a session of its own),
+    // further probes do land in its fairness row.
+    thief.open(200).expect("thief opens its own session");
+    match thief.push_wait(100, trips[0].points[half]) {
+        Err(ClientError::Refused { code, .. }) => assert_eq!(code, RefuseCode::WrongTenant),
+        r => panic!("expected WrongTenant on push, got {r:?}"),
+    }
+
     // The owner's stream continues bit-exact.
     owner.stream_points(100, &trips[0].points[half..], 4).expect("owner continues");
     let (points, result) = owner.finalize(100).expect("owner finalizes");
@@ -223,11 +239,11 @@ fn wrong_tenant_touch_is_refused_and_owner_is_unaffected() {
     assert_eq!(result, hmm.match_trajectory(&trips[0]));
 
     let stats = server.stats();
-    assert_eq!(stats.wrong_tenant, 2);
-    let thief_load = stats.tenant(2).expect("thief tenant is accounted");
-    assert_eq!(thief_load.refused, 2);
+    assert_eq!(stats.wrong_tenant, 3);
+    let thief_load = stats.tenant(2).expect("an open tenant is accounted");
+    assert_eq!(thief_load.refused, 1, "only post-open probes hit the row");
     assert_eq!(thief_load.points, 0, "no stolen point was admitted");
-    assert_eq!(thief_load.live_sessions, 0);
+    assert_eq!(thief_load.live_sessions, 1);
     server.stop();
 }
 
@@ -267,6 +283,68 @@ fn slow_loris_is_reaped_and_never_stalls_other_tenants() {
         assert!(Instant::now() < deadline, "slow_loris_closed never counted: {stats:?}");
         std::thread::sleep(Duration::from_millis(10));
     }
+    server.stop();
+}
+
+#[test]
+fn push_timeout_is_retryable_not_a_permanent_late_point() {
+    let (hmm, trips) = world();
+    // One worker whose every command stalls far past the push deadline,
+    // behind a single-slot queue: the third concurrent push must hit the
+    // engine's push_timeout_s and come back as Busy(PushTimeout).
+    let stalls = FaultPlan {
+        seed: 0x051A_11ED,
+        stall_per_mille: 1000,
+        stall: Duration::from_millis(300),
+        ..FaultPlan::default()
+    };
+    let cfg = ServeConfig::default()
+        .stream(
+            StreamOptions::with_threads(1)
+                .idle_timeout_s(0.0)
+                .queue_capacity(1)
+                .push_timeout_s(0.05),
+        )
+        .faults(stalls);
+    let server = Server::start(hmm.clone(), cfg).expect("server");
+    let mut client = ServeClient::connect(server.local_addr(), 1).expect("connect");
+    client.open(1).expect("open");
+    let points = &trips[0].points[..4];
+    client.push_wait(1, points[0]).expect("first point acked on a quiet engine");
+    // Stage the jam deterministically: the worker stalls on the second
+    // point, the third fills the one-slot queue, so delivering the fourth
+    // must hit push_timeout_s. The sleeps only widen the margins (the
+    // stall is 6x the push deadline).
+    client.push(1, points[1]).expect("send");
+    std::thread::sleep(Duration::from_millis(50));
+    client.push(1, points[2]).expect("send");
+    std::thread::sleep(Duration::from_millis(50));
+    client.push(1, points[3]).expect("send");
+    let mut acked = 0usize;
+    let mut timeouts = 0usize;
+    while acked < 2 || timeouts == 0 {
+        match client.recv_reply().expect("reply") {
+            Reply::Ack { .. } => acked += 1,
+            Reply::Busy { code, .. } => {
+                assert_eq!(code, BusyCode::PushTimeout, "only the engine deadline fires here");
+                timeouts += 1;
+            }
+            r => panic!("a timed-out push must surface as Busy, got {r:?}"),
+        }
+    }
+    assert_eq!((acked, timeouts), (2, 1), "two stalled acks and one engine push timeout");
+    // A PushTimeout is documented as retryable: with the jam cleared,
+    // resending the *identical* point must be acked, never refused as a
+    // LatePoint — the admission watermark rolled back when the engine
+    // refused delivery.
+    match client.push_wait(1, points[3]) {
+        Ok(Reply::Ack { .. }) => {}
+        r => panic!("retry of a timed-out push must succeed, got {r:?}"),
+    }
+    let (count, result) = client.finalize(1).expect("finalize");
+    assert_eq!(count as usize, points.len(), "every point, including the retried one, decoded");
+    let prefix = Trajectory { points: points.to_vec() };
+    assert_eq!(result, hmm.match_trajectory(&prefix), "retry path stays bitwise-identical");
     server.stop();
 }
 
